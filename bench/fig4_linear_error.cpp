@@ -1,0 +1,116 @@
+// Fig. 4 reproduction: linear modeling error vs number of training samples
+// for the two-stage OpAmp, four methods x four metrics.
+//
+//   build/bench/fig4_linear_error [--variables 630] [--test 1000]
+//                                 [--csv fig4.csv]
+//
+// The paper's shape to reproduce (Fig. 4a-d):
+//   * error decreases with K for every method;
+//   * STAR/LAR/OMP reach a given accuracy with far fewer samples than LS
+//     (LS is only feasible at K >= M at all);
+//   * OMP <= LAR < STAR at equal K, with up to 1.5-5x error gap to STAR.
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+#include "stats/lhs.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsm;
+  using namespace rsm::bench;
+  CliArgs args;
+  args.add_option("variables", "630", "OpAmp variation variables");
+  args.add_option("test", "1000", "testing samples");
+  args.add_option("max-lambda", "60", "path length for sparse methods");
+  args.add_option("csv", "fig4.csv", "CSV output path (empty to disable)");
+  args.parse(argc, argv);
+  if (args.help_requested()) {
+    std::printf("%s", args.usage("fig4_linear_error").c_str());
+    return 0;
+  }
+
+  const Index n = args.get_int("variables");
+  circuits::OpAmpConfig opamp_cfg;
+  opamp_cfg.num_variables = n;
+  const circuits::OpAmpWorkload opamp(opamp_cfg);
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
+  const Index m = dict->size();
+  // Sorted sample sweep ending above M so the LS baseline gets two points.
+  std::vector<Index> sweep{100, 200, 400, 700};
+  const Index k_ls_lo = (m + 99) / 100 * 100 + 100;
+  const Index k_ls_hi = k_ls_lo + 300;
+  for (Index k : {k_ls_lo, k_ls_hi}) {
+    if (k > sweep.back()) sweep.push_back(k);
+  }
+
+  print_header("Fig. 4 — linear modeling error vs training samples (OpAmp)",
+               "M = " + std::to_string(m) + " coefficients; LS runs only "
+               "where K >= M");
+
+  Rng rng(4);
+  WallTimer sim_timer;
+  const OpAmpSamples test = simulate_opamp(opamp, args.get_int("test"), rng);
+  const OpAmpSamples pool =
+      simulate_opamp(opamp, sweep.back(), rng);  // largest K, reused prefixes
+  std::printf("simulated %ld samples in %.1f s (paper: %s of Spectre)\n",
+              static_cast<long>(test.inputs.rows() + pool.inputs.rows()),
+              sim_timer.seconds(),
+              format_seconds(
+                  static_cast<double>(test.inputs.rows() + pool.inputs.rows()) *
+                  kOpAmpSimSecondsPerSample)
+                  .c_str());
+
+  std::unique_ptr<CsvWriter> csv;
+  if (!args.get("csv").empty())
+    csv = std::make_unique<CsvWriter>(
+        args.get("csv"),
+        std::vector<std::string>{"metric", "method", "num_samples", "error",
+                                 "lambda"});
+
+  for (circuits::OpAmpMetric metric : circuits::kAllOpAmpMetrics) {
+    const std::vector<Real> f_test = test.metric_values(metric);
+    const std::vector<Real> f_pool = pool.metric_values(metric);
+
+    Table table({"K", "LS [21]", "STAR [1]", "LAR [2]", "OMP"});
+    for (Index k : sweep) {
+      Matrix train(k, n);
+      for (Index r = 0; r < k; ++r) {
+        std::copy(pool.inputs.row(r).begin(), pool.inputs.row(r).end(),
+                  train.row(r).begin());
+      }
+      const std::vector<Real> f_train(f_pool.begin(), f_pool.begin() + k);
+      const Matrix g_train = dict->design_matrix(train);
+
+      std::vector<std::string> row{std::to_string(k)};
+      for (Method method : kAllMethods) {
+        if (method == Method::kLeastSquares && k < m) {
+          row.push_back("n/a (K<M)");
+          continue;
+        }
+        const MethodResult res =
+            run_method(method, dict, g_train, f_train, test.inputs, f_test,
+                       args.get_int("max-lambda"));
+        row.push_back(format_pct(res.test_error));
+        if (csv)
+          csv->write_row(std::vector<std::string>{
+              circuits::opamp_metric_name(metric), method_name(method),
+              std::to_string(k), format_sig(res.test_error, 6),
+              std::to_string(res.lambda)});
+      }
+      table.add_row(row);
+    }
+    std::printf("\n(%s)\n%s", circuits::opamp_metric_name(metric),
+                table.render().c_str());
+  }
+
+  print_paper_reference({
+      "Fig. 4(a-d): with 630 variables, STAR/LAR/OMP reach a few-percent",
+      "error by K ~ 400-600 samples while LS needs K >= 1200; OMP tracks or",
+      "beats LAR and reduces error by 1.5-5x vs STAR at equal K. Gain (a),",
+      "bandwidth (b), power (c), offset (d) all show the same ordering,",
+      "with one bandwidth case where LAR edges out OMP."});
+  return 0;
+}

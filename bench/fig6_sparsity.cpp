@@ -1,0 +1,100 @@
+// Fig. 6 reproduction: magnitude of the SRAM read-delay linear model
+// coefficients estimated by OMP — a handful of large coefficients against
+// 21 311 candidate basis functions.
+//
+//   build/bench/fig6_sparsity [--scaled] [--csv fig6.csv]
+//
+// Runs at the paper's full size by default (128x166 array = 21 310
+// variables, K = 1000 samples; the whole thing is seconds on the local
+// timing engine). Paper result: only 36 of 21 311 coefficients non-zero.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "stats/lhs.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsm;
+  using namespace rsm::bench;
+  CliArgs args;
+  args.add_flag("scaled", "use a 32x32 array instead of the paper's 128x166");
+  args.add_option("samples", "1000", "training samples");
+  args.add_option("csv", "fig6.csv", "CSV output path (empty to disable)");
+  args.parse(argc, argv);
+  if (args.help_requested()) {
+    std::printf("%s", args.usage("fig6_sparsity").c_str());
+    return 0;
+  }
+
+  sram::SramConfig cfg;
+  if (args.get_flag("scaled")) {
+    cfg.rows = 32;
+    cfg.cols = 32;
+  }
+  const sram::SramWorkload sram(cfg);
+  const Index n = sram.num_variables();
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
+
+  print_header("Fig. 6 — sparsity of the SRAM read-delay model (OMP)",
+               "M = " + std::to_string(dict->size()) +
+                   " candidate coefficients");
+
+  Rng rng(6);
+  const Index k = args.get_int("samples");
+  const SramSamples train = simulate_sram(sram, k, rng);
+
+  BuildOptions opt;
+  opt.method = Method::kOmp;
+  opt.max_lambda = 80;
+  const BuildReport report =
+      build_model(dict, train.inputs, train.delays, opt);
+
+  std::printf("OMP selected %ld of %ld coefficients (%.4f%% non-zero); "
+              "CV error %.2f%%\n\n",
+              static_cast<long>(report.lambda),
+              static_cast<long>(dict->size()),
+              100.0 * static_cast<double>(report.lambda) /
+                  static_cast<double>(dict->size()),
+              100.0 * report.cv.best_error);
+
+  // Sorted magnitude spectrum (the paper plots |coefficient| vs index with
+  // everything but ~36 points at zero).
+  std::vector<Real> mags;
+  for (const ModelTerm& t : report.model.terms())
+    if (!dict->index(t.basis_index).is_constant())
+      mags.push_back(std::abs(t.coefficient));
+  std::sort(mags.rbegin(), mags.rend());
+
+  std::unique_ptr<CsvWriter> csv;
+  if (!args.get("csv").empty())
+    csv = std::make_unique<CsvWriter>(
+        args.get("csv"),
+        std::vector<std::string>{"rank", "abs_coefficient_seconds"});
+
+  const Real top = mags.empty() ? Real{1} : mags.front();
+  std::printf("rank  |coef| (ps)   relative\n");
+  for (std::size_t i = 0; i < mags.size(); ++i) {
+    if (csv) csv->write_row({static_cast<double>(i + 1), mags[i]});
+    if (i < 25 || i + 3 > mags.size()) {
+      const int bars =
+          static_cast<int>(50.0 * std::sqrt(mags[i] / top));
+      std::printf("%4zu  %10.4f   %s\n", i + 1, mags[i] * 1e12,
+                  std::string(static_cast<std::size_t>(std::max(bars, 1)), '#')
+                      .c_str());
+    } else if (i == 25) {
+      std::printf("      ...\n");
+    }
+  }
+  std::printf("\nall remaining %ld candidate coefficients are exactly zero\n",
+              static_cast<long>(dict->size() - report.lambda));
+
+  print_paper_reference({
+      "Fig. 6: 36 of 21 311 basis functions selected; coefficient",
+      "magnitudes fall by >10x within the first dozen terms. The sparse",
+      "structure (accessed path dominates; the rest of the array is nearly",
+      "irrelevant) is what makes OMP applicable."});
+  return 0;
+}

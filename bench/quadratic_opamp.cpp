@@ -1,0 +1,140 @@
+#include "quadratic_opamp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "core/metrics.hpp"
+#include "stats/lhs.hpp"
+#include "util/timer.hpp"
+
+namespace rsm::bench {
+namespace {
+
+/// Extracts the sub-matrix of the chosen variable columns.
+Matrix select_columns(const Matrix& samples, std::span<const Index> vars) {
+  Matrix out(samples.rows(), static_cast<Index>(vars.size()));
+  for (Index r = 0; r < samples.rows(); ++r)
+    for (std::size_t j = 0; j < vars.size(); ++j)
+      out(r, static_cast<Index>(j)) = samples(r, vars[j]);
+  return out;
+}
+
+}  // namespace
+
+QuadraticExperiment run_quadratic_opamp(const QuadraticOptions& options) {
+  QuadraticExperiment exp;
+  exp.top_vars = options.top_vars;
+  exp.k_sparse = options.k_sparse;
+
+  circuits::OpAmpConfig opamp_cfg;
+  opamp_cfg.num_variables = options.num_variables;
+  const circuits::OpAmpWorkload opamp(opamp_cfg);
+  const Index n = opamp.num_variables();
+  Rng rng(options.seed);
+
+  // ---- Stage 1: linear screening (paper: magnitude of linear coefficients).
+  std::printf("stage 1: linear screening over %ld variables...\n",
+              static_cast<long>(n));
+  const OpAmpSamples screen = simulate_opamp(opamp, 600, rng);
+  auto lin_dict =
+      std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
+  const Matrix g_screen = lin_dict->design_matrix(screen.inputs);
+
+  std::vector<Real> importance(static_cast<std::size_t>(n), Real{0});
+  for (circuits::OpAmpMetric metric : circuits::kAllOpAmpMetrics) {
+    const std::vector<Real> f = screen.metric_values(metric);
+    BuildOptions opt;
+    opt.method = Method::kOmp;
+    opt.max_lambda = 80;
+    opt.skip_cross_validation = true;
+    const BuildReport rpt = build_model_from_design(lin_dict, g_screen, f, opt);
+    // Normalize by the metric's variability so all four metrics vote on a
+    // comparable scale.
+    const Real scale = std::sqrt(rpt.model.analytic_variance());
+    if (scale <= 0) continue;
+    for (const ModelTerm& t : rpt.model.terms()) {
+      const MultiIndex& mi = lin_dict->index(t.basis_index);
+      if (mi.is_constant()) continue;
+      const Index v = mi.terms()[0].variable;
+      importance[static_cast<std::size_t>(v)] =
+          std::max(importance[static_cast<std::size_t>(v)],
+                   std::abs(t.coefficient) / scale);
+    }
+  }
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::stable_sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return importance[static_cast<std::size_t>(a)] >
+           importance[static_cast<std::size_t>(b)];
+  });
+  std::vector<Index> critical(order.begin(), order.begin() + options.top_vars);
+  std::sort(critical.begin(), critical.end());
+
+  // ---- Stage 2: quadratic models over the critical parameters.
+  auto quad_dict = std::make_shared<BasisDictionary>(
+      BasisDictionary::quadratic(options.top_vars));
+  exp.dictionary_size = quad_dict->size();
+  exp.k_ls = static_cast<Index>(
+      std::ceil(options.ls_oversampling * static_cast<Real>(quad_dict->size())));
+  exp.ls_ran = options.run_ls;
+
+  const Index pool_size = options.run_ls ? exp.k_ls : options.k_sparse;
+  std::printf("stage 2: %ld quadratic coefficients over %ld critical "
+              "variables; simulating %ld + 800 samples...\n",
+              static_cast<long>(quad_dict->size()),
+              static_cast<long>(options.top_vars),
+              static_cast<long>(pool_size));
+  WallTimer sim_timer;
+  const OpAmpSamples pool = simulate_opamp(opamp, pool_size, rng);
+  const OpAmpSamples test = simulate_opamp(opamp, 800, rng);
+  exp.local_sim_seconds = sim_timer.seconds();
+
+  const Matrix pool_critical = select_columns(pool.inputs, critical);
+  const Matrix test_critical = select_columns(test.inputs, critical);
+  const Matrix g_pool = quad_dict->design_matrix(pool_critical);
+  Matrix g_sparse(options.k_sparse, quad_dict->size());
+  for (Index r = 0; r < options.k_sparse; ++r)
+    std::copy(g_pool.row(r).begin(), g_pool.row(r).end(),
+              g_sparse.row(r).begin());
+
+  for (int mi = 0; mi < 4; ++mi) {
+    const auto metric = circuits::kAllOpAmpMetrics[mi];
+    const std::vector<Real> f_pool = pool.metric_values(metric);
+    const std::vector<Real> f_test = test.metric_values(metric);
+    for (int me = 0; me < 4; ++me) {
+      const Method method = kAllMethods[me];
+      QuadraticCell& cell =
+          exp.cells[static_cast<std::size_t>(mi)][static_cast<std::size_t>(me)];
+      if (method == Method::kLeastSquares && !options.run_ls) continue;
+      const bool is_ls = method == Method::kLeastSquares;
+      const Index k = is_ls ? exp.k_ls : options.k_sparse;
+      const Matrix& g = is_ls ? g_pool : g_sparse;
+      const std::vector<Real> f_train(f_pool.begin(), f_pool.begin() + k);
+
+      WallTimer fit_timer;
+      BuildOptions opt;
+      opt.method = method;
+      opt.max_lambda = options.max_lambda;
+      // LAR's L1-shrunken steps carry less coefficient mass each; give it a
+      // longer path and let cross-validation stop it.
+      if (method == Method::kLar) opt.max_lambda = 3 * options.max_lambda;
+      if (is_ls) opt.ridge = 1e-8 * static_cast<Real>(k);
+      const BuildReport rpt = build_model_from_design(quad_dict, g, f_train, opt);
+      cell.fit_seconds = fit_timer.seconds();
+      cell.lambda = rpt.lambda;
+      // Validate on the critical-variable test projection.
+      const std::vector<Real> pred = rpt.model.predict_all(test_critical);
+      cell.error = relative_rms_error(pred, f_test);
+      cell.ran = true;
+      std::printf("  %-9s %-4s err=%6.2f%% lambda=%-5ld fit=%s\n",
+                  circuits::opamp_metric_name(metric), method_name(method),
+                  100.0 * cell.error, static_cast<long>(cell.lambda),
+                  format_seconds(cell.fit_seconds).c_str());
+    }
+  }
+  return exp;
+}
+
+}  // namespace rsm::bench

@@ -1,0 +1,47 @@
+// Shared runner for the paper's quadratic OpAmp experiment (Tables II & III).
+//
+// Stage 1 (paper Section V-A2): fit linear models, rank variables by linear
+// coefficient magnitude, keep the top `top_vars` "critical" parameters.
+// Stage 2: fit quadratic models over those parameters with all four methods.
+// Tables II (error) and III (cost) print different views of one run, so both
+// binaries call this runner.
+#pragma once
+
+#include <array>
+
+#include "common.hpp"
+
+namespace rsm::bench {
+
+struct QuadraticCell {
+  Real error = 0;
+  double fit_seconds = 0;
+  Index lambda = 0;
+  bool ran = false;
+};
+
+struct QuadraticExperiment {
+  Index top_vars = 0;
+  Index dictionary_size = 0;
+  Index k_ls = 0;
+  Index k_sparse = 0;
+  double local_sim_seconds = 0;
+  bool ls_ran = false;
+  /// cells[metric][method] with methods in kAllMethods order.
+  std::array<std::array<QuadraticCell, 4>, 4> cells;
+};
+
+struct QuadraticOptions {
+  Index num_variables = 630;  // full OpAmp variation space
+  Index top_vars = 50;        // critical parameters kept (paper: 200)
+  Index k_sparse = 500;       // sparse-method training samples (paper: 1000)
+  Real ls_oversampling = 1.25;  // K_LS = ceil(factor * M) (paper: ~1.23)
+  bool run_ls = true;         // paper's full size makes LS a 14 h fit
+  Index max_lambda = 120;
+  std::uint64_t seed = 2009;
+};
+
+[[nodiscard]] QuadraticExperiment run_quadratic_opamp(
+    const QuadraticOptions& options);
+
+}  // namespace rsm::bench

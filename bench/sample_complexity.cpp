@@ -1,0 +1,92 @@
+// Sample-complexity sweep: empirical check of the K = O(P log M) law
+// (Tropp & Gilbert [19]) that underpins the paper's Section IV claim that
+// "a large number of model coefficients can be uniquely determined from a
+// small number of sampling points".
+//
+//   build/bench/sample_complexity [--sparsity 8] [--trials 5]
+//
+// For each dictionary size M, finds the smallest K at which OMP recovers a
+// planted P-sparse model in `trials`/`trials` random instances, and prints
+// K* alongside P*log2(M) — the two should track each other while M grows by
+// orders of magnitude.
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common.hpp"
+#include "core/omp.hpp"
+#include "stats/lhs.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace rsm;
+
+bool recovers(Index k, Index m, Index p, std::uint64_t seed) {
+  Rng rng(seed);
+  const Matrix g = monte_carlo_normal(k, m, rng);
+  std::set<Index> support;
+  while (static_cast<Index>(support.size()) < p)
+    support.insert(rng.uniform_index(m));
+  std::vector<Real> f(static_cast<std::size_t>(k), 0.0);
+  for (Index s : support) {
+    const Real c = rng.uniform() < 0.5 ? -1.0 : 1.0;
+    for (Index r = 0; r < k; ++r)
+      f[static_cast<std::size_t>(r)] += c * g(r, s);
+  }
+  const SolverPath path = OmpSolver().fit_path(g, f, p);
+  const std::set<Index> found(path.selection_order.begin(),
+                              path.selection_order.end());
+  for (Index s : support)
+    if (!found.count(s)) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rsm::bench;
+  CliArgs args;
+  args.add_option("sparsity", "8", "planted non-zeros P");
+  args.add_option("trials", "5", "instances per (M, K) point");
+  args.parse(argc, argv);
+  if (args.help_requested()) {
+    std::printf("%s", args.usage("sample_complexity").c_str());
+    return 0;
+  }
+  const Index p = args.get_int("sparsity");
+  const int trials = static_cast<int>(args.get_int("trials"));
+
+  print_header("Sample complexity of OMP recovery — K* vs O(P log M)",
+               "smallest K with " + std::to_string(trials) + "/" +
+                   std::to_string(trials) + " exact support recoveries");
+
+  Table table({"M", "K* (measured)", "P*log2(M)", "K*/(P*log2 M)", "K*/M"});
+  for (Index m : {200L, 1000L, 5000L, 20000L, 80000L}) {
+    Index k_star = 0;
+    for (Index k = p + 2; k <= 1200; k += (k < 60 ? 4 : 10)) {
+      bool all = true;
+      for (int t = 0; t < trials && all; ++t)
+        all = recovers(k, m, p, static_cast<std::uint64_t>(m * 131 + k * 7 + t));
+      if (all) {
+        k_star = k;
+        break;
+      }
+    }
+    const double plogm =
+        static_cast<double>(p) * std::log2(static_cast<double>(m));
+    table.add_row({std::to_string(m),
+                   k_star ? std::to_string(k_star) : std::string(">1200"),
+                   format_sig(plogm, 3),
+                   k_star ? format_sig(k_star / plogm, 2) : "-",
+                   k_star ? format_sig(static_cast<double>(k_star) /
+                                           static_cast<double>(m), 2)
+                          : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nK*/(P log2 M) staying ~constant while K*/M collapses is the"
+              "\nlogarithmic scaling the paper's approach rides on: LS would"
+              "\nneed K >= M (last column ~1), sparse recovery needs a"
+              " couple\nof samples per information bit.\n");
+  return 0;
+}

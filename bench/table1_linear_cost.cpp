@@ -1,0 +1,113 @@
+// Table I reproduction: linear performance modeling cost for the OpAmp.
+//
+//   build/bench/table1_linear_cost [--variables 630]
+//
+// Paper's Table I (630 variables, 4 metrics):
+//                     LS [21]  STAR [1]  LAR [2]  OMP
+//   training samples   1200      600       600     600
+//   simulation cost   16140s    8070s     8070s   8070s
+//   fitting cost        2.6s     1.2s     44.2s   26.4s
+//   total             16142s    8071s     8114s   8096s    (~2x LS speedup)
+//
+// Shape to reproduce: simulation dominates; the sparse methods halve the
+// sample count (hence ~2x total speedup); LAR's fitting cost > OMP's > LS's
+// on the small linear dictionary.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/metrics.hpp"
+#include "stats/lhs.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsm;
+  using namespace rsm::bench;
+  CliArgs args;
+  args.add_option("variables", "630", "OpAmp variation variables");
+  args.add_option("ls-samples", "1200", "training samples for LS");
+  args.add_option("sparse-samples", "600", "training samples for sparse methods");
+  args.parse(argc, argv);
+  if (args.help_requested()) {
+    std::printf("%s", args.usage("table1_linear_cost").c_str());
+    return 0;
+  }
+
+  const Index n = args.get_int("variables");
+  const Index k_ls = args.get_int("ls-samples");
+  const Index k_sparse = args.get_int("sparse-samples");
+  circuits::OpAmpConfig opamp_cfg;
+  opamp_cfg.num_variables = n;
+  const circuits::OpAmpWorkload opamp(opamp_cfg);
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
+  RSM_CHECK_MSG(k_ls >= dict->size(), "LS needs K >= M");
+
+  print_header("Table I — linear performance modeling cost (OpAmp)",
+               "averaged over the 4 metrics; simulation cost uses the "
+               "paper's 13.45 s/sample Spectre constant");
+
+  Rng rng(41);
+  WallTimer sim_timer;
+  const OpAmpSamples pool = simulate_opamp(opamp, k_ls, rng);
+  const double local_sim_seconds = sim_timer.seconds();
+  const OpAmpSamples test = simulate_opamp(opamp, 800, rng);
+
+  // Shared design matrix; sparse methods use the first k_sparse rows.
+  const Matrix g_full = dict->design_matrix(pool.inputs);
+  Matrix g_sparse(k_sparse, dict->size());
+  for (Index r = 0; r < k_sparse; ++r)
+    std::copy(g_full.row(r).begin(), g_full.row(r).end(),
+              g_sparse.row(r).begin());
+
+  Table table({"", "LS [21]", "STAR [1]", "LAR [2]", "OMP"});
+  std::vector<std::string> row_samples{"# of training samples"};
+  std::vector<std::string> row_sim{"simulation cost (paper-equiv)"};
+  std::vector<std::string> row_fit{"fitting cost (measured)"};
+  std::vector<std::string> row_total{"total (paper-equiv)"};
+  std::vector<std::string> row_err{"avg modeling error"};
+
+  for (Method method : kAllMethods) {
+    const bool is_ls = method == Method::kLeastSquares;
+    const Index k = is_ls ? k_ls : k_sparse;
+    const Matrix& g = is_ls ? g_full : g_sparse;
+
+    double fit_seconds = 0;
+    Real err_sum = 0;
+    for (circuits::OpAmpMetric metric : circuits::kAllOpAmpMetrics) {
+      std::vector<Real> f_all = pool.metric_values(metric);
+      const std::vector<Real> f_train(f_all.begin(), f_all.begin() + k);
+      const std::vector<Real> f_test = test.metric_values(metric);
+      const MethodResult res = run_method(method, dict, g, f_train,
+                                          test.inputs, f_test, 60);
+      fit_seconds += res.fit_seconds;
+      err_sum += res.test_error;
+    }
+    const double sim_cost = static_cast<double>(k) * kOpAmpSimSecondsPerSample;
+    row_samples.push_back(std::to_string(k));
+    row_sim.push_back(format_seconds(sim_cost));
+    row_fit.push_back(format_seconds(fit_seconds));
+    row_total.push_back(format_seconds(sim_cost + fit_seconds));
+    row_err.push_back(format_pct(err_sum / 4));
+  }
+  table.add_row(row_samples);
+  table.add_row(row_sim);
+  table.add_row(row_fit);
+  table.add_row(row_total);
+  table.add_rule();
+  table.add_row(row_err);
+  std::printf("%s", table.render().c_str());
+  std::printf("\nlocal simulator time for %ld samples: %.2f s (vs %s of "
+              "Spectre the paper paid)\n",
+              static_cast<long>(k_ls), local_sim_seconds,
+              format_seconds(k_ls * kOpAmpSimSecondsPerSample).c_str());
+  std::printf("sparse-method speedup over LS (sample-count ratio): %.1fx\n",
+              static_cast<double>(k_ls) / static_cast<double>(k_sparse));
+
+  print_paper_reference({
+      "Table I: samples 1200 / 600 / 600 / 600;",
+      "simulation 16140 / 8070 / 8070 / 8070 s;",
+      "fitting 2.6 / 1.2 / 44.2 / 26.4 s;",
+      "total 16142 / 8071 / 8114 / 8096 s  =>  ~2x speedup for the sparse",
+      "methods, with LAR fitting slower than OMP, both slower than LS."});
+  return 0;
+}

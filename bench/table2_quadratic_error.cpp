@@ -1,0 +1,79 @@
+// Table II reproduction: quadratic performance modeling error for the OpAmp.
+//
+//   build/bench/table2_quadratic_error [--top 50] [--sparse-samples 500]
+//                                      [--full]
+//
+// Paper's Table II (200 critical variables -> 20 301 coefficients;
+// LS at K = 25 000, sparse methods at K = 1000):
+//              LS      STAR    LAR     OMP
+//   Gain       4.21%   8.03%   5.77%   4.39%
+//   Bandwidth  3.84%   5.36%   4.11%   2.94%
+//   Power      1.52%   4.37%   1.69%   1.17%
+//   Offset     3.69%   9.15%   2.94%   1.88%
+//
+// Shape to reproduce: OMP reduces error 1.5-3x vs STAR and beats LAR;
+// OMP at K = k_sparse matches LS at K ~ 25x larger.
+//
+// The default run scales the critical-variable count down (50 -> M = 1326)
+// so the LS baseline finishes in seconds; --full uses the paper's 200
+// critical variables (M = 20 301) and skips LS (the paper's LS fit took
+// 14.3 h on its own).
+#include <cstdio>
+
+#include "quadratic_opamp.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsm;
+  using namespace rsm::bench;
+  CliArgs args;
+  args.add_option("top", "50", "critical variables kept after screening");
+  args.add_option("sparse-samples", "500", "training samples, sparse methods");
+  args.add_flag("full", "paper-size run: top=200, K=1000, LS skipped");
+  args.parse(argc, argv);
+  if (args.help_requested()) {
+    std::printf("%s", args.usage("table2_quadratic_error").c_str());
+    return 0;
+  }
+
+  QuadraticOptions opt;
+  if (args.get_flag("full")) {
+    opt.top_vars = 200;
+    opt.k_sparse = 1000;
+    opt.run_ls = false;
+  } else {
+    opt.top_vars = args.get_int("top");
+    opt.k_sparse = args.get_int("sparse-samples");
+  }
+
+  print_header("Table II — quadratic performance modeling error (OpAmp)",
+               "top-" + std::to_string(opt.top_vars) +
+                   " critical variables after linear screening");
+  const QuadraticExperiment exp = run_quadratic_opamp(opt);
+
+  std::printf("\nM = %ld quadratic coefficients; sparse K = %ld, LS K = %s\n\n",
+              static_cast<long>(exp.dictionary_size),
+              static_cast<long>(exp.k_sparse),
+              exp.ls_ran ? std::to_string(exp.k_ls).c_str()
+                         : "skipped (see --help)");
+
+  Table table({"", "LS [21]", "STAR [1]", "LAR [2]", "OMP"});
+  for (int mi = 0; mi < 4; ++mi) {
+    std::vector<std::string> row{
+        circuits::opamp_metric_name(circuits::kAllOpAmpMetrics[mi])};
+    for (int me = 0; me < 4; ++me) {
+      const QuadraticCell& cell =
+          exp.cells[static_cast<std::size_t>(mi)][static_cast<std::size_t>(me)];
+      row.push_back(cell.ran ? format_pct(cell.error) : "skipped");
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+
+  print_paper_reference({
+      "Table II: Gain 4.21/8.03/5.77/4.39 %, Bandwidth 3.84/5.36/4.11/2.94 %,",
+      "Power 1.52/4.37/1.69/1.17 %, Offset 3.69/9.15/2.94/1.88 %",
+      "=> OMP cuts error 1.5-3x vs STAR/LAR and matches LS, which needed",
+      "   25x more training samples."});
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Side-by-side comparison of the paper's four modeling techniques —
+// LS [21], STAR [1], LAR [2] and OMP — on one shared problem.
+//
+//   build/examples/method_comparison [--variables N] [--sparsity P]
+//
+// Prints the cross-validation error curve eps(lambda) for each sparse method
+// (the Section IV-C picture) and a summary table: with K just above M the LS
+// baseline is feasible but noisy, while the sparse methods use a fraction of
+// the samples.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/cross_validation.hpp"
+#include "core/pipeline.hpp"
+#include "core/synthetic.hpp"
+#include "stats/lhs.hpp"
+#include "stats/rng.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rsm;
+  CliArgs args;
+  args.add_option("variables", "25", "process variables");
+  args.add_option("sparsity", "10", "active terms in the hidden truth");
+  args.add_option("noise", "0.05", "observation noise stddev");
+  args.parse(argc, argv);
+  if (args.help_requested()) {
+    std::printf("%s", args.usage("method_comparison").c_str());
+    return 0;
+  }
+
+  const Index n = args.get_int("variables");
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+  const Index m = dict->size();
+
+  Rng rng(99);
+  SyntheticOptions sopt;
+  sopt.num_active = args.get_int("sparsity");
+  sopt.noise_stddev = args.get_double("noise");
+  const SyntheticSparseFunction fn(dict, sopt, rng);
+
+  const Index k_sparse = 4 * sopt.num_active * 4;  // K = O(P log M) regime
+  const Index k_ls = 2 * m;                        // LS needs K >= M
+  const Matrix train_sparse = monte_carlo_normal(k_sparse, n, rng);
+  const Matrix train_ls = monte_carlo_normal(k_ls, n, rng);
+  const Matrix test = monte_carlo_normal(2000, n, rng);
+  const std::vector<Real> f_sparse = fn.observe(train_sparse, rng);
+  const std::vector<Real> f_ls = fn.observe(train_ls, rng);
+  const std::vector<Real> f_test = fn.observe(test, rng);
+
+  std::printf("dictionary: M = %ld terms; hidden truth: P = %ld active\n",
+              static_cast<long>(m), static_cast<long>(sopt.num_active));
+  std::printf("sparse methods: K = %ld samples; LS baseline: K = %ld\n\n",
+              static_cast<long>(k_sparse), static_cast<long>(k_ls));
+
+  Table table({"method", "K", "lambda", "test error"});
+
+  // LS baseline at full sampling.
+  {
+    BuildOptions opt;
+    opt.method = Method::kLeastSquares;
+    const BuildReport rpt = build_model(dict, train_ls, f_ls, opt);
+    table.add_row({"LS [21]", std::to_string(k_ls), "-",
+                   format_pct(validate_model(rpt.model, test, f_test))});
+  }
+
+  // Sparse methods share the small training set; print CV curves.
+  for (Method method : {Method::kStar, Method::kLar, Method::kOmp}) {
+    BuildOptions opt;
+    opt.method = method;
+    opt.max_lambda = 3 * args.get_int("sparsity");
+    const BuildReport rpt = build_model(dict, train_sparse, f_sparse, opt);
+    table.add_row({method_name(method), std::to_string(k_sparse),
+                   std::to_string(rpt.lambda),
+                   format_pct(validate_model(rpt.model, test, f_test))});
+
+    std::printf("%s cross-validation curve eps(lambda):\n",
+                method_name(method));
+    const std::vector<Real>& curve = rpt.cv.error_curve;
+    for (std::size_t t = 0; t < curve.size(); t += 2) {
+      const int bars = static_cast<int>(60.0 * curve[t]);
+      std::printf("  lambda=%-3zu %6.2f%% %s%s\n", t + 1, 100.0 * curve[t],
+                  std::string(static_cast<std::size_t>(
+                                  std::min(std::max(bars, 0), 70)),
+                              '#')
+                      .c_str(),
+                  static_cast<Index>(t) + 1 == rpt.cv.best_lambda ? "  <-- min"
+                                                                  : "");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf("\nSTAR skips the least-squares re-fit (Algorithm 1 Step 6) and"
+              "\npays for it in accuracy; LAR and OMP track each other, as the"
+              "\npaper observes (Section V-A).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: fit a sparse quadratic response-surface model of an unknown
+// function from far fewer samples than coefficients.
+//
+//   build/examples/quickstart
+//
+// A synthetic "circuit performance" over N = 50 process variables is secretly
+// a sparse combination of 8 Hermite basis functions. The quadratic dictionary
+// has M = 1 + 2N + N(N-1)/2 = 1326 candidate terms; we draw only K = 200
+// simulation samples — least squares is impossible (K < M), but OMP with
+// 4-fold cross-validation recovers the model.
+#include <cmath>
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "core/synthetic.hpp"
+#include "stats/lhs.hpp"
+#include "stats/rng.hpp"
+
+int main() {
+  using namespace rsm;
+  const Index n = 50;        // process variables (post-PCA, ~N(0,1))
+  const Index k_train = 200; // "transistor-level simulations" we can afford
+  const Index k_test = 2000; // independent validation set
+
+  // 1. The basis dictionary: all Hermite polynomials up to total degree 2.
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+  std::printf("dictionary: %ld candidate basis functions over %ld variables\n",
+              static_cast<long>(dict->size()), static_cast<long>(n));
+
+  // 2. The "circuit": a hidden 8-sparse function plus simulation noise.
+  Rng rng(2024);
+  SyntheticOptions truth_opt;
+  truth_opt.num_active = 8;
+  truth_opt.noise_stddev = 0.01;
+  const SyntheticSparseFunction circuit(dict, truth_opt, rng);
+
+  // 3. Monte Carlo sampling (the paper samples pdf(dY) directly).
+  const Matrix train = monte_carlo_normal(k_train, n, rng);
+  const Matrix test = monte_carlo_normal(k_test, n, rng);
+  const std::vector<Real> f_train = circuit.observe(train, rng);
+  const std::vector<Real> f_test = circuit.observe(test, rng);
+  std::printf("samples: %ld training (K << M!), %ld testing\n",
+              static_cast<long>(k_train), static_cast<long>(k_test));
+
+  // 4. Fit with OMP; cross-validation picks the sparsity level lambda.
+  BuildOptions opt;
+  opt.method = Method::kOmp;
+  opt.max_lambda = 30;
+  const BuildReport report = build_model(dict, train, f_train, opt);
+
+  std::printf("\nOMP selected lambda = %ld terms (CV error %.2f%%)\n",
+              static_cast<long>(report.lambda), 100.0 * report.cv.best_error);
+  std::printf("%s\n", report.model.to_string(10).c_str());
+
+  // 5. Validate on the independent testing set.
+  const Real err = validate_model(report.model, test, f_test);
+  std::printf("testing-set error: %.2f%% of the performance variability\n",
+              100.0 * err);
+  std::printf("analytic model mean = %.4f, stddev = %.4f\n",
+              report.model.analytic_mean(),
+              std::sqrt(report.model.analytic_variance()));
+
+  // 6. Compare with the hidden truth.
+  std::printf("\nhidden truth had %ld active terms:\n%s",
+              static_cast<long>(circuit.truth().num_terms()),
+              circuit.truth().to_string(10).c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Plot the Fig. 4 reproduction from fig4_linear_error's CSV output.
+
+  build/bench/fig4_linear_error --csv fig4.csv
+  python3 scripts/plot_fig4.py fig4.csv [fig4.png]
+
+One panel per metric, error (log scale) vs training samples, one line per
+method — the layout of the paper's Fig. 4(a-d).
+"""
+import csv
+import sys
+from collections import defaultdict
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    path = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else "fig4.png"
+
+    series = defaultdict(list)  # (metric, method) -> [(k, error)]
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            series[(row["metric"], row["method"])].append(
+                (int(row["num_samples"]), float(row["error"]))
+            )
+
+    metrics = sorted({m for m, _ in series})
+    methods = ["LS", "STAR", "LAR", "OMP"]
+    styles = {"LS": "k--s", "STAR": "C1-^", "LAR": "C2-v", "OMP": "C0-o"}
+
+    fig, axes = plt.subplots(2, 2, figsize=(10, 7), sharex=True)
+    for ax, metric in zip(axes.flat, metrics):
+        for method in methods:
+            pts = sorted(series.get((metric, method), []))
+            if not pts:
+                continue
+            ax.semilogy(
+                [k for k, _ in pts],
+                [100 * e for _, e in pts],
+                styles.get(method, "-"),
+                label=method,
+            )
+        ax.set_title(metric)
+        ax.set_xlabel("training samples K")
+        ax.set_ylabel("modeling error (%)")
+        ax.grid(True, which="both", alpha=0.3)
+        ax.legend()
+    fig.suptitle("Fig. 4 reproduction: linear modeling error vs samples")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,153 @@
+#include "basis/dictionary.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "basis/hermite.hpp"
+
+namespace rsm {
+
+BasisDictionary::BasisDictionary(Index num_variables,
+                                 std::vector<MultiIndex> indices)
+    : num_variables_(num_variables), indices_(std::move(indices)) {
+  RSM_CHECK(num_variables > 0);
+  RSM_CHECK(!indices_.empty());
+  for (const MultiIndex& mi : indices_) {
+    for (const IndexTerm& t : mi.terms()) {
+      RSM_CHECK_MSG(t.variable < num_variables,
+                    "multi-index references variable " << t.variable
+                        << " but dictionary has " << num_variables);
+      max_order_ = std::max(max_order_, t.order);
+    }
+  }
+}
+
+BasisDictionary BasisDictionary::linear(Index num_variables) {
+  return {num_variables, make_linear_indices(num_variables)};
+}
+
+BasisDictionary BasisDictionary::quadratic(Index num_variables) {
+  return {num_variables, make_quadratic_indices(num_variables)};
+}
+
+BasisDictionary BasisDictionary::total_degree(Index num_variables,
+                                              int degree) {
+  return {num_variables, make_total_degree_indices(num_variables, degree)};
+}
+
+BasisDictionary BasisDictionary::hyperbolic(Index num_variables, int degree) {
+  return {num_variables, make_hyperbolic_indices(num_variables, degree)};
+}
+
+const MultiIndex& BasisDictionary::index(Index m) const {
+  RSM_CHECK(m >= 0 && m < size());
+  return indices_[static_cast<std::size_t>(m)];
+}
+
+Real BasisDictionary::evaluate(Index m, std::span<const Real> sample) const {
+  RSM_CHECK(static_cast<Index>(sample.size()) == num_variables_);
+  Real product = 1;
+  for (const IndexTerm& t : index(m).terms())
+    product *= hermite_normalized(t.order,
+                                  sample[static_cast<std::size_t>(t.variable)]);
+  return product;
+}
+
+std::vector<Real> BasisDictionary::evaluate_column(Index m,
+                                                   const Matrix& samples) const {
+  RSM_CHECK(samples.cols() == num_variables_);
+  std::vector<Real> col(static_cast<std::size_t>(samples.rows()));
+  for (Index k = 0; k < samples.rows(); ++k)
+    col[static_cast<std::size_t>(k)] = evaluate(m, samples.row(k));
+  return col;
+}
+
+Matrix BasisDictionary::design_matrix(const Matrix& samples) const {
+  RSM_CHECK(samples.cols() == num_variables_);
+  const Index rows = samples.rows();
+  Matrix g(rows, size());
+
+  // Per sample row: precompute g_o(dy_v) for every variable and order once,
+  // then each basis function is a product of table lookups. The table costs
+  // O(N * max_order) per row vs O(M * terms) lookups — essential when M is
+  // ~20k and most indices share factors.
+  std::vector<Real> table(
+      static_cast<std::size_t>(num_variables_ * (max_order_ + 1)));
+  std::vector<Real> orders(static_cast<std::size_t>(max_order_ + 1));
+  for (Index k = 0; k < rows; ++k) {
+    std::span<const Real> sample = samples.row(k);
+    for (Index v = 0; v < num_variables_; ++v) {
+      hermite_normalized_all(max_order_, sample[static_cast<std::size_t>(v)],
+                             orders);
+      std::copy(orders.begin(), orders.end(),
+                table.begin() + v * (max_order_ + 1));
+    }
+    Real* out_row = g.row(k).data();
+    for (Index m = 0; m < size(); ++m) {
+      Real product = 1;
+      for (const IndexTerm& t : indices_[static_cast<std::size_t>(m)].terms())
+        product *= table[static_cast<std::size_t>(t.variable * (max_order_ + 1) +
+                                                   t.order)];
+      out_row[m] = product;
+    }
+  }
+  return g;
+}
+
+void BasisDictionary::save(std::ostream& out) const {
+  out << "basis_dictionary v1\n" << num_variables_ << " " << size() << "\n";
+  for (const MultiIndex& mi : indices_) {
+    out << mi.terms().size();
+    for (const IndexTerm& t : mi.terms())
+      out << " " << t.variable << " " << t.order;
+    out << "\n";
+  }
+}
+
+BasisDictionary BasisDictionary::load(std::istream& in) {
+  std::string tag, version;
+  in >> tag >> version;
+  RSM_CHECK_MSG(tag == "basis_dictionary" && version == "v1",
+                "unrecognized dictionary file header");
+  Index num_variables = 0, count = 0;
+  in >> num_variables >> count;
+  RSM_CHECK_MSG(in && num_variables > 0 && count > 0,
+                "malformed dictionary header");
+  std::vector<MultiIndex> indices;
+  indices.reserve(static_cast<std::size_t>(count));
+  for (Index i = 0; i < count; ++i) {
+    std::size_t num_terms = 0;
+    in >> num_terms;
+    std::vector<IndexTerm> terms(num_terms);
+    for (IndexTerm& t : terms) in >> t.variable >> t.order;
+    RSM_CHECK_MSG(static_cast<bool>(in), "truncated dictionary file");
+    indices.push_back(MultiIndex(std::move(terms)));
+  }
+  return {num_variables, std::move(indices)};
+}
+
+std::vector<Real> BasisDictionary::design_row(
+    std::span<const Real> sample) const {
+  RSM_CHECK(static_cast<Index>(sample.size()) == num_variables_);
+  std::vector<Real> table(
+      static_cast<std::size_t>(num_variables_ * (max_order_ + 1)));
+  std::vector<Real> orders(static_cast<std::size_t>(max_order_ + 1));
+  for (Index v = 0; v < num_variables_; ++v) {
+    hermite_normalized_all(max_order_, sample[static_cast<std::size_t>(v)],
+                           orders);
+    std::copy(orders.begin(), orders.end(),
+              table.begin() + v * (max_order_ + 1));
+  }
+  std::vector<Real> row(static_cast<std::size_t>(size()));
+  for (Index m = 0; m < size(); ++m) {
+    Real product = 1;
+    for (const IndexTerm& t : indices_[static_cast<std::size_t>(m)].terms())
+      product *= table[static_cast<std::size_t>(t.variable * (max_order_ + 1) +
+                                                 t.order)];
+    row[static_cast<std::size_t>(m)] = product;
+  }
+  return row;
+}
+
+}  // namespace rsm

@@ -1,0 +1,69 @@
+#include "basis/hermite.hpp"
+
+#include <cmath>
+
+namespace rsm {
+
+Real hermite_he(int n, Real x) {
+  RSM_CHECK(n >= 0);
+  if (n == 0) return 1;
+  if (n == 1) return x;
+  Real prev = 1;  // He_0
+  Real cur = x;   // He_1
+  for (int k = 1; k < n; ++k) {
+    const Real next = x * cur - static_cast<Real>(k) * prev;
+    prev = cur;
+    cur = next;
+  }
+  return cur;
+}
+
+Real hermite_normalized(int n, Real x) {
+  RSM_CHECK(n >= 0);
+  // Recur directly on the normalized family to avoid n! overflow:
+  //   g_{n+1}(x) = (x g_n(x) - sqrt(n) g_{n-1}(x)) / sqrt(n+1).
+  if (n == 0) return 1;
+  Real prev = 1;
+  Real cur = x;
+  for (int k = 1; k < n; ++k) {
+    const Real next = (x * cur - std::sqrt(static_cast<Real>(k)) * prev) /
+                      std::sqrt(static_cast<Real>(k + 1));
+    prev = cur;
+    cur = next;
+  }
+  return cur;
+}
+
+void hermite_normalized_all(int max_order, Real x, std::span<Real> out) {
+  RSM_CHECK(max_order >= 0);
+  RSM_CHECK(static_cast<int>(out.size()) == max_order + 1);
+  out[0] = 1;
+  if (max_order == 0) return;
+  out[1] = x;
+  for (int k = 1; k < max_order; ++k) {
+    out[static_cast<std::size_t>(k + 1)] =
+        (x * out[static_cast<std::size_t>(k)] -
+         std::sqrt(static_cast<Real>(k)) * out[static_cast<std::size_t>(k - 1)]) /
+        std::sqrt(static_cast<Real>(k + 1));
+  }
+}
+
+Real hermite_normalized_derivative(int n, Real x) {
+  RSM_CHECK(n >= 0);
+  if (n == 0) return 0;
+  return std::sqrt(static_cast<Real>(n)) * hermite_normalized(n - 1, x);
+}
+
+Real hermite_triple_product(int a, int b, int c) {
+  RSM_CHECK(a >= 0 && b >= 0 && c >= 0);
+  const int total = a + b + c;
+  if (total % 2 != 0) return 0;
+  const int s = total / 2;
+  if (s < a || s < b || s < c) return 0;  // triangle condition
+  // exp(0.5*(ln a! + ln b! + ln c!) - ln(s-a)! - ln(s-b)! - ln(s-c)!).
+  const auto lf = [](int n) { return std::lgamma(static_cast<Real>(n + 1)); };
+  return std::exp(Real{0.5} * (lf(a) + lf(b) + lf(c)) - lf(s - a) - lf(s - b) -
+                  lf(s - c));
+}
+
+}  // namespace rsm

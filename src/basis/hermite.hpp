@@ -1,0 +1,39 @@
+// Normalized probabilists' Hermite polynomials.
+//
+// Section II, eq. (2)-(4): the basis functions are orthonormal under the
+// standard-normal weight. With He_n the probabilists' Hermite polynomials
+// (He_0 = 1, He_1 = x, He_2 = x^2 - 1, ...), the normalized family is
+//   g_n(x) = He_n(x) / sqrt(n!),
+// satisfying E[g_i(X) g_j(X)] = [i == j] for X ~ N(0,1). These match the
+// paper's eq. (3): g_3(x) = (x^2 - 1)/sqrt(2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace rsm {
+
+/// He_n(x), the (unnormalized) probabilists' Hermite polynomial, by the
+/// three-term recurrence He_{n+1} = x He_n - n He_{n-1}.
+[[nodiscard]] Real hermite_he(int n, Real x);
+
+/// g_n(x) = He_n(x)/sqrt(n!), orthonormal under N(0,1).
+[[nodiscard]] Real hermite_normalized(int n, Real x);
+
+/// Evaluates g_0..g_max_order at x in one recurrence pass.
+/// out.size() must be max_order + 1.
+void hermite_normalized_all(int max_order, Real x, std::span<Real> out);
+
+/// d/dx of g_n: g_n'(x) = sqrt(n) * g_{n-1}(x).
+[[nodiscard]] Real hermite_normalized_derivative(int n, Real x);
+
+/// E[g_a(X) g_b(X) g_c(X)] for X ~ N(0,1): the Hermite linearization
+/// coefficient sqrt(a! b! c!) / ((s-a)! (s-b)! (s-c)!) when a+b+c = 2s is
+/// even and the triangle condition s >= max(a,b,c) holds; 0 otherwise.
+/// Enables closed-form third moments of fitted models (APEX-style moment
+/// extraction, the paper's ref [8]).
+[[nodiscard]] Real hermite_triple_product(int a, int b, int c);
+
+}  // namespace rsm

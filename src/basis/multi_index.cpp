@@ -1,0 +1,157 @@
+#include "basis/multi_index.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rsm {
+
+MultiIndex::MultiIndex(std::vector<IndexTerm> terms) : terms_(std::move(terms)) {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const IndexTerm& a, const IndexTerm& b) {
+              return a.variable < b.variable;
+            });
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    RSM_CHECK_MSG(terms_[i].order > 0, "multi-index orders must be positive");
+    RSM_CHECK(terms_[i].variable >= 0);
+    if (i > 0)
+      RSM_CHECK_MSG(terms_[i].variable != terms_[i - 1].variable,
+                    "duplicate variable in multi-index");
+  }
+}
+
+MultiIndex MultiIndex::linear(Index v) {
+  return MultiIndex{{IndexTerm{v, 1}}};
+}
+
+MultiIndex MultiIndex::square(Index v) {
+  return MultiIndex{{IndexTerm{v, 2}}};
+}
+
+MultiIndex MultiIndex::cross(Index u, Index v) {
+  RSM_CHECK(u != v);
+  return MultiIndex{{IndexTerm{u, 1}, IndexTerm{v, 1}}};
+}
+
+int MultiIndex::total_degree() const {
+  int d = 0;
+  for (const IndexTerm& t : terms_) d += t.order;
+  return d;
+}
+
+std::string MultiIndex::to_string() const {
+  if (terms_.empty()) return "1";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (i) os << "*";
+    os << "H" << terms_[i].order << "(y" << terms_[i].variable << ")";
+  }
+  return os.str();
+}
+
+std::vector<MultiIndex> make_linear_indices(Index num_variables) {
+  RSM_CHECK(num_variables > 0);
+  std::vector<MultiIndex> out;
+  out.reserve(static_cast<std::size_t>(num_variables + 1));
+  out.push_back(MultiIndex::constant());
+  for (Index v = 0; v < num_variables; ++v) out.push_back(MultiIndex::linear(v));
+  return out;
+}
+
+std::vector<MultiIndex> make_quadratic_indices(Index num_variables) {
+  RSM_CHECK(num_variables > 0);
+  const Index n = num_variables;
+  std::vector<MultiIndex> out;
+  out.reserve(static_cast<std::size_t>(1 + 2 * n + n * (n - 1) / 2));
+  out.push_back(MultiIndex::constant());
+  for (Index v = 0; v < n; ++v) out.push_back(MultiIndex::linear(v));
+  for (Index v = 0; v < n; ++v) out.push_back(MultiIndex::square(v));
+  for (Index u = 0; u < n; ++u)
+    for (Index v = u + 1; v < n; ++v) out.push_back(MultiIndex::cross(u, v));
+  return out;
+}
+
+namespace {
+
+// Recursively extends `prefix` (orders for variables [0, var)) to all
+// combinations with remaining degree budget.
+void extend(Index var, Index num_variables, int remaining,
+            std::vector<IndexTerm>& prefix, std::vector<MultiIndex>& out,
+            Index max_count) {
+  if (var == num_variables) {
+    RSM_CHECK_MSG(static_cast<Index>(out.size()) < max_count,
+                  "total-degree dictionary exceeds max_count=" << max_count);
+    out.push_back(MultiIndex{prefix});
+    return;
+  }
+  // Order 0 for this variable (not stored).
+  extend(var + 1, num_variables, remaining, prefix, out, max_count);
+  for (int o = 1; o <= remaining; ++o) {
+    prefix.push_back(IndexTerm{var, o});
+    extend(var + 1, num_variables, remaining - o, prefix, out, max_count);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<MultiIndex> make_total_degree_indices(Index num_variables,
+                                                  int degree,
+                                                  Index max_count) {
+  RSM_CHECK(num_variables > 0 && degree >= 0);
+  std::vector<MultiIndex> all;
+  std::vector<IndexTerm> prefix;
+  extend(0, num_variables, degree, prefix, all, max_count);
+  // Graded order: sort by total degree, stable within a degree.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const MultiIndex& a, const MultiIndex& b) {
+                     return a.total_degree() < b.total_degree();
+                   });
+  return all;
+}
+
+namespace {
+
+// Extends `prefix` over variables [var, N) with remaining hyperbolic budget
+// `budget` (the product of (order+1) factors still allowed).
+void extend_hyperbolic(Index var, Index num_variables, int budget,
+                       std::vector<IndexTerm>& prefix,
+                       std::vector<MultiIndex>& out, Index max_count) {
+  if (var == num_variables) {
+    RSM_CHECK_MSG(static_cast<Index>(out.size()) < max_count,
+                  "hyperbolic dictionary exceeds max_count=" << max_count);
+    out.push_back(MultiIndex{prefix});
+    return;
+  }
+  extend_hyperbolic(var + 1, num_variables, budget, prefix, out, max_count);
+  for (int o = 1; o + 1 <= budget; ++o) {
+    prefix.push_back(IndexTerm{var, o});
+    extend_hyperbolic(var + 1, num_variables, budget / (o + 1), prefix, out,
+                      max_count);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<MultiIndex> make_hyperbolic_indices(Index num_variables,
+                                                int degree, Index max_count) {
+  RSM_CHECK(num_variables > 0 && degree >= 0);
+  std::vector<MultiIndex> all;
+  std::vector<IndexTerm> prefix;
+  extend_hyperbolic(0, num_variables, degree + 1, prefix, all, max_count);
+  std::stable_sort(all.begin(), all.end(),
+                   [](const MultiIndex& a, const MultiIndex& b) {
+                     return a.total_degree() < b.total_degree();
+                   });
+  return all;
+}
+
+Real total_degree_count(Index num_variables, int degree) {
+  // binomial(N + d, d) computed in floating point.
+  Real c = 1;
+  for (int i = 1; i <= degree; ++i)
+    c *= static_cast<Real>(num_variables + i) / static_cast<Real>(i);
+  return c;
+}
+
+}  // namespace rsm

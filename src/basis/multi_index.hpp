@@ -1,0 +1,92 @@
+// Sparse multi-indices for high-dimensional Hermite products.
+//
+// A basis function over N variables is a product of 1-D Hermite polynomials,
+//   g(dY) = prod_i g_{o_i}(dy_{v_i}),
+// identified by the set {(v_i, o_i)}. N reaches 21 310 in the paper's SRAM
+// example while the product involves at most two variables (quadratic
+// models), so the representation is sparse: only nonzero orders are stored.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace rsm {
+
+/// One factor of the product: Hermite order `order` in variable `variable`.
+struct IndexTerm {
+  Index variable = 0;
+  int order = 0;
+
+  friend bool operator==(const IndexTerm&, const IndexTerm&) = default;
+};
+
+/// A multi-index: sorted-by-variable list of nonzero-order terms.
+/// The empty list is the constant basis function g == 1.
+class MultiIndex {
+ public:
+  MultiIndex() = default;
+  explicit MultiIndex(std::vector<IndexTerm> terms);
+
+  /// Constant (order-zero) index.
+  [[nodiscard]] static MultiIndex constant() { return MultiIndex{}; }
+
+  /// Pure linear index: g_1 in variable v.
+  [[nodiscard]] static MultiIndex linear(Index v);
+
+  /// Pure quadratic index: g_2 in variable v.
+  [[nodiscard]] static MultiIndex square(Index v);
+
+  /// Cross term: g_1(dy_u) * g_1(dy_v), u != v.
+  [[nodiscard]] static MultiIndex cross(Index u, Index v);
+
+  [[nodiscard]] const std::vector<IndexTerm>& terms() const { return terms_; }
+
+  /// Total polynomial degree (sum of orders).
+  [[nodiscard]] int total_degree() const;
+
+  [[nodiscard]] bool is_constant() const { return terms_.empty(); }
+
+  /// Human-readable form, e.g. "H1(y3)*H2(y7)" or "1".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const MultiIndex&, const MultiIndex&) = default;
+
+ private:
+  std::vector<IndexTerm> terms_;
+};
+
+/// Generators for the standard dictionaries. All include the constant term
+/// first, then linear terms in variable order, matching the paper's model
+/// structure (Section II).
+
+/// Constant + N linear terms: M = N + 1.
+[[nodiscard]] std::vector<MultiIndex> make_linear_indices(Index num_variables);
+
+/// Full quadratic dictionary: constant, N linear, N squares, N(N-1)/2 cross
+/// terms: M = 1 + 2N + N(N-1)/2. For N = 200 this is the paper's 20 301.
+[[nodiscard]] std::vector<MultiIndex> make_quadratic_indices(
+    Index num_variables);
+
+/// All multi-indices with total degree <= `degree` over `num_variables`
+/// variables (graded ordering: degree 0, then 1, ...). Intended for small N;
+/// throws if the count would exceed `max_count`.
+[[nodiscard]] std::vector<MultiIndex> make_total_degree_indices(
+    Index num_variables, int degree, Index max_count = 2'000'000);
+
+/// Number of indices make_total_degree_indices would produce:
+/// binomial(N + d, d). Returns the exact count as Real to avoid overflow.
+[[nodiscard]] Real total_degree_count(Index num_variables, int degree);
+
+/// Hyperbolic-cross dictionary: all multi-indices with
+///   prod_i (order_i + 1) <= degree + 1.
+/// Keeps every 1-D term up to `degree` but prunes high-order interactions —
+/// e.g. at degree 4 it admits H4(y_i) and H1*H1 cross terms but not
+/// H2*H2 — so higher-order models stay tractable at large N, the standard
+/// trick in the polynomial-chaos literature. Graded ordering; throws if the
+/// count would exceed `max_count`.
+[[nodiscard]] std::vector<MultiIndex> make_hyperbolic_indices(
+    Index num_variables, int degree, Index max_count = 2'000'000);
+
+}  // namespace rsm

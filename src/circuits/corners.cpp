@@ -1,0 +1,61 @@
+#include "circuits/corners.hpp"
+
+namespace rsm::circuits {
+
+const char* corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::kTypical: return "TT";
+    case Corner::kSlowSlow: return "SS";
+    case Corner::kFastFast: return "FF";
+    case Corner::kSlowFast: return "SF";
+    case Corner::kFastSlow: return "FS";
+  }
+  return "?";
+}
+
+std::vector<Real> opamp_corner(Corner corner, Index num_variables,
+                               Real sigma) {
+  RSM_CHECK(num_variables >= 4 && sigma > 0);
+  std::vector<Real> dy(static_cast<std::size_t>(num_variables), Real{0});
+  // Slow device: higher Vth, lower strength. dy[0]/dy[1] = n/p Vth;
+  // dy[2]/dy[3] = n/p KP.
+  const auto set = [&](Real n_slow, Real p_slow) {
+    dy[0] = n_slow * sigma;
+    dy[1] = p_slow * sigma;
+    dy[2] = -n_slow * sigma;
+    dy[3] = -p_slow * sigma;
+  };
+  switch (corner) {
+    case Corner::kTypical: break;
+    case Corner::kSlowSlow: set(1, 1); break;
+    case Corner::kFastFast: set(-1, -1); break;
+    case Corner::kSlowFast: set(1, -1); break;
+    case Corner::kFastSlow: set(-1, 1); break;
+  }
+  return dy;
+}
+
+std::vector<Real> sram_corner(Corner corner, Index num_variables, Real sigma) {
+  RSM_CHECK(num_variables >= 2 && sigma > 0);
+  std::vector<Real> dy(static_cast<std::size_t>(num_variables), Real{0});
+  switch (corner) {
+    case Corner::kTypical: break;
+    case Corner::kSlowSlow:
+      dy[0] = sigma;    // higher Vth
+      dy[1] = -sigma;   // weaker devices
+      break;
+    case Corner::kFastFast:
+      dy[0] = -sigma;
+      dy[1] = sigma;
+      break;
+    case Corner::kSlowFast:
+      dy[0] = sigma;  // Vth-only skew
+      break;
+    case Corner::kFastSlow:
+      dy[1] = -sigma;  // strength-only skew
+      break;
+  }
+  return dy;
+}
+
+}  // namespace rsm::circuits

@@ -1,0 +1,47 @@
+// Process-corner helpers: classic named corners as points in the
+// independent-variation space used by the workloads.
+//
+// The global variables of every workload in this library sit at the front
+// of dY (index 0 = NMOS Vth, 1 = PMOS Vth / strength, 2.. = others per
+// workload). A "corner" pins those globals at +/- k sigma with local
+// mismatch at zero — the traditional SS/FF/SF/FS/TT five-corner set that
+// response-surface models replaced with statistical analysis. Provided so
+// examples and tests can relate model predictions back to corner lore.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace rsm::circuits {
+
+enum class Corner {
+  kTypical,     // TT: all globals at 0
+  kSlowSlow,    // SS: both device types slow (+Vth, -strength)
+  kFastFast,    // FF: both fast
+  kSlowFast,    // SF: slow NMOS, fast PMOS
+  kFastSlow,    // FS: fast NMOS, slow PMOS
+};
+
+[[nodiscard]] const char* corner_name(Corner corner);
+
+/// All five corners in conventional order.
+inline constexpr Corner kAllCorners[] = {
+    Corner::kTypical, Corner::kSlowSlow, Corner::kFastFast,
+    Corner::kSlowFast, Corner::kFastSlow};
+
+/// Builds the dY vector for a corner in the OpAmp/ring layout where
+/// dy[0] = global NMOS dVth, dy[1] = global PMOS dVth, dy[2]/dy[3] =
+/// global NMOS/PMOS strength (KP). `sigma` is the corner distance
+/// (typically 3). Remaining variables are zero.
+[[nodiscard]] std::vector<Real> opamp_corner(Corner corner, Index num_variables,
+                                             Real sigma = 3.0);
+
+/// SRAM layout variant: dy[0] = global Vth (one device type dominates the
+/// read path), dy[1] = global strength. SS/FF map to +/-; SF/FS fall back
+/// to Vth-only and strength-only skews respectively.
+[[nodiscard]] std::vector<Real> sram_corner(Corner corner, Index num_variables,
+                                            Real sigma = 3.0);
+
+}  // namespace rsm::circuits

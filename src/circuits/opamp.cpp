@@ -1,0 +1,331 @@
+#include "circuits/opamp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/ac.hpp"
+#include "spice/dc.hpp"
+#include "spice/netlist.hpp"
+#include "spice/transient.hpp"
+
+namespace rsm::circuits {
+namespace {
+
+using spice::MosfetParams;
+using spice::MosType;
+using spice::Netlist;
+
+/// Device roles, indexing the per-device mismatch block of the variation
+/// vector.
+enum Device : Index { kM1, kM2, kM3, kM4, kM5, kM6, kM7, kM8, kNumDevices };
+
+/// Nominal sizing (W in meters; L = 2x minimum for analog devices).
+struct Sizing {
+  Real w;
+  Real l;
+  MosType type;
+};
+
+constexpr Real kLu = 120e-9;  // analog unit length (2x Lmin)
+
+const Sizing kSizing[kNumDevices] = {
+    {6.0e-6, kLu, MosType::kNmos},   // M1 input pair
+    {6.0e-6, kLu, MosType::kNmos},   // M2 input pair
+    {3.0e-6, kLu, MosType::kPmos},   // M3 mirror load (diode)
+    {3.0e-6, kLu, MosType::kPmos},   // M4 mirror load
+    {12.0e-6, kLu, MosType::kNmos},  // M5 tail (2x bias)
+    {24.0e-6, kLu, MosType::kPmos},  // M6 second stage
+    {48.0e-6, kLu, MosType::kNmos},  // M7 sink (8x bias)
+    {6.0e-6, kLu, MosType::kNmos},   // M8 bias diode
+};
+
+/// Passive perturbation accumulators driven by the parasitic tail.
+struct PassiveScales {
+  Real cc = 1, cl = 1, rz = 1;
+  Real c_n1 = 0, c_n2 = 0, c_out = 0, c_tail = 0;  // added parasitic caps [F]
+};
+
+struct MappedVariation {
+  MosfetParams device[kNumDevices];
+  PassiveScales passives;
+};
+
+/// dY (independent standard normals) -> physical device/passive parameters.
+MappedVariation map_variation(const OpAmpConfig& cfg,
+                              std::span<const Real> dy) {
+  const Process65& p = cfg.process;
+  RSM_CHECK(static_cast<Index>(dy.size()) == cfg.num_variables);
+
+  const Real g_vth_n = dy[0] * p.sigma_vth_global;
+  const Real g_vth_p = dy[1] * p.sigma_vth_global;
+  const Real g_kp_n = dy[2] * p.sigma_kp_global;
+  const Real g_kp_p = dy[3] * p.sigma_kp_global;
+  const Real g_len = dy[4] * p.sigma_len_global;
+  const Real g_par = dy[5] * p.sigma_parasitic;
+
+  MappedVariation out;
+  for (Index d = 0; d < kNumDevices; ++d) {
+    const Sizing& s = kSizing[d];
+    MosfetParams nominal;
+    nominal.type = s.type;
+    nominal.vt0 = s.type == MosType::kNmos ? p.vt0_nmos : p.vt0_pmos;
+    nominal.kp = s.type == MosType::kNmos ? p.kp_nmos : p.kp_pmos;
+    nominal.lambda =
+        s.type == MosType::kNmos ? p.lambda_nmos : p.lambda_pmos;
+    nominal.w = s.w;
+    nominal.l = s.l;
+
+    const std::size_t base = static_cast<std::size_t>(6 + 4 * d);
+    DeviceVariation v;
+    v.d_vth = (s.type == MosType::kNmos ? g_vth_n : g_vth_p) +
+              dy[base + 0] * p.vth_mismatch_sigma(s.w, s.l);
+    v.d_kp_rel = (s.type == MosType::kNmos ? g_kp_n : g_kp_p) +
+                 dy[base + 1] * p.sigma_kp_local;
+    v.d_w_rel = dy[base + 2] * p.sigma_w_local;
+    v.d_l_rel = g_len + dy[base + 3] * p.sigma_len_local;
+    out.device[d] = apply_variation(nominal, v);
+  }
+
+  // Parasitic tail: variables 38..N-1 cycle over seven passive targets.
+  // DC metrics (power, offset) and low-frequency gain do not see these at
+  // all; bandwidth sees each with a tiny sensitivity.
+  PassiveScales& ps = out.passives;
+  ps.cc = 1 + g_par;
+  ps.cl = 1 + g_par;
+  for (Index i = 38; i < cfg.num_variables; ++i) {
+    const Real x = dy[static_cast<std::size_t>(i)] * p.sigma_parasitic;
+    switch ((i - 38) % 7) {
+      case 0: ps.cc += x * Real{0.1}; break;
+      case 1: ps.cl += x * Real{0.1}; break;
+      case 2: ps.rz += x * Real{0.1}; break;
+      case 3: ps.c_n1 += x * Real{20e-15}; break;
+      case 4: ps.c_n2 += x * Real{20e-15}; break;
+      case 5: ps.c_out += x * Real{20e-15}; break;
+      default: ps.c_tail += x * Real{20e-15}; break;
+    }
+  }
+  ps.cc = std::max(ps.cc, Real{0.5});
+  ps.cl = std::max(ps.cl, Real{0.5});
+  ps.rz = std::max(ps.rz, Real{0.5});
+  ps.c_n1 = std::max(ps.c_n1, Real{-10e-15});
+  ps.c_n2 = std::max(ps.c_n2, Real{-10e-15});
+  ps.c_out = std::max(ps.c_out, Real{-10e-15});
+  ps.c_tail = std::max(ps.c_tail, Real{-10e-15});
+  return out;
+}
+
+/// The built testbench: netlist + handles needed during measurement.
+struct Bench {
+  Netlist netlist;
+  spice::NodeId out = spice::kGround;
+  spice::VsourceId vinp{0};
+  spice::VsourceId vinn{0};  // only valid when unity_gain == false
+  Index vdd_source_index = 0;  // position in netlist.vsources()
+};
+
+Bench build_bench(const OpAmpConfig& cfg, const MappedVariation& mv,
+                  bool unity_gain = false) {
+  Bench b;
+  Netlist& n = b.netlist;
+  const auto vdd = n.node("vdd");
+  const auto inp = n.node("inp");
+  const auto inn = n.node("inn");
+  const auto bias = n.node("bias");
+  const auto tail = n.node("tail");
+  const auto n1 = n.node("n1");
+  const auto n2 = n.node("n2");
+  const auto cz = n.node("cz");
+  const auto out = n.node("out");
+  b.out = out;
+
+  // Supplies and inputs. VDD is vsource #0 -> power measurement.
+  b.vdd_source_index = 0;
+  n.add_vsource(vdd, spice::kGround, cfg.process.vdd);
+  if (unity_gain) {
+    // Voltage follower. M1 drains into the diode (n1) side, which makes its
+    // gate the INVERTING input of the two-stage topology — so feedback ties
+    // M1's gate to the output and the drive goes to M2's gate (node inn).
+    b.vinp = n.add_vsource(inn, spice::kGround, cfg.input_cm, Real{1});
+  } else {
+    // Differential drive: +vd/2 on inp (AC +0.5), -vd/2 on inn (AC -0.5).
+    b.vinp = n.add_vsource(inp, spice::kGround, cfg.input_cm, Real{0.5});
+    b.vinn = n.add_vsource(inn, spice::kGround, cfg.input_cm, Real{-0.5});
+  }
+
+  // Bias branch.
+  n.add_isource(vdd, bias, cfg.ibias);  // current flows vdd -> bias node
+  n.add_mosfet(bias, bias, spice::kGround, spice::kGround,
+               mv.device[kM8]);  // M8 diode
+
+  // First stage. In unity-gain mode M1's (inverting) gate is the output.
+  n.add_mosfet(tail, bias, spice::kGround, spice::kGround, mv.device[kM5]);
+  n.add_mosfet(n1, unity_gain ? out : inp, tail, spice::kGround,
+               mv.device[kM1]);
+  n.add_mosfet(n2, inn, tail, spice::kGround, mv.device[kM2]);
+  n.add_mosfet(n1, n1, vdd, vdd, mv.device[kM3]);  // PMOS diode
+  n.add_mosfet(n2, n1, vdd, vdd, mv.device[kM4]);
+
+  // Second stage.
+  n.add_mosfet(out, n2, vdd, vdd, mv.device[kM6]);  // PMOS common source
+  n.add_mosfet(out, bias, spice::kGround, spice::kGround, mv.device[kM7]);
+
+  // Compensation and load. Rz ~ 1/gm6 nominal.
+  const Real rz_nominal = 450.0;
+  n.add_capacitor(n2, cz, cfg.cc * mv.passives.cc);
+  n.add_resistor(cz, out, rz_nominal * mv.passives.rz);
+  n.add_capacitor(out, spice::kGround, cfg.cl * mv.passives.cl);
+
+  // Node parasitics (only if positive after variation).
+  const Real base_par = 5e-15;
+  n.add_capacitor(n1, spice::kGround,
+                  std::max(base_par + mv.passives.c_n1, Real{1e-16}));
+  n.add_capacitor(n2, spice::kGround,
+                  std::max(base_par + mv.passives.c_n2, Real{1e-16}));
+  n.add_capacitor(out, spice::kGround,
+                  std::max(base_par + mv.passives.c_out, Real{1e-16}));
+  n.add_capacitor(tail, spice::kGround,
+                  std::max(base_par + mv.passives.c_tail, Real{1e-16}));
+  return b;
+}
+
+/// Sets the differential drive on the bench inputs.
+void set_differential(Bench& b, const OpAmpConfig& cfg, Real vd) {
+  b.netlist.vsource(b.vinp).dc = cfg.input_cm + vd / 2;
+  b.netlist.vsource(b.vinn).dc = cfg.input_cm - vd / 2;
+}
+
+}  // namespace
+
+const char* opamp_metric_name(OpAmpMetric metric) {
+  switch (metric) {
+    case OpAmpMetric::kGain: return "Gain";
+    case OpAmpMetric::kBandwidth: return "Bandwidth";
+    case OpAmpMetric::kPower: return "Power";
+    case OpAmpMetric::kOffset: return "Offset";
+  }
+  return "?";
+}
+
+Real OpAmpMetrics::get(OpAmpMetric metric) const {
+  switch (metric) {
+    case OpAmpMetric::kGain: return gain_db;
+    case OpAmpMetric::kBandwidth: return bandwidth_hz;
+    case OpAmpMetric::kPower: return power_w;
+    case OpAmpMetric::kOffset: return offset_v;
+  }
+  return 0;
+}
+
+OpAmpWorkload::OpAmpWorkload(const OpAmpConfig& config) : config_(config) {
+  RSM_CHECK_MSG(config_.num_variables >= 38,
+                "OpAmp variation space needs >= 38 variables (6 global + 32 "
+                "local), got " << config_.num_variables);
+  const std::vector<Real> zeros(static_cast<std::size_t>(config_.num_variables),
+                                Real{0});
+  nominal_ = evaluate(zeros);
+}
+
+OpAmpMetrics OpAmpWorkload::evaluate(std::span<const Real> dy) const {
+  const MappedVariation mv = map_variation(config_, dy);
+  Bench bench = build_bench(config_, mv);
+  const Real vdd = config_.process.vdd;
+  const Real target = vdd / 2;
+
+  spice::DcOptions dc_opt;
+
+  // --- Offset servo: bisection on the differential input vd so that
+  // V(out) == VDD/2. The open-loop transfer is monotonic in vd.
+  const Real vd_max = 0.2;
+  set_differential(bench, config_, -vd_max);
+  spice::DcSolution sol_lo = solve_dc(bench.netlist, dc_opt);
+  const Real f_lo = sol_lo.voltage(bench.out) - target;
+  set_differential(bench, config_, vd_max);
+  spice::DcSolution sol_hi = solve_dc(bench.netlist, dc_opt, sol_lo.x);
+  const Real f_hi = sol_hi.voltage(bench.out) - target;
+  RSM_CHECK_MSG(f_lo * f_hi < 0,
+                "offset outside +/-" << vd_max << " V servo range");
+
+  Real lo = -vd_max, hi = vd_max;
+  spice::DcSolution op = sol_hi;
+  Real vd = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    vd = (lo + hi) / 2;
+    set_differential(bench, config_, vd);
+    op = solve_dc(bench.netlist, dc_opt, op.x);
+    const Real f_mid = op.voltage(bench.out) - target;
+    if ((f_mid > 0) == (f_hi > 0)) {
+      hi = vd;
+    } else {
+      lo = vd;
+    }
+    if (hi - lo < 1e-9) break;
+  }
+
+  OpAmpMetrics metrics;
+  // Input-referred offset is the differential input required to balance the
+  // output (sign convention: offset = -vd at balance).
+  metrics.offset_v = -vd;
+
+  // --- Power: VDD branch current at the balanced operating point.
+  // vsource_current is the current flowing a->b inside the source, i.e. the
+  // current delivered out of the + terminal is its negative.
+  const Real i_vdd =
+      spice::vsource_current(bench.netlist, op, bench.vdd_source_index);
+  metrics.power_w = vdd * std::abs(i_vdd);
+
+  // --- Gain and bandwidth: AC at the balanced operating point.
+  const Real f_ref = 10.0;  // well below the dominant pole
+  const std::vector<spice::Phasor> ac = solve_ac(bench.netlist, op, f_ref);
+  const Real gain_lin = std::abs(spice::ac_voltage(ac, bench.out));
+  RSM_CHECK_MSG(gain_lin > 1, "opamp gain collapsed; check operating point");
+  metrics.gain_db = Real{20} * std::log10(gain_lin);
+  metrics.bandwidth_hz =
+      spice::find_3db_bandwidth(bench.netlist, op, bench.out, f_ref, 1e9);
+  return metrics;
+}
+
+OpAmpWorkload::StepResponse OpAmpWorkload::evaluate_step_response(
+    std::span<const Real> dy, Real step_v) const {
+  RSM_CHECK(step_v > 0 && step_v < config_.process.vdd / 2);
+  const MappedVariation mv = map_variation(config_, dy);
+  Bench bench = build_bench(config_, mv, /*unity_gain=*/true);
+
+  const Real v0 = config_.input_cm - step_v / 2;
+  const Real v1 = config_.input_cm + step_v / 2;
+  spice::TransientOptions opt;
+  opt.timestep = 0.5e-9;
+  opt.stop_time = 600e-9;
+  const Real t_step = 50e-9;
+  const auto wave = spice::step_waveform(v0, v1, t_step, 1e-9);
+  opt.update_sources = [&](Real t, spice::Netlist& nl) {
+    nl.vsource(bench.vinp).dc = wave(t);
+  };
+  const spice::TransientResult res =
+      spice::run_transient(bench.netlist, opt);
+
+  StepResponse out;
+  const std::vector<Real> wave_out = res.node_waveform(bench.out);
+  out.final_value = wave_out.back();
+  // Max slope after the step edge.
+  for (std::size_t s = 1; s < wave_out.size(); ++s) {
+    if (res.time[s] <= t_step) continue;
+    const Real slope = std::abs(wave_out[s] - wave_out[s - 1]) / opt.timestep;
+    out.slew_rate = std::max(out.slew_rate, slope);
+  }
+  // Settling: last instant the output is outside 1% of the total swing
+  // around the final value.
+  const Real swing = std::abs(out.final_value - wave_out.front());
+  RSM_CHECK_MSG(swing > step_v / 4, "follower did not track the input step");
+  const Real band = Real{0.01} * swing;
+  out.settling_time = 0;
+  for (std::size_t s = wave_out.size(); s-- > 0;) {
+    if (res.time[s] <= t_step) break;
+    if (std::abs(wave_out[s] - out.final_value) > band) {
+      out.settling_time = res.time[s] - t_step;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rsm::circuits

@@ -1,0 +1,24 @@
+#include "circuits/process.hpp"
+
+#include <cmath>
+
+namespace rsm::circuits {
+
+Real Process65::vth_mismatch_sigma(Real w, Real l) const {
+  RSM_CHECK(w > 0 && l > 0);
+  return a_vt / std::sqrt(w * l);
+}
+
+spice::MosfetParams apply_variation(const spice::MosfetParams& nominal,
+                                    const DeviceVariation& variation) {
+  spice::MosfetParams p = nominal;
+  p.vt0 = nominal.vt0 + variation.d_vth;
+  p.kp = nominal.kp * (Real{1} + variation.d_kp_rel);
+  p.w = nominal.w * (Real{1} + variation.d_w_rel);
+  p.l = nominal.l * (Real{1} + variation.d_l_rel);
+  RSM_CHECK_MSG(p.kp > 0 && p.w > 0 && p.l > 0,
+                "variation drove a device parameter non-positive");
+  return p;
+}
+
+}  // namespace rsm::circuits

@@ -1,0 +1,56 @@
+// 65 nm-flavoured process parameter set.
+//
+// Nominal level-1 parameters and variation sigmas chosen to land circuit
+// performances and variability in the ranges the paper reports for its
+// commercial 65 nm examples (the exact PDK is proprietary; see DESIGN.md's
+// substitution table). Local mismatch follows the Pelgrom scaling
+// sigma(dVth) = A_vt / sqrt(W * L).
+#pragma once
+
+#include "spice/mosfet.hpp"
+#include "util/common.hpp"
+
+namespace rsm::circuits {
+
+struct Process65 {
+  // Nominal device parameters.
+  Real vdd = 1.2;           // supply [V]
+  Real vt0_nmos = 0.40;     // [V]
+  Real vt0_pmos = 0.45;     // magnitude [V]
+  Real kp_nmos = 200e-6;    // mu*Cox [A/V^2]
+  Real kp_pmos = 80e-6;     // [A/V^2]
+  Real lambda_nmos = 0.10;  // [1/V]
+  Real lambda_pmos = 0.15;  // [1/V]
+  Real l_min = 60e-9;       // minimum drawn length [m]
+
+  // Inter-die (global) variation sigmas.
+  Real sigma_vth_global = 0.010;  // [V]
+  Real sigma_kp_global = 0.03;    // relative
+  Real sigma_len_global = 0.02;   // relative
+
+  // Intra-die (local mismatch) Pelgrom coefficient.
+  Real a_vt = 2.0e-9;        // [V * m]: sigma(dVth) = a_vt / sqrt(W L)
+  Real sigma_kp_local = 0.02;   // relative, per device
+  Real sigma_w_local = 0.01;    // relative, per device
+  Real sigma_len_local = 0.015; // relative, per device
+
+  // Layout parasitic variation (per parasitic variable, relative).
+  Real sigma_parasitic = 0.002;
+
+  /// Pelgrom mismatch sigma for a device of drawn W, L.
+  [[nodiscard]] Real vth_mismatch_sigma(Real w, Real l) const;
+};
+
+/// Per-device variation deltas (already scaled by sigmas; add to nominals).
+struct DeviceVariation {
+  Real d_vth = 0;    // absolute [V]
+  Real d_kp_rel = 0; // relative
+  Real d_w_rel = 0;  // relative
+  Real d_l_rel = 0;  // relative
+};
+
+/// Applies a variation to nominal parameters.
+[[nodiscard]] spice::MosfetParams apply_variation(
+    const spice::MosfetParams& nominal, const DeviceVariation& variation);
+
+}  // namespace rsm::circuits

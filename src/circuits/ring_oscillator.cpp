@@ -1,0 +1,111 @@
+#include "circuits/ring_oscillator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "spice/transient.hpp"
+
+namespace rsm::circuits {
+
+RingOscillatorWorkload::RingOscillatorWorkload(
+    const RingOscillatorConfig& config)
+    : config_(config) {
+  RSM_CHECK_MSG(config_.num_stages >= 3 && config_.num_stages % 2 == 1,
+                "ring needs an odd stage count >= 3");
+  RSM_CHECK_MSG(config_.num_variables >= 3 + 2 * config_.num_stages,
+                "ring variation space needs >= 3 + 2*stages variables");
+  const std::vector<Real> zeros(static_cast<std::size_t>(config_.num_variables),
+                                Real{0});
+  nominal_ = evaluate(zeros);
+}
+
+Index RingOscillatorWorkload::stage_variable(Index stage, Index p) const {
+  RSM_CHECK(stage >= 0 && stage < config_.num_stages && (p == 0 || p == 1));
+  return 3 + 2 * stage + p;
+}
+
+Real RingOscillatorWorkload::evaluate(std::span<const Real> dy) const {
+  RSM_CHECK(static_cast<Index>(dy.size()) == config_.num_variables);
+  const Process65& proc = config_.process;
+  const auto at = [&](Index i) { return dy[static_cast<std::size_t>(i)]; };
+
+  const Real g_vth = at(0) * proc.sigma_vth_global;
+  const Real g_kp = at(1) * proc.sigma_kp_global;
+  const Real g_cap = at(2) * Real{0.03};
+
+  spice::Netlist n;
+  const auto vdd = n.node("vdd");
+  n.add_vsource(vdd, spice::kGround, proc.vdd);
+
+  // Ring of NMOS common-source inverters: stage i drives node i+1 (mod S).
+  std::vector<spice::NodeId> nodes;
+  for (Index s = 0; s < config_.num_stages; ++s)
+    nodes.push_back(n.node("s" + std::to_string(s)));
+
+  for (Index s = 0; s < config_.num_stages; ++s) {
+    spice::MosfetParams dev;
+    dev.vt0 = proc.vt0_nmos + g_vth +
+              at(stage_variable(s, 0)) * config_.sigma_stage_vth;
+    dev.kp = proc.kp_nmos * (1 + g_kp +
+                             at(stage_variable(s, 1)) * proc.sigma_kp_local);
+    dev.lambda = proc.lambda_nmos;
+    dev.w = 2e-6;
+    dev.l = proc.l_min;
+    const spice::NodeId in = nodes[static_cast<std::size_t>(s)];
+    const spice::NodeId out =
+        nodes[static_cast<std::size_t>((s + 1) % config_.num_stages)];
+    n.add_mosfet(out, in, spice::kGround, spice::kGround, dev);
+    n.add_resistor(vdd, out, config_.load_resistance);
+
+    // Stage cap with its slice of the parasitic tail.
+    Real cap = config_.stage_capacitance * (1 + g_cap);
+    for (Index i = 3 + 2 * config_.num_stages; i < config_.num_variables; ++i) {
+      if ((i - 3 - 2 * config_.num_stages) % config_.num_stages == s)
+        cap += at(i) * Real{0.02e-15};
+    }
+    n.add_capacitor(out, spice::kGround, std::max(cap, Real{1e-16}));
+  }
+
+  // A perfectly matched ring started symmetrically settles at the
+  // metastable DC point instead of oscillating; kick stage 0 with a brief
+  // current pulse to break the symmetry deterministically.
+  const spice::IsourceId kick = n.add_isource(spice::kGround, nodes[0], 0.0);
+
+  spice::TransientOptions opt;
+  opt.start_from_dc = false;
+  const Real stage_rc = config_.load_resistance * config_.stage_capacitance;
+  opt.timestep = stage_rc / 12;
+  opt.stop_time = stage_rc * static_cast<Real>(config_.num_stages) * 40;
+  const Real kick_end = 4 * opt.timestep;
+  opt.update_sources = [&](Real t, spice::Netlist& nl) {
+    nl.isource(kick).dc = (t > 0 && t <= kick_end) ? 50e-6 : 0.0;
+  };
+  const spice::TransientResult res = spice::run_transient(n, opt);
+
+  // Count rising crossings of VDD/2 on stage 0 in the second half of the
+  // run (first half = startup transient).
+  const std::vector<Real> wave = res.node_waveform(nodes[0]);
+  const Real threshold = proc.vdd / 2;
+  const std::size_t start = wave.size() / 2;
+  std::vector<Real> crossings;
+  for (std::size_t s = std::max<std::size_t>(start, 1); s < wave.size(); ++s) {
+    if (wave[s - 1] < threshold && wave[s] >= threshold) {
+      // Linear interpolation of the crossing instant.
+      const Real frac = (threshold - wave[s - 1]) / (wave[s] - wave[s - 1]);
+      crossings.push_back(res.time[s - 1] +
+                          frac * (res.time[s] - res.time[s - 1]));
+    }
+  }
+  RSM_CHECK_MSG(crossings.size() >= 3,
+                "ring failed to oscillate (crossings="
+                    << crossings.size() << ")");
+  // Mean period over the observed cycles.
+  const Real period = (crossings.back() - crossings.front()) /
+                      static_cast<Real>(crossings.size() - 1);
+  return Real{1} / period;
+}
+
+}  // namespace rsm::circuits

@@ -1,0 +1,62 @@
+// Ring-oscillator workload: oscillation frequency under process variation.
+//
+// A ring of current-starved NMOS inverters (resistive loads, stage caps) —
+// the classic silicon "process monitor" structure, and a third modeling
+// target alongside the paper's OpAmp and SRAM. The frequency is extracted
+// the honest way: transient simulation of the full nonlinear ring, counting
+// threshold crossings once the oscillation settles.
+//
+// Variation mapping mirrors the OpAmp's: a handful of inter-die globals,
+// per-stage local mismatch (2 factors per stage: dVth, dKP), and an
+// optional parasitic tail perturbing the stage capacitors. Frequency is
+// dominated by the global corner and spreads mildly over the per-stage
+// mismatch (which averages around the ring) — a different, "denser"
+// sparsity pattern than the SRAM's.
+#pragma once
+
+#include <span>
+
+#include "circuits/process.hpp"
+#include "util/common.hpp"
+
+namespace rsm::circuits {
+
+struct RingOscillatorConfig {
+  Process65 process;
+
+  /// Number of inverter stages (odd; >= 3).
+  Index num_stages = 5;
+
+  /// Total independent variation variables: >= 3 globals + 2 per stage.
+  /// Extra variables become the parasitic capacitor tail.
+  Index num_variables = 64;
+
+  Real load_resistance = 15e3;  // stage pull-up [Ohm]
+  Real stage_capacitance = 8e-15;  // stage load [F]
+  Real sigma_stage_vth = 0.008;    // per-stage Vth mismatch [V]
+};
+
+class RingOscillatorWorkload {
+ public:
+  explicit RingOscillatorWorkload(const RingOscillatorConfig& config = {});
+
+  [[nodiscard]] Index num_variables() const { return config_.num_variables; }
+  [[nodiscard]] const RingOscillatorConfig& config() const { return config_; }
+
+  /// Oscillation frequency [Hz] for one variation sample, from transient
+  /// simulation (throws if the ring fails to oscillate — does not happen
+  /// at the default sigmas).
+  [[nodiscard]] Real evaluate(std::span<const Real> dy) const;
+
+  [[nodiscard]] Real nominal() const { return nominal_; }
+
+  /// Variable-layout helpers (offsets into dY).
+  [[nodiscard]] static Index global_variable(Index g) { return g; }  // g<3
+  [[nodiscard]] Index stage_variable(Index stage, Index p) const;   // p in {0,1}
+
+ private:
+  RingOscillatorConfig config_;
+  Real nominal_ = 0;
+};
+
+}  // namespace rsm::circuits

@@ -1,0 +1,63 @@
+#include "core/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "stats/descriptive.hpp"
+
+namespace rsm {
+
+BootstrapInterval bootstrap_error_interval(std::span<const Real> predicted,
+                                           std::span<const Real> actual,
+                                           Index num_replicates,
+                                           Real confidence, Rng& rng) {
+  RSM_CHECK(predicted.size() == actual.size());
+  RSM_CHECK(predicted.size() >= 3);
+  RSM_CHECK(num_replicates >= 10);
+  RSM_CHECK(confidence > 0 && confidence < 1);
+
+  BootstrapInterval out;
+  out.estimate = relative_rms_error(predicted, actual);
+  out.num_replicates = num_replicates;
+
+  const Index n = static_cast<Index>(actual.size());
+  std::vector<Real> rep_pred(static_cast<std::size_t>(n));
+  std::vector<Real> rep_actual(static_cast<std::size_t>(n));
+  std::vector<Real> replicates;
+  replicates.reserve(static_cast<std::size_t>(num_replicates));
+  for (Index r = 0; r < num_replicates; ++r) {
+    for (Index i = 0; i < n; ++i) {
+      const Index pick = rng.uniform_index(n);
+      rep_pred[static_cast<std::size_t>(i)] =
+          predicted[static_cast<std::size_t>(pick)];
+      rep_actual[static_cast<std::size_t>(i)] =
+          actual[static_cast<std::size_t>(pick)];
+    }
+    // A pathological resample can be constant; skip it (rare for real data).
+    if (stddev(rep_actual) <= 0) {
+      --r;
+      continue;
+    }
+    replicates.push_back(relative_rms_error(rep_pred, rep_actual));
+  }
+
+  std::sort(replicates.begin(), replicates.end());
+  const Real alpha = (1 - confidence) / 2;
+  out.lower = quantile(replicates, alpha);
+  out.upper = quantile(replicates, 1 - alpha);
+  out.standard_error = stddev(replicates);
+  return out;
+}
+
+BootstrapInterval bootstrap_model_error(const SparseModel& model,
+                                        const Matrix& test_samples,
+                                        std::span<const Real> test_values,
+                                        Index num_replicates, Real confidence,
+                                        Rng& rng) {
+  const std::vector<Real> pred = model.predict_all(test_samples);
+  return bootstrap_error_interval(pred, test_values, num_replicates,
+                                  confidence, rng);
+}
+
+}  // namespace rsm

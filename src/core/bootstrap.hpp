@@ -1,0 +1,40 @@
+// Bootstrap confidence intervals for modeling-error estimates.
+//
+// A testing-set error like "4.09%" (Table IV) is itself a random quantity of
+// the finite testing set. Resampling the (prediction, truth) pairs with
+// replacement gives a distribution-free confidence interval — the honest
+// error bar to put on every number the benches print, and the tool for
+// judging whether two methods actually differ (e.g. STAR's 6.34% vs LAR's
+// 4.94%) or are within testing noise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/model.hpp"
+#include "stats/rng.hpp"
+#include "util/common.hpp"
+
+namespace rsm {
+
+struct BootstrapInterval {
+  Real estimate = 0;  // error on the full testing set
+  Real lower = 0;     // percentile CI bounds
+  Real upper = 0;
+  Real standard_error = 0;  // stddev of the bootstrap replicates
+  Index num_replicates = 0;
+};
+
+/// CI for the relative RMS error of predictions vs actuals, by percentile
+/// bootstrap over the sample pairs. `confidence` in (0, 1), e.g. 0.95.
+[[nodiscard]] BootstrapInterval bootstrap_error_interval(
+    std::span<const Real> predicted, std::span<const Real> actual,
+    Index num_replicates, Real confidence, Rng& rng);
+
+/// Convenience: evaluates `model` on the testing set first.
+[[nodiscard]] BootstrapInterval bootstrap_model_error(
+    const SparseModel& model, const Matrix& test_samples,
+    std::span<const Real> test_values, Index num_replicates, Real confidence,
+    Rng& rng);
+
+}  // namespace rsm

@@ -1,0 +1,104 @@
+#include "core/cross_validation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/metrics.hpp"
+#include "linalg/blas.hpp"
+
+namespace rsm {
+
+CrossValidator::CrossValidator(const Options& options) : options_(options) {
+  RSM_CHECK_MSG(options.num_folds >= 2, "cross-validation needs >= 2 folds");
+}
+
+CrossValidationResult CrossValidator::run(const PathSolver& solver,
+                                          const Matrix& g,
+                                          std::span<const Real> f,
+                                          Index max_lambda) const {
+  const Index num_samples = g.rows();
+  const Index num_columns = g.cols();
+  RSM_CHECK(static_cast<Index>(f.size()) == num_samples);
+  const int q = options_.num_folds;
+  RSM_CHECK_MSG(num_samples >= 2 * q,
+                "too few samples (" << num_samples << ") for " << q
+                                    << "-fold cross-validation");
+
+  // Random fold assignment (shuffled round-robin keeps folds balanced).
+  std::vector<Index> perm(static_cast<std::size_t>(num_samples));
+  std::iota(perm.begin(), perm.end(), Index{0});
+  Rng rng(options_.seed);
+  rng.shuffle(perm);
+
+  CrossValidationResult result;
+  result.fold_curves.resize(static_cast<std::size_t>(q));
+
+  for (int fold = 0; fold < q; ++fold) {
+    // Split rows.
+    std::vector<Index> train_rows, test_rows;
+    for (Index i = 0; i < num_samples; ++i) {
+      const Index row = perm[static_cast<std::size_t>(i)];
+      if (static_cast<int>(i % q) == fold) {
+        test_rows.push_back(row);
+      } else {
+        train_rows.push_back(row);
+      }
+    }
+
+    Matrix g_train(static_cast<Index>(train_rows.size()), num_columns);
+    std::vector<Real> f_train(train_rows.size());
+    for (std::size_t r = 0; r < train_rows.size(); ++r) {
+      std::copy(g.row(train_rows[r]).begin(), g.row(train_rows[r]).end(),
+                g_train.row(static_cast<Index>(r)).begin());
+      f_train[r] = f[static_cast<std::size_t>(train_rows[r])];
+    }
+    Matrix g_test(static_cast<Index>(test_rows.size()), num_columns);
+    std::vector<Real> f_test(test_rows.size());
+    for (std::size_t r = 0; r < test_rows.size(); ++r) {
+      std::copy(g.row(test_rows[r]).begin(), g.row(test_rows[r]).end(),
+                g_test.row(static_cast<Index>(r)).begin());
+      f_test[r] = f[static_cast<std::size_t>(test_rows[r])];
+    }
+
+    // One path fit per fold; evaluate every lambda on the held-out fold.
+    const SolverPath path = solver.fit_path(g_train, f_train, max_lambda);
+    std::vector<Real>& curve =
+        result.fold_curves[static_cast<std::size_t>(fold)];
+    curve.reserve(static_cast<std::size_t>(path.num_steps()));
+    std::vector<Real> pred(test_rows.size());
+    for (Index t = 0; t < path.num_steps(); ++t) {
+      const std::vector<Index> sup = path.support(t);
+      const std::vector<Real>& coef =
+          path.coefficients[static_cast<std::size_t>(t)];
+      std::fill(pred.begin(), pred.end(), Real{0});
+      for (std::size_t s = 0; s < sup.size(); ++s) {
+        for (std::size_t r = 0; r < test_rows.size(); ++r)
+          pred[r] += coef[s] * g_test(static_cast<Index>(r), sup[s]);
+      }
+      curve.push_back(relative_rms_error(pred, f_test));
+    }
+  }
+
+  // Average the fold curves over their common length.
+  std::size_t common = std::numeric_limits<std::size_t>::max();
+  for (const auto& curve : result.fold_curves)
+    common = std::min(common, curve.size());
+  RSM_CHECK_MSG(common > 0 && common != std::numeric_limits<std::size_t>::max(),
+                "solver produced an empty path in cross-validation");
+
+  result.error_curve.assign(common, Real{0});
+  for (const auto& curve : result.fold_curves)
+    for (std::size_t t = 0; t < common; ++t)
+      result.error_curve[t] += curve[t];
+  for (Real& e : result.error_curve) e /= static_cast<Real>(q);
+
+  const auto best = std::min_element(result.error_curve.begin(),
+                                     result.error_curve.end());
+  result.best_lambda =
+      static_cast<Index>(best - result.error_curve.begin()) + 1;
+  result.best_error = *best;
+  return result;
+}
+
+}  // namespace rsm

@@ -1,0 +1,259 @@
+#include "core/lar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace rsm {
+namespace {
+
+/// Incrementally grown Cholesky of the Gram matrix of a set of unit-norm
+/// columns. Supports append (O(p^2)) and remove (rebuild, O(p^3), rare —
+/// only on LASSO drops).
+class ActiveGramCholesky {
+ public:
+  explicit ActiveGramCholesky(Index max_size) : l_(max_size, max_size) {}
+
+  [[nodiscard]] Index size() const { return p_; }
+
+  /// Appends a column with the given cross products g = X_A' x_new and
+  /// squared norm. Returns false if the new column is numerically in the
+  /// span of the active set.
+  [[nodiscard]] bool append(std::span<const Real> cross, Real squared_norm) {
+    RSM_CHECK(static_cast<Index>(cross.size()) == p_);
+    // Solve L l12 = cross.
+    std::vector<Real> l12(static_cast<std::size_t>(p_));
+    for (Index i = 0; i < p_; ++i) {
+      Real s = cross[static_cast<std::size_t>(i)];
+      for (Index k = 0; k < i; ++k) s -= l_(i, k) * l12[static_cast<std::size_t>(k)];
+      l12[static_cast<std::size_t>(i)] = s / l_(i, i);
+    }
+    Real d = squared_norm;
+    for (Real v : l12) d -= v * v;
+    if (d <= Real{1e-12} * squared_norm) return false;
+    for (Index i = 0; i < p_; ++i) l_(p_, i) = l12[static_cast<std::size_t>(i)];
+    l_(p_, p_) = std::sqrt(d);
+    ++p_;
+    return true;
+  }
+
+  /// Rebuilds from an explicit Gram matrix after a drop.
+  void rebuild(const Matrix& gram) {
+    RSM_CHECK(gram.rows() == gram.cols());
+    p_ = 0;
+    for (Index j = 0; j < gram.rows(); ++j) {
+      std::vector<Real> cross(static_cast<std::size_t>(p_));
+      for (Index i = 0; i < p_; ++i) cross[static_cast<std::size_t>(i)] = gram(j, i);
+      RSM_CHECK_MSG(append(cross, gram(j, j)),
+                    "active set became singular after LASSO drop");
+    }
+  }
+
+  /// Solves (X_A' X_A) v = rhs.
+  [[nodiscard]] std::vector<Real> solve(std::span<const Real> rhs) const {
+    RSM_CHECK(static_cast<Index>(rhs.size()) == p_);
+    std::vector<Real> v(rhs.begin(), rhs.end());
+    for (Index i = 0; i < p_; ++i) {
+      Real s = v[static_cast<std::size_t>(i)];
+      for (Index k = 0; k < i; ++k) s -= l_(i, k) * v[static_cast<std::size_t>(k)];
+      v[static_cast<std::size_t>(i)] = s / l_(i, i);
+    }
+    for (Index i = p_ - 1; i >= 0; --i) {
+      Real s = v[static_cast<std::size_t>(i)];
+      for (Index k = i + 1; k < p_; ++k)
+        s -= l_(k, i) * v[static_cast<std::size_t>(k)];
+      v[static_cast<std::size_t>(i)] = s / l_(i, i);
+    }
+    return v;
+  }
+
+ private:
+  Index p_ = 0;
+  Matrix l_;
+};
+
+}  // namespace
+
+SolverPath LarSolver::fit_path(const Matrix& g, std::span<const Real> f,
+                               Index max_steps) const {
+  const Index num_samples = g.rows();
+  const Index num_columns = g.cols();
+  RSM_CHECK(static_cast<Index>(f.size()) == num_samples);
+  RSM_CHECK(max_steps > 0);
+  max_steps = std::min(max_steps, std::min(num_samples - 1, num_columns));
+
+  // Normalize columns to unit 2-norm. Zero columns are excluded outright.
+  Matrix x = g;
+  std::vector<Real> scale(static_cast<std::size_t>(num_columns), Real{0});
+  std::vector<bool> usable(static_cast<std::size_t>(num_columns), false);
+  for (Index j = 0; j < num_columns; ++j) {
+    std::vector<Real> col = x.col(j);
+    const Real norm = nrm2(col);
+    if (norm <= Real{1e-300}) continue;
+    scale[static_cast<std::size_t>(j)] = norm;
+    usable[static_cast<std::size_t>(j)] = true;
+    const Real inv = Real{1} / norm;
+    for (Real& v : col) v *= inv;
+    x.set_col(j, col);
+  }
+
+  SolverPath path;
+  path.active_sets = {};  // filled per step (drops break prefix structure)
+
+  std::vector<Real> mu(static_cast<std::size_t>(num_samples), Real{0});
+  std::vector<Real> residual(f.begin(), f.end());
+  std::vector<Real> c(static_cast<std::size_t>(num_columns));
+  std::vector<Real> a(static_cast<std::size_t>(num_columns));
+  std::vector<Real> u(static_cast<std::size_t>(num_samples));
+
+  std::vector<Index> active;
+  std::vector<Real> signs;
+  std::vector<Real> beta;  // coefficients in normalized space, active order
+  std::vector<bool> in_active(static_cast<std::size_t>(num_columns), false);
+  ActiveGramCholesky chol(std::min(num_samples, max_steps + 1));
+
+  gemv_transposed(x, residual, c);
+  const Real c0 = max_abs(c);
+  if (c0 <= Real{0}) return path;
+
+  bool just_dropped = false;
+  // Each loop iteration performs one LAR event (add or drop) plus a move.
+  for (Index event = 0; event < 4 * max_steps + 8; ++event) {
+    if (static_cast<Index>(active.size()) >= max_steps && !just_dropped) break;
+
+    gemv_transposed(x, residual, c);
+
+    if (!just_dropped) {
+      // Admit the most correlated inactive column.
+      Index best = -1;
+      Real best_val = options_.correlation_tolerance * c0;
+      for (Index j = 0; j < num_columns; ++j) {
+        if (in_active[static_cast<std::size_t>(j)] ||
+            !usable[static_cast<std::size_t>(j)])
+          continue;
+        const Real v = std::abs(c[static_cast<std::size_t>(j)]);
+        if (v > best_val) {
+          best_val = v;
+          best = j;
+        }
+      }
+      if (best < 0) break;  // correlations exhausted
+
+      // Cross products with current active columns.
+      std::vector<Real> cross(active.size());
+      const std::vector<Real> new_col = x.col(best);
+      for (std::size_t i = 0; i < active.size(); ++i)
+        cross[i] = dot(x.col(active[i]), new_col);
+      if (!chol.append(cross, Real{1})) {
+        usable[static_cast<std::size_t>(best)] = false;  // collinear; skip
+        continue;
+      }
+      active.push_back(best);
+      in_active[static_cast<std::size_t>(best)] = true;
+      signs.push_back(c[static_cast<std::size_t>(best)] >= 0 ? Real{1}
+                                                             : Real{-1});
+      beta.push_back(0);
+    }
+    just_dropped = false;
+
+    // Equiangular direction: v = Gram^{-1} s;  A = 1/sqrt(s'v);  the move in
+    // coefficient space is d = A v, in sample space u = X_A d.
+    const std::vector<Real> v = chol.solve(signs);
+    Real s_dot_v = 0;
+    for (std::size_t i = 0; i < signs.size(); ++i) s_dot_v += signs[i] * v[i];
+    RSM_CHECK_MSG(s_dot_v > 0, "LAR: non-positive equiangular normalization");
+    const Real a_norm = Real{1} / std::sqrt(s_dot_v);
+    std::vector<Real> d(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) d[i] = a_norm * v[i];
+
+    std::fill(u.begin(), u.end(), Real{0});
+    for (std::size_t i = 0; i < active.size(); ++i)
+      axpy(d[i], x.col(active[i]), u);
+    gemv_transposed(x, u, a);
+
+    // Current common correlation magnitude of the active set.
+    Real cmax = 0;
+    for (Index j : active)
+      cmax = std::max(cmax, std::abs(c[static_cast<std::size_t>(j)]));
+    if (cmax <= options_.correlation_tolerance * c0) break;
+
+    // Step length to the next tie (Efron et al., eq. 2.13).
+    Real gamma = cmax / a_norm;  // full LS step if nothing ties
+    for (Index j = 0; j < num_columns; ++j) {
+      if (in_active[static_cast<std::size_t>(j)] ||
+          !usable[static_cast<std::size_t>(j)])
+        continue;
+      const Real cj = c[static_cast<std::size_t>(j)];
+      const Real aj = a[static_cast<std::size_t>(j)];
+      const Real d1 = a_norm - aj;
+      const Real d2 = a_norm + aj;
+      if (d1 > Real{1e-14}) {
+        const Real t = (cmax - cj) / d1;
+        if (t > Real{1e-14} && t < gamma) gamma = t;
+      }
+      if (d2 > Real{1e-14}) {
+        const Real t = (cmax + cj) / d2;
+        if (t > Real{1e-14} && t < gamma) gamma = t;
+      }
+    }
+
+    // LASSO modification: clip at the first zero crossing of an active
+    // coefficient and drop that variable.
+    Index drop = -1;
+    if (options_.lasso) {
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (d[i] == Real{0}) continue;
+        const Real t = -beta[i] / d[i];
+        if (t > Real{1e-14} && t < gamma) {
+          gamma = t;
+          drop = static_cast<Index>(i);
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < active.size(); ++i) beta[i] += gamma * d[i];
+    axpy(gamma, u, mu);
+    residual = vsub(f, mu);
+
+    if (drop >= 0) {
+      const Index col = active[static_cast<std::size_t>(drop)];
+      in_active[static_cast<std::size_t>(col)] = false;
+      active.erase(active.begin() + drop);
+      signs.erase(signs.begin() + drop);
+      beta.erase(beta.begin() + drop);
+      // Rebuild the active Cholesky from the reduced Gram matrix.
+      Matrix gram(static_cast<Index>(active.size()),
+                  static_cast<Index>(active.size()));
+      for (std::size_t i = 0; i < active.size(); ++i)
+        for (std::size_t j = i; j < active.size(); ++j) {
+          const Real val = dot(x.col(active[i]), x.col(active[j]));
+          gram(static_cast<Index>(i), static_cast<Index>(j)) = val;
+          gram(static_cast<Index>(j), static_cast<Index>(i)) = val;
+        }
+      chol.rebuild(gram);
+      just_dropped = true;
+    }
+
+    // Record the step: active set + de-normalized coefficients.
+    path.active_sets.push_back(active);
+    std::vector<Real> denorm(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i)
+      denorm[i] = beta[i] / scale[static_cast<std::size_t>(active[i])];
+    path.coefficients.push_back(std::move(denorm));
+    path.selection_order.push_back(active.empty() ? -1 : active.back());
+    path.residual_norms.push_back(nrm2(residual));
+
+    if (gamma >= cmax / a_norm - Real{1e-14} && drop < 0) {
+      // Took the full least-squares step: correlations are (numerically)
+      // zero, the path is complete.
+      break;
+    }
+  }
+  return path;
+}
+
+}  // namespace rsm

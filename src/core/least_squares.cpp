@@ -1,0 +1,29 @@
+#include "core/least_squares.hpp"
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+
+namespace rsm {
+
+std::vector<Real> LeastSquaresFitter::fit(const Matrix& g,
+                                          std::span<const Real> f) const {
+  RSM_CHECK(static_cast<Index>(f.size()) == g.rows());
+  if (options_.ridge == 0 && !options_.use_normal_equations) {
+    RSM_CHECK_MSG(g.rows() >= g.cols(),
+                  "least squares is under-determined: K=" << g.rows()
+                      << " < M=" << g.cols()
+                      << " (use a sparse solver instead)");
+    return least_squares_solve(g, f);
+  }
+
+  RSM_CHECK_MSG(options_.ridge > 0 || g.rows() >= g.cols(),
+                "normal equations under-determined without ridge");
+  Matrix gtg = gram(g);
+  for (Index i = 0; i < gtg.rows(); ++i) gtg(i, i) += options_.ridge;
+  std::vector<Real> gtf(static_cast<std::size_t>(g.cols()));
+  gemv_transposed(g, f, gtf);
+  return cholesky_solve(gtg, gtf);
+}
+
+}  // namespace rsm

@@ -1,0 +1,41 @@
+// Traditional least-squares fitting baseline [21].
+//
+// Solves the over-determined system of eq. (6) — which requires K >= M
+// training samples, the very cost the paper's sparse methods eliminate.
+// Offered in two flavors: Householder QR (numerically robust, O(K M^2)) and
+// normal equations with Cholesky (~2x faster, fine for the well-conditioned
+// random design matrices here). An optional ridge term stabilizes K ~ M.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/solver_path.hpp"
+#include "linalg/matrix.hpp"
+#include "util/common.hpp"
+
+namespace rsm {
+
+class LeastSquaresFitter {
+ public:
+  struct Options {
+    /// Use A'A Cholesky instead of QR (faster, slightly less robust).
+    bool use_normal_equations = false;
+
+    /// Tikhonov regularization strength (0 = plain least squares).
+    Real ridge = 0;
+  };
+
+  LeastSquaresFitter() = default;
+  explicit LeastSquaresFitter(const Options& options) : options_(options) {}
+
+  /// Dense coefficient vector minimizing ||G a - F||_2 (+ ridge).
+  /// Requires G.rows() >= G.cols() when ridge == 0.
+  [[nodiscard]] std::vector<Real> fit(const Matrix& g,
+                                      std::span<const Real> f) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace rsm

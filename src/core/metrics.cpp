@@ -1,0 +1,67 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace rsm {
+namespace {
+
+Real rms(std::span<const Real> x) {
+  RSM_CHECK(!x.empty());
+  Real s = 0;
+  for (Real v : x) s += v * v;
+  return std::sqrt(s / static_cast<Real>(x.size()));
+}
+
+Real rms_diff(std::span<const Real> a, std::span<const Real> b) {
+  RSM_CHECK(a.size() == b.size() && !a.empty());
+  Real s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Real d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<Real>(a.size()));
+}
+
+}  // namespace
+
+Real relative_rms_error(std::span<const Real> predicted,
+                        std::span<const Real> actual) {
+  const Real sd = stddev(actual);
+  RSM_CHECK_MSG(sd > 0, "actual values are constant; relative error undefined");
+  return rms_diff(predicted, actual) / sd;
+}
+
+Real rms_error_over_norm(std::span<const Real> predicted,
+                         std::span<const Real> actual) {
+  const Real denom = rms(actual);
+  RSM_CHECK_MSG(denom > 0, "actual values are all zero");
+  return rms_diff(predicted, actual) / denom;
+}
+
+Real max_relative_error(std::span<const Real> predicted,
+                        std::span<const Real> actual) {
+  RSM_CHECK(predicted.size() == actual.size() && !predicted.empty());
+  const Real sd = stddev(actual);
+  RSM_CHECK_MSG(sd > 0, "actual values are constant; relative error undefined");
+  Real m = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    m = std::max(m, std::abs(predicted[i] - actual[i]));
+  return m / sd;
+}
+
+Real r_squared(std::span<const Real> predicted, std::span<const Real> actual) {
+  RSM_CHECK(predicted.size() == actual.size() && actual.size() >= 2);
+  const Real m = mean(actual);
+  Real ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - m) * (actual[i] - m);
+  }
+  RSM_CHECK(ss_tot > 0);
+  return 1 - ss_res / ss_tot;
+}
+
+}  // namespace rsm

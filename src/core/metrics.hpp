@@ -1,0 +1,37 @@
+// Modeling-error metrics.
+//
+// The paper reports "modeling error" percentages measured on an independent
+// testing set. The headline metric here normalizes the RMS prediction error
+// by the standard deviation of the true values: it measures how much of the
+// performance *variability* — the quantity response-surface models exist to
+// capture — is left unexplained. (Normalizing by ||f||_2 would let the large
+// constant nominal value of, e.g., gain mask an entirely wrong variation
+// model.)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace rsm {
+
+/// sqrt(mean((pred - actual)^2)) / std(actual). 0 = perfect; 1 ~ no better
+/// than predicting the mean.
+[[nodiscard]] Real relative_rms_error(std::span<const Real> predicted,
+                                      std::span<const Real> actual);
+
+/// sqrt(mean((pred - actual)^2)) / sqrt(mean(actual^2)): error relative to
+/// signal magnitude (secondary metric).
+[[nodiscard]] Real rms_error_over_norm(std::span<const Real> predicted,
+                                       std::span<const Real> actual);
+
+/// max |pred - actual| / std(actual).
+[[nodiscard]] Real max_relative_error(std::span<const Real> predicted,
+                                      std::span<const Real> actual);
+
+/// Coefficient of determination 1 - SS_res / SS_tot.
+[[nodiscard]] Real r_squared(std::span<const Real> predicted,
+                             std::span<const Real> actual);
+
+}  // namespace rsm

@@ -1,0 +1,196 @@
+#include "core/model.hpp"
+
+#include "basis/hermite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <limits>
+#include <sstream>
+
+namespace rsm {
+
+SparseModel::SparseModel(std::shared_ptr<const BasisDictionary> dictionary,
+                         std::vector<ModelTerm> terms)
+    : dictionary_(std::move(dictionary)) {
+  RSM_CHECK(dictionary_ != nullptr);
+  terms_.reserve(terms.size());
+  for (const ModelTerm& t : terms) {
+    RSM_CHECK_MSG(t.basis_index >= 0 && t.basis_index < dictionary_->size(),
+                  "model term index " << t.basis_index
+                                      << " outside dictionary of size "
+                                      << dictionary_->size());
+    if (t.coefficient != Real{0}) terms_.push_back(t);
+  }
+}
+
+SparseModel SparseModel::from_dense(
+    std::shared_ptr<const BasisDictionary> dictionary,
+    std::span<const Real> coefficients, Real threshold) {
+  RSM_CHECK(dictionary != nullptr);
+  RSM_CHECK(static_cast<Index>(coefficients.size()) == dictionary->size());
+  std::vector<ModelTerm> terms;
+  for (Index m = 0; m < dictionary->size(); ++m) {
+    const Real c = coefficients[static_cast<std::size_t>(m)];
+    if (std::abs(c) > threshold) terms.push_back({m, c});
+  }
+  return SparseModel(std::move(dictionary), std::move(terms));
+}
+
+const BasisDictionary& SparseModel::dictionary() const {
+  RSM_CHECK(dictionary_ != nullptr);
+  return *dictionary_;
+}
+
+Real SparseModel::predict(std::span<const Real> sample) const {
+  Real sum = 0;
+  for (const ModelTerm& t : terms_)
+    sum += t.coefficient * dictionary().evaluate(t.basis_index, sample);
+  return sum;
+}
+
+std::vector<Real> SparseModel::gradient(std::span<const Real> sample) const {
+  const Index n = dictionary().num_variables();
+  RSM_CHECK(static_cast<Index>(sample.size()) == n);
+  std::vector<Real> grad(static_cast<std::size_t>(n), Real{0});
+  for (const ModelTerm& t : terms_) {
+    const MultiIndex& mi = dictionary().index(t.basis_index);
+    const auto& terms = mi.terms();
+    // d/d y_v of prod_i g_{o_i}(y_{v_i}): differentiate one factor, keep
+    // the others.
+    for (std::size_t d = 0; d < terms.size(); ++d) {
+      Real partial = t.coefficient *
+                     hermite_normalized_derivative(
+                         terms[d].order,
+                         sample[static_cast<std::size_t>(terms[d].variable)]);
+      if (partial == Real{0}) continue;
+      for (std::size_t o = 0; o < terms.size(); ++o) {
+        if (o == d) continue;
+        partial *= hermite_normalized(
+            terms[o].order,
+            sample[static_cast<std::size_t>(terms[o].variable)]);
+      }
+      grad[static_cast<std::size_t>(terms[d].variable)] += partial;
+    }
+  }
+  return grad;
+}
+
+std::vector<Real> SparseModel::predict_all(const Matrix& samples) const {
+  std::vector<Real> out(static_cast<std::size_t>(samples.rows()));
+  for (Index k = 0; k < samples.rows(); ++k)
+    out[static_cast<std::size_t>(k)] = predict(samples.row(k));
+  return out;
+}
+
+Real SparseModel::analytic_mean() const {
+  for (const ModelTerm& t : terms_)
+    if (dictionary().index(t.basis_index).is_constant()) return t.coefficient;
+  return 0;
+}
+
+Real SparseModel::analytic_variance() const {
+  Real var = 0;
+  for (const ModelTerm& t : terms_)
+    if (!dictionary().index(t.basis_index).is_constant())
+      var += t.coefficient * t.coefficient;
+  return var;
+}
+
+namespace {
+
+/// E[g_i g_j g_k] for three multi-indices: product over every variable of
+/// the 1-D triple-product coefficient (order 0 where a variable is absent).
+Real triple_expectation(const MultiIndex& i, const MultiIndex& j,
+                        const MultiIndex& k) {
+  // Three-way sorted merge over the variables of the three indices.
+  const auto& ti = i.terms();
+  const auto& tj = j.terms();
+  const auto& tk = k.terms();
+  std::size_t pi = 0, pj = 0, pk = 0;
+  Real product = 1;
+  while (pi < ti.size() || pj < tj.size() || pk < tk.size()) {
+    Index v = std::numeric_limits<Index>::max();
+    if (pi < ti.size()) v = std::min(v, ti[pi].variable);
+    if (pj < tj.size()) v = std::min(v, tj[pj].variable);
+    if (pk < tk.size()) v = std::min(v, tk[pk].variable);
+    int a = 0, b = 0, c = 0;
+    if (pi < ti.size() && ti[pi].variable == v) a = ti[pi++].order;
+    if (pj < tj.size() && tj[pj].variable == v) b = tj[pj++].order;
+    if (pk < tk.size() && tk[pk].variable == v) c = tk[pk++].order;
+    product *= hermite_triple_product(a, b, c);
+    if (product == Real{0}) return 0;
+  }
+  return product;
+}
+
+}  // namespace
+
+Real SparseModel::analytic_third_moment() const {
+  // Only non-constant terms contribute to central moments.
+  std::vector<const ModelTerm*> active;
+  for (const ModelTerm& t : terms_)
+    if (!dictionary().index(t.basis_index).is_constant())
+      active.push_back(&t);
+
+  Real mu3 = 0;
+  for (const ModelTerm* a : active) {
+    const MultiIndex& ia = dictionary().index(a->basis_index);
+    for (const ModelTerm* b : active) {
+      const MultiIndex& ib = dictionary().index(b->basis_index);
+      for (const ModelTerm* c : active) {
+        mu3 += a->coefficient * b->coefficient * c->coefficient *
+               triple_expectation(ia, ib, dictionary().index(c->basis_index));
+      }
+    }
+  }
+  return mu3;
+}
+
+Real SparseModel::analytic_skewness() const {
+  const Real var = analytic_variance();
+  if (var <= 0) return 0;
+  return analytic_third_moment() / std::pow(var, Real{1.5});
+}
+
+std::string SparseModel::to_string(Index max_terms) const {
+  std::vector<ModelTerm> sorted = terms_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ModelTerm& a, const ModelTerm& b) {
+              return std::abs(a.coefficient) > std::abs(b.coefficient);
+            });
+  std::ostringstream os;
+  os << "SparseModel with " << terms_.size() << " terms:\n";
+  const Index show = std::min<Index>(max_terms, num_terms());
+  for (Index i = 0; i < show; ++i) {
+    const ModelTerm& t = sorted[static_cast<std::size_t>(i)];
+    os << "  " << t.coefficient << " * "
+       << dictionary().index(t.basis_index).to_string() << "\n";
+  }
+  if (show < num_terms()) os << "  ... (" << num_terms() - show << " more)\n";
+  return os.str();
+}
+
+void SparseModel::save(std::ostream& out) const {
+  out.precision(17);
+  out << "sparse_model v1\n" << terms_.size() << "\n";
+  for (const ModelTerm& t : terms_)
+    out << t.basis_index << " " << t.coefficient << "\n";
+}
+
+SparseModel SparseModel::load(
+    std::istream& in, std::shared_ptr<const BasisDictionary> dictionary) {
+  std::string tag, version;
+  in >> tag >> version;
+  RSM_CHECK_MSG(tag == "sparse_model" && version == "v1",
+                "unrecognized model file header");
+  std::size_t count = 0;
+  in >> count;
+  std::vector<ModelTerm> terms(count);
+  for (ModelTerm& t : terms) in >> t.basis_index >> t.coefficient;
+  RSM_CHECK_MSG(static_cast<bool>(in), "truncated model file");
+  return SparseModel(std::move(dictionary), std::move(terms));
+}
+
+}  // namespace rsm

@@ -1,0 +1,99 @@
+// Sparse response-surface model: the deliverable of the whole pipeline.
+//
+// Holds the selected basis functions with their coefficients and predicts
+// f(dY) by evaluating only those functions — O(lambda) per prediction
+// instead of O(M), which is the practical payoff of sparsity at use time
+// (e.g., a 21 311-term dictionary reduced to 36 active terms, Fig. 6).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "basis/dictionary.hpp"
+#include "util/common.hpp"
+
+namespace rsm {
+
+/// One active model term: dictionary column + fitted coefficient.
+struct ModelTerm {
+  Index basis_index = 0;
+  Real coefficient = 0;
+};
+
+class SparseModel {
+ public:
+  SparseModel() = default;
+
+  /// Terms must reference valid dictionary columns; zero-coefficient terms
+  /// are dropped.
+  SparseModel(std::shared_ptr<const BasisDictionary> dictionary,
+              std::vector<ModelTerm> terms);
+
+  /// Builds from a dense coefficient vector (length = dictionary size),
+  /// keeping entries with |coef| > threshold.
+  [[nodiscard]] static SparseModel from_dense(
+      std::shared_ptr<const BasisDictionary> dictionary,
+      std::span<const Real> coefficients, Real threshold = 0);
+
+  [[nodiscard]] const BasisDictionary& dictionary() const;
+
+  /// The shared ownership handle (null for a default-constructed model);
+  /// lets derived models (e.g. refit_model) share the same dictionary.
+  [[nodiscard]] const std::shared_ptr<const BasisDictionary>& dictionary_ptr()
+      const {
+    return dictionary_;
+  }
+  [[nodiscard]] const std::vector<ModelTerm>& terms() const { return terms_; }
+  [[nodiscard]] Index num_terms() const {
+    return static_cast<Index>(terms_.size());
+  }
+
+  /// f(dY) for one sample (size = dictionary().num_variables()).
+  [[nodiscard]] Real predict(std::span<const Real> sample) const;
+
+  /// Analytic gradient df/d(dY) at a sample point, via the Hermite
+  /// derivative identity g_n' = sqrt(n) g_{n-1}. O(lambda * terms-per-index)
+  /// — the sensitivity vector behind worst-case corner search.
+  [[nodiscard]] std::vector<Real> gradient(std::span<const Real> sample) const;
+
+  /// Predictions for each row of `samples`.
+  [[nodiscard]] std::vector<Real> predict_all(const Matrix& samples) const;
+
+  /// Analytic mean of the model under dY ~ N(0, I): the coefficient of the
+  /// constant basis function (orthonormality kills every other term).
+  [[nodiscard]] Real analytic_mean() const;
+
+  /// Analytic variance under dY ~ N(0, I): sum of squared non-constant
+  /// coefficients (Parseval over the orthonormal basis).
+  [[nodiscard]] Real analytic_variance() const;
+
+  /// Analytic third central moment under dY ~ N(0, I), via Hermite
+  /// linearization coefficients: sum over term triples of
+  /// a_i a_j a_k * prod_v E[g_{oi(v)} g_{oj(v)} g_{ok(v)}].
+  /// O(lambda^3 * variables-per-term) — fine for sparse models.
+  [[nodiscard]] Real analytic_third_moment() const;
+
+  /// Standardized skewness mu3 / sigma^3 (0 for linear models — they are
+  /// exactly Gaussian; nonzero only with quadratic/higher terms).
+  [[nodiscard]] Real analytic_skewness() const;
+
+  /// Human-readable listing, largest |coefficient| first.
+  [[nodiscard]] std::string to_string(Index max_terms = 20) const;
+
+  /// Text serialization (stable across platforms).
+  void save(std::ostream& out) const;
+
+  /// Loads a model saved with `save`; the dictionary must match the one the
+  /// model was built with (indices are dictionary positions).
+  [[nodiscard]] static SparseModel load(
+      std::istream& in, std::shared_ptr<const BasisDictionary> dictionary);
+
+ private:
+  std::shared_ptr<const BasisDictionary> dictionary_;
+  std::vector<ModelTerm> terms_;
+};
+
+}  // namespace rsm

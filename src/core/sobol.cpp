@@ -1,0 +1,48 @@
+#include "core/sobol.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rsm {
+
+SobolIndices sobol_indices(const SparseModel& model) {
+  const BasisDictionary& dict = model.dictionary();
+  const Index n = dict.num_variables();
+  SobolIndices out;
+  out.first_order.assign(static_cast<std::size_t>(n), Real{0});
+  out.total_effect.assign(static_cast<std::size_t>(n), Real{0});
+  out.variance = model.analytic_variance();
+  if (out.variance <= 0) return out;
+
+  for (const ModelTerm& t : model.terms()) {
+    const MultiIndex& mi = dict.index(t.basis_index);
+    if (mi.is_constant()) continue;
+    const Real contribution = t.coefficient * t.coefficient / out.variance;
+    const auto& terms = mi.terms();
+    if (terms.size() == 1) {
+      out.first_order[static_cast<std::size_t>(terms[0].variable)] +=
+          contribution;
+    } else {
+      out.interaction_fraction += contribution;
+    }
+    for (const IndexTerm& it : terms)
+      out.total_effect[static_cast<std::size_t>(it.variable)] += contribution;
+  }
+  return out;
+}
+
+std::vector<Index> rank_variables_by_sensitivity(const SparseModel& model) {
+  const SobolIndices idx = sobol_indices(model);
+  std::vector<Index> order(idx.total_effect.size());
+  std::iota(order.begin(), order.end(), Index{0});
+  std::stable_sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return idx.total_effect[static_cast<std::size_t>(a)] >
+           idx.total_effect[static_cast<std::size_t>(b)];
+  });
+  while (!order.empty() &&
+         idx.total_effect[static_cast<std::size_t>(order.back())] <= 0)
+    order.pop_back();
+  return order;
+}
+
+}  // namespace rsm

@@ -1,0 +1,72 @@
+#include "core/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rsm {
+
+SyntheticSparseFunction::SyntheticSparseFunction(
+    std::shared_ptr<const BasisDictionary> dictionary,
+    const SyntheticOptions& options, Rng& rng)
+    : noise_stddev_(options.noise_stddev) {
+  RSM_CHECK(dictionary != nullptr);
+  RSM_CHECK(options.num_active > 0 &&
+            options.num_active <= dictionary->size());
+  RSM_CHECK(options.largest_coefficient > 0 && options.decay > 0 &&
+            options.decay <= 1);
+
+  // Draw distinct active indices.
+  std::unordered_set<Index> chosen;
+  std::vector<Index> order;
+  if (options.include_constant) {
+    // Column of the constant basis (index 0 in every generator we ship, but
+    // search defensively).
+    for (Index m = 0; m < dictionary->size(); ++m) {
+      if (dictionary->index(m).is_constant()) {
+        chosen.insert(m);
+        order.push_back(m);
+        break;
+      }
+    }
+  }
+  while (static_cast<Index>(order.size()) < options.num_active) {
+    const Index m = rng.uniform_index(dictionary->size());
+    if (chosen.insert(m).second) order.push_back(m);
+  }
+
+  std::vector<ModelTerm> terms;
+  Real magnitude = options.largest_coefficient;
+  for (Index m : order) {
+    const Real sign = rng.uniform() < Real{0.5} ? Real{-1} : Real{1};
+    terms.push_back({m, sign * magnitude});
+    magnitude *= options.decay;
+  }
+  truth_ = SparseModel(std::move(dictionary), std::move(terms));
+}
+
+Real SyntheticSparseFunction::evaluate(std::span<const Real> sample) const {
+  return truth_.predict(sample);
+}
+
+std::vector<Real> SyntheticSparseFunction::observe(const Matrix& samples,
+                                                   Rng& rng) const {
+  std::vector<Real> values = truth_.predict_all(samples);
+  if (noise_stddev_ > 0)
+    for (Real& v : values) v += rng.normal(0, noise_stddev_);
+  return values;
+}
+
+std::vector<Index> SyntheticSparseFunction::active_indices() const {
+  std::vector<ModelTerm> sorted = truth_.terms();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ModelTerm& a, const ModelTerm& b) {
+              return std::abs(a.coefficient) > std::abs(b.coefficient);
+            });
+  std::vector<Index> out;
+  out.reserve(sorted.size());
+  for (const ModelTerm& t : sorted) out.push_back(t.basis_index);
+  return out;
+}
+
+}  // namespace rsm

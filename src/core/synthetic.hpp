@@ -1,0 +1,61 @@
+// Synthetic sparse ground truth for tests and ablation benches.
+//
+// Generates a function that is *exactly* a sparse linear combination of
+// dictionary terms — so recovery experiments have a known answer: which
+// bases matter, with which coefficients. This is the controlled counterpart
+// of the circuit workloads, where sparsity is physical but the truth is
+// unknown.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "basis/dictionary.hpp"
+#include "core/model.hpp"
+#include "stats/rng.hpp"
+#include "util/common.hpp"
+
+namespace rsm {
+
+struct SyntheticOptions {
+  /// Number of non-zero coefficients (the paper's P).
+  Index num_active = 10;
+
+  /// Always include the constant basis among the active terms.
+  bool include_constant = true;
+
+  /// Coefficient magnitudes decay geometrically from `largest` by `decay`
+  /// per term (decay = 1 gives equal magnitudes); signs are random.
+  Real largest_coefficient = 1.0;
+  Real decay = 0.85;
+
+  /// Standard deviation of additive Gaussian observation noise.
+  Real noise_stddev = 0;
+};
+
+/// A sparse ground-truth function over a dictionary.
+class SyntheticSparseFunction {
+ public:
+  SyntheticSparseFunction(std::shared_ptr<const BasisDictionary> dictionary,
+                          const SyntheticOptions& options, Rng& rng);
+
+  /// Noise-free value at a sample point.
+  [[nodiscard]] Real evaluate(std::span<const Real> sample) const;
+
+  /// Observed (noisy) values at each row of `samples`.
+  [[nodiscard]] std::vector<Real> observe(const Matrix& samples,
+                                          Rng& rng) const;
+
+  /// The true model (exact terms and coefficients).
+  [[nodiscard]] const SparseModel& truth() const { return truth_; }
+
+  /// Indices of the active dictionary columns, descending |coefficient|.
+  [[nodiscard]] std::vector<Index> active_indices() const;
+
+ private:
+  SparseModel truth_;
+  Real noise_stddev_;
+};
+
+}  // namespace rsm

@@ -1,0 +1,115 @@
+#include "core/worst_case.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace rsm {
+namespace {
+
+/// Projects x onto the ball ||x|| <= radius.
+void project(std::vector<Real>& x, Real radius) {
+  const Real norm = nrm2(x);
+  if (norm <= radius || norm == 0) return;
+  const Real scale = radius / norm;
+  for (Real& v : x) v *= scale;
+}
+
+}  // namespace
+
+namespace {
+
+/// One projected-ascent run from `start`; returns (corner, value, iters).
+WorstCaseResult ascend_from(const SparseModel& model,
+                            const WorstCaseOptions& options,
+                            std::vector<Real> start) {
+  const Real sign = options.maximize ? Real{1} : Real{-1};
+  WorstCaseResult result;
+  project(start, options.radius);
+  result.corner = std::move(start);
+  Real best = model.predict(result.corner);
+  Real step = options.step;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    const std::vector<Real> grad = model.gradient(result.corner);
+    std::vector<Real> trial = result.corner;
+    axpy(sign * step, grad, trial);
+    project(trial, options.radius);
+    const Real value = model.predict(trial);
+    if (sign * (value - best) > 0) {
+      const bool tiny = sign * (value - best) < options.tolerance *
+                                                    (std::abs(best) + 1);
+      result.corner = std::move(trial);
+      best = value;
+      step = std::min(step * Real{1.2}, options.step * 4);
+      if (tiny) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      step /= 2;
+      if (step < Real{1e-12}) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  result.value = best;
+  result.sigma_distance = nrm2(result.corner);
+  return result;
+}
+
+}  // namespace
+
+WorstCaseResult find_worst_case(const SparseModel& model,
+                                const WorstCaseOptions& options) {
+  RSM_CHECK(options.radius > 0 && options.max_iterations > 0 &&
+            options.step > 0);
+  const Index n = model.dictionary().num_variables();
+  const Real sign = options.maximize ? Real{1} : Real{-1};
+
+  // The sphere-constrained problem is nonconvex for quadratic models, so a
+  // single ascent can land on a local optimum. Multi-start from:
+  //   - the origin kicked along its gradient (exact for linear models),
+  //   - +/- radius along each variable axis the model actually uses.
+  std::vector<std::vector<Real>> starts;
+  {
+    std::vector<Real> origin(static_cast<std::size_t>(n), Real{0});
+    std::vector<Real> grad = model.gradient(origin);
+    if (max_abs(grad) == 0) {
+      for (Index i = 0; i < n; ++i)
+        grad[static_cast<std::size_t>(i)] =
+            (i % 2 == 0 ? Real{1} : Real{-1}) /
+            std::sqrt(static_cast<Real>(n));
+    }
+    axpy(sign * options.step, grad, origin);
+    starts.push_back(std::move(origin));
+  }
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (const ModelTerm& t : model.terms())
+    for (const IndexTerm& it : model.dictionary().index(t.basis_index).terms())
+      used[static_cast<std::size_t>(it.variable)] = true;
+  Index axis_starts = 0;
+  for (Index v = 0; v < n && axis_starts < 64; ++v) {
+    if (!used[static_cast<std::size_t>(v)]) continue;
+    for (Real dir : {Real{1}, Real{-1}}) {
+      std::vector<Real> s(static_cast<std::size_t>(n), Real{0});
+      s[static_cast<std::size_t>(v)] = dir * options.radius;
+      starts.push_back(std::move(s));
+    }
+    ++axis_starts;
+  }
+
+  WorstCaseResult best;
+  bool first = true;
+  for (std::vector<Real>& start : starts) {
+    WorstCaseResult r = ascend_from(model, options, std::move(start));
+    if (first || sign * (r.value - best.value) > 0) {
+      best = std::move(r);
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace rsm

@@ -1,0 +1,41 @@
+// Worst-case corner search on a fitted model.
+//
+// Classic worst-case analysis (the paper's ref [6] problem): find the
+// variation point within a given sigma radius that extremizes a
+// performance. On the model this is a smooth small-dimensional
+// optimization — projected gradient ascent on the sphere ||dY|| <= radius,
+// costing microseconds instead of a simulator-in-the-loop search. The
+// returned corner can then be handed back to the real simulator for one
+// confirming run.
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "util/common.hpp"
+
+namespace rsm {
+
+struct WorstCaseResult {
+  std::vector<Real> corner;   // the extremizing dY (||corner|| <= radius)
+  Real value = 0;             // model value at the corner
+  Real sigma_distance = 0;    // ||corner||
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct WorstCaseOptions {
+  Real radius = 3.0;          // sigma ball to search
+  bool maximize = true;       // false: find the minimum instead
+  int max_iterations = 500;
+  Real step = 0.25;           // initial gradient step (adapted downward)
+  Real tolerance = 1e-9;      // stop when the value improves less than this
+};
+
+/// Projected gradient ascent/descent from the origin (plus a gradient-sized
+/// kick to escape a flat start). For linear models the result is exact:
+/// corner = +/- radius * a / ||a||.
+[[nodiscard]] WorstCaseResult find_worst_case(
+    const SparseModel& model, const WorstCaseOptions& options = {});
+
+}  // namespace rsm

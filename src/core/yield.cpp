@@ -1,0 +1,172 @@
+#include "core/yield.hpp"
+
+#include <cmath>
+
+namespace rsm {
+
+Real normal_cdf(Real x) { return Real{0.5} * std::erfc(-x / std::sqrt(Real{2})); }
+
+YieldResult estimate_yield(const SparseModel& model, const Specification& spec,
+                           Index num_samples, Rng& rng) {
+  const SparseModel* models[] = {&model};
+  const Specification specs[] = {spec};
+  return estimate_joint_yield(models, specs, num_samples, rng);
+}
+
+YieldResult estimate_joint_yield(std::span<const SparseModel* const> models,
+                                 std::span<const Specification> specs,
+                                 Index num_samples, Rng& rng) {
+  RSM_CHECK(!models.empty());
+  RSM_CHECK(models.size() == specs.size());
+  RSM_CHECK(num_samples > 0);
+  const Index n = models.front()->dictionary().num_variables();
+  for (const SparseModel* m : models) {
+    RSM_CHECK(m != nullptr);
+    RSM_CHECK_MSG(m->dictionary().num_variables() == n,
+                  "joint yield requires a shared variation space");
+  }
+
+  std::vector<Real> dy(static_cast<std::size_t>(n));
+  Index failures = 0;
+  for (Index s = 0; s < num_samples; ++s) {
+    rng.fill_normal(dy);
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      if (!specs[i].accepts(models[i]->predict(dy))) {
+        ++failures;
+        break;
+      }
+    }
+  }
+
+  YieldResult result;
+  result.num_samples = num_samples;
+  result.num_failures = failures;
+  result.yield = Real{1} - static_cast<Real>(failures) /
+                               static_cast<Real>(num_samples);
+  result.standard_error = std::sqrt(
+      std::max(result.yield * (1 - result.yield), Real{0}) /
+      static_cast<Real>(num_samples));
+  return result;
+}
+
+DistributionEstimate estimate_distribution(
+    const SparseModel& model, Index num_samples, Rng& rng,
+    std::span<const Real> quantile_levels) {
+  RSM_CHECK(num_samples > 1);
+  const Index n = model.dictionary().num_variables();
+  std::vector<Real> values(static_cast<std::size_t>(num_samples));
+  std::vector<Real> dy(static_cast<std::size_t>(n));
+  for (Index s = 0; s < num_samples; ++s) {
+    rng.fill_normal(dy);
+    values[static_cast<std::size_t>(s)] = model.predict(dy);
+  }
+  DistributionEstimate est;
+  est.summary = summarize(values);
+  est.quantile_levels.assign(quantile_levels.begin(), quantile_levels.end());
+  est.quantile_values.reserve(quantile_levels.size());
+  for (Real q : quantile_levels)
+    est.quantile_values.push_back(quantile(values, q));
+  return est;
+}
+
+TailProbability estimate_tail_probability(const SparseModel& model,
+                                          Real threshold, bool upper_tail,
+                                          Index num_samples, Rng& rng) {
+  RSM_CHECK(num_samples > 1);
+  const BasisDictionary& dict = model.dictionary();
+  const Index n = dict.num_variables();
+
+  // Shift direction: linear coefficients (signed toward the tail).
+  std::vector<Real> direction(static_cast<std::size_t>(n), Real{0});
+  for (const ModelTerm& t : model.terms()) {
+    const MultiIndex& mi = dict.index(t.basis_index);
+    if (mi.total_degree() == 1)
+      direction[static_cast<std::size_t>(mi.terms()[0].variable)] +=
+          t.coefficient;
+  }
+  Real dir_norm = 0;
+  for (Real v : direction) dir_norm += v * v;
+  dir_norm = std::sqrt(dir_norm);
+  RSM_CHECK_MSG(dir_norm > 0,
+                "tail estimation needs linear terms to pick a direction");
+  for (Real& v : direction) v *= (upper_tail ? 1 : -1) / dir_norm;
+
+  // Shift magnitude: smallest s in [0, 12] with f(s * direction) past the
+  // threshold (bisection after bracketing); fall back to the bracket edge.
+  const auto crosses = [&](Real s) {
+    std::vector<Real> point(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i)
+      point[static_cast<std::size_t>(i)] =
+          s * direction[static_cast<std::size_t>(i)];
+    const Real value = model.predict(point);
+    return upper_tail ? value >= threshold : value <= threshold;
+  };
+  Real lo = 0, hi = 12;
+  Real shift = hi;
+  if (crosses(0)) {
+    shift = 0;  // threshold is not in the tail at all
+  } else if (!crosses(hi)) {
+    shift = hi;  // very deep tail; sample from the far bracket edge
+  } else {
+    for (int i = 0; i < 60; ++i) {
+      const Real mid = (lo + hi) / 2;
+      (crosses(mid) ? hi : lo) = mid;
+    }
+    shift = hi;
+  }
+
+  // Importance sampling with mean mu = shift * direction:
+  //   weight(x) = exp(-mu'x + |mu|^2 / 2).
+  std::vector<Real> mu(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i)
+    mu[static_cast<std::size_t>(i)] =
+        shift * direction[static_cast<std::size_t>(i)];
+  const Real mu_sq = shift * shift;
+
+  Real sum_w = 0, sum_w2 = 0;
+  std::vector<Real> x(static_cast<std::size_t>(n));
+  for (Index s = 0; s < num_samples; ++s) {
+    rng.fill_normal(x);
+    Real mu_dot_x = 0;
+    for (Index i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] += mu[static_cast<std::size_t>(i)];
+      mu_dot_x +=
+          mu[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)];
+    }
+    const Real value = model.predict(x);
+    const bool fail = upper_tail ? value > threshold : value < threshold;
+    if (!fail) continue;
+    const Real w = std::exp(-mu_dot_x + mu_sq / 2);
+    sum_w += w;
+    sum_w2 += w * w;
+  }
+  TailProbability out;
+  out.num_samples = num_samples;
+  out.shift_magnitude = shift;
+  out.probability = sum_w / static_cast<Real>(num_samples);
+  const Real mean_w2 = sum_w2 / static_cast<Real>(num_samples);
+  out.standard_error = std::sqrt(
+      std::max(mean_w2 - out.probability * out.probability, Real{0}) /
+      static_cast<Real>(num_samples));
+  return out;
+}
+
+Real analytic_linear_yield(const SparseModel& model,
+                           const Specification& spec) {
+  for (const ModelTerm& t : model.terms()) {
+    RSM_CHECK_MSG(model.dictionary().index(t.basis_index).total_degree() <= 1,
+                  "analytic_linear_yield requires a purely linear model");
+  }
+  const Real mean = model.analytic_mean();
+  const Real sigma = std::sqrt(model.analytic_variance());
+  if (sigma == 0) return spec.accepts(mean) ? Real{1} : Real{0};
+  const Real hi = std::isinf(spec.upper)
+                      ? Real{1}
+                      : normal_cdf((spec.upper - mean) / sigma);
+  const Real lo = std::isinf(spec.lower)
+                      ? Real{0}
+                      : normal_cdf((spec.lower - mean) / sigma);
+  return std::max(hi - lo, Real{0});
+}
+
+}  // namespace rsm

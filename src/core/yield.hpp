@@ -1,0 +1,96 @@
+// Parametric yield estimation from fitted response-surface models.
+//
+// The paper's motivation (Section I): once models are extracted, performance
+// distributions and parametric yield can be predicted by cheap Monte Carlo
+// on the model — microseconds per sample — instead of transistor-level
+// simulation. This module closes that loop: specs, per-metric and joint
+// yield with binomial confidence intervals, and model-based distribution
+// summaries.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/model.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+#include "util/common.hpp"
+
+namespace rsm {
+
+/// Acceptance window for one performance metric.
+struct Specification {
+  Real lower = -std::numeric_limits<Real>::infinity();
+  Real upper = std::numeric_limits<Real>::infinity();
+
+  [[nodiscard]] bool accepts(Real value) const {
+    return value >= lower && value <= upper;
+  }
+};
+
+struct YieldResult {
+  Real yield = 0;          // fraction of passing samples
+  Real standard_error = 0; // binomial: sqrt(y (1-y) / n)
+  Index num_samples = 0;
+  Index num_failures = 0;
+};
+
+/// Monte Carlo yield of a single metric against its spec.
+[[nodiscard]] YieldResult estimate_yield(const SparseModel& model,
+                                         const Specification& spec,
+                                         Index num_samples, Rng& rng);
+
+/// Joint yield across several metrics sharing the same variation space:
+/// every model must pass its spec on the same dY draw. All models must have
+/// the same number of variables.
+[[nodiscard]] YieldResult estimate_joint_yield(
+    std::span<const SparseModel* const> models,
+    std::span<const Specification> specs, Index num_samples, Rng& rng);
+
+/// Model-predicted performance distribution: summary statistics plus chosen
+/// quantiles from `num_samples` model evaluations.
+struct DistributionEstimate {
+  Summary summary;
+  std::vector<Real> quantile_levels;
+  std::vector<Real> quantile_values;
+};
+
+inline constexpr Real kDefaultQuantiles[] = {0.001, 0.01, 0.5, 0.99, 0.999};
+
+[[nodiscard]] DistributionEstimate estimate_distribution(
+    const SparseModel& model, Index num_samples, Rng& rng,
+    std::span<const Real> quantile_levels = kDefaultQuantiles);
+
+/// For a *linear* model: the exact analytic yield under dY ~ N(0, I)
+/// (the model value is normal with the model's analytic mean/variance).
+/// Throws if the model has nonlinear terms.
+[[nodiscard]] Real analytic_linear_yield(const SparseModel& model,
+                                         const Specification& spec);
+
+/// Standard normal CDF (exposed for tests and for analytic_linear_yield).
+[[nodiscard]] Real normal_cdf(Real x);
+
+/// High-sigma tail probability P(f(dY) > threshold) (or < with
+/// `upper_tail = false`) by mean-shift importance sampling on the model.
+///
+/// Plain Monte Carlo needs ~100/p samples to see a p-probability event —
+/// hopeless at the 4-6 sigma failure rates SRAM cells are designed to
+/// (e.g. p ~ 1e-8). Shifting the sampling mean to the failure boundary and
+/// re-weighting by the likelihood ratio exp(-mu'x + |mu|^2/2) makes the
+/// estimator's relative error nearly flat in sigma. The shift direction is
+/// the model's linear-coefficient vector (exact for linear models, a good
+/// ascent direction otherwise); its magnitude is set by bisection so the
+/// shifted mean sits on the failure boundary.
+struct TailProbability {
+  Real probability = 0;
+  Real standard_error = 0;  // of the IS estimator
+  Index num_samples = 0;
+  Real shift_magnitude = 0;  // |mu| actually used [sigma]
+};
+
+[[nodiscard]] TailProbability estimate_tail_probability(
+    const SparseModel& model, Real threshold, bool upper_tail,
+    Index num_samples, Rng& rng);
+
+}  // namespace rsm

@@ -1,0 +1,68 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace rsm {
+
+CholeskyFactorization::CholeskyFactorization(const Matrix& a)
+    : l_(a.rows(), a.cols()) {
+  RSM_CHECK_MSG(a.rows() == a.cols(), "Cholesky needs a square matrix");
+  const Index n = a.rows();
+  for (Index j = 0; j < n; ++j) {
+    Real d = a(j, j);
+    for (Index k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
+    RSM_CHECK_MSG(d > Real{0},
+                  "matrix not positive definite at pivot " << j << " (d=" << d
+                                                           << ")");
+    const Real ljj = std::sqrt(d);
+    l_(j, j) = ljj;
+    for (Index i = j + 1; i < n; ++i) {
+      Real s = a(i, j);
+      for (Index k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / ljj;
+    }
+  }
+}
+
+std::vector<Real> CholeskyFactorization::solve_lower(
+    std::span<const Real> b) const {
+  const Index n = size();
+  RSM_CHECK(static_cast<Index>(b.size()) == n);
+  std::vector<Real> y(b.begin(), b.end());
+  for (Index i = 0; i < n; ++i) {
+    Real s = y[static_cast<std::size_t>(i)];
+    for (Index k = 0; k < i; ++k) s -= l_(i, k) * y[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(i)] = s / l_(i, i);
+  }
+  return y;
+}
+
+std::vector<Real> CholeskyFactorization::solve_upper(
+    std::span<const Real> y) const {
+  const Index n = size();
+  RSM_CHECK(static_cast<Index>(y.size()) == n);
+  std::vector<Real> x(y.begin(), y.end());
+  for (Index i = n - 1; i >= 0; --i) {
+    Real s = x[static_cast<std::size_t>(i)];
+    for (Index k = i + 1; k < n; ++k)
+      s -= l_(k, i) * x[static_cast<std::size_t>(k)];
+    x[static_cast<std::size_t>(i)] = s / l_(i, i);
+  }
+  return x;
+}
+
+std::vector<Real> CholeskyFactorization::solve(std::span<const Real> b) const {
+  return solve_upper(solve_lower(b));
+}
+
+Real CholeskyFactorization::log_determinant() const {
+  Real sum = 0;
+  for (Index i = 0; i < size(); ++i) sum += std::log(l_(i, i));
+  return 2 * sum;
+}
+
+std::vector<Real> cholesky_solve(const Matrix& a, std::span<const Real> b) {
+  return CholeskyFactorization(a).solve(b);
+}
+
+}  // namespace rsm

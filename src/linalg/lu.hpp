@@ -1,0 +1,111 @@
+// LU factorization with partial pivoting, templated over the scalar field.
+//
+// The MNA circuit solver needs both real solves (DC Newton iterations) and
+// complex solves (AC analysis, G + jwC); a single templated implementation
+// serves both. Header-only because it is a template.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <numeric>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace rsm {
+
+namespace detail {
+inline Real abs_value(Real x) { return std::abs(x); }
+inline Real abs_value(const std::complex<Real>& x) { return std::abs(x); }
+}  // namespace detail
+
+/// Dense LU with partial pivoting over scalar T (Real or complex<Real>).
+/// Stores the factors packed in a single n x n array plus a pivot vector.
+template <typename T>
+class LuFactorization {
+ public:
+  /// Factorizes the n x n matrix given in row-major `a`.
+  /// Throws rsm::Error if the matrix is numerically singular.
+  LuFactorization(std::vector<T> a, Index n) : n_(n), lu_(std::move(a)) {
+    RSM_CHECK(static_cast<Index>(lu_.size()) == n * n);
+    piv_.resize(static_cast<std::size_t>(n));
+    std::iota(piv_.begin(), piv_.end(), Index{0});
+
+    for (Index k = 0; k < n_; ++k) {
+      // Partial pivot: largest magnitude in column k at/below the diagonal.
+      Index p = k;
+      Real best = detail::abs_value(at(k, k));
+      for (Index i = k + 1; i < n_; ++i) {
+        const Real v = detail::abs_value(at(i, k));
+        if (v > best) {
+          best = v;
+          p = i;
+        }
+      }
+      RSM_CHECK_MSG(best > Real{0},
+                    "singular matrix in LU at column " << k);
+      if (p != k) {
+        for (Index j = 0; j < n_; ++j) std::swap(at(k, j), at(p, j));
+        std::swap(piv_[static_cast<std::size_t>(k)],
+                  piv_[static_cast<std::size_t>(p)]);
+        sign_flips_ ^= 1;
+      }
+      const T pivot = at(k, k);
+      for (Index i = k + 1; i < n_; ++i) {
+        const T m = at(i, k) / pivot;
+        at(i, k) = m;
+        if (m == T{}) continue;
+        for (Index j = k + 1; j < n_; ++j) at(i, j) -= m * at(k, j);
+      }
+    }
+  }
+
+  [[nodiscard]] Index size() const { return n_; }
+
+  /// Solves A x = b.
+  [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const {
+    RSM_CHECK(static_cast<Index>(b.size()) == n_);
+    std::vector<T> x(static_cast<std::size_t>(n_));
+    // Apply the row permutation.
+    for (Index i = 0; i < n_; ++i)
+      x[static_cast<std::size_t>(i)] =
+          b[static_cast<std::size_t>(piv_[static_cast<std::size_t>(i)])];
+    // Forward substitution with unit-diagonal L.
+    for (Index i = 1; i < n_; ++i) {
+      T s = x[static_cast<std::size_t>(i)];
+      for (Index j = 0; j < i; ++j) s -= at(i, j) * x[static_cast<std::size_t>(j)];
+      x[static_cast<std::size_t>(i)] = s;
+    }
+    // Backward substitution with U.
+    for (Index i = n_ - 1; i >= 0; --i) {
+      T s = x[static_cast<std::size_t>(i)];
+      for (Index j = i + 1; j < n_; ++j)
+        s -= at(i, j) * x[static_cast<std::size_t>(j)];
+      x[static_cast<std::size_t>(i)] = s / at(i, i);
+    }
+    return x;
+  }
+
+  /// det(A), including the permutation sign.
+  [[nodiscard]] T determinant() const {
+    T d = sign_flips_ ? T{-1} : T{1};
+    for (Index i = 0; i < n_; ++i) d *= at(i, i);
+    return d;
+  }
+
+ private:
+  T& at(Index r, Index c) { return lu_[static_cast<std::size_t>(r * n_ + c)]; }
+  const T& at(Index r, Index c) const {
+    return lu_[static_cast<std::size_t>(r * n_ + c)];
+  }
+
+  Index n_;
+  std::vector<T> lu_;
+  std::vector<Index> piv_;
+  int sign_flips_ = 0;
+};
+
+using RealLu = LuFactorization<Real>;
+using ComplexLu = LuFactorization<std::complex<Real>>;
+
+}  // namespace rsm

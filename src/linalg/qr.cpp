@@ -1,0 +1,141 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rsm {
+
+QrFactorization::QrFactorization(const Matrix& a) : qr_(a) {
+  const Index m = qr_.rows(), n = qr_.cols();
+  RSM_CHECK_MSG(m >= n, "QR requires rows >= cols, got " << m << "x" << n);
+  tau_.assign(static_cast<std::size_t>(n), Real{0});
+
+  for (Index k = 0; k < n; ++k) {
+    // Householder vector from column k, rows k..m-1.
+    Real norm_x = 0;
+    for (Index i = k; i < m; ++i) norm_x += qr_(i, k) * qr_(i, k);
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == Real{0}) {
+      tau_[static_cast<std::size_t>(k)] = 0;  // zero column; R(k,k)=0
+      continue;
+    }
+    const Real alpha = qr_(k, k) >= 0 ? -norm_x : norm_x;
+    // v = x - alpha*e1, normalized so v[0] = 1 (stored implicitly).
+    const Real v0 = qr_(k, k) - alpha;
+    for (Index i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    tau_[static_cast<std::size_t>(k)] = -v0 / alpha;  // = 2/(v'v) * v0^2 scaled
+    qr_(k, k) = alpha;
+
+    // Apply H = I - tau v v' to the trailing columns.
+    const Real tau = tau_[static_cast<std::size_t>(k)];
+    for (Index j = k + 1; j < n; ++j) {
+      Real s = qr_(k, j);
+      for (Index i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= tau;
+      qr_(k, j) -= s;
+      for (Index i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+}
+
+void QrFactorization::apply_qt(std::span<Real> b) const {
+  const Index m = qr_.rows(), n = qr_.cols();
+  RSM_CHECK(static_cast<Index>(b.size()) == m);
+  for (Index k = 0; k < n; ++k) {
+    const Real tau = tau_[static_cast<std::size_t>(k)];
+    if (tau == Real{0}) continue;
+    Real s = b[static_cast<std::size_t>(k)];
+    for (Index i = k + 1; i < m; ++i)
+      s += qr_(i, k) * b[static_cast<std::size_t>(i)];
+    s *= tau;
+    b[static_cast<std::size_t>(k)] -= s;
+    for (Index i = k + 1; i < m; ++i)
+      b[static_cast<std::size_t>(i)] -= s * qr_(i, k);
+  }
+}
+
+void QrFactorization::apply_q(std::span<Real> b) const {
+  const Index m = qr_.rows(), n = qr_.cols();
+  RSM_CHECK(static_cast<Index>(b.size()) == m);
+  for (Index k = n - 1; k >= 0; --k) {
+    const Real tau = tau_[static_cast<std::size_t>(k)];
+    if (tau == Real{0}) continue;
+    Real s = b[static_cast<std::size_t>(k)];
+    for (Index i = k + 1; i < m; ++i)
+      s += qr_(i, k) * b[static_cast<std::size_t>(i)];
+    s *= tau;
+    b[static_cast<std::size_t>(k)] -= s;
+    for (Index i = k + 1; i < m; ++i)
+      b[static_cast<std::size_t>(i)] -= s * qr_(i, k);
+  }
+}
+
+std::vector<Real> QrFactorization::solve_r(std::span<const Real> y) const {
+  const Index n = qr_.cols();
+  RSM_CHECK(static_cast<Index>(y.size()) >= n);
+  std::vector<Real> x(y.begin(), y.begin() + n);
+  for (Index i = n - 1; i >= 0; --i) {
+    Real s = x[static_cast<std::size_t>(i)];
+    for (Index j = i + 1; j < n; ++j)
+      s -= qr_(i, j) * x[static_cast<std::size_t>(j)];
+    const Real rii = qr_(i, i);
+    RSM_CHECK_MSG(rii != Real{0}, "singular R in QR solve at diagonal " << i);
+    x[static_cast<std::size_t>(i)] = s / rii;
+  }
+  return x;
+}
+
+std::vector<Real> QrFactorization::solve(std::span<const Real> b) const {
+  RSM_CHECK(static_cast<Index>(b.size()) == qr_.rows());
+  std::vector<Real> work(b.begin(), b.end());
+  apply_qt(work);
+  return solve_r(work);
+}
+
+Matrix QrFactorization::thin_q() const {
+  const Index m = qr_.rows(), n = qr_.cols();
+  Matrix q(m, n);
+  std::vector<Real> e(static_cast<std::size_t>(m));
+  for (Index j = 0; j < n; ++j) {
+    std::fill(e.begin(), e.end(), Real{0});
+    e[static_cast<std::size_t>(j)] = 1;
+    apply_q(e);
+    q.set_col(j, e);
+  }
+  return q;
+}
+
+Matrix QrFactorization::r() const {
+  const Index n = qr_.cols();
+  Matrix r(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = i; j < n; ++j) r(i, j) = qr_(i, j);
+  return r;
+}
+
+Real QrFactorization::condition_estimate() const {
+  Real dmax = 0, dmin = std::numeric_limits<Real>::infinity();
+  for (Index i = 0; i < qr_.cols(); ++i) {
+    const Real d = std::abs(qr_(i, i));
+    dmax = std::max(dmax, d);
+    dmin = std::min(dmin, d);
+  }
+  if (dmin == Real{0}) return std::numeric_limits<Real>::infinity();
+  return dmax / dmin;
+}
+
+bool QrFactorization::rank_deficient(Real relative_tolerance) const {
+  Real dmax = 0;
+  for (Index i = 0; i < qr_.cols(); ++i)
+    dmax = std::max(dmax, std::abs(qr_(i, i)));
+  for (Index i = 0; i < qr_.cols(); ++i)
+    if (std::abs(qr_(i, i)) <= relative_tolerance * dmax) return true;
+  return false;
+}
+
+std::vector<Real> least_squares_solve(const Matrix& a,
+                                      std::span<const Real> b) {
+  return QrFactorization(a).solve(b);
+}
+
+}  // namespace rsm

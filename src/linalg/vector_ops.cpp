@@ -1,0 +1,74 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+namespace rsm {
+
+Real dot(std::span<const Real> x, std::span<const Real> y) {
+  RSM_DCHECK(x.size() == y.size());
+  // Four partial accumulators: breaks the sequential dependence chain so the
+  // compiler can keep several FMAs in flight.
+  Real s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t n = x.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i] * y[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+Real nrm2(std::span<const Real> x) { return std::sqrt(dot(x, x)); }
+
+Real vsum(std::span<const Real> x) {
+  Real s = 0;
+  for (Real v : x) s += v;
+  return s;
+}
+
+void axpy(Real alpha, std::span<const Real> x, std::span<Real> y) {
+  RSM_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Real alpha, std::span<Real> x) {
+  for (Real& v : x) v *= alpha;
+}
+
+Real max_abs(std::span<const Real> x) {
+  Real m = 0;
+  for (Real v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Index argmax_abs(std::span<const Real> x) {
+  Index best = -1;
+  Real best_val = -1;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Real a = std::abs(x[i]);
+    if (a > best_val) {
+      best_val = a;
+      best = static_cast<Index>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<Real> vsub(std::span<const Real> a, std::span<const Real> b) {
+  RSM_CHECK(a.size() == b.size());
+  std::vector<Real> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<Real> vadd(std::span<const Real> a, std::span<const Real> b) {
+  RSM_CHECK(a.size() == b.size());
+  std::vector<Real> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+}  // namespace rsm

@@ -1,0 +1,41 @@
+// Level-1 vector kernels on std::span<Real>. Vectors throughout the library
+// are plain std::vector<Real>; these free functions supply the BLAS-1 set.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace rsm {
+
+/// Inner product x'y.
+[[nodiscard]] Real dot(std::span<const Real> x, std::span<const Real> y);
+
+/// Euclidean norm ||x||_2 (no overflow guard; inputs here are O(1) scaled).
+[[nodiscard]] Real nrm2(std::span<const Real> x);
+
+/// Sum of entries.
+[[nodiscard]] Real vsum(std::span<const Real> x);
+
+/// y += alpha * x.
+void axpy(Real alpha, std::span<const Real> x, std::span<Real> y);
+
+/// x *= alpha.
+void scale(Real alpha, std::span<Real> x);
+
+/// Largest |x_i|.
+[[nodiscard]] Real max_abs(std::span<const Real> x);
+
+/// Index of the largest |x_i|; -1 for an empty span.
+[[nodiscard]] Index argmax_abs(std::span<const Real> x);
+
+/// Elementwise difference a - b as a new vector.
+[[nodiscard]] std::vector<Real> vsub(std::span<const Real> a,
+                                     std::span<const Real> b);
+
+/// Elementwise sum a + b as a new vector.
+[[nodiscard]] std::vector<Real> vadd(std::span<const Real> a,
+                                     std::span<const Real> b);
+
+}  // namespace rsm

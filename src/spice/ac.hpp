@@ -1,0 +1,52 @@
+// Small-signal AC analysis at a DC operating point.
+#pragma once
+
+#include <complex>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "spice/dc.hpp"
+#include "spice/netlist.hpp"
+#include "util/common.hpp"
+
+namespace rsm::spice {
+
+using Phasor = std::complex<Real>;
+
+/// Solves the small-signal system at frequency `hz` (linearized at
+/// `op`), returning all MNA phasors. AC source magnitudes come from the
+/// netlist's `ac` fields.
+[[nodiscard]] std::vector<Phasor> solve_ac(const Netlist& netlist,
+                                           const DcSolution& op, Real hz);
+
+/// Phasor voltage of `node` in an AC solution.
+[[nodiscard]] Phasor ac_voltage(std::span<const Phasor> solution, NodeId node);
+
+struct AcSweepPoint {
+  Real hz = 0;
+  Phasor value;
+};
+
+/// Logarithmic frequency sweep of one node voltage.
+[[nodiscard]] std::vector<AcSweepPoint> ac_sweep(const Netlist& netlist,
+                                                 const DcSolution& op,
+                                                 NodeId node, Real hz_start,
+                                                 Real hz_stop,
+                                                 int points_per_decade = 10);
+
+/// -3 dB bandwidth of |V(node)(f)| relative to its value at `hz_ref`:
+/// the lowest frequency where the magnitude falls below 1/sqrt(2) of the
+/// reference, found by bracketing on a log sweep then bisection.
+/// Returns hz_stop if no crossing is found in range.
+[[nodiscard]] Real find_3db_bandwidth(const Netlist& netlist,
+                                      const DcSolution& op, NodeId node,
+                                      Real hz_ref, Real hz_stop);
+
+/// Unity-gain frequency of |V(node)| (assumes input AC magnitude 1):
+/// lowest f with |V| < 1. Returns hz_stop if |V| never drops below 1.
+[[nodiscard]] Real find_unity_gain_frequency(const Netlist& netlist,
+                                             const DcSolution& op, NodeId node,
+                                             Real hz_start, Real hz_stop);
+
+}  // namespace rsm::spice

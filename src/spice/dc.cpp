@@ -1,0 +1,121 @@
+#include "spice/dc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "spice/mna.hpp"
+#include "util/log.hpp"
+
+namespace rsm::spice {
+namespace {
+
+/// One Newton run at a fixed gmin. Returns converged flag; x is updated in
+/// place with the best iterate.
+bool newton_run(const Netlist& netlist, const DcOptions& opt, Real gmin,
+                std::vector<Real>& x, int& iterations_used) {
+  const Index n = netlist.mna_size();
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    RealStamp stamp(n);
+    stamp_dc(netlist, x, gmin, stamp);
+
+    std::vector<Real> x_new;
+    try {
+      LuFactorization<Real> lu(std::move(stamp.matrix()), n);
+      x_new = lu.solve(stamp.rhs());
+    } catch (const Error&) {
+      return false;  // singular system; caller escalates gmin
+    }
+
+    // Damped update: limit per-node voltage change to max_step.
+    Real max_dv = 0;
+    const Index num_voltage_unknowns = netlist.num_nodes() - 1;
+    for (Index i = 0; i < n; ++i) {
+      Real dv = x_new[static_cast<std::size_t>(i)] -
+                x[static_cast<std::size_t>(i)];
+      if (i < num_voltage_unknowns) {
+        dv = std::clamp(dv, -opt.max_step, opt.max_step);
+        max_dv = std::max(max_dv, std::abs(dv));
+      }
+      x[static_cast<std::size_t>(i)] += dv;
+    }
+    ++iterations_used;
+
+    Real max_abs_x = 0;
+    for (Real v : x) max_abs_x = std::max(max_abs_x, std::abs(v));
+    if (max_dv < opt.voltage_tolerance + opt.relative_tolerance * max_abs_x) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DcSolution solve_dc(const Netlist& netlist, const DcOptions& options,
+                    std::span<const Real> initial_guess) {
+  const Index n = netlist.mna_size();
+  RSM_CHECK_MSG(n > 0, "empty netlist");
+
+  DcSolution sol;
+  sol.x.assign(static_cast<std::size_t>(n), Real{0});
+  if (!initial_guess.empty()) {
+    RSM_CHECK(static_cast<Index>(initial_guess.size()) == n);
+    std::copy(initial_guess.begin(), initial_guess.end(), sol.x.begin());
+  }
+
+  // Plain Newton at the target gmin first.
+  if (newton_run(netlist, options, options.gmin, sol.x, sol.iterations)) {
+    sol.converged = true;
+    return sol;
+  }
+
+  // gmin stepping: start heavily damped (large gmin linearizes the system),
+  // walk down to the target, warm-starting each rung from the previous.
+  RSM_DEBUG("DC: plain Newton failed, entering gmin stepping");
+  std::fill(sol.x.begin(), sol.x.end(), Real{0});
+  Real gmin = Real{1e-2};
+  for (int step = 0; step <= options.gmin_ladder_steps; ++step) {
+    const bool last = gmin <= options.gmin;
+    const Real g = last ? options.gmin : gmin;
+    if (!newton_run(netlist, options, g, sol.x, sol.iterations)) {
+      RSM_DEBUG("DC: gmin rung " << g << " failed");
+      // Keep descending anyway; a later rung sometimes recovers.
+    }
+    if (last) break;
+    gmin *= Real{1e-1};
+    if (gmin < options.gmin) gmin = options.gmin;
+  }
+  // Final verification run at the target gmin.
+  sol.converged = newton_run(netlist, options, options.gmin, sol.x,
+                             sol.iterations);
+  RSM_CHECK_MSG(sol.converged, "DC operating point failed to converge after "
+                                   << sol.iterations << " iterations");
+  return sol;
+}
+
+Real vsource_current(const Netlist& netlist, const DcSolution& solution,
+                     Index k) {
+  const Index br = netlist.vsource_branch_index(k);
+  return solution.x[static_cast<std::size_t>(br)];
+}
+
+std::vector<Real> dc_sweep(Netlist& netlist, VsourceId source,
+                           std::span<const Real> values, NodeId probe,
+                           const DcOptions& options) {
+  RSM_CHECK(!values.empty());
+  const Real original = netlist.vsource(source).dc;
+  std::vector<Real> out;
+  out.reserve(values.size());
+  std::vector<Real> warm;
+  for (Real v : values) {
+    netlist.vsource(source).dc = v;
+    const DcSolution sol = solve_dc(netlist, options, warm);
+    warm = sol.x;
+    out.push_back(sol.voltage(probe));
+  }
+  netlist.vsource(source).dc = original;
+  return out;
+}
+
+}  // namespace rsm::spice

@@ -1,0 +1,59 @@
+// Nonlinear DC operating-point analysis.
+//
+// Newton-Raphson on the MNA system with voltage-step damping; if plain
+// Newton fails to converge, gmin stepping retries with a decreasing
+// convergence-aid conductance — the same ladder commercial simulators use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "util/common.hpp"
+
+namespace rsm::spice {
+
+struct DcOptions {
+  int max_iterations = 200;
+  Real voltage_tolerance = 1e-9;     // absolute [V]
+  Real relative_tolerance = 1e-6;    // relative to node voltage
+  Real max_step = 0.5;               // Newton damping: max |dV| per iteration
+  Real gmin = 1e-12;                 // baseline convergence aid [S]
+  int gmin_ladder_steps = 8;         // retries with decreasing gmin
+};
+
+struct DcSolution {
+  /// MNA unknowns: node voltages then branch currents (see mna.hpp).
+  std::vector<Real> x;
+  int iterations = 0;
+  bool converged = false;
+
+  [[nodiscard]] Real voltage(NodeId node) const {
+    return node == kGround ? Real{0}
+                           : x[static_cast<std::size_t>(node - 1)];
+  }
+};
+
+/// Solves the DC operating point. `initial_guess` (optional, MNA-sized)
+/// seeds Newton — passing the previous sample's solution makes per-sample
+/// Monte Carlo evaluation converge in a couple of iterations.
+/// Throws rsm::Error if all fallbacks fail.
+[[nodiscard]] DcSolution solve_dc(const Netlist& netlist,
+                                  const DcOptions& options = {},
+                                  std::span<const Real> initial_guess = {});
+
+/// Branch current of voltage source `k` in a DC solution (positive current
+/// flows into the + terminal through the source to the - terminal).
+[[nodiscard]] Real vsource_current(const Netlist& netlist,
+                                   const DcSolution& solution, Index k);
+
+/// DC transfer sweep: sets voltage source `source` to each entry of
+/// `values` in turn, solving the operating point (warm-started from the
+/// previous one) and recording V(probe). The classic .DC analysis, e.g. an
+/// inverter's VTC. The netlist is restored to its original source value.
+[[nodiscard]] std::vector<Real> dc_sweep(Netlist& netlist, VsourceId source,
+                                         std::span<const Real> values,
+                                         NodeId probe,
+                                         const DcOptions& options = {});
+
+}  // namespace rsm::spice

@@ -1,0 +1,81 @@
+// Modified nodal analysis stamping.
+//
+// Unknown ordering: node voltages 1..n-1 first (ground eliminated), then one
+// branch current per voltage source, then one per VCVS. Real stamps serve
+// the DC Newton loop; complex stamps (G + jwC) serve AC analysis.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "util/common.hpp"
+
+namespace rsm::spice {
+
+/// Dense real MNA system A x = z under construction.
+class RealStamp {
+ public:
+  explicit RealStamp(Index size);
+
+  void conductance(NodeId a, NodeId b, Real g);
+  void current_into(NodeId node, Real amps);
+
+  /// Raw access for branch rows (voltage sources / VCVS).
+  void add(Index row, Index col, Real value);
+  void add_rhs(Index row, Real value);
+
+  [[nodiscard]] Index size() const { return n_; }
+  [[nodiscard]] std::vector<Real>& matrix() { return a_; }
+  [[nodiscard]] std::vector<Real>& rhs() { return z_; }
+
+ private:
+  Index n_;
+  std::vector<Real> a_;  // row-major n x n
+  std::vector<Real> z_;
+};
+
+/// Dense complex MNA system for AC analysis.
+class ComplexStamp {
+ public:
+  using C = std::complex<Real>;
+
+  explicit ComplexStamp(Index size);
+
+  void admittance(NodeId a, NodeId b, C y);
+  void current_into(NodeId node, C amps);
+  void add(Index row, Index col, C value);
+  void add_rhs(Index row, C value);
+
+  [[nodiscard]] Index size() const { return n_; }
+  [[nodiscard]] std::vector<C>& matrix() { return a_; }
+  [[nodiscard]] std::vector<C>& rhs() { return z_; }
+
+ private:
+  Index n_;
+  std::vector<C> a_;
+  std::vector<C> z_;
+};
+
+/// Stamps every linear element of `netlist` into a real DC system
+/// (capacitors are open at DC) around the solution estimate `x` and adds the
+/// companion models of all MOSFETs linearized at `x`. `gmin` is a
+/// conductance tied from every node to ground for convergence aid.
+void stamp_dc(const Netlist& netlist, std::span<const Real> x, Real gmin,
+              RealStamp& stamp);
+
+/// Stamps the small-signal system at angular frequency `omega`, linearizing
+/// MOSFETs at the DC solution `dc_solution`. Independent sources contribute
+/// their AC magnitudes (DC values are zeroed in small-signal analysis).
+void stamp_ac(const Netlist& netlist, std::span<const Real> dc_solution,
+              Real omega, ComplexStamp& stamp);
+
+/// Voltage of `node` in an MNA solution vector (0 for ground).
+template <typename T>
+[[nodiscard]] T node_voltage(std::span<const T> solution, NodeId node) {
+  if (node == kGround) return T{};
+  return solution[static_cast<std::size_t>(node - 1)];
+}
+
+}  // namespace rsm::spice

@@ -1,0 +1,75 @@
+#include "spice/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rsm::spice {
+namespace {
+
+/// softplus(u) = ln(1 + e^u), overflow-safe.
+Real softplus(Real u) {
+  if (u > 40) return u;
+  if (u < -40) return std::exp(u);
+  return std::log1p(std::exp(u));
+}
+
+/// logistic(u) = d softplus / du.
+Real logistic(Real u) {
+  if (u > 40) return 1;
+  if (u < -40) return std::exp(u);
+  return Real{1} / (Real{1} + std::exp(-u));
+}
+
+}  // namespace
+
+MosfetEval evaluate_nmos_convention(const MosfetParams& p, Real vgs,
+                                    Real vds) {
+  MosfetEval out;
+  // Source/drain swap for vds < 0 (symmetric device): evaluate with the
+  // terminals exchanged and reflect the result back.
+  if (vds < 0) {
+    const MosfetEval swapped = evaluate_nmos_convention(p, vgs - vds, -vds);
+    out.ids = -swapped.ids;
+    out.gm = -swapped.gm;             // d(-I(vgs-vds,-vds))/dvgs
+    out.gds = swapped.gm + swapped.gds;  // chain rule through both arguments
+    return out;
+  }
+
+  // EKV-style smooth interpolation. With a = n*vt and
+  //   F(u) = ln^2(1 + e^{u/(2a)}),
+  // the drain current is
+  //   ids = 2 beta a^2 [F(vov) - F(vov - vds)] * (1 + lambda*vds).
+  // Strong inversion: F(u) -> (u/2a)^2, recovering the exact square-law
+  // triode/saturation expressions; subthreshold: F -> e^{u/a}, giving the
+  // exponential leakage. Everything is C^inf — essential for the Newton DC
+  // solver (a piecewise model's current jump at the region boundary makes
+  // the iteration limit-cycle).
+  const Real beta = p.beta();
+  const Real a = kSubthresholdSlope * kThermalVoltage;
+  const Real vov = vgs - p.vt0;
+
+  const Real lf = softplus(vov / (2 * a));            // L(vov)
+  const Real lr = softplus((vov - vds) / (2 * a));    // L(vov - vds)
+  const Real sf = logistic(vov / (2 * a));
+  const Real sr = logistic((vov - vds) / (2 * a));
+
+  const Real f_fwd = lf * lf;
+  const Real f_rev = lr * lr;
+  const Real df_fwd = lf * sf / a;  // dF/du at vov
+  const Real df_rev = lr * sr / a;  // dF/du at vov - vds
+
+  const Real clm = Real{1} + p.lambda * vds;
+  const Real scale = 2 * beta * a * a;
+
+  out.ids = scale * (f_fwd - f_rev) * clm;
+  out.gm = scale * (df_fwd - df_rev) * clm;
+  out.gds = scale * df_rev * clm + scale * (f_fwd - f_rev) * p.lambda;
+
+  // Tiny floors keep the MNA matrix nonsingular when a cut-off device is the
+  // only element on a node.
+  out.gds = std::max(out.gds, Real{1e-12});
+  out.gm = std::max(out.gm, Real{0});
+  return out;
+}
+
+}  // namespace rsm::spice

@@ -1,0 +1,48 @@
+// Level-1 (square-law) MOSFET model.
+//
+// The reproduction's stand-in for the foundry transistor models behind
+// Cadence Spectre: accurate enough to give circuit performances a realistic,
+// smoothly nonlinear dependence on Vth / beta / geometry variations, which is
+// all the RSM algorithms observe.
+#pragma once
+
+#include "util/common.hpp"
+
+namespace rsm::spice {
+
+enum class MosType { kNmos, kPmos };
+
+/// Device parameters after variation has been applied.
+struct MosfetParams {
+  MosType type = MosType::kNmos;
+  Real vt0 = 0.4;      // zero-bias threshold [V] (magnitude; positive for both)
+  Real kp = 200e-6;    // transconductance parameter mu*Cox [A/V^2]
+  Real lambda = 0.15;  // channel-length modulation [1/V] (at drawn L)
+  Real w = 1e-6;       // drawn width [m]
+  Real l = 60e-9;      // drawn length [m]
+
+  [[nodiscard]] Real beta() const { return kp * w / l; }
+};
+
+/// Operating-point evaluation result (NMOS sign convention: ids flows
+/// drain->source and is >= 0 in normal operation).
+struct MosfetEval {
+  Real ids = 0;  // drain current [A]
+  Real gm = 0;   // d ids / d vgs [S]
+  Real gds = 0;  // d ids / d vds [S]
+};
+
+/// Evaluates the square-law model at (vgs, vds), both in the device's own
+/// sign convention (positive for NMOS-normal operation). Includes a
+/// weak-inversion exponential below threshold so Newton sees a smooth,
+/// strictly monotonic characteristic (hard cutoff stalls convergence),
+/// and channel-length modulation in saturation.
+[[nodiscard]] MosfetEval evaluate_nmos_convention(const MosfetParams& p,
+                                                  Real vgs, Real vds);
+
+/// Subthreshold slope factor used by the weak-inversion blend; exposed for
+/// the SRAM leakage model, which sums exp(-vth/(n*vt)) over all cells.
+inline constexpr Real kSubthresholdSlope = 1.5;
+inline constexpr Real kThermalVoltage = 0.0258;  // kT/q at ~300 K [V]
+
+}  // namespace rsm::spice

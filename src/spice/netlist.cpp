@@ -1,0 +1,103 @@
+#include "spice/netlist.hpp"
+
+namespace rsm::spice {
+
+Netlist::Netlist() {
+  node_names_.push_back("0");
+  node_ids_["0"] = kGround;
+  node_ids_["gnd"] = kGround;
+}
+
+NodeId Netlist::node(const std::string& name) {
+  auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_ids_[name] = id;
+  return id;
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  RSM_CHECK(id >= 0 && id < num_nodes());
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+ResistorId Netlist::add_resistor(NodeId a, NodeId b, Real resistance) {
+  RSM_CHECK_MSG(resistance > 0, "resistance must be positive");
+  resistors_.push_back({a, b, resistance});
+  return {static_cast<Index>(resistors_.size()) - 1};
+}
+
+CapacitorId Netlist::add_capacitor(NodeId a, NodeId b, Real capacitance) {
+  RSM_CHECK_MSG(capacitance >= 0, "capacitance must be non-negative");
+  capacitors_.push_back({a, b, capacitance});
+  return {static_cast<Index>(capacitors_.size()) - 1};
+}
+
+VsourceId Netlist::add_vsource(NodeId a, NodeId b, Real dc, Real ac) {
+  vsources_.push_back({a, b, dc, ac});
+  return {static_cast<Index>(vsources_.size()) - 1};
+}
+
+IsourceId Netlist::add_isource(NodeId a, NodeId b, Real dc, Real ac) {
+  isources_.push_back({a, b, dc, ac});
+  return {static_cast<Index>(isources_.size()) - 1};
+}
+
+VcvsId Netlist::add_vcvs(NodeId p, NodeId q, NodeId cp, NodeId cq, Real gain) {
+  vcvs_.push_back({p, q, cp, cq, gain});
+  return {static_cast<Index>(vcvs_.size()) - 1};
+}
+
+VccsId Netlist::add_vccs(NodeId p, NodeId q, NodeId cp, NodeId cq, Real gm) {
+  vccs_.push_back({p, q, cp, cq, gm});
+  return {static_cast<Index>(vccs_.size()) - 1};
+}
+
+MosfetId Netlist::add_mosfet(NodeId d, NodeId g, NodeId s, NodeId b,
+                             const MosfetParams& params) {
+  mosfets_.push_back({d, g, s, b, params});
+  return {static_cast<Index>(mosfets_.size()) - 1};
+}
+
+Resistor& Netlist::resistor(ResistorId id) {
+  RSM_CHECK(id.v >= 0 && id.v < static_cast<Index>(resistors_.size()));
+  return resistors_[static_cast<std::size_t>(id.v)];
+}
+
+Capacitor& Netlist::capacitor(CapacitorId id) {
+  RSM_CHECK(id.v >= 0 && id.v < static_cast<Index>(capacitors_.size()));
+  return capacitors_[static_cast<std::size_t>(id.v)];
+}
+
+VoltageSource& Netlist::vsource(VsourceId id) {
+  RSM_CHECK(id.v >= 0 && id.v < static_cast<Index>(vsources_.size()));
+  return vsources_[static_cast<std::size_t>(id.v)];
+}
+
+CurrentSource& Netlist::isource(IsourceId id) {
+  RSM_CHECK(id.v >= 0 && id.v < static_cast<Index>(isources_.size()));
+  return isources_[static_cast<std::size_t>(id.v)];
+}
+
+Mosfet& Netlist::mosfet(MosfetId id) {
+  RSM_CHECK(id.v >= 0 && id.v < static_cast<Index>(mosfets_.size()));
+  return mosfets_[static_cast<std::size_t>(id.v)];
+}
+
+Index Netlist::mna_size() const {
+  return (num_nodes() - 1) + static_cast<Index>(vsources_.size()) +
+         static_cast<Index>(vcvs_.size());
+}
+
+Index Netlist::vsource_branch_index(Index k) const {
+  RSM_CHECK(k >= 0 && k < static_cast<Index>(vsources_.size()));
+  return (num_nodes() - 1) + k;
+}
+
+Index Netlist::vcvs_branch_index(Index k) const {
+  RSM_CHECK(k >= 0 && k < static_cast<Index>(vcvs_.size()));
+  return (num_nodes() - 1) + static_cast<Index>(vsources_.size()) + k;
+}
+
+}  // namespace rsm::spice

@@ -1,0 +1,141 @@
+// Circuit netlist: named nodes plus a flat list of elements.
+//
+// Node 0 / "0" / "gnd" is ground. Elements are added through typed methods
+// that return handles, so circuit builders (src/circuits) can later perturb
+// element values per variation sample without rebuilding the netlist.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/mosfet.hpp"
+#include "util/common.hpp"
+
+namespace rsm::spice {
+
+/// Node identifier; kGround == 0.
+using NodeId = Index;
+inline constexpr NodeId kGround = 0;
+
+struct Resistor {
+  NodeId a = kGround, b = kGround;
+  Real resistance = 0;
+};
+
+struct Capacitor {
+  NodeId a = kGround, b = kGround;
+  Real capacitance = 0;
+};
+
+/// Independent voltage source a(+) -> b(-): V(a) - V(b) = dc + ac (AC phasor
+/// magnitude; phase 0). Adds one branch-current unknown to the MNA system.
+struct VoltageSource {
+  NodeId a = kGround, b = kGround;
+  Real dc = 0;
+  Real ac = 0;
+};
+
+/// Independent current source injecting `dc` amps from a into b (i.e.
+/// current flows a -> b through the source; node b receives current).
+struct CurrentSource {
+  NodeId a = kGround, b = kGround;
+  Real dc = 0;
+  Real ac = 0;
+};
+
+/// Voltage-controlled voltage source: V(p) - V(q) = gain * (V(cp) - V(cq)).
+struct Vcvs {
+  NodeId p = kGround, q = kGround;
+  NodeId cp = kGround, cq = kGround;
+  Real gain = 0;
+};
+
+/// Voltage-controlled current source: I(p->q) = gm * (V(cp) - V(cq)).
+struct Vccs {
+  NodeId p = kGround, q = kGround;
+  NodeId cp = kGround, cq = kGround;
+  Real gm = 0;
+};
+
+/// Four-terminal MOSFET instance (bulk is accepted for interface
+/// completeness; the level-1 model ignores body effect).
+struct Mosfet {
+  NodeId d = kGround, g = kGround, s = kGround, b = kGround;
+  MosfetParams params;
+};
+
+/// Typed element handles, indices into the per-type vectors.
+struct ResistorId { Index v; };
+struct CapacitorId { Index v; };
+struct VsourceId { Index v; };
+struct IsourceId { Index v; };
+struct VcvsId { Index v; };
+struct VccsId { Index v; };
+struct MosfetId { Index v; };
+
+class Netlist {
+ public:
+  Netlist();
+
+  /// Returns the id for `name`, creating the node on first use.
+  /// "0" and "gnd" map to ground.
+  NodeId node(const std::string& name);
+
+  /// Number of nodes including ground.
+  [[nodiscard]] Index num_nodes() const {
+    return static_cast<Index>(node_names_.size());
+  }
+
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+
+  ResistorId add_resistor(NodeId a, NodeId b, Real resistance);
+  CapacitorId add_capacitor(NodeId a, NodeId b, Real capacitance);
+  VsourceId add_vsource(NodeId a, NodeId b, Real dc, Real ac = 0);
+  IsourceId add_isource(NodeId a, NodeId b, Real dc, Real ac = 0);
+  VcvsId add_vcvs(NodeId p, NodeId q, NodeId cp, NodeId cq, Real gain);
+  VccsId add_vccs(NodeId p, NodeId q, NodeId cp, NodeId cq, Real gm);
+  MosfetId add_mosfet(NodeId d, NodeId g, NodeId s, NodeId b,
+                      const MosfetParams& params);
+
+  // Mutable access for variation application and source steering.
+  Resistor& resistor(ResistorId id);
+  Capacitor& capacitor(CapacitorId id);
+  VoltageSource& vsource(VsourceId id);
+  CurrentSource& isource(IsourceId id);
+  Mosfet& mosfet(MosfetId id);
+
+  [[nodiscard]] const std::vector<Resistor>& resistors() const { return resistors_; }
+  [[nodiscard]] const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  [[nodiscard]] const std::vector<VoltageSource>& vsources() const { return vsources_; }
+  [[nodiscard]] const std::vector<CurrentSource>& isources() const { return isources_; }
+  [[nodiscard]] const std::vector<Vcvs>& vcvs_list() const { return vcvs_; }
+  [[nodiscard]] const std::vector<Vccs>& vccs_list() const { return vccs_; }
+  [[nodiscard]] const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+
+  /// Unknown count of the MNA system: (num_nodes - 1) node voltages plus one
+  /// branch current per voltage source and per VCVS.
+  [[nodiscard]] Index mna_size() const;
+
+  /// Row/column of node `n` in the MNA system; -1 for ground.
+  [[nodiscard]] static Index mna_node_index(NodeId n) { return n - 1; }
+
+  /// Branch-current unknown index for voltage source k.
+  [[nodiscard]] Index vsource_branch_index(Index k) const;
+
+  /// Branch-current unknown index for VCVS k.
+  [[nodiscard]] Index vcvs_branch_index(Index k) const;
+
+ private:
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VoltageSource> vsources_;
+  std::vector<CurrentSource> isources_;
+  std::vector<Vcvs> vcvs_;
+  std::vector<Vccs> vccs_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace rsm::spice

@@ -1,0 +1,331 @@
+#include "spice/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace rsm::spice {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+/// Splits a logical line into whitespace-separated tokens, dropping
+/// everything after a ';' comment.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : line) {
+    if (ch == ';') break;
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == '(' ||
+        ch == ')') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+struct ParseContext {
+  int line_number = 0;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error("netlist line " + std::to_string(line_number) + ": " +
+                message);
+  }
+};
+
+Real number(const ParseContext& ctx, const std::string& token) {
+  try {
+    return parse_spice_number(token);
+  } catch (const Error& e) {
+    ctx.fail(e.what());
+  }
+}
+
+/// Parses "W=6u" style assignments; returns false if not an assignment.
+bool key_value(const std::string& token, std::string& key,
+               std::string& value) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size())
+    return false;
+  key = lower(token.substr(0, eq));
+  value = token.substr(eq + 1);
+  return true;
+}
+
+struct ModelCard {
+  MosType type = MosType::kNmos;
+  Real vt0 = 0.4;
+  Real kp = 200e-6;
+  Real lambda = 0.1;
+};
+
+}  // namespace
+
+Real parse_spice_number(const std::string& token) {
+  RSM_CHECK_MSG(!token.empty(), "empty number");
+  const std::string t = lower(token);
+  std::size_t pos = 0;
+  double base = 0;
+  try {
+    base = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw Error("malformed number '" + token + "'");
+  }
+  const std::string suffix = t.substr(pos);
+  if (suffix.empty()) return base;
+  // "meg" must be matched before the single-letter 'm'.
+  if (suffix.rfind("meg", 0) == 0) return base * 1e6;
+  switch (suffix[0]) {
+    case 'f': return base * 1e-15;
+    case 'p': return base * 1e-12;
+    case 'n': return base * 1e-9;
+    case 'u': return base * 1e-6;
+    case 'm': return base * 1e-3;
+    case 'k': return base * 1e3;
+    case 'g': return base * 1e9;
+    case 't': return base * 1e12;
+    default:
+      throw Error("unknown unit suffix '" + suffix + "' in '" + token + "'");
+  }
+}
+
+
+/// A .subckt definition: ordered port names (lowercase) + body cards.
+struct SubcktDef {
+  std::vector<std::string> ports;
+  std::vector<std::pair<int, std::string>> body;
+};
+
+/// Emits element cards into `netlist`, resolving node names through the
+/// instance `port_map` (subckt ports -> caller nodes) and prefixing
+/// internal nodes with the hierarchical instance `prefix`. X cards recurse.
+void emit_cards(const std::vector<std::pair<int, std::string>>& lines,
+                const std::map<std::string, ModelCard>& models,
+                const std::map<std::string, SubcktDef>& subckts,
+                const std::map<std::string, std::string>& port_map,
+                const std::string& prefix, int depth, Netlist& netlist) {
+  ParseContext ctx;
+  RSM_CHECK_MSG(depth <= 20, "subcircuit nesting deeper than 20 levels");
+
+  // Resolve a card-local node name to its flat global name.
+  const auto global_name = [&](const std::string& raw) -> std::string {
+    const std::string name = lower(raw);
+    if (name == "0" || name == "gnd") return "0";
+    const auto it = port_map.find(name);
+    if (it != port_map.end()) return it->second;
+    return prefix + name;
+  };
+  const auto node = [&](const std::string& raw) {
+    return netlist.node(global_name(raw));
+  };
+
+  for (const auto& [no, text] : lines) {
+    ctx.line_number = no;
+    const std::vector<std::string> tok = tokenize(text);
+    if (tok.empty()) continue;
+    const std::string head = lower(tok[0]);
+    if (head == ".model") continue;
+    if (head == ".end") break;
+    if (head[0] == '.') ctx.fail("unsupported directive '" + tok[0] + "'");
+
+    switch (head[0]) {
+      case 'x': {
+        // Xname n1 n2 ... subcktname
+        if (tok.size() < 3) ctx.fail("X card: Xname nodes... subckt");
+        const auto it = subckts.find(lower(tok.back()));
+        if (it == subckts.end())
+          ctx.fail("unknown subcircuit '" + tok.back() + "'");
+        const SubcktDef& def = it->second;
+        if (tok.size() - 2 != def.ports.size())
+          ctx.fail("subcircuit '" + tok.back() + "' has " +
+                   std::to_string(def.ports.size()) + " ports, got " +
+                   std::to_string(tok.size() - 2));
+        std::map<std::string, std::string> child_ports;
+        for (std::size_t p = 0; p < def.ports.size(); ++p)
+          child_ports[def.ports[p]] = global_name(tok[p + 1]);
+        emit_cards(def.body, models, subckts, child_ports,
+                   prefix + head + ".", depth + 1, netlist);
+        break;
+      }
+      case 'r': {
+        if (tok.size() != 4) ctx.fail("R card: Rname n1 n2 value");
+        netlist.add_resistor(node(tok[1]), node(tok[2]), number(ctx, tok[3]));
+        break;
+      }
+      case 'c': {
+        if (tok.size() != 4) ctx.fail("C card: Cname n1 n2 value");
+        netlist.add_capacitor(node(tok[1]), node(tok[2]), number(ctx, tok[3]));
+        break;
+      }
+      case 'v':
+      case 'i': {
+        // Size check must precede the iterator arithmetic below.
+        if (tok.size() < 4) ctx.fail("source card: name n+ n- [DC] value");
+        std::vector<std::string> rest(tok.begin() + 3, tok.end());
+        std::size_t i = 0;
+        if (i < rest.size() && lower(rest[i]) == "dc") ++i;
+        if (i >= rest.size()) ctx.fail("source card missing DC value");
+        const Real dc = number(ctx, rest[i++]);
+        Real ac = 0;
+        if (i < rest.size()) {
+          if (lower(rest[i]) != "ac")
+            ctx.fail("unexpected token '" + rest[i] + "' on source card");
+          ++i;
+          if (i >= rest.size()) ctx.fail("AC keyword missing magnitude");
+          ac = number(ctx, rest[i++]);
+        }
+        if (i != rest.size()) ctx.fail("trailing tokens on source card");
+        if (head[0] == 'v') {
+          netlist.add_vsource(node(tok[1]), node(tok[2]), dc, ac);
+        } else {
+          netlist.add_isource(node(tok[1]), node(tok[2]), dc, ac);
+        }
+        break;
+      }
+      case 'e': {
+        if (tok.size() != 6) ctx.fail("E card: Ename p q cp cq gain");
+        netlist.add_vcvs(node(tok[1]), node(tok[2]), node(tok[3]),
+                         node(tok[4]), number(ctx, tok[5]));
+        break;
+      }
+      case 'g': {
+        if (tok.size() != 6) ctx.fail("G card: Gname p q cp cq gm");
+        netlist.add_vccs(node(tok[1]), node(tok[2]), node(tok[3]),
+                         node(tok[4]), number(ctx, tok[5]));
+        break;
+      }
+      case 'm': {
+        if (tok.size() < 6) ctx.fail("M card: Mname d g s b model [W= L=]");
+        const auto it = models.find(lower(tok[5]));
+        if (it == models.end())
+          ctx.fail("unknown MOSFET model '" + tok[5] + "'");
+        MosfetParams params;
+        params.type = it->second.type;
+        params.vt0 = it->second.vt0;
+        params.kp = it->second.kp;
+        params.lambda = it->second.lambda;
+        for (std::size_t i = 6; i < tok.size(); ++i) {
+          std::string key, value;
+          if (!key_value(tok[i], key, value))
+            ctx.fail("expected W=/L= on M card, got '" + tok[i] + "'");
+          if (key == "w") params.w = number(ctx, value);
+          else if (key == "l") params.l = number(ctx, value);
+          else ctx.fail("unknown M-card parameter '" + key + "'");
+        }
+        netlist.add_mosfet(node(tok[1]), node(tok[2]), node(tok[3]),
+                           node(tok[4]), params);
+        break;
+      }
+      default:
+        ctx.fail("unrecognized card '" + tok[0] + "'");
+    }
+  }
+}
+
+Netlist parse_netlist(std::istream& in) {
+  // Join continuation lines ('+' prefix) into logical lines first.
+  std::vector<std::pair<int, std::string>> logical;  // (line number, text)
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip trailing CR from CRLF inputs.
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    std::string trimmed = raw;
+    trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+    if (trimmed.empty() || trimmed[0] == '*') continue;
+    if (trimmed[0] == '+') {
+      if (logical.empty()) {
+        throw Error("netlist line " + std::to_string(line_no) +
+                    ": continuation with no previous card");
+      }
+      logical.back().second += " " + trimmed.substr(1);
+    } else {
+      logical.emplace_back(line_no, trimmed);
+    }
+  }
+
+  Netlist netlist;
+  std::map<std::string, ModelCard> models;
+  ParseContext ctx;
+
+  // First pass: collect .model cards (they may appear after use).
+  for (const auto& [no, text] : logical) {
+    ctx.line_number = no;
+    const std::vector<std::string> tok = tokenize(text);
+    if (tok.empty() || lower(tok[0]) != ".model") continue;
+    if (tok.size() < 3) ctx.fail(".model needs a name and a type");
+    ModelCard card;
+    const std::string type = lower(tok[2]);
+    if (type == "nmos") {
+      card.type = MosType::kNmos;
+    } else if (type == "pmos") {
+      card.type = MosType::kPmos;
+    } else {
+      ctx.fail("unknown model type '" + tok[2] + "' (want NMOS or PMOS)");
+    }
+    for (std::size_t i = 3; i < tok.size(); ++i) {
+      std::string key, value;
+      if (!key_value(tok[i], key, value))
+        ctx.fail("expected KEY=VALUE in .model, got '" + tok[i] + "'");
+      if (key == "vt0") card.vt0 = number(ctx, value);
+      else if (key == "kp") card.kp = number(ctx, value);
+      else if (key == "lambda") card.lambda = number(ctx, value);
+      else ctx.fail("unknown .model parameter '" + key + "'");
+    }
+    models[lower(tok[1])] = card;
+  }
+
+  // Separate .subckt blocks from top-level cards.
+  std::map<std::string, SubcktDef> subckts;
+  std::vector<std::pair<int, std::string>> top_level;
+  for (std::size_t li = 0; li < logical.size(); ++li) {
+    ctx.line_number = logical[li].first;
+    const std::vector<std::string> tok = tokenize(logical[li].second);
+    if (tok.empty()) continue;
+    if (lower(tok[0]) == ".subckt") {
+      if (tok.size() < 3) ctx.fail(".subckt needs a name and >= 1 port");
+      SubcktDef def;
+      for (std::size_t p = 2; p < tok.size(); ++p)
+        def.ports.push_back(lower(tok[p]));
+      bool closed = false;
+      for (++li; li < logical.size(); ++li) {
+        const std::vector<std::string> inner = tokenize(logical[li].second);
+        if (!inner.empty() && lower(inner[0]) == ".ends") {
+          closed = true;
+          break;
+        }
+        if (!inner.empty() && lower(inner[0]) == ".subckt") {
+          ctx.line_number = logical[li].first;
+          ctx.fail("nested .subckt definitions are not supported");
+        }
+        def.body.push_back(logical[li]);
+      }
+      if (!closed) ctx.fail(".subckt without matching .ends");
+      subckts[lower(tok[1])] = std::move(def);
+    } else {
+      top_level.push_back(logical[li]);
+    }
+  }
+
+  emit_cards(top_level, models, subckts, /*port_map=*/{}, /*prefix=*/"",
+             /*depth=*/0, netlist);
+  return netlist;
+}
+
+Netlist parse_netlist(const std::string& text) {
+  std::istringstream in(text);
+  return parse_netlist(in);
+}
+
+}  // namespace rsm::spice

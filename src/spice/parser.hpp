@@ -1,0 +1,45 @@
+// SPICE-format netlist parser.
+//
+// Accepts the classic card syntax so circuits can be described as text
+// rather than C++ builder calls:
+//
+//   * two-stage opamp bias branch
+//   .model nch NMOS (VT0=0.4 KP=200u LAMBDA=0.1)
+//   Ibias vdd bias 20u
+//   M8 bias bias 0 0 nch W=6u L=120n
+//   R1 out cz 450
+//   C1 n2 cz 2p
+//   V1 vdd 0 1.2
+//   E1 out 0 in 0 10        ; VCVS
+//   G1 out 0 in 0 1m        ; VCCS
+//   .end
+//
+// Supported cards: R, C, V (DC [AC mag]), I (DC [AC mag]), E (VCVS),
+// G (VCCS), M (MOSFET referencing a .model), .model NMOS/PMOS with
+// VT0/KP/LAMBDA, hierarchical subcircuits (.subckt name ports... / .ends,
+// instantiated with `Xname nodes... subcktname`; internal nodes expand to
+// "<instance>.<node>", ground stays global), comments (*, ;), line
+// continuation (+), SPICE unit suffixes (f p n u m k meg g t),
+// case-insensitive names. `.end` is optional. Node "0"/"gnd" is ground.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spice/netlist.hpp"
+#include "util/common.hpp"
+
+namespace rsm::spice {
+
+/// Parses SPICE text into a Netlist. Throws rsm::Error with a line number
+/// on any malformed card.
+[[nodiscard]] Netlist parse_netlist(const std::string& text);
+
+/// Stream overload (reads to EOF).
+[[nodiscard]] Netlist parse_netlist(std::istream& in);
+
+/// Parses one SPICE number with optional unit suffix: "2.5k" -> 2500,
+/// "20u" -> 2e-5, "3meg" -> 3e6, "1.5" -> 1.5. Exposed for tests.
+[[nodiscard]] Real parse_spice_number(const std::string& token);
+
+}  // namespace rsm::spice

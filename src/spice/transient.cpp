@@ -1,0 +1,122 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "spice/mna.hpp"
+
+namespace rsm::spice {
+namespace {
+
+/// One backward-Euler Newton solve at a fixed time point.
+/// x holds the initial guess on entry and the solution on exit.
+bool newton_step(const Netlist& netlist, const DcOptions& opt, Real h,
+                 std::span<const Real> x_prev, std::vector<Real>& x) {
+  const Index n = netlist.mna_size();
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    RealStamp stamp(n);
+    stamp_dc(netlist, x, opt.gmin, stamp);
+
+    // Capacitor companions: G = C/h between the terminals, plus history
+    // current I = (C/h) * v_prev flowing as a source.
+    for (const Capacitor& c : netlist.capacitors()) {
+      const Real g = c.capacitance / h;
+      stamp.conductance(c.a, c.b, g);
+      const Real v_prev = node_voltage(x_prev, c.a) - node_voltage(x_prev, c.b);
+      // i = g (v - v_prev): the -g*v_prev part goes to the RHS as an
+      // injection a -> b.
+      stamp.current_into(c.a, g * v_prev);
+      stamp.current_into(c.b, -g * v_prev);
+    }
+
+    std::vector<Real> x_new;
+    try {
+      LuFactorization<Real> lu(std::move(stamp.matrix()), n);
+      x_new = lu.solve(stamp.rhs());
+    } catch (const Error&) {
+      return false;
+    }
+
+    Real max_dv = 0;
+    const Index num_voltage_unknowns = netlist.num_nodes() - 1;
+    for (Index i = 0; i < n; ++i) {
+      Real dv = x_new[static_cast<std::size_t>(i)] -
+                x[static_cast<std::size_t>(i)];
+      if (i < num_voltage_unknowns) {
+        dv = std::clamp(dv, -opt.max_step, opt.max_step);
+        max_dv = std::max(max_dv, std::abs(dv));
+      }
+      x[static_cast<std::size_t>(i)] += dv;
+    }
+    Real max_abs_x = 0;
+    for (Real v : x) max_abs_x = std::max(max_abs_x, std::abs(v));
+    if (max_dv < opt.voltage_tolerance + opt.relative_tolerance * max_abs_x)
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Real> TransientResult::node_waveform(NodeId node) const {
+  std::vector<Real> out;
+  out.reserve(states.size());
+  for (std::size_t s = 0; s < states.size(); ++s) out.push_back(voltage(s, node));
+  return out;
+}
+
+TransientResult run_transient(Netlist& netlist,
+                              const TransientOptions& options) {
+  RSM_CHECK(options.timestep > 0 && options.stop_time > options.timestep);
+  const Index n = netlist.mna_size();
+  RSM_CHECK(n > 0);
+
+  TransientResult result;
+  const auto num_steps =
+      static_cast<std::size_t>(options.stop_time / options.timestep) + 1;
+  result.time.reserve(num_steps + 1);
+  result.states.reserve(num_steps + 1);
+
+  if (options.update_sources) options.update_sources(0, netlist);
+  std::vector<Real> x;
+  if (options.start_from_dc) {
+    x = solve_dc(netlist, options.newton).x;
+  } else {
+    x.assign(static_cast<std::size_t>(n), Real{0});
+  }
+  result.time.push_back(0);
+  result.states.push_back(x);
+
+  std::vector<Real> x_prev = x;
+  Real t = 0;
+  while (t < options.stop_time) {
+    t += options.timestep;
+    if (options.update_sources) options.update_sources(t, netlist);
+    // Warm start from the previous point; x_prev feeds the companions.
+    if (!newton_step(netlist, options.newton, options.timestep, x_prev, x)) {
+      // One retry from the previous solution with a fresh copy (the damped
+      // iterate may have wandered); then give up loudly.
+      x = x_prev;
+      RSM_CHECK_MSG(
+          newton_step(netlist, options.newton, options.timestep, x_prev, x),
+          "transient Newton failed at t=" << t);
+    }
+    result.time.push_back(t);
+    result.states.push_back(x);
+    x_prev = x;
+  }
+  return result;
+}
+
+std::function<Real(Real)> step_waveform(Real v0, Real v1, Real t_step,
+                                        Real t_rise) {
+  RSM_CHECK(t_rise >= 0);
+  return [=](Real t) {
+    if (t <= t_step) return v0;
+    if (t_rise == 0 || t >= t_step + t_rise) return v1;
+    return v0 + (v1 - v0) * (t - t_step) / t_rise;
+  };
+}
+
+}  // namespace rsm::spice

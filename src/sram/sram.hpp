@@ -1,0 +1,110 @@
+// SRAM read-path timing workload (paper Fig. 5): cell array, replica path
+// for self-timing, and sense amplifier.
+//
+// The metric is the read delay from word-line activation to the sense-amp
+// output. The path is modeled stage by stage on top of the level-1 device
+// equations (full MNA over a 21k-cell array would be pointless — the RSM
+// algorithms only see (dY, delay) pairs):
+//
+//   t_read = t_wl + t_fire + t_sa + t_mux
+//   t_wl    word-line driver chain: 8 inverter stages, each k*C*V/I_drive
+//   t_fire  replica-column discharge that triggers sensing (self-timing)
+//   t_sa    sense-amp resolution: tau * ln(Vswing / (dV_bl - V_os)), where
+//           dV_bl = (I_cell - I_bl_leak) * t_fire / C_bl is the bit-line
+//           differential developed while the replica runs
+//   t_mux   column mux RC
+//
+// Sparsity structure (why this reproduces Fig. 6):
+//   - ~40 variables matter strongly: accessed cell, replica cells, driver
+//     chain, sense amp, globals;
+//   - the other cells of the accessed column enter weakly through bit-line
+//     leakage (subthreshold sum);
+//   - every remaining cell enters only through the supply droop
+//     VDD_eff = VDD - R_grid * I_leak_total — individually negligible.
+//
+// Default geometry: 128 rows x 166 columns = 21 248 cells + 62 periphery
+// variables = 21 310 independent variables, the paper's exact count.
+#pragma once
+
+#include <span>
+
+#include "circuits/process.hpp"
+#include "util/common.hpp"
+
+namespace rsm::sram {
+
+struct SramConfig {
+  circuits::Process65 process;
+
+  Index rows = 128;
+  Index cols = 166;
+
+  Index driver_stages = 8;    // word-line driver inverter chain
+  Index replica_cells = 16;   // replica column height
+
+  Real c_bitline = 120e-15;       // bit-line capacitance [F]
+  Real c_replica = 30e-15;        // replica bit-line capacitance [F]
+  Real c_stage = 10e-15;          // driver stage load [F]
+  Real r_grid = 40.0;             // supply-grid resistance [Ohm]
+  Real sense_swing = 0.6;         // required SA output swing [V]
+  Real sense_tau = 25e-12;        // nominal SA regeneration tau [s]
+  Real sigma_cell_vth = 0.025;    // per-cell composite Vth mismatch [V]
+  Real sigma_sa_offset = 0.004;   // SA input-referred offset sigma [V]
+};
+
+/// Variable-layout accessors (all offsets into the dY vector).
+struct SramVariableMap {
+  explicit SramVariableMap(const SramConfig& config);
+
+  Index num_globals;          // 6
+  Index num_driver_vars;      // 2 per stage
+  Index num_replica_vars;     // 2 per replica cell
+  Index num_sense_vars;       // 6
+  Index num_misc_vars;        // 2
+  Index num_cells;            // rows * cols
+
+  [[nodiscard]] Index total() const;
+
+  [[nodiscard]] Index global(Index g) const;            // g in [0, 6)
+  [[nodiscard]] Index driver(Index stage, Index p) const;  // p in {0,1}
+  [[nodiscard]] Index replica(Index cell, Index p) const;
+  [[nodiscard]] Index sense(Index p) const;
+  [[nodiscard]] Index misc(Index p) const;
+  /// Cell variable; the accessed cell is (row 0, col 0).
+  [[nodiscard]] Index cell(Index row, Index col) const;
+
+ private:
+  Index rows_, cols_, driver_stages_, replica_cells_;
+};
+
+class SramWorkload {
+ public:
+  explicit SramWorkload(const SramConfig& config = {});
+
+  [[nodiscard]] Index num_variables() const { return map_.total(); }
+  [[nodiscard]] const SramConfig& config() const { return config_; }
+  [[nodiscard]] const SramVariableMap& variable_map() const { return map_; }
+
+  /// Read delay [s] for one variation sample (dy.size() == num_variables()).
+  [[nodiscard]] Real evaluate(std::span<const Real> dy) const;
+
+  /// Both metrics of one sample: delay plus the read margin — the net
+  /// sense-amp input (bit-line differential at fire time minus the SA
+  /// offset) [V]. Margin <= 0 would be a functional read failure; its
+  /// lower tail is what high-sigma analysis chases.
+  struct Metrics {
+    Real delay = 0;   // [s]
+    Real margin = 0;  // [V]
+  };
+  [[nodiscard]] Metrics evaluate_metrics(std::span<const Real> dy) const;
+
+  /// Delay of the all-zeros sample.
+  [[nodiscard]] Real nominal() const { return nominal_; }
+
+ private:
+  SramConfig config_;
+  SramVariableMap map_;
+  Real nominal_ = 0;
+};
+
+}  // namespace rsm::sram

@@ -1,0 +1,81 @@
+#include "stats/covariance.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace rsm {
+
+Matrix inter_die_covariance(Index n, Real sigma_inter, Real sigma_intra) {
+  RSM_CHECK(n > 0 && sigma_inter >= 0 && sigma_intra > 0);
+  Matrix cov(n, n, sigma_inter * sigma_inter);
+  for (Index i = 0; i < n; ++i) cov(i, i) += sigma_intra * sigma_intra;
+  return cov;
+}
+
+Matrix spatial_covariance(std::span<const DiePosition> positions,
+                          Real sigma_inter, Real sigma_intra,
+                          Real correlation_length) {
+  const Index n = static_cast<Index>(positions.size());
+  RSM_CHECK(n > 0 && correlation_length > 0 && sigma_intra > 0);
+  Matrix cov(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i; j < n; ++j) {
+      const Real dx = positions[static_cast<std::size_t>(i)].x -
+                      positions[static_cast<std::size_t>(j)].x;
+      const Real dy = positions[static_cast<std::size_t>(i)].y -
+                      positions[static_cast<std::size_t>(j)].y;
+      const Real dist = std::sqrt(dx * dx + dy * dy);
+      const Real c = sigma_inter * sigma_inter +
+                     sigma_intra * sigma_intra *
+                         std::exp(-dist / correlation_length);
+      cov(i, j) = c;
+      cov(j, i) = c;
+    }
+  }
+  return cov;
+}
+
+Matrix sample_covariance(const Matrix& data) {
+  const Index n_samples = data.rows();
+  const Index n_vars = data.cols();
+  RSM_CHECK_MSG(n_samples >= 2, "need >= 2 samples for covariance");
+  std::vector<Real> means(static_cast<std::size_t>(n_vars), Real{0});
+  for (Index r = 0; r < n_samples; ++r)
+    for (Index c = 0; c < n_vars; ++c)
+      means[static_cast<std::size_t>(c)] += data(r, c);
+  for (Real& m : means) m /= static_cast<Real>(n_samples);
+
+  Matrix cov(n_vars, n_vars);
+  for (Index r = 0; r < n_samples; ++r) {
+    for (Index i = 0; i < n_vars; ++i) {
+      const Real di = data(r, i) - means[static_cast<std::size_t>(i)];
+      for (Index j = i; j < n_vars; ++j) {
+        cov(i, j) += di * (data(r, j) - means[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  const Real inv = Real{1} / static_cast<Real>(n_samples - 1);
+  for (Index i = 0; i < n_vars; ++i)
+    for (Index j = i; j < n_vars; ++j) {
+      cov(i, j) *= inv;
+      cov(j, i) = cov(i, j);
+    }
+  return cov;
+}
+
+std::vector<Real> sample_correlated(const Matrix& chol_lower, Rng& rng) {
+  const Index n = chol_lower.rows();
+  RSM_CHECK(chol_lower.cols() == n);
+  std::vector<Real> z = rng.normal_vector(n);
+  std::vector<Real> x(static_cast<std::size_t>(n), Real{0});
+  for (Index i = 0; i < n; ++i) {
+    Real s = 0;
+    for (Index j = 0; j <= i; ++j)
+      s += chol_lower(i, j) * z[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = s;
+  }
+  return x;
+}
+
+}  // namespace rsm

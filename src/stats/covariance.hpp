@@ -1,0 +1,45 @@
+// Process-variation covariance models and sampling of correlated normals.
+//
+// The paper models process variations as jointly normal random variables and
+// applies PCA to obtain independent factors (Section II). These builders
+// construct the correlated covariance structures that PCA then diagonalizes:
+// a shared inter-die component plus spatially correlated intra-die mismatch.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "stats/rng.hpp"
+#include "util/common.hpp"
+
+namespace rsm {
+
+/// 2-D placement of a device on the die, in arbitrary length units.
+struct DiePosition {
+  Real x = 0;
+  Real y = 0;
+};
+
+/// Covariance of n variables sharing one inter-die component:
+///   Cov(i,j) = sigma_inter^2 + [i==j] * sigma_intra^2.
+[[nodiscard]] Matrix inter_die_covariance(Index n, Real sigma_inter,
+                                          Real sigma_intra);
+
+/// Spatially correlated intra-die variation with exponential decay:
+///   Cov(i,j) = sigma_inter^2
+///            + sigma_intra^2 * exp(-dist(i,j) / correlation_length).
+/// This is the standard grid-based spatial-correlation model used by
+/// statistical timing/RSM work (e.g., Chang & Sapatnekar).
+[[nodiscard]] Matrix spatial_covariance(std::span<const DiePosition> positions,
+                                        Real sigma_inter, Real sigma_intra,
+                                        Real correlation_length);
+
+/// Sample covariance of data rows (samples x variables), unbiased (n-1).
+[[nodiscard]] Matrix sample_covariance(const Matrix& data);
+
+/// Draws one sample of N(0, cov) using a (precomputed) lower Cholesky factor.
+[[nodiscard]] std::vector<Real> sample_correlated(const Matrix& chol_lower,
+                                                  Rng& rng);
+
+}  // namespace rsm

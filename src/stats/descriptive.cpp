@@ -1,0 +1,94 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rsm {
+
+Real mean(std::span<const Real> x) {
+  RSM_CHECK(!x.empty());
+  Real s = 0;
+  for (Real v : x) s += v;
+  return s / static_cast<Real>(x.size());
+}
+
+Real variance(std::span<const Real> x) {
+  if (x.size() < 2) return 0;
+  const Real m = mean(x);
+  Real s = 0;
+  for (Real v : x) s += (v - m) * (v - m);
+  return s / static_cast<Real>(x.size() - 1);
+}
+
+Real stddev(std::span<const Real> x) { return std::sqrt(variance(x)); }
+
+Real skewness(std::span<const Real> x) {
+  if (x.size() < 3) return 0;
+  const Real m = mean(x);
+  Real m2 = 0, m3 = 0;
+  for (Real v : x) {
+    const Real d = v - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  const Real n = static_cast<Real>(x.size());
+  m2 /= n;
+  m3 /= n;
+  if (m2 <= 0) return 0;
+  return m3 / std::pow(m2, Real{1.5});
+}
+
+Real excess_kurtosis(std::span<const Real> x) {
+  if (x.size() < 4) return 0;
+  const Real m = mean(x);
+  Real m2 = 0, m4 = 0;
+  for (Real v : x) {
+    const Real d = v - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  const Real n = static_cast<Real>(x.size());
+  m2 /= n;
+  m4 /= n;
+  if (m2 <= 0) return 0;
+  return m4 / (m2 * m2) - Real{3};
+}
+
+Real correlation(std::span<const Real> x, std::span<const Real> y) {
+  RSM_CHECK(x.size() == y.size() && x.size() >= 2);
+  const Real mx = mean(x), my = mean(y);
+  Real sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const Real dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Real quantile(std::span<const Real> x, Real q) {
+  RSM_CHECK(!x.empty());
+  RSM_CHECK(q >= 0 && q <= 1);
+  std::vector<Real> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  const Real pos = q * static_cast<Real>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const Real frac = pos - static_cast<Real>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const Real> x) {
+  RSM_CHECK(!x.empty());
+  Summary s;
+  s.mean = mean(x);
+  s.stddev = stddev(x);
+  s.min = *std::min_element(x.begin(), x.end());
+  s.max = *std::max_element(x.begin(), x.end());
+  s.median = quantile(x, Real{0.5});
+  return s;
+}
+
+}  // namespace rsm

@@ -1,0 +1,41 @@
+// Descriptive statistics over sample vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace rsm {
+
+[[nodiscard]] Real mean(std::span<const Real> x);
+
+/// Unbiased sample variance (divides by n-1); 0 for n < 2.
+[[nodiscard]] Real variance(std::span<const Real> x);
+
+[[nodiscard]] Real stddev(std::span<const Real> x);
+
+/// Standardized third central moment; 0 for degenerate samples.
+[[nodiscard]] Real skewness(std::span<const Real> x);
+
+/// Excess kurtosis (normal -> 0).
+[[nodiscard]] Real excess_kurtosis(std::span<const Real> x);
+
+/// Pearson correlation coefficient.
+[[nodiscard]] Real correlation(std::span<const Real> x,
+                               std::span<const Real> y);
+
+/// Empirical quantile by linear interpolation, q in [0, 1].
+[[nodiscard]] Real quantile(std::span<const Real> x, Real q);
+
+struct Summary {
+  Real mean = 0;
+  Real stddev = 0;
+  Real min = 0;
+  Real max = 0;
+  Real median = 0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const Real> x);
+
+}  // namespace rsm

@@ -1,0 +1,28 @@
+// Latin hypercube sampling of standard normals.
+//
+// The paper draws plain Monte Carlo samples from pdf(dY) (Section IV-A);
+// LHS is offered as a variance-reduced alternative and is exercised by the
+// ablation benches (stratification reduces the noise of the inner-product
+// estimator rho_m at small K).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "stats/rng.hpp"
+#include "util/common.hpp"
+
+namespace rsm {
+
+/// K x N matrix of samples: each column is a stratified standard-normal
+/// sample (one draw per probability stratum, randomly permuted across rows).
+[[nodiscard]] Matrix latin_hypercube_normal(Index num_samples,
+                                            Index num_variables, Rng& rng);
+
+/// Plain Monte Carlo counterpart: K x N i.i.d. standard normals.
+[[nodiscard]] Matrix monte_carlo_normal(Index num_samples, Index num_variables,
+                                        Rng& rng);
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, |err| <
+/// 1.2e-9), exposed for tests and for the LHS transform.
+[[nodiscard]] Real inverse_normal_cdf(Real p);
+
+}  // namespace rsm

@@ -1,0 +1,74 @@
+#include "stats/pca.hpp"
+
+#include <cmath>
+
+#include "linalg/eigen_sym.hpp"
+
+namespace rsm {
+
+Pca::Pca(const Matrix& covariance, Real variance_tolerance) {
+  RSM_CHECK(covariance.rows() == covariance.cols());
+  const SymmetricEigen eig = eigen_symmetric(covariance);
+  const Index n = covariance.rows();
+
+  for (Real v : eig.values) total_variance_ += std::max(v, Real{0});
+  const Real cutoff =
+      eig.values.empty() ? Real{0}
+                         : std::max(eig.values.front(), Real{0}) *
+                               variance_tolerance;
+
+  Index keep = 0;
+  for (Real v : eig.values) {
+    if (v > cutoff && v > 0) ++keep;
+  }
+  RSM_CHECK_MSG(keep > 0, "covariance matrix has no positive eigenvalues");
+
+  components_ = Matrix(n, keep);
+  values_.resize(static_cast<std::size_t>(keep));
+  sqrt_vals_.resize(static_cast<std::size_t>(keep));
+  for (Index j = 0; j < keep; ++j) {
+    values_[static_cast<std::size_t>(j)] = eig.values[static_cast<std::size_t>(j)];
+    sqrt_vals_[static_cast<std::size_t>(j)] =
+        std::sqrt(eig.values[static_cast<std::size_t>(j)]);
+    for (Index i = 0; i < n; ++i) components_(i, j) = eig.vectors(i, j);
+  }
+}
+
+Index Pca::num_factors() const { return components_.cols(); }
+
+Index Pca::num_variables() const { return components_.rows(); }
+
+std::span<const Real> Pca::eigenvalues() const { return values_; }
+
+std::vector<Real> Pca::to_factors(std::span<const Real> dx) const {
+  RSM_CHECK(static_cast<Index>(dx.size()) == num_variables());
+  std::vector<Real> dy(static_cast<std::size_t>(num_factors()), Real{0});
+  for (Index j = 0; j < num_factors(); ++j) {
+    Real s = 0;
+    for (Index i = 0; i < num_variables(); ++i)
+      s += components_(i, j) * dx[static_cast<std::size_t>(i)];
+    dy[static_cast<std::size_t>(j)] = s / sqrt_vals_[static_cast<std::size_t>(j)];
+  }
+  return dy;
+}
+
+std::vector<Real> Pca::to_physical(std::span<const Real> dy) const {
+  RSM_CHECK(static_cast<Index>(dy.size()) == num_factors());
+  std::vector<Real> dx(static_cast<std::size_t>(num_variables()), Real{0});
+  for (Index j = 0; j < num_factors(); ++j) {
+    const Real scaled =
+        dy[static_cast<std::size_t>(j)] * sqrt_vals_[static_cast<std::size_t>(j)];
+    for (Index i = 0; i < num_variables(); ++i)
+      dx[static_cast<std::size_t>(i)] += components_(i, j) * scaled;
+  }
+  return dx;
+}
+
+Real Pca::explained_variance_fraction() const {
+  if (total_variance_ <= 0) return 1;
+  Real kept = 0;
+  for (Real v : values_) kept += v;
+  return kept / total_variance_;
+}
+
+}  // namespace rsm

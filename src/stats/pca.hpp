@@ -1,0 +1,50 @@
+// Principal component analysis of correlated process parameters.
+//
+// Section II of the paper: correlated jointly-normal variations dX are mapped
+// by PCA to independent standard-normal factors dY. The Hermite basis and all
+// sparse solvers operate in dY space; this class provides the two-way map.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/common.hpp"
+
+namespace rsm {
+
+class Pca {
+ public:
+  /// Decomposes the covariance matrix of dX. Components with eigenvalue
+  /// below `variance_tolerance` * (largest eigenvalue) are discarded, which
+  /// is how PCA reduces, e.g., foundry corner data to the paper's 630
+  /// independent factors.
+  explicit Pca(const Matrix& covariance, Real variance_tolerance = 1e-12);
+
+  /// Number of retained independent factors (<= original dimension).
+  [[nodiscard]] Index num_factors() const;
+
+  /// Original variable count.
+  [[nodiscard]] Index num_variables() const;
+
+  /// Retained eigenvalues, descending.
+  [[nodiscard]] std::span<const Real> eigenvalues() const;
+
+  /// Maps a physical deviation dX to whitened independent factors dY
+  /// (each component ~ N(0,1) if dX ~ N(0, covariance)).
+  [[nodiscard]] std::vector<Real> to_factors(std::span<const Real> dx) const;
+
+  /// Maps independent factors dY back to correlated deviations dX.
+  [[nodiscard]] std::vector<Real> to_physical(std::span<const Real> dy) const;
+
+  /// Fraction of total variance captured by the retained factors.
+  [[nodiscard]] Real explained_variance_fraction() const;
+
+ private:
+  Matrix components_;            // num_variables x num_factors (unit columns)
+  std::vector<Real> values_;     // retained eigenvalues
+  std::vector<Real> sqrt_vals_;  // cached sqrt(eigenvalue)
+  Real total_variance_ = 0;
+};
+
+}  // namespace rsm

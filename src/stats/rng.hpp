@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// xoshiro256++ with splitmix64 seeding: fast, high-quality, and — unlike
+// std::normal_distribution — bit-identical across standard libraries, so
+// every test and benchmark in this repository is reproducible on any
+// platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace rsm {
+
+/// xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Equivalent to 2^128 calls; used to derive independent parallel streams.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Random scalar/vector draws on top of Xoshiro256.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] Real uniform();
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] Real uniform(Real lo, Real hi);
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] Index uniform_index(Index n);
+
+  /// Standard normal via the Marsaglia polar method (exact, no table).
+  [[nodiscard]] Real normal();
+
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] Real normal(Real mean, Real stddev);
+
+  /// Fills `out` with i.i.d. standard normals.
+  void fill_normal(std::span<Real> out);
+
+  /// Vector of n i.i.d. standard normals.
+  [[nodiscard]] std::vector<Real> normal_vector(Index n);
+
+  /// In-place Fisher-Yates shuffle of an index range.
+  void shuffle(std::span<Index> items);
+
+  /// Derives an independent child stream (jump + reseed); used to give each
+  /// cross-validation fold / benchmark repetition its own stream.
+  [[nodiscard]] Rng split();
+
+  [[nodiscard]] Xoshiro256& engine() { return engine_; }
+
+ private:
+  Xoshiro256 engine_;
+  bool have_cached_normal_ = false;
+  Real cached_normal_ = 0;
+};
+
+}  // namespace rsm

@@ -1,0 +1,96 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace rsm {
+
+void CliArgs::add_option(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  RSM_CHECK_MSG(!specs_.count(name), "duplicate option --" << name);
+  specs_[name] = Spec{default_value, help, /*is_flag=*/false};
+  order_.push_back(name);
+}
+
+void CliArgs::add_flag(const std::string& name, const std::string& help) {
+  RSM_CHECK_MSG(!specs_.count(name), "duplicate flag --" << name);
+  specs_[name] = Spec{"false", help, /*is_flag=*/true};
+  order_.push_back(name);
+}
+
+void CliArgs::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    RSM_CHECK_MSG(arg.rfind("--", 0) == 0, "unexpected argument: " << arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = specs_.find(arg);
+    RSM_CHECK_MSG(it != specs_.end(), "unknown option --" << arg);
+    if (it->second.is_flag) {
+      RSM_CHECK_MSG(!has_value, "flag --" << arg << " does not take a value");
+      values_[arg] = "true";
+    } else {
+      if (!has_value) {
+        RSM_CHECK_MSG(i + 1 < argc, "option --" << arg << " needs a value");
+        value = argv[++i];
+      }
+      values_[arg] = value;
+    }
+  }
+}
+
+std::string CliArgs::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const std::string& name : order_) {
+    const Spec& s = specs_.at(name);
+    os << "  --" << name;
+    if (!s.is_flag) os << " <value> (default: " << s.default_value << ")";
+    os << "\n      " << s.help << "\n";
+  }
+  return os.str();
+}
+
+const std::string& CliArgs::get(const std::string& name) const {
+  auto it = specs_.find(name);
+  RSM_CHECK_MSG(it != specs_.end(), "undeclared option --" << name);
+  auto v = values_.find(name);
+  return v != values_.end() ? v->second : it->second.default_value;
+}
+
+long CliArgs::get_int(const std::string& name) const {
+  const std::string& s = get(name);
+  char* end = nullptr;
+  long v = std::strtol(s.c_str(), &end, 10);
+  RSM_CHECK_MSG(end && *end == '\0' && !s.empty(),
+                "option --" << name << " expects an integer, got '" << s << "'");
+  return v;
+}
+
+double CliArgs::get_double(const std::string& name) const {
+  const std::string& s = get(name);
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  RSM_CHECK_MSG(end && *end == '\0' && !s.empty(),
+                "option --" << name << " expects a number, got '" << s << "'");
+  return v;
+}
+
+bool CliArgs::get_flag(const std::string& name) const {
+  return get(name) == "true";
+}
+
+}  // namespace rsm

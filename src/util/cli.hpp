@@ -1,0 +1,47 @@
+// Tiny command-line parser for the benchmark and example binaries.
+//
+// Supports `--flag`, `--key value` and `--key=value`. Unknown arguments
+// throw, so typos in bench invocations fail loudly rather than silently
+// running the default configuration.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rsm {
+
+class CliArgs {
+ public:
+  /// Declares an option with a default value; `help` is shown by usage().
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Declares a boolean flag (defaults to false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Throws rsm::Error on unknown or malformed arguments.
+  /// Recognizes `--help` and sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+  bool help_requested_ = false;
+};
+
+}  // namespace rsm

@@ -1,0 +1,57 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace rsm {
+namespace {
+
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), num_columns_(header.size()) {
+  RSM_CHECK_MSG(out_.good(), "cannot open CSV file: " << path);
+  RSM_CHECK(!header.empty());
+  emit(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  RSM_CHECK_MSG(fields.size() == num_columns_,
+                "CSV row has " << fields.size() << " fields, expected "
+                               << num_columns_);
+  emit(fields);
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    fields.push_back(os.str());
+  }
+  write_row(fields);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace rsm

@@ -1,0 +1,28 @@
+// Minimal CSV writer used by benches to dump figure series for replotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rsm {
+
+/// Streams rows of a CSV file. Values are written as-is (caller formats);
+/// fields containing commas or quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience overload for numeric rows.
+  void write_row(const std::vector<double>& values);
+
+ private:
+  void emit(const std::vector<std::string>& fields);
+  std::ofstream out_;
+  std::size_t num_columns_;
+};
+
+}  // namespace rsm

@@ -1,0 +1,35 @@
+// Minimal leveled logging to stderr. Benches use Info for progress lines;
+// solvers use Debug for per-iteration traces (off by default).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rsm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace rsm
+
+#define RSM_LOG(level, msg)                                        \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::rsm::log_level())) {                    \
+      std::ostringstream rsm_log_os_;                              \
+      rsm_log_os_ << msg;                                          \
+      ::rsm::detail::log_emit(level, rsm_log_os_.str());           \
+    }                                                              \
+  } while (false)
+
+#define RSM_DEBUG(msg) RSM_LOG(::rsm::LogLevel::kDebug, msg)
+#define RSM_INFO(msg) RSM_LOG(::rsm::LogLevel::kInfo, msg)
+#define RSM_WARN(msg) RSM_LOG(::rsm::LogLevel::kWarn, msg)
+#define RSM_ERROR(msg) RSM_LOG(::rsm::LogLevel::kError, msg)

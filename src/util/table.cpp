@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace rsm {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RSM_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RSM_CHECK_MSG(cells.size() <= header_.size(),
+                "row has " << cells.size() << " cells, header has "
+                           << header_.size());
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void Table::add_rule() { pending_rule_ = true; }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const Row& row : rows_)
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      width[c] = std::max(width[c], row.cells[c].size());
+
+  const auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = hline() + line(header_) + hline();
+  for (const Row& row : rows_) {
+    if (row.rule_before) out += hline();
+    out += line(row.cells);
+  }
+  out += hline();
+  return out;
+}
+
+std::string format_sig(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string format_pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 0) return "-";
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else if (seconds < 2.0 * 86400.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f h", seconds / 3600.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f days", seconds / 86400.0);
+  }
+  return buf;
+}
+
+}  // namespace rsm

@@ -1,0 +1,52 @@
+// Aligned ASCII table rendering for benchmark and example output.
+//
+// The benchmark harness reproduces the paper's tables (Tables I-IV) as text;
+// this helper keeps all of them consistently formatted:
+//
+//   Table t({"", "LS [21]", "STAR [1]", "LAR [2]", "OMP"});
+//   t.add_row({"# of training samples", "1200", "600", "600", "600"});
+//   std::cout << t.render();
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rsm {
+
+/// Column-aligned ASCII table. The first `add_row` call after construction may
+/// have fewer cells than the header; missing cells render empty.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row. Rows longer than the header throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders the table with a boxed header and padded columns.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Formats a floating-point value with `digits` significant digits.
+[[nodiscard]] std::string format_sig(double value, int digits = 4);
+
+/// Formats a value as a percentage with two decimals, e.g. 4.21 -> "4.21%".
+[[nodiscard]] std::string format_pct(double fraction, int decimals = 2);
+
+/// Formats seconds with adaptive units (e.g. "1.2 ms", "3.4 s", "2.1 h").
+[[nodiscard]] std::string format_seconds(double seconds);
+
+}  // namespace rsm

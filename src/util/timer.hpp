@@ -1,0 +1,27 @@
+// Wall-clock timing utilities used by the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace rsm {
+
+/// Monotonic wall-clock stopwatch. Started on construction; `seconds()` reads
+/// elapsed time without stopping; `restart()` resets the origin.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rsm

@@ -1,0 +1,80 @@
+#include "basis/hermite.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rsm {
+namespace {
+
+TEST(Hermite, UnnormalizedClosedForms) {
+  // He_0..He_4 closed forms.
+  for (Real x : {-2.0, -0.5, 0.0, 1.0, 3.0}) {
+    EXPECT_DOUBLE_EQ(hermite_he(0, x), 1.0);
+    EXPECT_DOUBLE_EQ(hermite_he(1, x), x);
+    EXPECT_NEAR(hermite_he(2, x), x * x - 1, 1e-12);
+    EXPECT_NEAR(hermite_he(3, x), x * x * x - 3 * x, 1e-12);
+    EXPECT_NEAR(hermite_he(4, x), x * x * x * x - 6 * x * x + 3, 1e-11);
+  }
+}
+
+TEST(Hermite, NormalizedMatchesPaperEq3) {
+  // g_3(dy) = (dy^2 - 1)/sqrt(2) in the paper's numbering (order 2 here).
+  for (Real x : {-1.5, 0.0, 0.7, 2.0}) {
+    EXPECT_NEAR(hermite_normalized(2, x), (x * x - 1) / std::sqrt(2.0), 1e-12);
+  }
+}
+
+TEST(Hermite, NormalizationFactor) {
+  // g_n = He_n / sqrt(n!).
+  Real factorial = 1;
+  for (int n = 0; n <= 10; ++n) {
+    if (n > 0) factorial *= n;
+    for (Real x : {-1.0, 0.3, 2.5}) {
+      EXPECT_NEAR(hermite_normalized(n, x), hermite_he(n, x) / std::sqrt(factorial),
+                  1e-9 * std::abs(hermite_he(n, x)) + 1e-12)
+          << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Hermite, AllOrdersMatchesSingle) {
+  const int max_order = 8;
+  std::vector<Real> all(max_order + 1);
+  for (Real x : {-2.0, 0.0, 1.3}) {
+    hermite_normalized_all(max_order, x, all);
+    for (int n = 0; n <= max_order; ++n)
+      EXPECT_NEAR(all[static_cast<std::size_t>(n)], hermite_normalized(n, x),
+                  1e-12);
+  }
+}
+
+TEST(Hermite, DerivativeIdentity) {
+  // g_n'(x) = sqrt(n) g_{n-1}(x); check against finite differences.
+  const Real h = 1e-6;
+  for (int n = 1; n <= 6; ++n) {
+    for (Real x : {-1.0, 0.2, 1.7}) {
+      const Real fd =
+          (hermite_normalized(n, x + h) - hermite_normalized(n, x - h)) /
+          (2 * h);
+      EXPECT_NEAR(hermite_normalized_derivative(n, x), fd, 1e-5)
+          << "n=" << n << " x=" << x;
+    }
+  }
+  EXPECT_EQ(hermite_normalized_derivative(0, 1.0), 0.0);
+}
+
+TEST(Hermite, RecurrenceStableAtHighOrder) {
+  // The normalized recurrence must not overflow where He_n/sqrt(n!) is O(1).
+  const Real v = hermite_normalized(50, 1.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_LT(std::abs(v), 100.0);
+}
+
+TEST(Hermite, NegativeOrderThrows) {
+  EXPECT_THROW((void)hermite_he(-1, 0.0), Error);
+  EXPECT_THROW((void)hermite_normalized(-2, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,153 @@
+#include "basis/multi_index.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace rsm {
+namespace {
+
+TEST(MultiIndex, ConstantProperties) {
+  const MultiIndex c = MultiIndex::constant();
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.total_degree(), 0);
+  EXPECT_EQ(c.to_string(), "1");
+}
+
+TEST(MultiIndex, Factories) {
+  EXPECT_EQ(MultiIndex::linear(3).total_degree(), 1);
+  EXPECT_EQ(MultiIndex::square(3).total_degree(), 2);
+  EXPECT_EQ(MultiIndex::cross(1, 4).total_degree(), 2);
+  EXPECT_EQ(MultiIndex::linear(3).to_string(), "H1(y3)");
+  EXPECT_EQ(MultiIndex::square(0).to_string(), "H2(y0)");
+}
+
+TEST(MultiIndex, CrossOrdersVariables) {
+  // Terms are sorted by variable regardless of construction order.
+  EXPECT_EQ(MultiIndex::cross(4, 1), MultiIndex::cross(1, 4));
+}
+
+TEST(MultiIndex, CrossSameVariableThrows) {
+  EXPECT_THROW(MultiIndex::cross(2, 2), Error);
+}
+
+TEST(MultiIndex, DuplicateVariableThrows) {
+  EXPECT_THROW(MultiIndex({{0, 1}, {0, 2}}), Error);
+}
+
+TEST(MultiIndex, ZeroOrderTermThrows) {
+  EXPECT_THROW(MultiIndex({{0, 0}}), Error);
+}
+
+TEST(MultiIndexGenerators, LinearCount) {
+  // M = N + 1 (constant + N linear terms).
+  EXPECT_EQ(make_linear_indices(630).size(), 631u);
+  const auto idx = make_linear_indices(3);
+  EXPECT_TRUE(idx[0].is_constant());
+  EXPECT_EQ(idx[2], MultiIndex::linear(1));
+}
+
+TEST(MultiIndexGenerators, QuadraticCountMatchesPaper) {
+  // The paper's 200-variable quadratic model has 20 301 coefficients.
+  EXPECT_EQ(make_quadratic_indices(200).size(), 20301u);
+  // And the 2-variable case enumerates 1 + 2 + 2 + 1 = 6.
+  EXPECT_EQ(make_quadratic_indices(2).size(), 6u);
+}
+
+TEST(MultiIndexGenerators, QuadraticStructure) {
+  const auto idx = make_quadratic_indices(3);
+  // Layout: constant, 3 linear, 3 squares, 3 cross.
+  ASSERT_EQ(idx.size(), 10u);
+  EXPECT_TRUE(idx[0].is_constant());
+  for (int i = 1; i <= 3; ++i) EXPECT_EQ(idx[static_cast<std::size_t>(i)].total_degree(), 1);
+  for (int i = 4; i <= 9; ++i) EXPECT_EQ(idx[static_cast<std::size_t>(i)].total_degree(), 2);
+  EXPECT_EQ(idx[4], MultiIndex::square(0));
+  EXPECT_EQ(idx[7], MultiIndex::cross(0, 1));
+  EXPECT_EQ(idx[9], MultiIndex::cross(1, 2));
+}
+
+TEST(MultiIndexGenerators, TotalDegreeCountIsBinomial) {
+  // binomial(N + d, d) indices.
+  EXPECT_EQ(make_total_degree_indices(3, 2).size(), 10u);   // C(5,2)
+  EXPECT_EQ(make_total_degree_indices(4, 3).size(), 35u);   // C(7,3)
+  EXPECT_EQ(make_total_degree_indices(2, 5).size(), 21u);   // C(7,5)
+  EXPECT_NEAR(total_degree_count(3, 2), 10.0, 1e-9);
+  EXPECT_NEAR(total_degree_count(4, 3), 35.0, 1e-9);
+}
+
+TEST(MultiIndexGenerators, TotalDegreeGradedOrdering) {
+  const auto idx = make_total_degree_indices(3, 3);
+  for (std::size_t i = 1; i < idx.size(); ++i)
+    EXPECT_LE(idx[i - 1].total_degree(), idx[i].total_degree());
+}
+
+TEST(MultiIndexGenerators, TotalDegreeEqualsQuadraticSet) {
+  // Total-degree-2 and the quadratic generator produce the same set
+  // (possibly different order).
+  const auto a = make_total_degree_indices(4, 2);
+  const auto b = make_quadratic_indices(4);
+  ASSERT_EQ(a.size(), b.size());
+  for (const MultiIndex& mi : b) {
+    EXPECT_NE(std::find(a.begin(), a.end(), mi), a.end())
+        << "missing " << mi.to_string();
+  }
+}
+
+TEST(MultiIndexGenerators, MaxCountGuard) {
+  EXPECT_THROW(make_total_degree_indices(100, 5, /*max_count=*/1000), Error);
+}
+
+TEST(MultiIndexGenerators, HyperbolicMembershipRule) {
+  // prod (order_i + 1) <= degree + 1, checked exhaustively for N=3, d=4.
+  const auto idx = make_hyperbolic_indices(3, 4);
+  for (const MultiIndex& mi : idx) {
+    long product = 1;
+    for (const IndexTerm& t : mi.terms()) product *= t.order + 1;
+    EXPECT_LE(product, 5) << mi.to_string();
+  }
+  // And completeness: every admissible index is present.
+  const auto full = make_total_degree_indices(3, 4);
+  std::size_t admissible = 0;
+  for (const MultiIndex& mi : full) {
+    long product = 1;
+    for (const IndexTerm& t : mi.terms()) product *= t.order + 1;
+    if (product <= 5) {
+      ++admissible;
+      EXPECT_NE(std::find(idx.begin(), idx.end(), mi), idx.end())
+          << "missing " << mi.to_string();
+    }
+  }
+  EXPECT_EQ(idx.size(), admissible);
+}
+
+TEST(MultiIndexGenerators, HyperbolicPrunesHighInteractions) {
+  const auto idx = make_hyperbolic_indices(4, 4);
+  // H4 on a single variable is in (5 <= 5)...
+  bool has_h4 = false, has_h2h2 = false;
+  for (const MultiIndex& mi : idx) {
+    if (mi == MultiIndex({{0, 4}})) has_h4 = true;
+    if (mi == MultiIndex({{0, 2}, {1, 2}})) has_h2h2 = true;
+  }
+  EXPECT_TRUE(has_h4);
+  // ...but H2*H2 is out (9 > 5).
+  EXPECT_FALSE(has_h2h2);
+}
+
+TEST(MultiIndexGenerators, HyperbolicMuchSmallerThanTotalDegree) {
+  // Degree-4 over 30 variables: total-degree has C(34,4) = 46376 indices;
+  // hyperbolic keeps growth near-linear in N.
+  const auto hyp = make_hyperbolic_indices(30, 4);
+  EXPECT_LT(hyp.size(), 1200u);
+  EXPECT_GT(hyp.size(), 120u);  // still contains all 1-D terms + crosses
+}
+
+TEST(MultiIndexGenerators, HyperbolicDegree1IsLinear) {
+  const auto hyp = make_hyperbolic_indices(6, 1);
+  const auto lin = make_linear_indices(6);
+  ASSERT_EQ(hyp.size(), lin.size());
+  for (const MultiIndex& mi : lin)
+    EXPECT_NE(std::find(hyp.begin(), hyp.end(), mi), hyp.end());
+}
+
+}  // namespace
+}  // namespace rsm

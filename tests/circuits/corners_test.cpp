@@ -1,0 +1,73 @@
+#include "circuits/corners.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/ring_oscillator.hpp"
+#include "sram/sram.hpp"
+
+namespace rsm::circuits {
+namespace {
+
+TEST(Corners, Names) {
+  EXPECT_STREQ(corner_name(Corner::kTypical), "TT");
+  EXPECT_STREQ(corner_name(Corner::kSlowSlow), "SS");
+  EXPECT_STREQ(corner_name(Corner::kFastFast), "FF");
+  EXPECT_STREQ(corner_name(Corner::kSlowFast), "SF");
+  EXPECT_STREQ(corner_name(Corner::kFastSlow), "FS");
+}
+
+TEST(Corners, TypicalIsAllZero) {
+  const std::vector<Real> dy = opamp_corner(Corner::kTypical, 20);
+  for (Real v : dy) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Corners, OnlyGlobalsAreSet) {
+  const std::vector<Real> dy = opamp_corner(Corner::kSlowSlow, 50, 3.0);
+  for (std::size_t i = 4; i < dy.size(); ++i) EXPECT_EQ(dy[i], 0.0);
+  EXPECT_EQ(dy[0], 3.0);   // NMOS Vth up
+  EXPECT_EQ(dy[2], -3.0);  // NMOS strength down
+}
+
+TEST(Corners, RingOscillatorOrdersFfTtSs) {
+  // The canonical sanity check: frequency(FF) > frequency(TT) >
+  // frequency(SS). The ring's globals are dy[0]=Vth, dy[1]=KP — use the
+  // SRAM-style corner layout.
+  RingOscillatorConfig cfg;
+  cfg.num_stages = 3;
+  cfg.num_variables = 16;
+  const RingOscillatorWorkload ring(cfg);
+  const Real f_tt =
+      ring.evaluate(sram_corner(Corner::kTypical, ring.num_variables()));
+  const Real f_ss =
+      ring.evaluate(sram_corner(Corner::kSlowSlow, ring.num_variables()));
+  const Real f_ff =
+      ring.evaluate(sram_corner(Corner::kFastFast, ring.num_variables()));
+  EXPECT_GT(f_ff, f_tt);
+  EXPECT_GT(f_tt, f_ss);
+  // Corner spread at 3 sigma is substantial (>5% each side).
+  EXPECT_GT(f_ff / f_ss, 1.1);
+}
+
+TEST(Corners, SramSlowCornerSlowsRead) {
+  sram::SramConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 8;
+  const sram::SramWorkload sramw(cfg);
+  const Real d_tt =
+      sramw.evaluate(sram_corner(Corner::kTypical, sramw.num_variables()));
+  const Real d_ss =
+      sramw.evaluate(sram_corner(Corner::kSlowSlow, sramw.num_variables()));
+  const Real d_ff =
+      sramw.evaluate(sram_corner(Corner::kFastFast, sramw.num_variables()));
+  EXPECT_GT(d_ss, d_tt);
+  EXPECT_LT(d_ff, d_tt);
+}
+
+TEST(Corners, Validation) {
+  EXPECT_THROW((void)opamp_corner(Corner::kTypical, 2), Error);
+  EXPECT_THROW((void)sram_corner(Corner::kTypical, 1), Error);
+  EXPECT_THROW((void)opamp_corner(Corner::kSlowSlow, 10, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace rsm::circuits

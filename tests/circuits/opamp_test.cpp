@@ -1,0 +1,196 @@
+#include "circuits/opamp.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace rsm::circuits {
+namespace {
+
+OpAmpConfig small_config() {
+  OpAmpConfig cfg;
+  cfg.num_variables = 45;  // 38 structural + a few parasitics
+  return cfg;
+}
+
+class OpAmpTest : public ::testing::Test {
+ protected:
+  OpAmpWorkload workload_{small_config()};
+};
+
+TEST_F(OpAmpTest, NominalMetricsInDesignRange) {
+  const OpAmpMetrics& m = workload_.nominal();
+  EXPECT_GT(m.gain_db, 55.0);   // healthy two-stage gain
+  EXPECT_LT(m.gain_db, 100.0);
+  EXPECT_GT(m.bandwidth_hz, 1e3);
+  EXPECT_LT(m.bandwidth_hz, 1e6);
+  EXPECT_GT(m.power_w, 5e-5);
+  EXPECT_LT(m.power_w, 2e-3);
+  // Systematic offset of the balanced topology is ~0.
+  EXPECT_LT(std::abs(m.offset_v), 2e-3);
+}
+
+TEST_F(OpAmpTest, EvaluateIsDeterministic) {
+  Rng rng(1);
+  const std::vector<Real> dy = rng.normal_vector(workload_.num_variables());
+  const OpAmpMetrics a = workload_.evaluate(dy);
+  const OpAmpMetrics b = workload_.evaluate(dy);
+  EXPECT_EQ(a.gain_db, b.gain_db);
+  EXPECT_EQ(a.bandwidth_hz, b.bandwidth_hz);
+  EXPECT_EQ(a.power_w, b.power_w);
+  EXPECT_EQ(a.offset_v, b.offset_v);
+}
+
+TEST_F(OpAmpTest, OffsetTracksInputPairMismatch) {
+  // Raising Vth of M1 (variable index 6) makes M1 weaker; the input must be
+  // raised on inp to rebalance -> offset magnitude ~ dVth, sign opposite
+  // between M1 and M2.
+  std::vector<Real> dy(static_cast<std::size_t>(workload_.num_variables()), 0.0);
+  dy[6] = 2.0;  // +2 sigma on M1 dVth
+  const Real offset_m1 = workload_.evaluate(dy).offset_v;
+  dy[6] = 0.0;
+  dy[10] = 2.0;  // +2 sigma on M2 dVth
+  const Real offset_m2 = workload_.evaluate(dy).offset_v;
+  EXPECT_GT(std::abs(offset_m1), 1e-3);  // couple of mV at 2 sigma
+  EXPECT_GT(std::abs(offset_m2), 1e-3);
+  EXPECT_LT(offset_m1 * offset_m2, 0.0);  // opposite signs
+  // And symmetric in magnitude.
+  EXPECT_NEAR(std::abs(offset_m1), std::abs(offset_m2),
+              0.3 * std::abs(offset_m1));
+}
+
+TEST_F(OpAmpTest, PowerTracksBiasStrength) {
+  // Lowering M8's Vth at fixed Ibias barely changes power (current is set
+  // by the source), but a global KP increase on the mirror devices also
+  // leaves currents fixed; instead check power responds to Vth of M7/M5
+  // mirror ratio shifts via lambda effects only weakly — so simply verify
+  // power stays within a sane band under large variation.
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<Real> dy = rng.normal_vector(workload_.num_variables());
+    const Real p = workload_.evaluate(dy).power_w;
+    EXPECT_GT(p, 1e-4);
+    EXPECT_LT(p, 6e-4);
+  }
+}
+
+TEST_F(OpAmpTest, ParasiticVariablesDoNotMoveDcMetrics) {
+  // Variables >= 38 only touch capacitors/Rz: gain (low-f), power and
+  // offset must be bit-identical; bandwidth must move.
+  std::vector<Real> dy(static_cast<std::size_t>(workload_.num_variables()), 0.0);
+  const OpAmpMetrics base = workload_.evaluate(dy);
+  for (Index i = 38; i < workload_.num_variables(); ++i)
+    dy[static_cast<std::size_t>(i)] = 3.0;
+  const OpAmpMetrics perturbed = workload_.evaluate(dy);
+  // Rz sits in the DC netlist (leaking only through gmin), so DC metrics
+  // move at most at the 1e-9 relative level; bandwidth moves for real.
+  EXPECT_NEAR(perturbed.power_w, base.power_w, 1e-9 * base.power_w);
+  EXPECT_NEAR(perturbed.offset_v, base.offset_v, 1e-9);
+  EXPECT_NEAR(perturbed.gain_db, base.gain_db, 1e-6);
+  EXPECT_GT(std::abs(perturbed.bandwidth_hz - base.bandwidth_hz),
+            1e-4 * base.bandwidth_hz);
+}
+
+TEST_F(OpAmpTest, GlobalVthShiftsMoveMetricsSmoothly) {
+  // +/- 1 sigma global NMOS Vth: metrics move but stay finite and sane.
+  std::vector<Real> dy(static_cast<std::size_t>(workload_.num_variables()), 0.0);
+  dy[0] = 1.0;
+  const OpAmpMetrics up = workload_.evaluate(dy);
+  dy[0] = -1.0;
+  const OpAmpMetrics down = workload_.evaluate(dy);
+  EXPECT_NE(up.gain_db, down.gain_db);
+  EXPECT_TRUE(std::isfinite(up.bandwidth_hz));
+  EXPECT_TRUE(std::isfinite(down.bandwidth_hz));
+}
+
+TEST_F(OpAmpTest, MonteCarloDistributionsAreReasonable) {
+  Rng rng(42);
+  const int n = 40;
+  std::vector<Real> gains, offsets;
+  for (int i = 0; i < n; ++i) {
+    const OpAmpMetrics m =
+        workload_.evaluate(rng.normal_vector(workload_.num_variables()));
+    gains.push_back(m.gain_db);
+    offsets.push_back(m.offset_v);
+  }
+  // Gain spread: fractions of a dB to a few dB.
+  EXPECT_GT(stddev(gains), 0.01);
+  EXPECT_LT(stddev(gains), 5.0);
+  // Offset: mV-scale spread centered near zero.
+  EXPECT_GT(stddev(offsets), 5e-4);
+  EXPECT_LT(stddev(offsets), 2e-2);
+  EXPECT_LT(std::abs(mean(offsets)), 6e-3);
+}
+
+TEST(OpAmp, VariableCountValidation) {
+  OpAmpConfig cfg;
+  cfg.num_variables = 10;  // below the 38 structural minimum
+  EXPECT_THROW(OpAmpWorkload{cfg}, Error);
+}
+
+TEST(OpAmp, WrongSampleSizeThrows) {
+  OpAmpConfig cfg;
+  cfg.num_variables = 45;
+  const OpAmpWorkload w(cfg);
+  EXPECT_THROW((void)w.evaluate(std::vector<Real>(10, 0.0)), Error);
+}
+
+TEST_F(OpAmpTest, StepResponseTracksInput) {
+  const std::vector<Real> dy(static_cast<std::size_t>(workload_.num_variables()),
+                             0.0);
+  const auto sr = workload_.evaluate_step_response(dy, 0.2);
+  // Follower settles to cm + step/2.
+  EXPECT_NEAR(sr.final_value,
+              workload_.config().input_cm + 0.1, 5e-3);
+  EXPECT_GT(sr.settling_time, 0.0);
+  EXPECT_LT(sr.settling_time, 2e-7);
+}
+
+TEST_F(OpAmpTest, SlewRateNearTailCurrentOverCc) {
+  // Classic two-stage result: SR = I_tail / Cc (slewing is limited by the
+  // first stage steering its whole tail current into the Miller cap).
+  const std::vector<Real> dy(static_cast<std::size_t>(workload_.num_variables()),
+                             0.0);
+  const auto sr = workload_.evaluate_step_response(dy, 0.2);
+  const Real theory =
+      2 * workload_.config().ibias / workload_.config().cc;  // I_tail = 2*Ib
+  EXPECT_NEAR(sr.slew_rate / theory, 1.0, 0.35);
+}
+
+TEST_F(OpAmpTest, BiggerMillerCapSlowsSlewing) {
+  std::vector<Real> dy(static_cast<std::size_t>(workload_.num_variables()), 0.0);
+  const Real sr_nominal = workload_.evaluate_step_response(dy).slew_rate;
+  circuits::OpAmpConfig big_cc = workload_.config();
+  big_cc.cc *= 2;
+  const circuits::OpAmpWorkload slow(big_cc);
+  std::vector<Real> dy2(static_cast<std::size_t>(slow.num_variables()), 0.0);
+  const Real sr_slow = slow.evaluate_step_response(dy2).slew_rate;
+  EXPECT_LT(sr_slow, 0.7 * sr_nominal);
+}
+
+TEST_F(OpAmpTest, StepSizeValidation) {
+  const std::vector<Real> dy(static_cast<std::size_t>(workload_.num_variables()),
+                             0.0);
+  EXPECT_THROW((void)workload_.evaluate_step_response(dy, 0.0), Error);
+  EXPECT_THROW((void)workload_.evaluate_step_response(dy, 1.0), Error);
+}
+
+TEST(OpAmp, MetricAccessors) {
+  OpAmpMetrics m;
+  m.gain_db = 1;
+  m.bandwidth_hz = 2;
+  m.power_w = 3;
+  m.offset_v = 4;
+  EXPECT_EQ(m.get(OpAmpMetric::kGain), 1);
+  EXPECT_EQ(m.get(OpAmpMetric::kBandwidth), 2);
+  EXPECT_EQ(m.get(OpAmpMetric::kPower), 3);
+  EXPECT_EQ(m.get(OpAmpMetric::kOffset), 4);
+  EXPECT_STREQ(opamp_metric_name(OpAmpMetric::kGain), "Gain");
+  EXPECT_STREQ(opamp_metric_name(OpAmpMetric::kOffset), "Offset");
+}
+
+}  // namespace
+}  // namespace rsm::circuits

@@ -1,0 +1,117 @@
+#include "circuits/ring_oscillator.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/lhs.hpp"
+#include "stats/rng.hpp"
+
+namespace rsm::circuits {
+namespace {
+
+RingOscillatorConfig small_config() {
+  RingOscillatorConfig cfg;
+  cfg.num_stages = 3;
+  cfg.num_variables = 16;
+  return cfg;
+}
+
+class RingTest : public ::testing::Test {
+ protected:
+  RingOscillatorWorkload ring_{small_config()};
+};
+
+TEST_F(RingTest, NominalFrequencyInPlausibleBand) {
+  // 3 stages of ~RC = 120 ps: hundreds of MHz to a few GHz.
+  EXPECT_GT(ring_.nominal(), 1e8);
+  EXPECT_LT(ring_.nominal(), 2e10);
+}
+
+TEST_F(RingTest, Deterministic) {
+  Rng rng(1);
+  const std::vector<Real> dy = rng.normal_vector(ring_.num_variables());
+  EXPECT_EQ(ring_.evaluate(dy), ring_.evaluate(dy));
+}
+
+TEST_F(RingTest, WeakerDevicesSlowTheRing) {
+  std::vector<Real> dy(static_cast<std::size_t>(ring_.num_variables()), 0.0);
+  dy[0] = 2.0;  // +2 sigma global Vth: weaker drive
+  const Real slow = ring_.evaluate(dy);
+  dy[0] = -2.0;
+  const Real fast = ring_.evaluate(dy);
+  EXPECT_LT(slow, ring_.nominal());
+  EXPECT_GT(fast, ring_.nominal());
+}
+
+TEST_F(RingTest, StrongerKpSpeedsUp) {
+  std::vector<Real> dy(static_cast<std::size_t>(ring_.num_variables()), 0.0);
+  dy[1] = 2.0;
+  EXPECT_GT(ring_.evaluate(dy), ring_.nominal());
+}
+
+TEST_F(RingTest, MoreCapacitanceSlowsDown) {
+  std::vector<Real> dy(static_cast<std::size_t>(ring_.num_variables()), 0.0);
+  dy[2] = 3.0;  // +9% stage cap
+  EXPECT_LT(ring_.evaluate(dy), ring_.nominal());
+}
+
+TEST(RingOscillator, MoreStagesLowerFrequency) {
+  RingOscillatorConfig c3 = small_config();
+  RingOscillatorConfig c7 = small_config();
+  c7.num_stages = 7;
+  c7.num_variables = 3 + 2 * 7;
+  const RingOscillatorWorkload r3(c3), r7(c7);
+  // Frequency ~ 1/(2 S t_stage): 7 stages ~ 3/7 of the 3-stage frequency.
+  EXPECT_NEAR(r7.nominal() / r3.nominal(), 3.0 / 7.0, 0.15);
+}
+
+TEST(RingOscillator, ConfigValidation) {
+  RingOscillatorConfig cfg;
+  cfg.num_stages = 4;  // even
+  EXPECT_THROW(RingOscillatorWorkload{cfg}, Error);
+  cfg.num_stages = 5;
+  cfg.num_variables = 5;  // too few
+  EXPECT_THROW(RingOscillatorWorkload{cfg}, Error);
+}
+
+TEST(RingOscillator, SparseModelOfFrequencyValidates) {
+  // End-to-end: the third workload through the modeling pipeline. The
+  // frequency depends on ALL stage variables roughly equally (they average
+  // around the loop) plus the globals — denser than the SRAM but still
+  // low-dimensional.
+  RingOscillatorConfig cfg;
+  cfg.num_stages = 3;
+  cfg.num_variables = 40;  // adds a parasitic tail
+  const RingOscillatorWorkload ring(cfg);
+  const Index n = ring.num_variables();
+  Rng rng(7);
+  const Index k_train = 80, k_test = 150;
+  const Matrix train = monte_carlo_normal(k_train, n, rng);
+  const Matrix test = monte_carlo_normal(k_test, n, rng);
+  std::vector<Real> f_train(static_cast<std::size_t>(k_train));
+  std::vector<Real> f_test(static_cast<std::size_t>(k_test));
+  for (Index k = 0; k < k_train; ++k)
+    f_train[static_cast<std::size_t>(k)] = ring.evaluate(train.row(k));
+  for (Index k = 0; k < k_test; ++k)
+    f_test[static_cast<std::size_t>(k)] = ring.evaluate(test.row(k));
+
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
+  BuildOptions opt;
+  opt.max_lambda = 20;
+  const BuildReport report = build_model(dict, train, f_train, opt);
+  EXPECT_LT(validate_model(report.model, test, f_test), 0.35);
+  // The selected support includes the global Vth/KP variables (columns 1,2).
+  bool has_vth = false, has_kp = false;
+  for (const ModelTerm& t : report.model.terms()) {
+    if (t.basis_index == 1) has_vth = true;
+    if (t.basis_index == 2) has_kp = true;
+  }
+  EXPECT_TRUE(has_vth);
+  EXPECT_TRUE(has_kp);
+}
+
+}  // namespace
+}  // namespace rsm::circuits

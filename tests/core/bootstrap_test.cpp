@@ -1,0 +1,122 @@
+#include "core/bootstrap.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "stats/lhs.hpp"
+
+namespace rsm {
+namespace {
+
+TEST(Bootstrap, IntervalCoversTheEstimate) {
+  Rng rng(71);
+  const Index n = 300;
+  std::vector<Real> actual(static_cast<std::size_t>(n));
+  std::vector<Real> pred(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    actual[static_cast<std::size_t>(i)] = rng.normal(10, 2);
+    pred[static_cast<std::size_t>(i)] =
+        actual[static_cast<std::size_t>(i)] + rng.normal(0, 0.3);
+  }
+  const BootstrapInterval ci =
+      bootstrap_error_interval(pred, actual, 500, 0.95, rng);
+  EXPECT_GT(ci.estimate, 0);
+  EXPECT_LE(ci.lower, ci.estimate);
+  EXPECT_GE(ci.upper, ci.estimate);
+  EXPECT_GT(ci.standard_error, 0);
+  EXPECT_EQ(ci.num_replicates, 500);
+}
+
+TEST(Bootstrap, WiderConfidenceWidensInterval) {
+  Rng rng(72);
+  const Index n = 200;
+  std::vector<Real> actual(static_cast<std::size_t>(n));
+  std::vector<Real> pred(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    actual[static_cast<std::size_t>(i)] = rng.normal();
+    pred[static_cast<std::size_t>(i)] =
+        0.9 * actual[static_cast<std::size_t>(i)] + rng.normal(0, 0.2);
+  }
+  Rng rng_a(1), rng_b(1);
+  const BootstrapInterval narrow =
+      bootstrap_error_interval(pred, actual, 400, 0.80, rng_a);
+  const BootstrapInterval wide =
+      bootstrap_error_interval(pred, actual, 400, 0.99, rng_b);
+  EXPECT_LT(narrow.upper - narrow.lower, wide.upper - wide.lower);
+}
+
+TEST(Bootstrap, IntervalShrinksWithTestingSetSize) {
+  const auto width_at = [](Index n) {
+    Rng rng(73);
+    std::vector<Real> actual(static_cast<std::size_t>(n));
+    std::vector<Real> pred(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) {
+      actual[static_cast<std::size_t>(i)] = rng.normal();
+      pred[static_cast<std::size_t>(i)] =
+          actual[static_cast<std::size_t>(i)] + rng.normal(0, 0.4);
+    }
+    Rng boot(5);
+    const BootstrapInterval ci =
+        bootstrap_error_interval(pred, actual, 400, 0.95, boot);
+    return ci.upper - ci.lower;
+  };
+  EXPECT_LT(width_at(2000), 0.5 * width_at(80));
+}
+
+TEST(Bootstrap, CoverageOnRepeatedExperiments) {
+  // True error of pred = actual + N(0, s): relative error = s / std(actual).
+  // The 90% CI should cover the population value in most repetitions.
+  const Real noise = 0.5;
+  int covered = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(100 + t);
+    const Index n = 400;
+    std::vector<Real> actual(static_cast<std::size_t>(n));
+    std::vector<Real> pred(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) {
+      actual[static_cast<std::size_t>(i)] = rng.normal(0, 1);
+      pred[static_cast<std::size_t>(i)] =
+          actual[static_cast<std::size_t>(i)] + rng.normal(0, noise);
+    }
+    const BootstrapInterval ci =
+        bootstrap_error_interval(pred, actual, 300, 0.90, rng);
+    if (ci.lower <= noise && noise <= ci.upper) ++covered;
+  }
+  // Nominal coverage 90%; allow generous slack for 40 trials.
+  EXPECT_GE(covered, 30);
+}
+
+TEST(Bootstrap, ModelConvenienceOverloadMatches) {
+  Rng rng(74);
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::linear(4));
+  const SparseModel model(dict, {{0, 1.0}, {1, 0.5}});
+  const Matrix test = monte_carlo_normal(200, 4, rng);
+  std::vector<Real> values(200);
+  for (Index i = 0; i < 200; ++i)
+    values[static_cast<std::size_t>(i)] =
+        model.predict(test.row(i)) + rng.normal(0, 0.1);
+  Rng a(9), b(9);
+  const BootstrapInterval direct = bootstrap_error_interval(
+      model.predict_all(test), values, 200, 0.95, a);
+  const BootstrapInterval conv =
+      bootstrap_model_error(model, test, values, 200, 0.95, b);
+  EXPECT_DOUBLE_EQ(direct.estimate, conv.estimate);
+  EXPECT_DOUBLE_EQ(direct.lower, conv.lower);
+}
+
+TEST(Bootstrap, InputValidation) {
+  Rng rng(75);
+  const std::vector<Real> tiny{1.0, 2.0};
+  EXPECT_THROW(
+      (void)bootstrap_error_interval(tiny, tiny, 100, 0.95, rng), Error);
+  const std::vector<Real> ok{1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW((void)bootstrap_error_interval(ok, ok, 5, 0.95, rng), Error);
+  EXPECT_THROW((void)bootstrap_error_interval(ok, ok, 100, 1.5, rng), Error);
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,145 @@
+#include "core/cross_validation.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/omp.hpp"
+#include "core/star.hpp"
+#include "linalg/vector_ops.hpp"
+#include "stats/lhs.hpp"
+#include "stats/rng.hpp"
+
+namespace rsm {
+namespace {
+
+std::vector<Real> synthesize(const Matrix& g, const std::vector<Real>& alpha) {
+  std::vector<Real> y(static_cast<std::size_t>(g.rows()), 0.0);
+  for (Index m = 0; m < g.cols(); ++m) {
+    if (alpha[static_cast<std::size_t>(m)] == 0.0) continue;
+    axpy(alpha[static_cast<std::size_t>(m)], g.col(m), y);
+  }
+  return y;
+}
+
+/// Builds a noisy sparse problem with known sparsity p.
+struct SparseProblem {
+  Matrix g;
+  std::vector<Real> f;
+  Index true_sparsity;
+};
+
+SparseProblem make_problem(Index k, Index m, Index p, Real noise,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  SparseProblem prob;
+  prob.g = monte_carlo_normal(k, m, rng);
+  std::vector<Real> alpha(static_cast<std::size_t>(m), 0.0);
+  for (Index i = 0; i < p; ++i)
+    alpha[static_cast<std::size_t>(rng.uniform_index(m))] =
+        (rng.uniform() < 0.5 ? -1.0 : 1.0) * (1.0 + rng.uniform());
+  prob.f = synthesize(prob.g, alpha);
+  for (Real& v : prob.f) v += noise * rng.normal();
+  prob.true_sparsity = p;
+  return prob;
+}
+
+TEST(CrossValidation, PicksLambdaNearTrueSparsity) {
+  const SparseProblem prob = make_problem(120, 300, 6, 0.05, 501);
+  const OmpSolver solver;
+  const CrossValidationResult cv =
+      CrossValidator().run(solver, prob.g, prob.f, 40);
+  EXPECT_GE(cv.best_lambda, prob.true_sparsity - 1);
+  EXPECT_LE(cv.best_lambda, prob.true_sparsity + 6);
+}
+
+TEST(CrossValidation, ErrorCurveHasOverfittingTail) {
+  // eps(lambda) decreases to a minimum then rises (or flattens) as lambda
+  // overshoots the true sparsity — the Section IV-C picture. With noise,
+  // the error at lambda_max must exceed the minimum.
+  const SparseProblem prob = make_problem(100, 250, 5, 0.2, 502);
+  const CrossValidationResult cv =
+      CrossValidator().run(OmpSolver(), prob.g, prob.f, 60);
+  const Real tail = cv.error_curve.back();
+  EXPECT_GT(tail, cv.best_error * 1.05);
+}
+
+TEST(CrossValidation, BestErrorConsistentWithCurve) {
+  const SparseProblem prob = make_problem(80, 150, 4, 0.1, 503);
+  const CrossValidationResult cv =
+      CrossValidator().run(OmpSolver(), prob.g, prob.f, 30);
+  ASSERT_GE(cv.best_lambda, 1);
+  ASSERT_LE(static_cast<std::size_t>(cv.best_lambda), cv.error_curve.size());
+  EXPECT_EQ(cv.error_curve[static_cast<std::size_t>(cv.best_lambda - 1)],
+            cv.best_error);
+  for (Real e : cv.error_curve) EXPECT_GE(e, cv.best_error);
+}
+
+TEST(CrossValidation, FoldCurvesPopulated) {
+  const SparseProblem prob = make_problem(60, 100, 3, 0.1, 504);
+  CrossValidator::Options opt;
+  opt.num_folds = 5;
+  const CrossValidationResult cv =
+      CrossValidator(opt).run(OmpSolver(), prob.g, prob.f, 20);
+  EXPECT_EQ(cv.fold_curves.size(), 5u);
+  for (const auto& curve : cv.fold_curves) EXPECT_FALSE(curve.empty());
+}
+
+TEST(CrossValidation, DeterministicGivenSeed) {
+  const SparseProblem prob = make_problem(60, 100, 3, 0.1, 505);
+  const CrossValidationResult a =
+      CrossValidator().run(OmpSolver(), prob.g, prob.f, 15);
+  const CrossValidationResult b =
+      CrossValidator().run(OmpSolver(), prob.g, prob.f, 15);
+  EXPECT_EQ(a.best_lambda, b.best_lambda);
+  EXPECT_EQ(a.error_curve, b.error_curve);
+}
+
+TEST(CrossValidation, DifferentSeedsShuffleFolds) {
+  const SparseProblem prob = make_problem(60, 100, 3, 0.3, 506);
+  CrossValidator::Options o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  const CrossValidationResult a =
+      CrossValidator(o1).run(OmpSolver(), prob.g, prob.f, 15);
+  const CrossValidationResult b =
+      CrossValidator(o2).run(OmpSolver(), prob.g, prob.f, 15);
+  EXPECT_NE(a.error_curve, b.error_curve);
+}
+
+TEST(CrossValidation, WorksWithStar) {
+  const SparseProblem prob = make_problem(80, 120, 4, 0.05, 507);
+  const CrossValidationResult cv =
+      CrossValidator().run(StarSolver(), prob.g, prob.f, 30);
+  EXPECT_GE(cv.best_lambda, 1);
+  EXPECT_LT(cv.best_error, 1.0);
+}
+
+TEST(CrossValidation, TooFewSamplesThrows) {
+  const SparseProblem prob = make_problem(6, 20, 2, 0.0, 508);
+  EXPECT_THROW(CrossValidator().run(OmpSolver(), prob.g, prob.f, 5), Error);
+}
+
+TEST(CrossValidation, FoldCountValidation) {
+  CrossValidator::Options opt;
+  opt.num_folds = 1;
+  EXPECT_THROW(CrossValidator{opt}, Error);
+}
+
+class CvFoldSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CvFoldSweep, ReasonableLambdaAcrossQ) {
+  const int q = GetParam();
+  const SparseProblem prob = make_problem(120, 200, 5, 0.1, 509);
+  CrossValidator::Options opt;
+  opt.num_folds = q;
+  const CrossValidationResult cv =
+      CrossValidator(opt).run(OmpSolver(), prob.g, prob.f, 30);
+  EXPECT_GE(cv.best_lambda, 3);
+  EXPECT_LE(cv.best_lambda, 15);
+}
+
+INSTANTIATE_TEST_SUITE_P(FoldCounts, CvFoldSweep, ::testing::Values(2, 4, 10));
+
+}  // namespace
+}  // namespace rsm

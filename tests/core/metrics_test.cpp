@@ -1,0 +1,73 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rsm {
+namespace {
+
+TEST(Metrics, PerfectPredictionIsZeroError) {
+  const std::vector<Real> actual{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(relative_rms_error(actual, actual), 0.0);
+  EXPECT_DOUBLE_EQ(rms_error_over_norm(actual, actual), 0.0);
+  EXPECT_DOUBLE_EQ(max_relative_error(actual, actual), 0.0);
+  EXPECT_DOUBLE_EQ(r_squared(actual, actual), 1.0);
+}
+
+TEST(Metrics, MeanPredictorScoresNearOne) {
+  // Predicting the mean leaves exactly the variability unexplained:
+  // relative RMS error = sqrt((n-1)/n) with our population-RMS numerator.
+  const std::vector<Real> actual{1, 2, 3, 4, 5};
+  const std::vector<Real> pred(5, 3.0);
+  EXPECT_NEAR(relative_rms_error(pred, actual), std::sqrt(4.0 / 5.0), 1e-12);
+  EXPECT_NEAR(r_squared(pred, actual), 0.0, 1e-12);
+}
+
+TEST(Metrics, KnownHandComputedCase) {
+  const std::vector<Real> actual{0, 2};
+  const std::vector<Real> pred{0, 1};
+  // rms error = sqrt(0.5); std(actual) = sqrt(2).
+  EXPECT_NEAR(relative_rms_error(pred, actual), std::sqrt(0.5) / std::sqrt(2.0),
+              1e-12);
+  // rms(actual) = sqrt(2).
+  EXPECT_NEAR(rms_error_over_norm(pred, actual), std::sqrt(0.5) / std::sqrt(2.0),
+              1e-12);
+  EXPECT_NEAR(max_relative_error(pred, actual), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Metrics, ConstantActualThrows) {
+  const std::vector<Real> actual{2, 2, 2};
+  const std::vector<Real> pred{1, 2, 3};
+  EXPECT_THROW((void)relative_rms_error(pred, actual), Error);
+  EXPECT_THROW((void)max_relative_error(pred, actual), Error);
+  EXPECT_THROW((void)r_squared(pred, actual), Error);
+}
+
+TEST(Metrics, ScaleInvariance) {
+  // Relative metrics are invariant to a common scale on pred and actual.
+  const std::vector<Real> actual{1, 3, 5, 2};
+  const std::vector<Real> pred{1.2, 2.5, 5.5, 1.9};
+  std::vector<Real> actual_scaled, pred_scaled;
+  for (Real v : actual) actual_scaled.push_back(v * 1000);
+  for (Real v : pred) pred_scaled.push_back(v * 1000);
+  EXPECT_NEAR(relative_rms_error(pred, actual),
+              relative_rms_error(pred_scaled, actual_scaled), 1e-12);
+  EXPECT_NEAR(r_squared(pred, actual), r_squared(pred_scaled, actual_scaled),
+              1e-12);
+}
+
+TEST(Metrics, RSquaredNegativeForTerriblePredictor) {
+  const std::vector<Real> actual{1, 2, 3};
+  const std::vector<Real> pred{30, -10, 5};
+  EXPECT_LT(r_squared(pred, actual), 0.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<Real> a{1, 2, 3};
+  const std::vector<Real> b{1, 2};
+  EXPECT_THROW((void)relative_rms_error(b, a), Error);
+}
+
+}  // namespace
+}  // namespace rsm

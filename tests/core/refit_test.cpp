@@ -1,0 +1,104 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/lar.hpp"
+#include "core/omp.hpp"
+#include "core/pipeline.hpp"
+#include "core/synthetic.hpp"
+#include "stats/lhs.hpp"
+#include "stats/rng.hpp"
+
+namespace rsm {
+namespace {
+
+struct RefitFixture {
+  std::shared_ptr<const BasisDictionary> dict;
+  Matrix train, test;
+  std::vector<Real> f_train, f_test;
+
+  explicit RefitFixture(std::uint64_t seed) {
+    Rng rng(seed);
+    const Index n = 12;
+    dict = std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+    SyntheticOptions opt;
+    opt.num_active = 6;
+    opt.noise_stddev = 0.02;
+    const SyntheticSparseFunction fn(dict, opt, rng);
+    train = monte_carlo_normal(90, n, rng);
+    test = monte_carlo_normal(1000, n, rng);
+    f_train = fn.observe(train, rng);
+    f_test = fn.observe(test, rng);
+  }
+};
+
+TEST(RefitModel, OmpModelIsFixedPoint) {
+  // OMP already solves LS on its support: refitting changes nothing.
+  const RefitFixture fx(31);
+  BuildOptions opt;
+  opt.method = Method::kOmp;
+  opt.max_lambda = 10;
+  opt.skip_cross_validation = true;
+  const SparseModel model = build_model(fx.dict, fx.train, fx.f_train, opt).model;
+  const SparseModel refit = refit_model(model, fx.train, fx.f_train);
+  ASSERT_EQ(refit.num_terms(), model.num_terms());
+  for (Index i = 0; i < model.num_terms(); ++i) {
+    EXPECT_EQ(refit.terms()[static_cast<std::size_t>(i)].basis_index,
+              model.terms()[static_cast<std::size_t>(i)].basis_index);
+    EXPECT_NEAR(refit.terms()[static_cast<std::size_t>(i)].coefficient,
+                model.terms()[static_cast<std::size_t>(i)].coefficient, 1e-8);
+  }
+}
+
+TEST(RefitModel, DebiasesLarShrinkage) {
+  // Mid-path LAR coefficients are shrunk; the LS refit must not hurt and
+  // typically helps on an independent testing set.
+  const RefitFixture fx(32);
+  BuildOptions opt;
+  opt.method = Method::kLar;
+  opt.max_lambda = 8;  // stop early: strong shrinkage
+  opt.skip_cross_validation = true;
+  const SparseModel lar = build_model(fx.dict, fx.train, fx.f_train, opt).model;
+  const SparseModel debiased = refit_model(lar, fx.train, fx.f_train);
+
+  const Real err_lar = validate_model(lar, fx.test, fx.f_test);
+  const Real err_debiased = validate_model(debiased, fx.test, fx.f_test);
+  EXPECT_LT(err_debiased, err_lar);
+  // And the L1 norm grew (shrinkage removed).
+  Real l1_lar = 0, l1_deb = 0;
+  for (const ModelTerm& t : lar.terms()) l1_lar += std::abs(t.coefficient);
+  for (const ModelTerm& t : debiased.terms())
+    l1_deb += std::abs(t.coefficient);
+  EXPECT_GT(l1_deb, l1_lar);
+}
+
+TEST(RefitModel, SharesDictionary) {
+  const RefitFixture fx(33);
+  BuildOptions opt;
+  opt.max_lambda = 6;
+  opt.skip_cross_validation = true;
+  const SparseModel model = build_model(fx.dict, fx.train, fx.f_train, opt).model;
+  const SparseModel refit = refit_model(model, fx.train, fx.f_train);
+  EXPECT_EQ(refit.dictionary_ptr().get(), model.dictionary_ptr().get());
+}
+
+TEST(RefitModel, EmptyModelPassesThrough) {
+  const RefitFixture fx(34);
+  const SparseModel empty(fx.dict, {});
+  const SparseModel refit = refit_model(empty, fx.train, fx.f_train);
+  EXPECT_EQ(refit.num_terms(), 0);
+}
+
+TEST(RefitModel, TooFewSamplesThrows) {
+  const RefitFixture fx(35);
+  BuildOptions opt;
+  opt.max_lambda = 10;
+  opt.skip_cross_validation = true;
+  const SparseModel model = build_model(fx.dict, fx.train, fx.f_train, opt).model;
+  Matrix tiny(2, fx.dict->num_variables());
+  const std::vector<Real> f_tiny(2, 1.0);
+  EXPECT_THROW((void)refit_model(model, tiny, f_tiny), Error);
+}
+
+}  // namespace
+}  // namespace rsm

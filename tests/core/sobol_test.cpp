@@ -1,0 +1,88 @@
+#include "core/sobol.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace rsm {
+namespace {
+
+std::shared_ptr<const BasisDictionary> dict(Index n) {
+  return std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+}
+
+TEST(Sobol, PureLinearModelSplitsBySquaredCoefficients) {
+  // f = 3 y0 + 4 y1: variance 25, S0 = 9/25, S1 = 16/25.
+  const SparseModel model(dict(3), {{1, 3.0}, {2, 4.0}});
+  const SobolIndices s = sobol_indices(model);
+  EXPECT_NEAR(s.variance, 25.0, 1e-12);
+  EXPECT_NEAR(s.first_order[0], 0.36, 1e-12);
+  EXPECT_NEAR(s.first_order[1], 0.64, 1e-12);
+  EXPECT_NEAR(s.first_order[2], 0.0, 1e-12);
+  EXPECT_EQ(s.interaction_fraction, 0.0);
+  // No interactions: total == first order.
+  for (Index v = 0; v < 3; ++v)
+    EXPECT_NEAR(s.total_effect[static_cast<std::size_t>(v)],
+                s.first_order[static_cast<std::size_t>(v)], 1e-12);
+}
+
+TEST(Sobol, SquareTermsCountAsMainEffects) {
+  // H2(y0) involves only y0: a main effect even though it is quadratic.
+  const SparseModel model(dict(2), {{1, 1.0}, {3, 2.0}});  // y0 + 2 H2(y0)
+  const SobolIndices s = sobol_indices(model);
+  EXPECT_NEAR(s.first_order[0], 1.0, 1e-12);
+  EXPECT_NEAR(s.first_order[1], 0.0, 1e-12);
+  EXPECT_EQ(s.interaction_fraction, 0.0);
+}
+
+TEST(Sobol, CrossTermIsInteraction) {
+  // quadratic(2): index 5 = y0*y1. f = y0 + y0*y1.
+  const SparseModel model(dict(2), {{1, 1.0}, {5, 1.0}});
+  const SobolIndices s = sobol_indices(model);
+  EXPECT_NEAR(s.variance, 2.0, 1e-12);
+  EXPECT_NEAR(s.first_order[0], 0.5, 1e-12);
+  EXPECT_NEAR(s.first_order[1], 0.0, 1e-12);
+  EXPECT_NEAR(s.interaction_fraction, 0.5, 1e-12);
+  // Both variables carry the interaction in their total effect.
+  EXPECT_NEAR(s.total_effect[0], 1.0, 1e-12);
+  EXPECT_NEAR(s.total_effect[1], 0.5, 1e-12);
+}
+
+TEST(Sobol, FractionsAreConsistent) {
+  // Sum of first-order + interaction fraction == 1 for any model with
+  // variance (interactions counted once).
+  const SparseModel model(dict(4),
+                          {{0, 5.0}, {1, 1.0}, {2, -2.0}, {6, 0.7},
+                           {9, 1.1}, {12, -0.4}});
+  const SobolIndices s = sobol_indices(model);
+  Real sum = s.interaction_fraction;
+  for (Real f : s.first_order) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Total effects are each >= the first-order share.
+  for (std::size_t v = 0; v < s.first_order.size(); ++v)
+    EXPECT_GE(s.total_effect[v] + 1e-15, s.first_order[v]);
+}
+
+TEST(Sobol, ConstantModelAllZero) {
+  const SparseModel model(dict(2), {{0, 7.0}});
+  const SobolIndices s = sobol_indices(model);
+  EXPECT_EQ(s.variance, 0.0);
+  for (Real f : s.first_order) EXPECT_EQ(f, 0.0);
+  for (Real f : s.total_effect) EXPECT_EQ(f, 0.0);
+}
+
+TEST(Sobol, RankingOrdersByTotalEffect) {
+  // y2 dominates, then the y0*y1 interaction pair, y3 absent.
+  const SparseModel model(dict(4), {{3, 3.0},   // y2
+                                    {9, 1.0}}); // first cross term y0*y1
+  const std::vector<Index> rank = rank_variables_by_sensitivity(model);
+  ASSERT_EQ(rank.size(), 3u);  // y3 dropped (zero effect)
+  EXPECT_EQ(rank[0], 2);
+  // y0 and y1 tie; stable sort keeps index order.
+  EXPECT_EQ(rank[1], 0);
+  EXPECT_EQ(rank[2], 1);
+}
+
+}  // namespace
+}  // namespace rsm

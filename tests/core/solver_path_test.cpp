@@ -1,0 +1,66 @@
+#include "core/solver_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsm {
+namespace {
+
+SolverPath prefix_path() {
+  SolverPath p;
+  p.selection_order = {4, 1, 7};
+  p.coefficients = {{1.0}, {0.9, 2.0}, {0.8, 1.9, -3.0}};
+  p.residual_norms = {5.0, 2.0, 0.5};
+  return p;
+}
+
+TEST(SolverPath, PrefixSupports) {
+  const SolverPath p = prefix_path();
+  EXPECT_EQ(p.num_steps(), 3);
+  EXPECT_EQ(p.support(0), (std::vector<Index>{4}));
+  EXPECT_EQ(p.support(1), (std::vector<Index>{4, 1}));
+  EXPECT_EQ(p.support(2), (std::vector<Index>{4, 1, 7}));
+}
+
+TEST(SolverPath, ExplicitActiveSetsOverridePrefix) {
+  SolverPath p = prefix_path();
+  p.active_sets = {{4}, {4, 1}, {1, 7}};  // drop event at step 2
+  EXPECT_EQ(p.support(2), (std::vector<Index>{1, 7}));
+}
+
+TEST(SolverPath, DenseCoefficientsScatter) {
+  const SolverPath p = prefix_path();
+  const std::vector<Real> dense = p.dense_coefficients(2, 10);
+  ASSERT_EQ(dense.size(), 10u);
+  EXPECT_EQ(dense[4], 0.8);
+  EXPECT_EQ(dense[1], 1.9);
+  EXPECT_EQ(dense[7], -3.0);
+  EXPECT_EQ(dense[0], 0.0);
+}
+
+TEST(SolverPath, DenseCoefficientsAccumulateDuplicates) {
+  SolverPath p;
+  p.selection_order = {2, 2};
+  p.coefficients = {{1.0}, {1.0, 0.5}};
+  const std::vector<Real> dense = p.dense_coefficients(1, 4);
+  EXPECT_EQ(dense[2], 1.5);
+}
+
+TEST(SolverPath, OutOfRangeStepThrows) {
+  const SolverPath p = prefix_path();
+  EXPECT_THROW((void)p.support(3), Error);
+  EXPECT_THROW((void)p.support(-1), Error);
+}
+
+TEST(SolverPath, IndexOutsideColumnsThrows) {
+  const SolverPath p = prefix_path();
+  EXPECT_THROW((void)p.dense_coefficients(2, 5), Error);  // index 7 >= 5
+}
+
+TEST(SolverPath, MismatchedActiveSetSizeThrows) {
+  SolverPath p = prefix_path();
+  p.active_sets = {{4}};  // wrong length vs 3 steps
+  EXPECT_THROW((void)p.support(0), Error);
+}
+
+}  // namespace
+}  // namespace rsm

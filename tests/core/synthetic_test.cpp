@@ -1,0 +1,109 @@
+#include "core/synthetic.hpp"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+#include "stats/lhs.hpp"
+
+namespace rsm {
+namespace {
+
+std::shared_ptr<const BasisDictionary> dict(Index n) {
+  return std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+}
+
+TEST(Synthetic, ExactSparsity) {
+  Rng rng(701);
+  SyntheticOptions opt;
+  opt.num_active = 7;
+  const SyntheticSparseFunction fn(dict(10), opt, rng);
+  EXPECT_EQ(fn.truth().num_terms(), 7);
+}
+
+TEST(Synthetic, ActiveIndicesAreDistinct) {
+  Rng rng(702);
+  SyntheticOptions opt;
+  opt.num_active = 20;
+  const SyntheticSparseFunction fn(dict(15), opt, rng);
+  const std::vector<Index> idx = fn.active_indices();
+  const std::set<Index> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), idx.size());
+}
+
+TEST(Synthetic, IncludesConstantWhenRequested) {
+  Rng rng(703);
+  SyntheticOptions opt;
+  opt.num_active = 3;
+  opt.include_constant = true;
+  const SyntheticSparseFunction fn(dict(5), opt, rng);
+  bool has_constant = false;
+  for (const ModelTerm& t : fn.truth().terms())
+    if (fn.truth().dictionary().index(t.basis_index).is_constant())
+      has_constant = true;
+  EXPECT_TRUE(has_constant);
+}
+
+TEST(Synthetic, MagnitudesDecayGeometrically) {
+  Rng rng(704);
+  SyntheticOptions opt;
+  opt.num_active = 6;
+  opt.largest_coefficient = 2.0;
+  opt.decay = 0.5;
+  const SyntheticSparseFunction fn(dict(8), opt, rng);
+  const std::vector<Index> order = fn.active_indices();
+  // active_indices sorts by |coef| descending: 2, 1, 0.5, ...
+  Real expected = 2.0;
+  for (Index idx : order) {
+    for (const ModelTerm& t : fn.truth().terms()) {
+      if (t.basis_index == idx) {
+        EXPECT_NEAR(std::abs(t.coefficient), expected, 1e-12);
+      }
+    }
+    expected *= 0.5;
+  }
+}
+
+TEST(Synthetic, NoiselessObservationMatchesEvaluate) {
+  Rng rng(705);
+  SyntheticOptions opt;
+  opt.noise_stddev = 0;
+  const SyntheticSparseFunction fn(dict(6), opt, rng);
+  const Matrix samples = monte_carlo_normal(20, 6, rng);
+  Rng noise_rng(1);
+  const std::vector<Real> obs = fn.observe(samples, noise_rng);
+  for (Index k = 0; k < 20; ++k)
+    EXPECT_DOUBLE_EQ(obs[static_cast<std::size_t>(k)],
+                     fn.evaluate(samples.row(k)));
+}
+
+TEST(Synthetic, NoiseHasRequestedScale) {
+  Rng rng(706);
+  SyntheticOptions opt;
+  opt.noise_stddev = 0.5;
+  const SyntheticSparseFunction fn(dict(6), opt, rng);
+  const Matrix samples = monte_carlo_normal(20000, 6, rng);
+  Rng noise_rng(2);
+  const std::vector<Real> noisy = fn.observe(samples, noise_rng);
+  std::vector<Real> clean(noisy.size());
+  for (Index k = 0; k < samples.rows(); ++k)
+    clean[static_cast<std::size_t>(k)] = fn.evaluate(samples.row(k));
+  std::vector<Real> diff(noisy.size());
+  for (std::size_t i = 0; i < noisy.size(); ++i) diff[i] = noisy[i] - clean[i];
+  EXPECT_NEAR(stddev(diff), 0.5, 0.02);
+  EXPECT_NEAR(mean(diff), 0.0, 0.02);
+}
+
+TEST(Synthetic, InvalidOptionsThrow) {
+  Rng rng(707);
+  SyntheticOptions opt;
+  opt.num_active = 0;
+  EXPECT_THROW(SyntheticSparseFunction(dict(4), opt, rng), Error);
+  opt.num_active = 1000000;  // more than dictionary size
+  EXPECT_THROW(SyntheticSparseFunction(dict(4), opt, rng), Error);
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,104 @@
+#include "core/worst_case.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.hpp"
+#include "stats/lhs.hpp"
+#include "stats/rng.hpp"
+
+namespace rsm {
+namespace {
+
+std::shared_ptr<const BasisDictionary> dict(Index n) {
+  return std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+}
+
+TEST(Gradient, MatchesFiniteDifferences) {
+  Rng rng(61);
+  const SparseModel model(dict(4), {{0, 1.0}, {1, 0.7}, {5, -0.4},
+                                    {6, 0.9}, {9, 0.3}});
+  const Real h = 1e-6;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Real> x = rng.normal_vector(4);
+    const std::vector<Real> grad = model.gradient(x);
+    for (Index v = 0; v < 4; ++v) {
+      std::vector<Real> xp = x, xm = x;
+      xp[static_cast<std::size_t>(v)] += h;
+      xm[static_cast<std::size_t>(v)] -= h;
+      const Real fd = (model.predict(xp) - model.predict(xm)) / (2 * h);
+      EXPECT_NEAR(grad[static_cast<std::size_t>(v)], fd, 1e-5)
+          << "var " << v;
+    }
+  }
+}
+
+TEST(Gradient, ZeroForConstantModel) {
+  const SparseModel model(dict(3), {{0, 5.0}});
+  const std::vector<Real> g = model.gradient(std::vector<Real>{1, 2, 3});
+  for (Real v : g) EXPECT_EQ(v, 0.0);
+}
+
+TEST(WorstCase, LinearModelHasClosedFormCorner) {
+  // f = 2 y0 - y1: max over ||y|| <= 3 is 3*sqrt(5) at 3*(2,-1)/sqrt(5).
+  const SparseModel model(dict(3), {{1, 2.0}, {2, -1.0}});
+  WorstCaseOptions opt;
+  opt.radius = 3.0;
+  const WorstCaseResult r = find_worst_case(model, opt);
+  EXPECT_NEAR(r.value, 3.0 * std::sqrt(5.0), 1e-6);
+  EXPECT_NEAR(r.sigma_distance, 3.0, 1e-9);
+  EXPECT_NEAR(r.corner[0], 6.0 / std::sqrt(5.0), 1e-4);
+  EXPECT_NEAR(r.corner[1], -3.0 / std::sqrt(5.0), 1e-4);
+  EXPECT_NEAR(r.corner[2], 0.0, 1e-6);
+}
+
+TEST(WorstCase, MinimizeMirrorsMaximize) {
+  const SparseModel model(dict(2), {{1, 1.5}});
+  WorstCaseOptions maxi, mini;
+  mini.maximize = false;
+  const WorstCaseResult hi = find_worst_case(model, maxi);
+  const WorstCaseResult lo = find_worst_case(model, mini);
+  EXPECT_NEAR(hi.value, -lo.value, 1e-6);
+  EXPECT_GT(hi.value, 0);
+}
+
+TEST(WorstCase, QuadraticBowlCornerOnSphere) {
+  // f = H2(y0): max at |y0| = radius (monotone in y0^2 beyond 1).
+  const SparseModel model(dict(2), {{3, 1.0}});
+  WorstCaseOptions opt;
+  opt.radius = 2.5;
+  const WorstCaseResult r = find_worst_case(model, opt);
+  EXPECT_NEAR(std::abs(r.corner[0]), 2.5, 1e-3);
+  EXPECT_NEAR(r.value, (2.5 * 2.5 - 1) / std::sqrt(2.0), 1e-3);
+}
+
+TEST(WorstCase, BeatsRandomSamplingOnMixedModel) {
+  Rng rng(62);
+  const SparseModel model(dict(5), {{1, 0.8}, {3, -0.6}, {7, 0.5},
+                                    {12, 0.4}, {9, -0.3}});
+  WorstCaseOptions opt;
+  opt.radius = 3.0;
+  const WorstCaseResult r = find_worst_case(model, opt);
+  // 20k random points in the ball: none should beat the ascent result.
+  Real best_random = -1e300;
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<Real> x = rng.normal_vector(5);
+    const Real norm = nrm2(x);
+    const Real target = opt.radius * std::pow(rng.uniform(), 0.2);
+    for (Real& v : x) v *= target / norm;
+    best_random = std::max(best_random, model.predict(x));
+  }
+  EXPECT_GE(r.value, best_random - 1e-6);
+}
+
+TEST(WorstCase, InvalidOptionsThrow) {
+  const SparseModel model(dict(2), {{1, 1.0}});
+  WorstCaseOptions opt;
+  opt.radius = 0;
+  EXPECT_THROW((void)find_worst_case(model, opt), Error);
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,178 @@
+#include "core/yield.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace rsm {
+namespace {
+
+std::shared_ptr<const BasisDictionary> dict(Index n) {
+  return std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(normal_cdf(-2.0), 0.022750131948179195, 1e-9);
+  EXPECT_NEAR(normal_cdf(3.0) + normal_cdf(-3.0), 1.0, 1e-12);
+}
+
+TEST(Yield, AnalyticLinearMatchesNormalTheory) {
+  // f = 1 + 2*y0: mean 1, sigma 2. Spec f <= 3 -> P(Z <= 1) = 0.8413.
+  const SparseModel model(dict(3), {{0, 1.0}, {1, 2.0}});
+  Specification spec;
+  spec.upper = 3.0;
+  EXPECT_NEAR(analytic_linear_yield(model, spec), 0.8413447460685429, 1e-9);
+  // Two-sided: |f - 1| <= 2 -> P(|Z| <= 1) = 0.6827.
+  spec.lower = -1.0;
+  EXPECT_NEAR(analytic_linear_yield(model, spec), 0.682689492137, 1e-9);
+}
+
+TEST(Yield, AnalyticRejectsNonlinearModel) {
+  const SparseModel model(dict(2), {{0, 1.0}, {3, 0.5}});  // has H2 term
+  EXPECT_THROW((void)analytic_linear_yield(model, Specification{}), Error);
+}
+
+TEST(Yield, MonteCarloMatchesAnalyticOnLinearModel) {
+  const SparseModel model(dict(4), {{0, 0.5}, {1, 1.0}, {2, -0.7}});
+  Specification spec;
+  spec.lower = -1.0;
+  spec.upper = 2.0;
+  const Real exact = analytic_linear_yield(model, spec);
+  Rng rng(11);
+  const YieldResult mc = estimate_yield(model, spec, 200000, rng);
+  EXPECT_NEAR(mc.yield, exact, 4 * mc.standard_error + 1e-3);
+}
+
+TEST(Yield, DegenerateSigmaIsStep) {
+  const SparseModel model(dict(2), {{0, 5.0}});  // constant model
+  Specification pass;
+  pass.upper = 6.0;
+  EXPECT_EQ(analytic_linear_yield(model, pass), 1.0);
+  Specification fail;
+  fail.upper = 4.0;
+  EXPECT_EQ(analytic_linear_yield(model, fail), 0.0);
+}
+
+TEST(Yield, JointYieldBelowEitherMarginal) {
+  // Two independent metrics: joint = product of marginals.
+  const SparseModel m1(dict(4), {{1, 1.0}});  // f1 = y0
+  const SparseModel m2(dict(4), {{2, 1.0}});  // f2 = y1
+  Specification spec;
+  spec.upper = 0.0;  // each passes 50%
+  Rng rng(12);
+  const SparseModel* models[] = {&m1, &m2};
+  const Specification specs[] = {spec, spec};
+  const YieldResult joint = estimate_joint_yield(models, specs, 100000, rng);
+  EXPECT_NEAR(joint.yield, 0.25, 0.01);
+}
+
+TEST(Yield, JointYieldOfIdenticalMetricsEqualsMarginal) {
+  const SparseModel m1(dict(3), {{1, 1.0}});
+  Specification spec;
+  spec.upper = 1.0;
+  Rng rng(13);
+  const SparseModel* models[] = {&m1, &m1};
+  const Specification specs[] = {spec, spec};
+  const YieldResult joint = estimate_joint_yield(models, specs, 100000, rng);
+  EXPECT_NEAR(joint.yield, normal_cdf(1.0), 0.01);
+}
+
+TEST(Yield, MismatchedVariableCountsThrow) {
+  const SparseModel m1(dict(3), {{1, 1.0}});
+  const SparseModel m2(dict(5), {{1, 1.0}});
+  const SparseModel* models[] = {&m1, &m2};
+  const Specification specs[] = {{}, {}};
+  Rng rng(14);
+  EXPECT_THROW((void)estimate_joint_yield(models, specs, 10, rng), Error);
+}
+
+TEST(Yield, DistributionEstimateMatchesAnalyticMoments) {
+  const SparseModel model(dict(5),
+                          {{0, 2.0}, {1, 0.5}, {3, -0.3}, {8, 0.2}});
+  Rng rng(15);
+  const DistributionEstimate est = estimate_distribution(model, 150000, rng);
+  EXPECT_NEAR(est.summary.mean, model.analytic_mean(), 0.01);
+  EXPECT_NEAR(est.summary.stddev, std::sqrt(model.analytic_variance()), 0.01);
+  // Quantiles come back sorted with the levels.
+  ASSERT_EQ(est.quantile_levels.size(), est.quantile_values.size());
+  for (std::size_t i = 1; i < est.quantile_values.size(); ++i)
+    EXPECT_LE(est.quantile_values[i - 1], est.quantile_values[i]);
+}
+
+TEST(TailProbability, MatchesAnalytic4SigmaLinearTail) {
+  // f = 1 + 0.6 y0 - 0.8 y1: sigma = 1. P(f > 1 + 4) = Phi(-4) ~ 3.17e-5 —
+  // invisible to plain MC at 20k samples, routine for the IS estimator.
+  const SparseModel model(dict(3), {{0, 1.0}, {1, 0.6}, {2, -0.8}});
+  Rng rng(21);
+  const TailProbability tail =
+      estimate_tail_probability(model, 5.0, /*upper_tail=*/true, 20000, rng);
+  const Real exact = normal_cdf(-4.0);
+  EXPECT_NEAR(tail.probability / exact, 1.0, 0.15);
+  EXPECT_NEAR(tail.shift_magnitude, 4.0, 0.05);
+  // The estimator is tight: relative stderr well under 10%.
+  EXPECT_LT(tail.standard_error, 0.1 * tail.probability);
+}
+
+TEST(TailProbability, SixSigmaStillResolvable) {
+  const SparseModel model(dict(2), {{1, 1.0}});  // f = y0
+  Rng rng(22);
+  const TailProbability tail =
+      estimate_tail_probability(model, 6.0, true, 30000, rng);
+  const Real exact = normal_cdf(-6.0);  // ~ 1e-9
+  EXPECT_NEAR(tail.probability / exact, 1.0, 0.2);
+}
+
+TEST(TailProbability, LowerTailMirrorsUpper) {
+  const SparseModel model(dict(2), {{1, 1.0}});
+  Rng rng(23);
+  const TailProbability upper =
+      estimate_tail_probability(model, 3.5, true, 20000, rng);
+  const TailProbability lower =
+      estimate_tail_probability(model, -3.5, false, 20000, rng);
+  EXPECT_NEAR(lower.probability / upper.probability, 1.0, 0.25);
+}
+
+TEST(TailProbability, NonlinearModelStillWorks) {
+  // Quadratic term fattens the upper tail vs the Gaussian of its linear
+  // part; the IS estimate must land above the linear-only prediction.
+  auto d = dict(2);
+  const SparseModel nonlinear(d, {{1, 1.0}, {3, 0.3}});  // y0 + 0.3 H2(y0)
+  Rng rng(24);
+  const TailProbability tail =
+      estimate_tail_probability(nonlinear, 4.5, true, 40000, rng);
+  EXPECT_GT(tail.probability, normal_cdf(-4.5 / std::sqrt(1.0 + 0.09)));
+  EXPECT_LT(tail.probability, 1e-2);
+}
+
+TEST(TailProbability, ThresholdInsideBulkDegradesGracefully) {
+  const SparseModel model(dict(2), {{1, 1.0}});
+  Rng rng(25);
+  // Threshold at the mean: probability ~ 0.5, shift ~ 0.
+  const TailProbability tail =
+      estimate_tail_probability(model, 0.0, true, 20000, rng);
+  EXPECT_NEAR(tail.probability, 0.5, 0.02);
+  EXPECT_NEAR(tail.shift_magnitude, 0.0, 1e-6);
+}
+
+TEST(TailProbability, NoLinearTermsThrows) {
+  const SparseModel model(dict(2), {{0, 1.0}, {3, 1.0}});  // constant + H2
+  Rng rng(26);
+  EXPECT_THROW(
+      (void)estimate_tail_probability(model, 3.0, true, 1000, rng), Error);
+}
+
+TEST(Yield, StandardErrorShrinksWithSamples) {
+  const SparseModel model(dict(2), {{1, 1.0}});
+  Specification spec;
+  spec.upper = 0.5;
+  Rng rng(16);
+  const YieldResult small = estimate_yield(model, spec, 1000, rng);
+  const YieldResult big = estimate_yield(model, spec, 100000, rng);
+  EXPECT_GT(small.standard_error, big.standard_error * 5);
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,152 @@
+// End-to-end: circuit workloads -> Monte Carlo sampling -> sparse fitting ->
+// validation on an independent testing set. Small-scale versions of the
+// paper's Section V experiments, sized to run in seconds.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuits/opamp.hpp"
+#include "core/pipeline.hpp"
+#include "sram/sram.hpp"
+#include "stats/lhs.hpp"
+#include "stats/rng.hpp"
+
+namespace rsm {
+namespace {
+
+TEST(CircuitModeling, OpAmpOffsetLinearModel) {
+  // Offset is dominated by the input-pair mismatch: a linear sparse model
+  // from K << M samples must validate well and select the pair's variables.
+  circuits::OpAmpConfig cfg;
+  cfg.num_variables = 120;
+  const circuits::OpAmpWorkload workload(cfg);
+  const Index n = workload.num_variables();
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
+
+  Rng rng(901);
+  const Index k_train = 60, k_test = 120;  // K=60 << M=121
+  const Matrix train = monte_carlo_normal(k_train, n, rng);
+  const Matrix test = monte_carlo_normal(k_test, n, rng);
+  std::vector<Real> f_train(static_cast<std::size_t>(k_train));
+  std::vector<Real> f_test(static_cast<std::size_t>(k_test));
+  for (Index k = 0; k < k_train; ++k)
+    f_train[static_cast<std::size_t>(k)] =
+        workload.evaluate(train.row(k)).offset_v;
+  for (Index k = 0; k < k_test; ++k)
+    f_test[static_cast<std::size_t>(k)] =
+        workload.evaluate(test.row(k)).offset_v;
+
+  BuildOptions opt;
+  opt.method = Method::kOmp;
+  opt.max_lambda = 15;
+  const BuildReport report = build_model(dict, train, f_train, opt);
+
+  EXPECT_LT(validate_model(report.model, test, f_test), 0.35);
+  // The input pair's local dVth variables are dictionary columns 7 and 11
+  // (basis index = variable + 1 for the linear dictionary).
+  bool has_m1 = false, has_m2 = false;
+  for (const ModelTerm& t : report.model.terms()) {
+    if (t.basis_index == 7) has_m1 = true;
+    if (t.basis_index == 11) has_m2 = true;
+  }
+  EXPECT_TRUE(has_m1);
+  EXPECT_TRUE(has_m2);
+}
+
+TEST(CircuitModeling, SramDelaySparseModelBeatsSampleCount) {
+  sram::SramConfig cfg;
+  cfg.rows = 24;
+  cfg.cols = 20;  // N = 542 variables, M = 543 linear bases
+  const sram::SramWorkload workload(cfg);
+  const Index n = workload.num_variables();
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
+
+  Rng rng(902);
+  const Index k_train = 150, k_test = 200;
+  const Matrix train = monte_carlo_normal(k_train, n, rng);
+  const Matrix test = monte_carlo_normal(k_test, n, rng);
+  std::vector<Real> f_train(static_cast<std::size_t>(k_train));
+  std::vector<Real> f_test(static_cast<std::size_t>(k_test));
+  for (Index k = 0; k < k_train; ++k)
+    f_train[static_cast<std::size_t>(k)] = workload.evaluate(train.row(k));
+  for (Index k = 0; k < k_test; ++k)
+    f_test[static_cast<std::size_t>(k)] = workload.evaluate(test.row(k));
+
+  BuildOptions opt;
+  opt.method = Method::kOmp;
+  opt.max_lambda = 45;
+  const BuildReport report = build_model(dict, train, f_train, opt);
+
+  // K = 150 << M = 543, yet the sparse model explains most delay variation.
+  EXPECT_LT(validate_model(report.model, test, f_test), 0.35);
+  // And it is genuinely sparse.
+  EXPECT_LT(report.lambda, 50);
+}
+
+TEST(CircuitModeling, SramModelSelectsPathVariables) {
+  sram::SramConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 12;
+  const sram::SramWorkload workload(cfg);
+  const sram::SramVariableMap& vm = workload.variable_map();
+  const Index n = workload.num_variables();
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
+
+  Rng rng(903);
+  const Index k_train = 160;
+  const Matrix train = monte_carlo_normal(k_train, n, rng);
+  std::vector<Real> f_train(static_cast<std::size_t>(k_train));
+  for (Index k = 0; k < k_train; ++k)
+    f_train[static_cast<std::size_t>(k)] = workload.evaluate(train.row(k));
+
+  BuildOptions opt;
+  opt.method = Method::kOmp;
+  opt.max_lambda = 30;
+  opt.skip_cross_validation = true;
+  const BuildReport report = build_model(dict, train, f_train, opt);
+
+  // The accessed cell must be among the selected variables.
+  const Index accessed_col = vm.cell(0, 0) + 1;  // +1: constant basis first
+  bool found_accessed = false;
+  for (const ModelTerm& t : report.model.terms())
+    if (t.basis_index == accessed_col) found_accessed = true;
+  EXPECT_TRUE(found_accessed);
+}
+
+TEST(CircuitModeling, QuadraticBeatsLinearForBandwidth) {
+  // Bandwidth has visible curvature in the dominant variables; with ample
+  // training data a quadratic model on the top variables should not lose to
+  // the linear one.
+  circuits::OpAmpConfig cfg;
+  cfg.num_variables = 40;
+  const circuits::OpAmpWorkload workload(cfg);
+  const Index n = workload.num_variables();
+
+  Rng rng(904);
+  const Index k_train = 250, k_test = 150;
+  const Matrix train = monte_carlo_normal(k_train, n, rng);
+  const Matrix test = monte_carlo_normal(k_test, n, rng);
+  std::vector<Real> f_train(static_cast<std::size_t>(k_train));
+  std::vector<Real> f_test(static_cast<std::size_t>(k_test));
+  for (Index k = 0; k < k_train; ++k)
+    f_train[static_cast<std::size_t>(k)] =
+        workload.evaluate(train.row(k)).bandwidth_hz;
+  for (Index k = 0; k < k_test; ++k)
+    f_test[static_cast<std::size_t>(k)] =
+        workload.evaluate(test.row(k)).bandwidth_hz;
+
+  auto lin = std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
+  auto quad = std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+  BuildOptions opt;
+  opt.method = Method::kOmp;
+  opt.max_lambda = 40;
+  const Real err_lin =
+      validate_model(build_model(lin, train, f_train, opt).model, test, f_test);
+  const Real err_quad = validate_model(
+      build_model(quad, train, f_train, opt).model, test, f_test);
+  EXPECT_LT(err_quad, err_lin * 1.1);  // quadratic at least matches linear
+  EXPECT_LT(err_quad, 0.3);
+}
+
+}  // namespace
+}  // namespace rsm

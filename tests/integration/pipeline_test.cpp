@@ -1,0 +1,156 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/synthetic.hpp"
+#include "stats/lhs.hpp"
+#include "stats/rng.hpp"
+
+namespace rsm {
+namespace {
+
+TEST(Pipeline, OmpEndToEndRecoversModel) {
+  Rng rng(801);
+  const Index n = 12;  // quadratic dict size 91
+  auto dict =
+      std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+  SyntheticOptions sopt;
+  sopt.num_active = 6;
+  sopt.noise_stddev = 0.01;
+  const SyntheticSparseFunction fn(dict, sopt, rng);
+  const Matrix train = monte_carlo_normal(80, n, rng);
+  const Matrix test = monte_carlo_normal(500, n, rng);
+  const std::vector<Real> f_train = fn.observe(train, rng);
+  const std::vector<Real> f_test = fn.observe(test, rng);
+
+  BuildOptions opt;
+  opt.method = Method::kOmp;
+  opt.max_lambda = 20;
+  const BuildReport report = build_model(dict, train, f_train, opt);
+
+  EXPECT_GE(report.lambda, 4);
+  EXPECT_LE(report.lambda, 12);
+  EXPECT_LT(validate_model(report.model, test, f_test), 0.1);
+  EXPECT_GT(report.fit_seconds, 0.0);
+}
+
+TEST(Pipeline, AllSparseMethodsProduceUsableModels) {
+  Rng rng(802);
+  const Index n = 10;
+  auto dict =
+      std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+  SyntheticOptions sopt;
+  sopt.num_active = 5;
+  sopt.noise_stddev = 0.02;
+  const SyntheticSparseFunction fn(dict, sopt, rng);
+  const Matrix train = monte_carlo_normal(70, n, rng);
+  const Matrix test = monte_carlo_normal(400, n, rng);
+  const std::vector<Real> f_train = fn.observe(train, rng);
+  const std::vector<Real> f_test = fn.observe(test, rng);
+
+  for (Method method : {Method::kStar, Method::kLar, Method::kOmp}) {
+    BuildOptions opt;
+    opt.method = method;
+    opt.max_lambda = 25;
+    const BuildReport report = build_model(dict, train, f_train, opt);
+    EXPECT_LT(validate_model(report.model, test, f_test), 0.6)
+        << method_name(method);
+  }
+}
+
+TEST(Pipeline, LeastSquaresRequiresEnoughSamples) {
+  Rng rng(803);
+  const Index n = 8;
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+  // dict size = 45; give only 30 samples.
+  const Matrix train = monte_carlo_normal(30, n, rng);
+  const std::vector<Real> f(30, 1.0);
+  BuildOptions opt;
+  opt.method = Method::kLeastSquares;
+  EXPECT_THROW(build_model(dict, train, f, opt), Error);
+}
+
+TEST(Pipeline, LeastSquaresBeatsNothingAtFullSampling) {
+  Rng rng(804);
+  const Index n = 6;
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+  SyntheticOptions sopt;
+  sopt.num_active = 5;
+  sopt.noise_stddev = 0.01;
+  const SyntheticSparseFunction fn(dict, sopt, rng);
+  const Index m = dict->size();  // 28
+  const Matrix train = monte_carlo_normal(3 * m, n, rng);
+  const Matrix test = monte_carlo_normal(300, n, rng);
+  const std::vector<Real> f_train = fn.observe(train, rng);
+  const std::vector<Real> f_test = fn.observe(test, rng);
+  BuildOptions opt;
+  opt.method = Method::kLeastSquares;
+  const BuildReport report = build_model(dict, train, f_train, opt);
+  EXPECT_LT(validate_model(report.model, test, f_test), 0.1);
+}
+
+TEST(Pipeline, SkipCvUsesExactLambda) {
+  Rng rng(805);
+  const Index n = 8;
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+  const Matrix train = monte_carlo_normal(60, n, rng);
+  const std::vector<Real> f = rng.normal_vector(60);
+  BuildOptions opt;
+  opt.method = Method::kOmp;
+  opt.max_lambda = 7;
+  opt.skip_cross_validation = true;
+  const BuildReport report = build_model(dict, train, f, opt);
+  EXPECT_EQ(report.lambda, 7);
+  EXPECT_TRUE(report.cv.error_curve.empty());
+}
+
+TEST(Pipeline, SharedDesignMatrixPathMatches) {
+  Rng rng(806);
+  const Index n = 7;
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+  const Matrix train = monte_carlo_normal(50, n, rng);
+  const std::vector<Real> f = rng.normal_vector(50);
+  BuildOptions opt;
+  opt.method = Method::kOmp;
+  opt.max_lambda = 10;
+  opt.skip_cross_validation = true;
+  const BuildReport a = build_model(dict, train, f, opt);
+  const Matrix design = dict->design_matrix(train);
+  const BuildReport b = build_model_from_design(dict, design, f, opt);
+  ASSERT_EQ(a.model.num_terms(), b.model.num_terms());
+  for (Index i = 0; i < a.model.num_terms(); ++i) {
+    EXPECT_EQ(a.model.terms()[static_cast<std::size_t>(i)].basis_index,
+              b.model.terms()[static_cast<std::size_t>(i)].basis_index);
+    EXPECT_DOUBLE_EQ(a.model.terms()[static_cast<std::size_t>(i)].coefficient,
+                     b.model.terms()[static_cast<std::size_t>(i)].coefficient);
+  }
+}
+
+TEST(Pipeline, MethodNames) {
+  EXPECT_STREQ(method_name(Method::kLeastSquares), "LS");
+  EXPECT_STREQ(method_name(Method::kStar), "STAR");
+  EXPECT_STREQ(method_name(Method::kLar), "LAR");
+  EXPECT_STREQ(method_name(Method::kOmp), "OMP");
+}
+
+TEST(Pipeline, MakePathSolverRejectsLs) {
+  EXPECT_THROW(make_path_solver(Method::kLeastSquares), Error);
+}
+
+TEST(Pipeline, TrainingErrorReported) {
+  Rng rng(807);
+  const Index n = 6;
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::quadratic(n));
+  SyntheticOptions sopt;
+  sopt.num_active = 4;
+  const SyntheticSparseFunction fn(dict, sopt, rng);
+  const Matrix train = monte_carlo_normal(60, n, rng);
+  const std::vector<Real> f = fn.observe(train, rng);
+  BuildOptions opt;
+  opt.max_lambda = 15;
+  const BuildReport report = build_model(dict, train, f, opt);
+  EXPECT_LT(report.training_error, 0.05);  // noiseless: near-exact fit
+}
+
+}  // namespace
+}  // namespace rsm

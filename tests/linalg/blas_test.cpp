@@ -1,0 +1,92 @@
+#include "linalg/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace rsm {
+namespace {
+
+Matrix random_matrix(Index rows, Index cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (Index r = 0; r < rows; ++r) rng.fill_normal(m.row(r));
+  return m;
+}
+
+/// Reference O(n^3) product without blocking.
+Matrix naive_product(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < b.cols(); ++j) {
+      Real s = 0;
+      for (Index k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+TEST(Blas, GemvMatchesManual) {
+  Rng rng(1);
+  const Matrix a = random_matrix(6, 4, rng);
+  const std::vector<Real> x = rng.normal_vector(4);
+  std::vector<Real> y(6);
+  gemv(a, x, y);
+  for (Index r = 0; r < 6; ++r) {
+    Real expected = 0;
+    for (Index c = 0; c < 4; ++c)
+      expected += a(r, c) * x[static_cast<std::size_t>(c)];
+    EXPECT_NEAR(y[static_cast<std::size_t>(r)], expected, 1e-12);
+  }
+}
+
+TEST(Blas, GemvTransposedMatchesExplicitTranspose) {
+  Rng rng(2);
+  const Matrix a = random_matrix(7, 5, rng);
+  const std::vector<Real> x = rng.normal_vector(7);
+  std::vector<Real> y1(5), y2(5);
+  gemv_transposed(a, x, y1);
+  gemv(a.transposed(), x, y2);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+// Parameterized sweep over shapes, including block-boundary sizes.
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + k * 100 + n));
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  const Matrix c = a * b;
+  EXPECT_LT(max_abs_diff(c, naive_product(a, b)), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 2},
+                      std::tuple{16, 16, 16}, std::tuple{63, 64, 65},
+                      std::tuple{64, 65, 63}, std::tuple{65, 63, 64},
+                      std::tuple{128, 40, 70}, std::tuple{1, 100, 1}));
+
+TEST(Blas, GramMatchesTransposeProduct) {
+  Rng rng(4);
+  const Matrix a = random_matrix(30, 12, rng);
+  const Matrix g = gram(a);
+  EXPECT_LT(max_abs_diff(g, a.transposed() * a), 1e-10);
+}
+
+TEST(Blas, GramIsSymmetric) {
+  Rng rng(5);
+  const Matrix a = random_matrix(20, 9, rng);
+  const Matrix g = gram(a);
+  EXPECT_LT(max_abs_diff(g, g.transposed()), 1e-14);
+}
+
+TEST(Blas, GemmShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(4, 2);
+  EXPECT_THROW(a * b, Error);
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,210 @@
+#include "linalg/incremental_qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.hpp"
+#include "linalg/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace rsm {
+namespace {
+
+TEST(IncrementalQr, MatchesBatchQrSolve) {
+  Rng rng(21);
+  const Index rows = 40, cols = 8;
+  Matrix a(rows, cols);
+  for (Index r = 0; r < rows; ++r) rng.fill_normal(a.row(r));
+  const std::vector<Real> b = rng.normal_vector(rows);
+
+  IncrementalQr inc(rows, cols);
+  for (Index j = 0; j < cols; ++j) ASSERT_TRUE(inc.append_column(a.col(j)));
+
+  const std::vector<Real> x_inc = inc.solve(b);
+  const std::vector<Real> x_batch = QrFactorization(a).solve(b);
+  ASSERT_EQ(x_inc.size(), x_batch.size());
+  for (std::size_t i = 0; i < x_inc.size(); ++i)
+    EXPECT_NEAR(x_inc[i], x_batch[i], 1e-9);
+}
+
+TEST(IncrementalQr, QColumnsOrthonormal) {
+  Rng rng(22);
+  const Index rows = 25, cols = 6;
+  IncrementalQr inc(rows, cols);
+  for (Index j = 0; j < cols; ++j)
+    ASSERT_TRUE(inc.append_column(rng.normal_vector(rows)));
+  for (Index i = 0; i < cols; ++i) {
+    for (Index j = 0; j < cols; ++j) {
+      const Real expected = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(dot(inc.q_column(i), inc.q_column(j)), expected, 1e-13);
+    }
+  }
+}
+
+TEST(IncrementalQr, RejectsDependentColumn) {
+  Rng rng(23);
+  const Index rows = 10;
+  IncrementalQr inc(rows, 3);
+  const std::vector<Real> c0 = rng.normal_vector(rows);
+  const std::vector<Real> c1 = rng.normal_vector(rows);
+  ASSERT_TRUE(inc.append_column(c0));
+  ASSERT_TRUE(inc.append_column(c1));
+  // 2*c0 - 3*c1 is in the span.
+  std::vector<Real> dep(c0);
+  scale(2.0, dep);
+  axpy(-3.0, c1, dep);
+  EXPECT_FALSE(inc.append_column(dep));
+  EXPECT_EQ(inc.size(), 2);
+}
+
+TEST(IncrementalQr, ResidualOrthogonalToAllColumns) {
+  Rng rng(24);
+  const Index rows = 30, cols = 5;
+  Matrix a(rows, cols);
+  for (Index r = 0; r < rows; ++r) rng.fill_normal(a.row(r));
+  IncrementalQr inc(rows, cols);
+  for (Index j = 0; j < cols; ++j) ASSERT_TRUE(inc.append_column(a.col(j)));
+  const std::vector<Real> b = rng.normal_vector(rows);
+  const std::vector<Real> res = inc.residual(b);
+  for (Index j = 0; j < cols; ++j)
+    EXPECT_NEAR(dot(a.col(j), res), 0.0, 1e-10);
+}
+
+TEST(IncrementalQr, ResidualMatchesDirectComputation) {
+  Rng rng(25);
+  const Index rows = 20, cols = 4;
+  Matrix a(rows, cols);
+  for (Index r = 0; r < rows; ++r) rng.fill_normal(a.row(r));
+  IncrementalQr inc(rows, cols);
+  for (Index j = 0; j < cols; ++j) ASSERT_TRUE(inc.append_column(a.col(j)));
+  const std::vector<Real> b = rng.normal_vector(rows);
+  const std::vector<Real> x = inc.solve(b);
+  const std::vector<Real> res_direct = vsub(b, a * x);
+  const std::vector<Real> res_inc = inc.residual(b);
+  for (std::size_t i = 0; i < res_inc.size(); ++i)
+    EXPECT_NEAR(res_inc[i], res_direct[i], 1e-10);
+}
+
+TEST(IncrementalQr, SolveAfterEachAppendMatchesGrowingBatch) {
+  // The OMP usage pattern: solve after every append.
+  Rng rng(26);
+  const Index rows = 35, max_cols = 7;
+  Matrix a(rows, max_cols);
+  for (Index r = 0; r < rows; ++r) rng.fill_normal(a.row(r));
+  const std::vector<Real> b = rng.normal_vector(rows);
+
+  IncrementalQr inc(rows, max_cols);
+  for (Index p = 1; p <= max_cols; ++p) {
+    ASSERT_TRUE(inc.append_column(a.col(p - 1)));
+    Matrix prefix(rows, p);
+    for (Index r = 0; r < rows; ++r)
+      for (Index c = 0; c < p; ++c) prefix(r, c) = a(r, c);
+    const std::vector<Real> x_inc = inc.solve(b);
+    const std::vector<Real> x_batch = QrFactorization(prefix).solve(b);
+    for (Index i = 0; i < p; ++i)
+      EXPECT_NEAR(x_inc[static_cast<std::size_t>(i)],
+                  x_batch[static_cast<std::size_t>(i)], 1e-9)
+          << "p=" << p << " i=" << i;
+  }
+}
+
+TEST(IncrementalQr, NearlyDependentColumnsStayOrthogonal) {
+  // Columns differing by 1e-8 perturbations: reorthogonalization must keep
+  // Q'Q = I to machine precision.
+  Rng rng(27);
+  const Index rows = 50;
+  IncrementalQr inc(rows, 4);
+  const std::vector<Real> base = rng.normal_vector(rows);
+  ASSERT_TRUE(inc.append_column(base));
+  for (int k = 1; k < 4; ++k) {
+    std::vector<Real> c = base;
+    for (Real& v : c) v += 1e-8 * rng.normal();
+    ASSERT_TRUE(inc.append_column(c, /*dependence_tol=*/1e-12));
+  }
+  for (Index i = 0; i < 4; ++i)
+    for (Index j = 0; j < i; ++j)
+      EXPECT_NEAR(dot(inc.q_column(i), inc.q_column(j)), 0.0, 1e-12);
+}
+
+TEST(IncrementalQr, RemoveColumnMatchesFreshFactorization) {
+  Rng rng(29);
+  const Index rows = 30, cols = 6;
+  Matrix a(rows, cols);
+  for (Index r = 0; r < rows; ++r) rng.fill_normal(a.row(r));
+  const std::vector<Real> b = rng.normal_vector(rows);
+
+  for (Index removed = 0; removed < cols; ++removed) {
+    IncrementalQr inc(rows, cols);
+    for (Index j = 0; j < cols; ++j) ASSERT_TRUE(inc.append_column(a.col(j)));
+    inc.remove_column(removed);
+    ASSERT_EQ(inc.size(), cols - 1);
+
+    // Reference: batch QR of the retained columns.
+    Matrix reduced(rows, cols - 1);
+    Index out = 0;
+    for (Index j = 0; j < cols; ++j) {
+      if (j == removed) continue;
+      reduced.set_col(out++, a.col(j));
+    }
+    const std::vector<Real> x_inc = inc.solve(b);
+    const std::vector<Real> x_ref = QrFactorization(reduced).solve(b);
+    for (std::size_t i = 0; i < x_inc.size(); ++i)
+      EXPECT_NEAR(x_inc[i], x_ref[i], 1e-9) << "removed=" << removed;
+  }
+}
+
+TEST(IncrementalQr, RemoveKeepsQOrthonormal) {
+  Rng rng(30);
+  const Index rows = 25, cols = 5;
+  IncrementalQr inc(rows, cols);
+  for (Index j = 0; j < cols; ++j)
+    ASSERT_TRUE(inc.append_column(rng.normal_vector(rows)));
+  inc.remove_column(2);
+  for (Index i = 0; i < inc.size(); ++i)
+    for (Index j = 0; j < inc.size(); ++j)
+      EXPECT_NEAR(dot(inc.q_column(i), inc.q_column(j)), i == j ? 1.0 : 0.0,
+                  1e-12);
+}
+
+TEST(IncrementalQr, RemoveThenAppendStillConsistent) {
+  Rng rng(31);
+  const Index rows = 20;
+  IncrementalQr inc(rows, 4);
+  Matrix cols(rows, 4);
+  for (Index j = 0; j < 4; ++j) {
+    const std::vector<Real> c = rng.normal_vector(rows);
+    cols.set_col(j, c);
+    if (j < 3) {
+      ASSERT_TRUE(inc.append_column(c));
+    }
+  }
+  inc.remove_column(1);
+  ASSERT_TRUE(inc.append_column(cols.col(3)));
+  // Retained set: {0, 2, 3}.
+  Matrix reduced(rows, 3);
+  reduced.set_col(0, cols.col(0));
+  reduced.set_col(1, cols.col(2));
+  reduced.set_col(2, cols.col(3));
+  const std::vector<Real> b = rng.normal_vector(rows);
+  const std::vector<Real> x_inc = inc.solve(b);
+  const std::vector<Real> x_ref = QrFactorization(reduced).solve(b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x_inc[i], x_ref[i], 1e-9);
+}
+
+TEST(IncrementalQr, RemoveOutOfRangeThrows) {
+  Rng rng(32);
+  IncrementalQr inc(10, 2);
+  ASSERT_TRUE(inc.append_column(rng.normal_vector(10)));
+  EXPECT_THROW(inc.remove_column(1), Error);
+  EXPECT_THROW(inc.remove_column(-1), Error);
+}
+
+TEST(IncrementalQr, CapacityExhaustedThrows) {
+  Rng rng(28);
+  IncrementalQr inc(5, 2);
+  ASSERT_TRUE(inc.append_column(rng.normal_vector(5)));
+  ASSERT_TRUE(inc.append_column(rng.normal_vector(5)));
+  EXPECT_THROW((void)inc.append_column(rng.normal_vector(5)), Error);
+}
+
+}  // namespace
+}  // namespace rsm

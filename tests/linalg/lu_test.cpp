@@ -1,0 +1,106 @@
+#include "linalg/lu.hpp"
+
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace rsm {
+namespace {
+
+std::vector<Real> flatten(const Matrix& m) {
+  std::vector<Real> out;
+  out.reserve(static_cast<std::size_t>(m.size()));
+  for (Index r = 0; r < m.rows(); ++r)
+    out.insert(out.end(), m.row(r).begin(), m.row(r).end());
+  return out;
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}};
+  const std::vector<Real> x_true{1, -2, 3};
+  const std::vector<Real> b = a * x_true;
+  const RealLu lu(flatten(a), 3);
+  const std::vector<Real> x = lu.solve(b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                                          x_true[static_cast<std::size_t>(i)],
+                                          1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  // Without partial pivoting this matrix fails immediately (a00 = 0).
+  const Matrix a{{0, 1}, {1, 0}};
+  const RealLu lu(flatten(a), 2);
+  const std::vector<Real> x = lu.solve({3, 7});
+  EXPECT_NEAR(x[0], 7, 1e-14);
+  EXPECT_NEAR(x[1], 3, 1e-14);
+}
+
+TEST(Lu, SingularThrows) {
+  const Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(RealLu(flatten(a), 2), Error);
+}
+
+TEST(Lu, Determinant) {
+  const Matrix a{{3, 0}, {0, 5}};
+  EXPECT_NEAR(RealLu(flatten(a), 2).determinant(), 15.0, 1e-12);
+  // Permutation sign: swapping rows flips the determinant.
+  const Matrix b{{0, 1}, {1, 0}};
+  EXPECT_NEAR(RealLu(flatten(b), 2).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  Rng rng(41);
+  for (Index n : {1, 2, 5, 20, 50}) {
+    Matrix a(n, n);
+    for (Index r = 0; r < n; ++r) rng.fill_normal(a.row(r));
+    const std::vector<Real> x_true = rng.normal_vector(n);
+    const std::vector<Real> b = a * x_true;
+    const std::vector<Real> x = RealLu(flatten(a), n).solve(b);
+    for (Index i = 0; i < n; ++i)
+      EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                  x_true[static_cast<std::size_t>(i)], 1e-8)
+          << "n=" << n;
+  }
+}
+
+TEST(Lu, ComplexSolve) {
+  using C = std::complex<Real>;
+  // Round-trip a fixed 2x2 complex system.
+  const std::vector<C> flat{C{1, 1}, C{1, 0}, C{1, 0}, C{0, -1}};
+  const std::vector<C> x_true{C{2, -1}, C{0, 3}};
+  std::vector<C> b{flat[0] * x_true[0] + flat[1] * x_true[1],
+                   flat[2] * x_true[0] + flat[3] * x_true[1]};
+  const ComplexLu lu(flat, 2);
+  const std::vector<C> x = lu.solve(b);
+  EXPECT_NEAR(std::abs(x[0] - x_true[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - x_true[1]), 0.0, 1e-12);
+}
+
+TEST(Lu, ComplexRandomRoundTrip) {
+  using C = std::complex<Real>;
+  Rng rng(42);
+  const Index n = 12;
+  std::vector<C> a(static_cast<std::size_t>(n * n));
+  for (C& v : a) v = C{rng.normal(), rng.normal()};
+  std::vector<C> x_true(static_cast<std::size_t>(n));
+  for (C& v : x_true) v = C{rng.normal(), rng.normal()};
+  std::vector<C> b(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    C s{};
+    for (Index j = 0; j < n; ++j)
+      s += a[static_cast<std::size_t>(i * n + j)] *
+           x_true[static_cast<std::size_t>(j)];
+    b[static_cast<std::size_t>(i)] = s;
+  }
+  const std::vector<C> x = ComplexLu(a, n).solve(b);
+  for (Index i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(x[static_cast<std::size_t>(i)] -
+                       x_true[static_cast<std::size_t>(i)]),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace rsm

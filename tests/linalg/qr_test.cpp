@@ -1,0 +1,132 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace rsm {
+namespace {
+
+Matrix random_matrix(Index rows, Index cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (Index r = 0; r < rows; ++r) rng.fill_normal(m.row(r));
+  return m;
+}
+
+TEST(Qr, ExactSquareSolve) {
+  const Matrix a{{2, 1}, {1, 3}};
+  const std::vector<Real> b{5, 10};
+  const std::vector<Real> x = QrFactorization(a).solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Qr, RequiresTallMatrix) {
+  EXPECT_THROW(QrFactorization(Matrix(2, 3)), Error);
+}
+
+class QrRandom : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QrRandom, ReconstructsA) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 131 + n));
+  const Matrix a = random_matrix(m, n, rng);
+  const QrFactorization qr(a);
+  const Matrix recon = qr.thin_q() * qr.r();
+  EXPECT_LT(max_abs_diff(recon, a), 1e-11);
+}
+
+TEST_P(QrRandom, ThinQHasOrthonormalColumns) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 137 + n));
+  const Matrix a = random_matrix(m, n, rng);
+  const Matrix q = QrFactorization(a).thin_q();
+  EXPECT_LT(max_abs_diff(gram(q), Matrix::identity(n)), 1e-12);
+}
+
+TEST_P(QrRandom, LeastSquaresMatchesNormalEquations) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 139 + n));
+  const Matrix a = random_matrix(m, n, rng);
+  const std::vector<Real> b = rng.normal_vector(m);
+  const std::vector<Real> x_qr = QrFactorization(a).solve(b);
+
+  // Normal equations: (A'A) x = A'b.
+  std::vector<Real> atb(static_cast<std::size_t>(n));
+  gemv_transposed(a, b, atb);
+  const std::vector<Real> x_ne = cholesky_solve(gram(a), atb);
+  for (Index i = 0; i < n; ++i)
+    EXPECT_NEAR(x_qr[static_cast<std::size_t>(i)],
+                x_ne[static_cast<std::size_t>(i)], 1e-8);
+}
+
+TEST_P(QrRandom, ResidualOrthogonalToColumnSpace) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 149 + n));
+  const Matrix a = random_matrix(m, n, rng);
+  const std::vector<Real> b = rng.normal_vector(m);
+  const std::vector<Real> x = QrFactorization(a).solve(b);
+  const std::vector<Real> residual = vsub(b, a * x);
+  std::vector<Real> at_res(static_cast<std::size_t>(n));
+  gemv_transposed(a, residual, at_res);
+  EXPECT_LT(max_abs(at_res), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrRandom,
+                         ::testing::Values(std::tuple{4, 4}, std::tuple{10, 3},
+                                           std::tuple{30, 30},
+                                           std::tuple{100, 20},
+                                           std::tuple{50, 49}));
+
+TEST(Qr, ApplyQtThenQIsIdentity) {
+  Rng rng(9);
+  const Matrix a = random_matrix(12, 5, rng);
+  const QrFactorization qr(a);
+  const std::vector<Real> b = rng.normal_vector(12);
+  std::vector<Real> work = b;
+  qr.apply_qt(work);
+  qr.apply_q(work);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(work[i], b[i], 1e-12);
+}
+
+TEST(Qr, ConditionEstimateIdentity) {
+  EXPECT_NEAR(QrFactorization(Matrix::identity(5)).condition_estimate(), 1.0,
+              1e-12);
+}
+
+TEST(Qr, DetectsRankDeficiency) {
+  // Third column = sum of the first two.
+  Matrix a(6, 3);
+  Rng rng(10);
+  for (Index r = 0; r < 6; ++r) {
+    a(r, 0) = rng.normal();
+    a(r, 1) = rng.normal();
+    a(r, 2) = a(r, 0) + a(r, 1);
+  }
+  EXPECT_TRUE(QrFactorization(a).rank_deficient(1e-10));
+  const Matrix b = random_matrix(6, 3, rng);
+  EXPECT_FALSE(QrFactorization(b).rank_deficient(1e-10));
+}
+
+TEST(Qr, ZeroColumnHandled) {
+  Matrix a(4, 2);
+  a(0, 1) = 1;
+  a(1, 1) = 2;  // column 0 all zero
+  const QrFactorization qr(a);
+  EXPECT_TRUE(qr.rank_deficient());
+}
+
+TEST(Qr, OneShotHelper) {
+  const Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const std::vector<Real> b{1, 2, 3};
+  const std::vector<Real> x = least_squares_solve(a, b);
+  // Normal equations: A'A = [[2,1],[1,2]], A'b = (4,5) -> x = (1, 2).
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rsm

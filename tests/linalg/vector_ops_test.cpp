@@ -1,0 +1,80 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rsm {
+namespace {
+
+TEST(VectorOps, Dot) {
+  const std::vector<Real> x{1, 2, 3, 4, 5};
+  const std::vector<Real> y{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(dot(x, y), 35.0);
+}
+
+TEST(VectorOps, DotHandlesRemainderLanes) {
+  // Lengths 1..9 exercise the unrolled kernel's tail handling.
+  for (std::size_t n = 1; n <= 9; ++n) {
+    std::vector<Real> x(n), y(n);
+    Real expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<Real>(i + 1);
+      y[i] = static_cast<Real>(2 * i + 1);
+      expected += x[i] * y[i];
+    }
+    EXPECT_DOUBLE_EQ(dot(x, y), expected) << "n=" << n;
+  }
+}
+
+TEST(VectorOps, Nrm2) {
+  const std::vector<Real> x{3, 4};
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(nrm2(std::vector<Real>{}), 0.0);
+}
+
+TEST(VectorOps, Sum) {
+  EXPECT_DOUBLE_EQ(vsum(std::vector<Real>{1, 2, 3}), 6.0);
+}
+
+TEST(VectorOps, Axpy) {
+  const std::vector<Real> x{1, 2, 3};
+  std::vector<Real> y{10, 20, 30};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y[0], 12);
+  EXPECT_EQ(y[1], 24);
+  EXPECT_EQ(y[2], 36);
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<Real> x{1, -2, 3};
+  scale(-2.0, x);
+  EXPECT_EQ(x[0], -2);
+  EXPECT_EQ(x[1], 4);
+  EXPECT_EQ(x[2], -6);
+}
+
+TEST(VectorOps, MaxAbs) {
+  EXPECT_DOUBLE_EQ(max_abs(std::vector<Real>{1, -7, 3}), 7.0);
+  EXPECT_DOUBLE_EQ(max_abs(std::vector<Real>{}), 0.0);
+}
+
+TEST(VectorOps, ArgmaxAbs) {
+  EXPECT_EQ(argmax_abs(std::vector<Real>{1, -7, 3}), 1);
+  EXPECT_EQ(argmax_abs(std::vector<Real>{}), -1);
+  // Ties resolve to the first occurrence.
+  EXPECT_EQ(argmax_abs(std::vector<Real>{5, -5}), 0);
+}
+
+TEST(VectorOps, SubAdd) {
+  const std::vector<Real> a{5, 6}, b{1, 2};
+  const std::vector<Real> d = vsub(a, b);
+  EXPECT_EQ(d[0], 4);
+  EXPECT_EQ(d[1], 4);
+  const std::vector<Real> s = vadd(a, b);
+  EXPECT_EQ(s[0], 6);
+  EXPECT_EQ(s[1], 8);
+}
+
+}  // namespace
+}  // namespace rsm

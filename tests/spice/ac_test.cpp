@@ -1,0 +1,126 @@
+#include "spice/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "spice/netlist.hpp"
+
+namespace rsm::spice {
+namespace {
+
+/// RC low-pass testbench: 1 kOhm into 1 nF -> pole at ~159 kHz.
+struct RcLowPass {
+  Netlist n;
+  NodeId out;
+  DcSolution op;
+
+  RcLowPass() {
+    const NodeId in = n.node("in");
+    out = n.node("out");
+    n.add_vsource(in, kGround, 0.0, /*ac=*/1.0);
+    n.add_resistor(in, out, 1e3);
+    n.add_capacitor(out, kGround, 1e-9);
+    op = solve_dc(n);
+  }
+
+  [[nodiscard]] Real pole_hz() const {
+    return Real{1} / (2 * std::numbers::pi_v<Real> * 1e3 * 1e-9);
+  }
+};
+
+TEST(Ac, RcLowPassMagnitude) {
+  RcLowPass tb;
+  // |H| = 1/sqrt(1 + (f/fp)^2).
+  for (Real f : {1e3, 1e5, tb.pole_hz(), 1e6, 1e7}) {
+    const std::vector<Phasor> sol = solve_ac(tb.n, tb.op, f);
+    const Real mag = std::abs(ac_voltage(sol, tb.out));
+    const Real expected =
+        1.0 / std::sqrt(1.0 + (f / tb.pole_hz()) * (f / tb.pole_hz()));
+    EXPECT_NEAR(mag, expected, 1e-3) << "f=" << f;
+  }
+}
+
+TEST(Ac, RcLowPassPhase) {
+  RcLowPass tb;
+  const std::vector<Phasor> sol = solve_ac(tb.n, tb.op, tb.pole_hz());
+  // At the pole: phase = -45 degrees.
+  EXPECT_NEAR(std::arg(ac_voltage(sol, tb.out)),
+              -std::numbers::pi_v<Real> / 4, 1e-3);
+}
+
+TEST(Ac, Find3dbMatchesAnalyticPole) {
+  RcLowPass tb;
+  const Real bw = find_3db_bandwidth(tb.n, tb.op, tb.out, 1.0, 1e9);
+  EXPECT_NEAR(bw / tb.pole_hz(), 1.0, 1e-3);
+}
+
+TEST(Ac, SweepIsMonotonicallyDecreasingForLowPass) {
+  RcLowPass tb;
+  const std::vector<AcSweepPoint> sweep =
+      ac_sweep(tb.n, tb.op, tb.out, 10.0, 1e8, 5);
+  ASSERT_GT(sweep.size(), 10u);
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    EXPECT_LE(std::abs(sweep[i].value), std::abs(sweep[i - 1].value) + 1e-12);
+}
+
+TEST(Ac, VccsTransconductanceAmplifier) {
+  // gm into a load resistor: gain = gm * R, flat with frequency.
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_vsource(in, kGround, 0.0, 1.0);
+  n.add_vccs(out, kGround, in, kGround, 2e-3);
+  n.add_resistor(out, kGround, 5e3);
+  const DcSolution op = solve_dc(n);
+  for (Real f : {10.0, 1e4, 1e7}) {
+    const std::vector<Phasor> sol = solve_ac(n, op, f);
+    EXPECT_NEAR(std::abs(ac_voltage(sol, out)), 10.0, 1e-6) << "f=" << f;
+  }
+}
+
+TEST(Ac, MosfetCommonSourceGain) {
+  // AC gain of a resistively loaded common-source stage ~= gm * (R || ro).
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  MosfetParams p;
+  p.w = 10e-6;
+  p.l = 0.5e-6;
+  n.add_vsource(vdd, kGround, 1.2);
+  n.add_vsource(in, kGround, 0.6, /*ac=*/1.0);
+  n.add_mosfet(out, in, kGround, kGround, p);
+  n.add_resistor(vdd, out, 5e3);
+  const DcSolution op = solve_dc(n);
+  const MosfetEval e = evaluate_nmos_convention(p, 0.6, op.voltage(out));
+  const Real r_load = 1.0 / (1.0 / 5e3 + e.gds);
+  const std::vector<Phasor> sol = solve_ac(n, op, 100.0);
+  EXPECT_NEAR(std::abs(ac_voltage(sol, out)), e.gm * r_load,
+              0.01 * e.gm * r_load);
+}
+
+TEST(Ac, UnityGainFrequency) {
+  // Integrator-like stage: gm = 1 mS into 1 nF; unity at gm/(2 pi C).
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_vsource(in, kGround, 0.0, 1.0);
+  n.add_vccs(out, kGround, in, kGround, 1e-3);
+  n.add_capacitor(out, kGround, 1e-9);
+  n.add_resistor(out, kGround, 1e6);  // finite DC gain
+  const DcSolution op = solve_dc(n);
+  const Real fu = find_unity_gain_frequency(n, op, out, 10.0, 1e9);
+  const Real expected = 1e-3 / (2 * std::numbers::pi_v<Real> * 1e-9);
+  EXPECT_NEAR(fu / expected, 1.0, 0.01);
+}
+
+TEST(Ac, GroundVoltageIsZero) {
+  RcLowPass tb;
+  const std::vector<Phasor> sol = solve_ac(tb.n, tb.op, 1e3);
+  EXPECT_EQ(ac_voltage(sol, kGround), Phasor{});
+}
+
+}  // namespace
+}  // namespace rsm::spice

@@ -1,0 +1,75 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "spice/dc.hpp"
+#include "spice/netlist.hpp"
+
+namespace rsm::spice {
+namespace {
+
+TEST(DcSweep, LinearDividerIsLinear) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId mid = n.node("mid");
+  const VsourceId src = n.add_vsource(in, kGround, 0.0);
+  n.add_resistor(in, mid, 1e3);
+  n.add_resistor(mid, kGround, 1e3);
+  const std::vector<Real> values{0.0, 0.5, 1.0, 1.5, 2.0};
+  const std::vector<Real> out = dc_sweep(n, src, values, mid);
+  ASSERT_EQ(out.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_NEAR(out[i], values[i] / 2, 1e-6);
+}
+
+TEST(DcSweep, RestoresOriginalSourceValue) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const VsourceId src = n.add_vsource(in, kGround, 0.123);
+  n.add_resistor(in, kGround, 1e3);
+  const std::vector<Real> values{1.0, 2.0};
+  (void)dc_sweep(n, src, values, in);
+  EXPECT_DOUBLE_EQ(n.vsources()[0].dc, 0.123);
+}
+
+TEST(DcSweep, InverterVtcShape) {
+  // NMOS inverter with resistive load: VTC is monotone decreasing, starts
+  // near VDD, ends low, and has a high-gain transition region.
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_vsource(vdd, kGround, 1.2);
+  const VsourceId vin = n.add_vsource(in, kGround, 0.0);
+  MosfetParams p;
+  p.w = 8e-6;
+  p.l = 0.12e-6;
+  n.add_mosfet(out, in, kGround, kGround, p);
+  n.add_resistor(vdd, out, 20e3);
+
+  std::vector<Real> values;
+  for (Real v = 0.0; v <= 1.2001; v += 0.025) values.push_back(v);
+  const std::vector<Real> vtc = dc_sweep(n, vin, values, out);
+
+  EXPECT_GT(vtc.front(), 1.15);  // input low: output at VDD
+  EXPECT_LT(vtc.back(), 0.1);    // input high: output pulled down
+  for (std::size_t i = 1; i < vtc.size(); ++i)
+    EXPECT_LE(vtc[i], vtc[i - 1] + 1e-7) << "non-monotone at " << values[i];
+  // Max gain |dVout/dVin| exceeds 1 somewhere (it is an amplifier).
+  Real max_gain = 0;
+  for (std::size_t i = 1; i < vtc.size(); ++i)
+    max_gain = std::max(max_gain,
+                        std::abs(vtc[i] - vtc[i - 1]) / (values[i] - values[i - 1]));
+  EXPECT_GT(max_gain, 2.0);
+}
+
+TEST(DcSweep, EmptyValuesThrow) {
+  Netlist n;
+  const VsourceId src = n.add_vsource(n.node("a"), kGround, 1.0);
+  n.add_resistor(n.node("a"), kGround, 1e3);
+  EXPECT_THROW((void)dc_sweep(n, src, {}, n.node("a")), Error);
+}
+
+}  // namespace
+}  // namespace rsm::spice

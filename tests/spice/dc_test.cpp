@@ -1,0 +1,183 @@
+#include "spice/dc.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "spice/mosfet.hpp"
+#include "spice/netlist.hpp"
+
+namespace rsm::spice {
+namespace {
+
+TEST(Dc, ResistorDivider) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId mid = n.node("mid");
+  n.add_vsource(in, kGround, 3.0);
+  n.add_resistor(in, mid, 1e3);
+  n.add_resistor(mid, kGround, 2e3);
+  const DcSolution sol = solve_dc(n);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.voltage(mid), 2.0, 1e-6);
+  // Source current: 3V over 3k = 1 mA flowing out of the + terminal, which
+  // in the MNA branch convention is -1 mA through the source.
+  EXPECT_NEAR(vsource_current(n, sol, 0), -1e-3, 1e-8);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.add_isource(kGround, a, 2e-3);  // 2 mA into node a
+  n.add_resistor(a, kGround, 1e3);
+  const DcSolution sol = solve_dc(n);
+  EXPECT_NEAR(sol.voltage(a), 2.0, 1e-6);
+}
+
+TEST(Dc, CapacitorIsOpenAtDc) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId mid = n.node("mid");
+  n.add_vsource(in, kGround, 1.0);
+  n.add_resistor(in, mid, 1e3);
+  n.add_capacitor(mid, kGround, 1e-9);
+  const DcSolution sol = solve_dc(n);
+  // No DC path through the cap: mid floats to the source voltage (through
+  // gmin it settles within tolerance).
+  EXPECT_NEAR(sol.voltage(mid), 1.0, 1e-3);
+}
+
+TEST(Dc, VcvsAmplifies) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_vsource(in, kGround, 0.25);
+  n.add_vcvs(out, kGround, in, kGround, 8.0);
+  n.add_resistor(out, kGround, 1e3);
+  const DcSolution sol = solve_dc(n);
+  EXPECT_NEAR(sol.voltage(out), 2.0, 1e-9);
+}
+
+TEST(Dc, VccsConverts) {
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_vsource(in, kGround, 0.5);
+  n.add_vccs(out, kGround, in, kGround, 1e-3);  // I = gm * vin into out? sign
+  n.add_resistor(out, kGround, 2e3);
+  const DcSolution sol = solve_dc(n);
+  // I(p->q) = gm*(vcp-vcq) = 0.5 mA flows out -> gnd inside the source,
+  // i.e. it pulls node 'out' down: V(out) = -gm*V(in)*R (within the gmin
+  // convergence-aid leakage, ~R*gmin relative).
+  EXPECT_NEAR(sol.voltage(out), -1.0, 1e-8);
+}
+
+TEST(Dc, DiodeConnectedMosfet) {
+  // Ibias into a diode-connected NMOS: VGS settles so that Ids = Ibias.
+  Netlist n;
+  const NodeId d = n.node("d");
+  MosfetParams p;
+  p.vt0 = 0.4;
+  p.kp = 200e-6;
+  p.lambda = 0.0;  // no CLM: clean square-law check
+  p.w = 10e-6;
+  p.l = 1e-6;
+  n.add_isource(kGround, d, 100e-6);  // 100 uA into the drain
+  n.add_mosfet(d, d, kGround, kGround, p);
+  const DcSolution sol = solve_dc(n);
+  const Real vgs = sol.voltage(d);
+  // Square law: vgs = vt + sqrt(2 I / beta) = 0.4 + sqrt(2e-4/2e-3) = 0.716.
+  EXPECT_NEAR(vgs, 0.4 + std::sqrt(2 * 100e-6 / (200e-6 * 10)), 0.01);
+  // Device current matches the bias.
+  const MosfetEval e = evaluate_nmos_convention(p, vgs, vgs);
+  EXPECT_NEAR(e.ids, 100e-6, 2e-6);
+}
+
+TEST(Dc, NmosCurrentMirror) {
+  Netlist n;
+  const NodeId bias = n.node("bias");
+  const NodeId out = n.node("out");
+  const NodeId vdd = n.node("vdd");
+  MosfetParams p;
+  p.vt0 = 0.4;
+  p.kp = 200e-6;
+  p.lambda = 0.0;
+  p.w = 10e-6;
+  p.l = 1e-6;
+  n.add_vsource(vdd, kGround, 1.2);
+  n.add_isource(vdd, bias, 50e-6);
+  n.add_mosfet(bias, bias, kGround, kGround, p);  // diode reference
+  MosfetParams p2 = p;
+  p2.w = 30e-6;  // 3x mirror
+  n.add_mosfet(out, bias, kGround, kGround, p2);
+  n.add_resistor(vdd, out, 2e3);
+  const DcSolution sol = solve_dc(n);
+  // Mirror output current = 3 * 50 uA = 150 uA -> 0.3 V drop across 2k.
+  EXPECT_NEAR(sol.voltage(out), 1.2 - 0.3, 0.02);
+}
+
+TEST(Dc, CommonSourceAmplifierGainSign) {
+  // NMOS common source with resistive load: raising the input must lower
+  // the output.
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  MosfetParams p;
+  p.w = 5e-6;
+  p.l = 0.2e-6;
+  n.add_vsource(vdd, kGround, 1.2);
+  const VsourceId vin = n.add_vsource(in, kGround, 0.55);
+  n.add_mosfet(out, in, kGround, kGround, p);
+  n.add_resistor(vdd, out, 10e3);
+  const DcSolution lo = solve_dc(n);
+  n.vsource(vin).dc = 0.60;
+  const DcSolution hi = solve_dc(n);
+  EXPECT_LT(hi.voltage(out), lo.voltage(out));
+  EXPECT_GT(lo.voltage(out), 0.0);
+  EXPECT_LT(lo.voltage(out), 1.2);
+}
+
+TEST(Dc, WarmStartReducesIterations) {
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId out = n.node("out");
+  MosfetParams p;
+  p.w = 5e-6;
+  p.l = 0.2e-6;
+  n.add_vsource(vdd, kGround, 1.2);
+  n.add_isource(vdd, out, 20e-6);
+  n.add_mosfet(out, out, kGround, kGround, p);
+  const DcSolution cold = solve_dc(n);
+  const DcSolution warm = solve_dc(n, {}, cold.x);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(Dc, EmptyNetlistThrows) {
+  Netlist n;
+  EXPECT_THROW(solve_dc(n), Error);
+}
+
+TEST(Dc, PmosSourceFollowerLevel) {
+  // PMOS diode from vdd: V(drain) = vdd - |vgs|.
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId d = n.node("d");
+  MosfetParams p;
+  p.type = MosType::kPmos;
+  p.vt0 = 0.45;
+  p.kp = 80e-6;
+  p.lambda = 0.0;
+  p.w = 20e-6;
+  p.l = 1e-6;
+  n.add_vsource(vdd, kGround, 1.2);
+  n.add_mosfet(d, d, vdd, vdd, p);       // diode-connected PMOS
+  n.add_isource(d, kGround, 80e-6);      // pull 80 uA out of the drain
+  const DcSolution sol = solve_dc(n);
+  const Real vsg = 1.2 - sol.voltage(d);
+  EXPECT_NEAR(vsg, 0.45 + std::sqrt(2 * 80e-6 / (80e-6 * 20)), 0.02);
+}
+
+}  // namespace
+}  // namespace rsm::spice

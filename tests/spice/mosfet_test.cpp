@@ -1,0 +1,144 @@
+#include "spice/mosfet.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rsm::spice {
+namespace {
+
+MosfetParams test_device() {
+  MosfetParams p;
+  p.vt0 = 0.4;
+  p.kp = 200e-6;
+  p.lambda = 0.1;
+  p.w = 10e-6;
+  p.l = 1e-6;
+  return p;
+}
+
+TEST(Mosfet, SaturationApproachesSquareLaw) {
+  // Deep strong inversion, vds >> vov: the EKV blend must match the
+  // square-law saturation current within the CLM factor.
+  const MosfetParams p = test_device();
+  const Real vgs = 1.0, vds = 1.2;
+  const Real vov = vgs - p.vt0;
+  const MosfetEval e = evaluate_nmos_convention(p, vgs, vds);
+  const Real square_law = 0.5 * p.beta() * vov * vov * (1 + p.lambda * vds);
+  EXPECT_NEAR(e.ids, square_law, 0.02 * square_law);
+}
+
+TEST(Mosfet, TriodeApproachesSquareLaw) {
+  const MosfetParams p = test_device();
+  const Real vgs = 1.2, vds = 0.2;  // vov = 0.8 >> vds
+  const MosfetEval e = evaluate_nmos_convention(p, vgs, vds);
+  const Real vov = vgs - p.vt0;
+  const Real square_law =
+      p.beta() * (vov * vds - 0.5 * vds * vds) * (1 + p.lambda * vds);
+  EXPECT_NEAR(e.ids, square_law, 0.03 * square_law);
+}
+
+TEST(Mosfet, SubthresholdIsExponential) {
+  // 60*n mV/decade deep below threshold: current ratio ~10 for
+  // dVgs = n*vt*ln(10). The EKV blend softens toward threshold, so test
+  // well below it and allow the moderate-inversion correction.
+  const MosfetParams p = test_device();
+  const Real n_vt = kSubthresholdSlope * kThermalVoltage;
+  const Real i1 = evaluate_nmos_convention(p, 0.05, 1.0).ids;
+  const Real i2 =
+      evaluate_nmos_convention(p, 0.05 + n_vt * std::log(10.0), 1.0).ids;
+  EXPECT_NEAR(i2 / i1, 10.0, 1.5);
+}
+
+TEST(Mosfet, CurrentIsMonotonicInVgs) {
+  const MosfetParams p = test_device();
+  Real prev = -1;
+  for (Real vgs = 0.0; vgs <= 1.2; vgs += 0.01) {
+    const Real ids = evaluate_nmos_convention(p, vgs, 0.6).ids;
+    EXPECT_GT(ids, prev);
+    prev = ids;
+  }
+}
+
+TEST(Mosfet, CurrentIsMonotonicInVds) {
+  const MosfetParams p = test_device();
+  Real prev = -1e9;
+  for (Real vds = 0.0; vds <= 1.2; vds += 0.01) {
+    const Real ids = evaluate_nmos_convention(p, 0.8, vds).ids;
+    EXPECT_GE(ids, prev);
+    prev = ids;
+  }
+}
+
+TEST(Mosfet, ZeroVdsZeroCurrent) {
+  const MosfetParams p = test_device();
+  EXPECT_NEAR(evaluate_nmos_convention(p, 0.8, 0.0).ids, 0.0, 1e-12);
+}
+
+TEST(Mosfet, GmMatchesFiniteDifference) {
+  const MosfetParams p = test_device();
+  const Real h = 1e-7;
+  for (Real vgs : {0.3, 0.5, 0.8, 1.1}) {
+    for (Real vds : {0.05, 0.3, 0.9}) {
+      const Real fd = (evaluate_nmos_convention(p, vgs + h, vds).ids -
+                       evaluate_nmos_convention(p, vgs - h, vds).ids) /
+                      (2 * h);
+      const Real gm = evaluate_nmos_convention(p, vgs, vds).gm;
+      EXPECT_NEAR(gm, fd, 1e-5 + 1e-4 * std::abs(fd))
+          << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST(Mosfet, GdsMatchesFiniteDifference) {
+  const MosfetParams p = test_device();
+  const Real h = 1e-7;
+  for (Real vgs : {0.5, 0.8, 1.1}) {
+    for (Real vds : {0.1, 0.4, 1.0}) {
+      const Real fd = (evaluate_nmos_convention(p, vgs, vds + h).ids -
+                       evaluate_nmos_convention(p, vgs, vds - h).ids) /
+                      (2 * h);
+      const Real gds = evaluate_nmos_convention(p, vgs, vds).gds;
+      EXPECT_NEAR(gds, fd, 1e-5 + 1e-3 * std::abs(fd))
+          << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST(Mosfet, ReverseModeAntisymmetric) {
+  // Swapping drain and source negates the current (symmetric device).
+  const MosfetParams p = test_device();
+  const Real vg = 0.9, vd = 0.3, vs = 0.7;  // vds < 0 in NMOS convention
+  const MosfetEval rev = evaluate_nmos_convention(p, vg - vs, vd - vs);
+  const MosfetEval fwd = evaluate_nmos_convention(p, vg - vd, vs - vd);
+  EXPECT_NEAR(rev.ids, -fwd.ids, 1e-12);
+}
+
+TEST(Mosfet, CurrentContinuousAcrossVdsSignChange) {
+  const MosfetParams p = test_device();
+  const Real below = evaluate_nmos_convention(p, 0.8, -1e-9).ids;
+  const Real above = evaluate_nmos_convention(p, 0.8, 1e-9).ids;
+  EXPECT_NEAR(below, above, 1e-10);
+}
+
+TEST(Mosfet, BetaScalesWithGeometry) {
+  MosfetParams p = test_device();
+  const Real i1 = evaluate_nmos_convention(p, 1.0, 1.0).ids;
+  p.w *= 2;
+  const Real i2 = evaluate_nmos_convention(p, 1.0, 1.0).ids;
+  EXPECT_NEAR(i2 / i1, 2.0, 1e-9);
+  p.l *= 2;
+  const Real i3 = evaluate_nmos_convention(p, 1.0, 1.0).ids;
+  EXPECT_NEAR(i3 / i1, 1.0, 1e-9);
+}
+
+TEST(Mosfet, HigherVthLowersCurrent) {
+  MosfetParams p = test_device();
+  const Real i1 = evaluate_nmos_convention(p, 0.8, 0.6).ids;
+  p.vt0 += 0.05;
+  const Real i2 = evaluate_nmos_convention(p, 0.8, 0.6).ids;
+  EXPECT_LT(i2, i1);
+}
+
+}  // namespace
+}  // namespace rsm::spice

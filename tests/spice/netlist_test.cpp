@@ -1,0 +1,86 @@
+#include "spice/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsm::spice {
+namespace {
+
+TEST(Netlist, GroundAliases) {
+  Netlist n;
+  EXPECT_EQ(n.node("0"), kGround);
+  EXPECT_EQ(n.node("gnd"), kGround);
+  EXPECT_EQ(n.num_nodes(), 1);
+}
+
+TEST(Netlist, NodeCreationIsIdempotent) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  const NodeId b = n.node("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(n.node("a"), a);
+  EXPECT_EQ(n.num_nodes(), 3);
+  EXPECT_EQ(n.node_name(a), "a");
+}
+
+TEST(Netlist, MnaSizeCountsBranchCurrents) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  const NodeId b = n.node("b");
+  n.add_resistor(a, b, 1e3);
+  EXPECT_EQ(n.mna_size(), 2);  // two node voltages, no branches
+  n.add_vsource(a, kGround, 1.0);
+  EXPECT_EQ(n.mna_size(), 3);
+  n.add_vcvs(b, kGround, a, kGround, 2.0);
+  EXPECT_EQ(n.mna_size(), 4);
+  n.add_isource(a, b, 1e-3);  // current sources add no unknowns
+  EXPECT_EQ(n.mna_size(), 4);
+}
+
+TEST(Netlist, BranchIndices) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.add_vsource(a, kGround, 1.0);
+  n.add_vsource(a, kGround, 2.0);
+  n.add_vcvs(a, kGround, a, kGround, 1.0);
+  EXPECT_EQ(n.vsource_branch_index(0), 1);
+  EXPECT_EQ(n.vsource_branch_index(1), 2);
+  EXPECT_EQ(n.vcvs_branch_index(0), 3);
+  EXPECT_THROW(n.vsource_branch_index(2), Error);
+}
+
+TEST(Netlist, ElementHandlesAllowMutation) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  const ResistorId r = n.add_resistor(a, kGround, 1e3);
+  const VsourceId v = n.add_vsource(a, kGround, 1.0);
+  n.resistor(r).resistance = 2e3;
+  n.vsource(v).dc = 3.3;
+  EXPECT_EQ(n.resistors()[0].resistance, 2e3);
+  EXPECT_EQ(n.vsources()[0].dc, 3.3);
+}
+
+TEST(Netlist, RejectsNonPositiveResistance) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  EXPECT_THROW(n.add_resistor(a, kGround, 0.0), Error);
+  EXPECT_THROW(n.add_resistor(a, kGround, -5.0), Error);
+}
+
+TEST(Netlist, RejectsNegativeCapacitance) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  EXPECT_THROW(n.add_capacitor(a, kGround, -1e-12), Error);
+}
+
+TEST(Netlist, MosfetStored) {
+  Netlist n;
+  const NodeId d = n.node("d"), g = n.node("g");
+  MosfetParams p;
+  p.type = MosType::kPmos;
+  const MosfetId id = n.add_mosfet(d, g, kGround, kGround, p);
+  EXPECT_EQ(n.mosfets().size(), 1u);
+  EXPECT_EQ(n.mosfet(id).params.type, MosType::kPmos);
+}
+
+}  // namespace
+}  // namespace rsm::spice

@@ -1,0 +1,300 @@
+#include "spice/parser.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "spice/ac.hpp"
+#include "spice/dc.hpp"
+
+namespace rsm::spice {
+namespace {
+
+TEST(SpiceNumber, PlainAndSuffixed) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-3"), -3.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5k"), 2500.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("20u"), 20e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1m"), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3meg"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("100f"), 100e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2p"), 2e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5n"), 5e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1g"), 1e9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1t"), 1e12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1e-6"), 1e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1E3"), 1e3);
+}
+
+TEST(SpiceNumber, Malformed) {
+  EXPECT_THROW((void)parse_spice_number("abc"), Error);
+  EXPECT_THROW((void)parse_spice_number("1.5x"), Error);
+  EXPECT_THROW((void)parse_spice_number(""), Error);
+}
+
+TEST(Parser, ResistorDividerParsesAndSolves) {
+  const Netlist n = parse_netlist(R"(
+* resistor divider
+V1 in 0 3
+R1 in mid 1k
+R2 mid 0 2k
+.end
+)");
+  EXPECT_EQ(n.resistors().size(), 2u);
+  EXPECT_EQ(n.vsources().size(), 1u);
+  Netlist copy = n;
+  const DcSolution sol = solve_dc(copy);
+  EXPECT_NEAR(sol.voltage(copy.node("mid")), 2.0, 1e-6);
+}
+
+TEST(Parser, CommentsAndContinuations) {
+  const Netlist n = parse_netlist(
+      "* top comment\n"
+      "R1 a b\n"
+      "+ 2k ; inline comment after continuation\n"
+      "V1 a 0 1 ; drive\n");
+  ASSERT_EQ(n.resistors().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.resistors()[0].resistance, 2000.0);
+}
+
+TEST(Parser, SourcesWithDcAndAc) {
+  const Netlist n = parse_netlist(
+      "V1 in 0 DC 0.6 AC 1\n"
+      "I1 0 out 2m\n");
+  ASSERT_EQ(n.vsources().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.vsources()[0].dc, 0.6);
+  EXPECT_DOUBLE_EQ(n.vsources()[0].ac, 1.0);
+  ASSERT_EQ(n.isources().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.isources()[0].dc, 2e-3);
+}
+
+TEST(Parser, ControlledSources) {
+  const Netlist n = parse_netlist(
+      "E1 out 0 in 0 8\n"
+      "G1 load 0 in 0 1m\n");
+  ASSERT_EQ(n.vcvs_list().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.vcvs_list()[0].gain, 8.0);
+  ASSERT_EQ(n.vccs_list().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.vccs_list()[0].gm, 1e-3);
+}
+
+TEST(Parser, MosfetWithModelCard) {
+  const Netlist n = parse_netlist(R"(
+.model nch NMOS (VT0=0.45 KP=180u LAMBDA=0.12)
+.model pch PMOS (VT0=0.5 KP=80u)
+M1 d g 0 0 nch W=4u L=120n
+M2 d2 g vdd vdd pch W=8u L=240n
+V1 vdd 0 1.2
+)");
+  ASSERT_EQ(n.mosfets().size(), 2u);
+  const Mosfet& m1 = n.mosfets()[0];
+  EXPECT_EQ(m1.params.type, MosType::kNmos);
+  EXPECT_DOUBLE_EQ(m1.params.vt0, 0.45);
+  EXPECT_DOUBLE_EQ(m1.params.kp, 180e-6);
+  EXPECT_DOUBLE_EQ(m1.params.lambda, 0.12);
+  EXPECT_DOUBLE_EQ(m1.params.w, 4e-6);
+  EXPECT_DOUBLE_EQ(m1.params.l, 120e-9);
+  EXPECT_EQ(n.mosfets()[1].params.type, MosType::kPmos);
+}
+
+TEST(Parser, ModelMayFollowUse) {
+  const Netlist n = parse_netlist(
+      "M1 d g 0 0 nch W=1u L=100n\n"
+      ".model nch NMOS (VT0=0.4 KP=200u)\n");
+  ASSERT_EQ(n.mosfets().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.mosfets()[0].params.vt0, 0.4);
+}
+
+TEST(Parser, CaseInsensitiveNodesAndGround) {
+  const Netlist n = parse_netlist(
+      "R1 OUT GND 1k\n"
+      "R2 out 0 1k\n");
+  // "OUT"/"out" are one node; "GND"/"0" are ground.
+  EXPECT_EQ(n.resistors()[0].a, n.resistors()[1].a);
+  EXPECT_EQ(n.resistors()[0].b, kGround);
+  EXPECT_EQ(n.resistors()[1].b, kGround);
+}
+
+TEST(Parser, ParsedAmplifierMatchesBuilderResult) {
+  // Common-source amp via text vs via builder calls: identical AC gain.
+  const std::string text = R"(
+.model nch NMOS (VT0=0.4 KP=200u LAMBDA=0.1)
+Vdd vdd 0 1.2
+Vin in 0 DC 0.6 AC 1
+M1 out in 0 0 nch W=10u L=500n
+Rl vdd out 5k
+)";
+  Netlist parsed = parse_netlist(text);
+  const DcSolution op = solve_dc(parsed);
+  const std::vector<Phasor> ac = solve_ac(parsed, op, 100.0);
+  const Real gain_parsed = std::abs(ac_voltage(ac, parsed.node("out")));
+
+  Netlist built;
+  const auto vdd = built.node("vdd");
+  const auto in = built.node("in");
+  const auto out = built.node("out");
+  built.add_vsource(vdd, kGround, 1.2);
+  built.add_vsource(in, kGround, 0.6, 1.0);
+  MosfetParams p;
+  p.vt0 = 0.4;
+  p.kp = 200e-6;
+  p.lambda = 0.1;
+  p.w = 10e-6;
+  p.l = 500e-9;
+  built.add_mosfet(out, in, kGround, kGround, p);
+  built.add_resistor(vdd, out, 5e3);
+  const DcSolution op2 = solve_dc(built);
+  const std::vector<Phasor> ac2 = solve_ac(built, op2, 100.0);
+  const Real gain_built = std::abs(ac_voltage(ac2, out));
+
+  EXPECT_NEAR(gain_parsed, gain_built, 1e-9 * gain_built);
+  EXPECT_GT(gain_parsed, 1.0);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_netlist("R1 a b 1k\nR2 a b\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownCards) {
+  EXPECT_THROW(parse_netlist("X1 a b mystery\n"), Error);
+  EXPECT_THROW(parse_netlist(".tran 1n 10n\n"), Error);
+  EXPECT_THROW(parse_netlist("M1 d g 0 0 missing_model\n"), Error);
+  EXPECT_THROW(parse_netlist("R1 a b -5\n"), Error);  // netlist validation
+}
+
+TEST(Parser, SubcircuitExpandsWithLocalNodes) {
+  // Two divider instances: internal node "mid" must be distinct per
+  // instance.
+  const Netlist n = parse_netlist(R"(
+.subckt divider in out
+R1 in mid 1k
+R2 mid out 1k
+.ends
+V1 a 0 2
+X1 a b divider
+X2 b 0 divider
+)");
+  // 2 instances x 2 resistors.
+  EXPECT_EQ(n.resistors().size(), 4u);
+  Netlist copy = n;
+  const DcSolution sol = solve_dc(copy);
+  // Series chain of 4 equal resistors from 2 V to ground: b = 1 V.
+  EXPECT_NEAR(sol.voltage(copy.node("b")), 1.0, 1e-6);
+  // Internal nodes got hierarchical names.
+  EXPECT_NEAR(sol.voltage(copy.node("x1.mid")), 1.5, 1e-6);
+  EXPECT_NEAR(sol.voltage(copy.node("x2.mid")), 0.5, 1e-6);
+}
+
+TEST(Parser, NestedSubcircuitInstancesExpand) {
+  // A subckt instantiating another subckt.
+  const Netlist n = parse_netlist(R"(
+.subckt unit a b
+R1 a b 1k
+.ends
+.subckt pair a b
+X1 a m unit
+X2 m b unit
+.ends
+V1 top 0 1
+Xp top 0 pair
+)");
+  EXPECT_EQ(n.resistors().size(), 2u);
+  Netlist copy = n;
+  const DcSolution sol = solve_dc(copy);
+  EXPECT_NEAR(sol.voltage(copy.node("xp.m")), 0.5, 1e-6);
+}
+
+TEST(Parser, SubcircuitUsesGlobalModels) {
+  const Netlist n = parse_netlist(R"(
+.model nch NMOS (VT0=0.4 KP=200u)
+.subckt inv in out vdd
+M1 out in 0 0 nch W=2u L=100n
+R1 vdd out 10k
+.ends
+V1 vdd 0 1.2
+V2 in 0 0.6
+X1 in out vdd inv
+)");
+  EXPECT_EQ(n.mosfets().size(), 1u);
+  EXPECT_EQ(n.resistors().size(), 1u);
+}
+
+TEST(Parser, SubcircuitErrors) {
+  EXPECT_THROW(parse_netlist(".subckt s a\nR1 a 0 1k\n"), Error);  // no .ends
+  EXPECT_THROW(parse_netlist(".subckt s\n.ends\n"), Error);  // no ports
+  EXPECT_THROW(parse_netlist("X1 a b missing\n"), Error);    // unknown
+  EXPECT_THROW(parse_netlist(R"(
+.subckt s a b
+R1 a b 1k
+.ends
+X1 n1 s
+)"),
+               Error);  // port-count mismatch (1 node for 2 ports)
+}
+
+TEST(Parser, GroundStaysGlobalInsideSubcircuits) {
+  const Netlist n = parse_netlist(R"(
+.subckt pull a
+R1 a 0 1k
+.ends
+V1 x 0 1
+X1 x pull
+)");
+  Netlist copy = n;
+  const DcSolution sol = solve_dc(copy);
+  // Current flows: 1 V across the subckt's resistor to the global ground.
+  EXPECT_NEAR(vsource_current(copy, sol, 0), -1e-3, 1e-8);
+}
+
+TEST(Parser, ContinuationWithoutCardThrows) {
+  EXPECT_THROW(parse_netlist("+ 2k\n"), Error);
+}
+
+TEST(Parser, FuzzRandomTokenStreamsThrowButNeverCrash) {
+  // Pseudo-random card soup: every input either parses or throws rsm::Error
+  // — no crashes, hangs, or other exception types.
+  const char* vocab[] = {"R1", "C2", "V3",  "M4",   "X5",   ".model", ".subckt",
+                         "a",  "b",  "0",   "1k",   "2u",   "nch",    "NMOS",
+                         "+",  "*",  "DC",  "AC",   "W=1u", "L=",     "=",
+                         ".ends", ".end",   "-1e9", "zz9"};
+  std::uint64_t state = 12345;
+  const auto next = [&]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return (state >> 33) % (sizeof(vocab) / sizeof(vocab[0]));
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const int lines = 1 + static_cast<int>(next() % 6);
+    for (int l = 0; l < lines; ++l) {
+      const int words = 1 + static_cast<int>(next() % 6);
+      for (int w = 0; w < words; ++w) {
+        text += vocab[next()];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    try {
+      (void)parse_netlist(text);
+    } catch (const Error&) {
+      // expected for most soups
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Parser, EndStopsParsing) {
+  const Netlist n = parse_netlist(
+      "R1 a 0 1k\n"
+      ".end\n"
+      "R2 b 0 2k\n");
+  EXPECT_EQ(n.resistors().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rsm::spice

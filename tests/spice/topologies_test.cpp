@@ -1,0 +1,191 @@
+// Analog building-block sanity on the MNA engine: topologies with known
+// small-signal answers, checked against the simulator's DC + AC results.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "spice/ac.hpp"
+#include "spice/dc.hpp"
+#include "spice/netlist.hpp"
+
+namespace rsm::spice {
+namespace {
+
+MosfetParams nmos(Real w, Real l) {
+  MosfetParams p;
+  p.vt0 = 0.4;
+  p.kp = 200e-6;
+  p.lambda = 0.1;
+  p.w = w;
+  p.l = l;
+  return p;
+}
+
+MosfetParams pmos(Real w, Real l) {
+  MosfetParams p;
+  p.type = MosType::kPmos;
+  p.vt0 = 0.45;
+  p.kp = 80e-6;
+  p.lambda = 0.15;
+  p.w = w;
+  p.l = l;
+  return p;
+}
+
+TEST(Topologies, SourceFollowerGainJustBelowUnity) {
+  // NMOS source follower onto a current sink: Av = gm*Rs' / (1 + gm*Rs')
+  // with ideal sink -> close to 1 (no body effect in the level-1 model).
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_vsource(vdd, kGround, 1.2);
+  n.add_vsource(in, kGround, 0.9, /*ac=*/1.0);
+  n.add_mosfet(vdd, in, out, kGround, nmos(20e-6, 0.24e-6));
+  n.add_isource(out, kGround, 100e-6);  // pull 100 uA out of the source
+  const DcSolution op = solve_dc(n);
+  // DC level shifted down by ~VGS.
+  EXPECT_LT(op.voltage(out), 0.9 - 0.3);
+  const std::vector<Phasor> ac = solve_ac(n, op, 1e3);
+  const Real gain = std::abs(ac_voltage(ac, out));
+  EXPECT_GT(gain, 0.93);
+  EXPECT_LT(gain, 1.0);
+}
+
+TEST(Topologies, DifferentialPairGainMatchesGmRo) {
+  // NMOS diff pair with ideal tail and resistive loads: differential gain
+  // = gm * (R || ro) per side.
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId inp = n.node("inp");
+  const NodeId inn = n.node("inn");
+  const NodeId outp = n.node("outp");
+  const NodeId outn = n.node("outn");
+  const NodeId tail = n.node("tail");
+  n.add_vsource(vdd, kGround, 1.5);
+  n.add_vsource(inp, kGround, 0.8, 0.5);
+  n.add_vsource(inn, kGround, 0.8, -0.5);
+  const MosfetParams pair = nmos(10e-6, 0.5e-6);
+  n.add_mosfet(outn, inp, tail, kGround, pair);
+  n.add_mosfet(outp, inn, tail, kGround, pair);
+  n.add_isource(tail, kGround, 200e-6);
+  n.add_resistor(vdd, outn, 4e3);
+  n.add_resistor(vdd, outp, 4e3);
+
+  const DcSolution op = solve_dc(n);
+  // Balanced: both sides carry 100 uA.
+  EXPECT_NEAR(op.voltage(outp), op.voltage(outn), 1e-6);
+
+  const MosfetEval e = evaluate_nmos_convention(
+      pair, 0.8 - op.voltage(tail), op.voltage(outn) - op.voltage(tail));
+  const Real r_eff = 1.0 / (1.0 / 4e3 + e.gds);
+  const std::vector<Phasor> ac = solve_ac(n, op, 1e3);
+  const Real vdiff = std::abs(ac_voltage(ac, outp) - ac_voltage(ac, outn));
+  EXPECT_NEAR(vdiff, e.gm * r_eff, 0.05 * e.gm * r_eff);
+}
+
+TEST(Topologies, CascodeMirrorCopiesAccurately) {
+  // Cascode current mirror vs simple mirror under output-voltage stress:
+  // the cascode's copy error should be much smaller (output resistance
+  // boosted by ~gm*ro).
+  const Real iref = 50e-6;
+  const auto copy_error = [&](bool cascode) {
+    Netlist n;
+    const NodeId vdd = n.node("vdd");
+    const NodeId bias = n.node("bias");
+    const NodeId out = n.node("out");
+    n.add_vsource(vdd, kGround, 1.5);
+    n.add_isource(vdd, bias, iref);
+    const MosfetParams dev = nmos(10e-6, 0.5e-6);
+    if (!cascode) {
+      n.add_mosfet(bias, bias, kGround, kGround, dev);
+      n.add_mosfet(out, bias, kGround, kGround, dev);
+    } else {
+      const NodeId bias2 = n.node("bias2");
+      const NodeId mid = n.node("mid");
+      // Reference branch: stacked diodes set both gate rails.
+      n.add_mosfet(bias, bias, bias2, kGround, dev);   // top diode
+      n.add_mosfet(bias2, bias2, kGround, kGround, dev);  // bottom diode
+      // Output branch: bottom device + cascode device.
+      n.add_mosfet(mid, bias2, kGround, kGround, dev);
+      n.add_mosfet(out, bias, mid, kGround, dev);
+    }
+    // Force the output node high and measure the copied current through a
+    // voltage source acting as ammeter.
+    const Index ammeter = static_cast<Index>(n.vsources().size());
+    n.add_vsource(n.node("force"), out, 0.0);
+    n.add_vsource(n.node("force"), kGround, 1.2);
+    // (second source fixes the forcing node; first carries the current)
+    const DcSolution sol = solve_dc(n);
+    const Real iout = std::abs(vsource_current(n, sol, ammeter));
+    return std::abs(iout - iref) / iref;
+  };
+
+  const Real simple = copy_error(false);
+  const Real casc = copy_error(true);
+  EXPECT_LT(casc, simple / 3);
+  EXPECT_LT(casc, 0.05);
+  EXPECT_GT(simple, 0.02);  // lambda*dVds error is visible in the simple mirror
+}
+
+TEST(Topologies, DiodeLoadInverterGainIsGmRatio) {
+  // NMOS driver with diode-connected NMOS load: |Av| ~= gm1/gm2
+  // = sqrt(beta1/beta2) at equal current.
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_vsource(vdd, kGround, 1.5);
+  n.add_vsource(in, kGround, 0.55, 1.0);
+  n.add_mosfet(out, in, kGround, kGround, nmos(16e-6, 0.5e-6));  // driver
+  n.add_mosfet(vdd, vdd, out, kGround, nmos(1e-6, 0.5e-6));      // diode load
+  const DcSolution op = solve_dc(n);
+  const std::vector<Phasor> ac = solve_ac(n, op, 1e3);
+  const Real gain = std::abs(ac_voltage(ac, out));
+  // sqrt(16) = 4, degraded a bit by lambda and operating point.
+  EXPECT_NEAR(gain, 4.0, 0.8);
+}
+
+TEST(Topologies, RcLadderDcIsLossless) {
+  // Pure RC ladder: at DC every node sits at the source voltage.
+  Netlist n;
+  NodeId prev = n.node("in");
+  n.add_vsource(prev, kGround, 0.8);
+  for (int i = 0; i < 6; ++i) {
+    const NodeId next = n.node("n" + std::to_string(i));
+    n.add_resistor(prev, next, 1e3);
+    n.add_capacitor(next, kGround, 10e-15);
+    prev = next;
+  }
+  const DcSolution sol = solve_dc(n);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_NEAR(sol.voltage(n.node("n" + std::to_string(i))), 0.8, 1e-4);
+}
+
+TEST(Topologies, RcLadderRollsOffMonotonically) {
+  Netlist n;
+  NodeId prev = n.node("in");
+  n.add_vsource(prev, kGround, 0.0, 1.0);
+  NodeId last = prev;
+  for (int i = 0; i < 4; ++i) {
+    const NodeId next = n.node("n" + std::to_string(i));
+    n.add_resistor(prev, next, 1e3);
+    n.add_capacitor(next, kGround, 1e-12);
+    prev = last = next;
+  }
+  const DcSolution op = solve_dc(n);
+  Real prev_mag = 10;
+  for (Real f : {1e6, 1e7, 1e8, 1e9}) {
+    const std::vector<Phasor> ac = solve_ac(n, op, f);
+    const Real mag = std::abs(ac_voltage(ac, last));
+    EXPECT_LT(mag, prev_mag);
+    prev_mag = mag;
+  }
+  // 4-pole ladder: far above the poles the slope is steep (>40 dB/dec).
+  const Real m8 = std::abs(ac_voltage(solve_ac(n, op, 1e8), last));
+  const Real m9 = std::abs(ac_voltage(solve_ac(n, op, 1e9), last));
+  EXPECT_GT(m8 / m9, 100.0);
+}
+
+}  // namespace
+}  // namespace rsm::spice

@@ -1,0 +1,177 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "spice/netlist.hpp"
+
+namespace rsm::spice {
+namespace {
+
+TEST(Transient, RcChargingMatchesAnalytic) {
+  // 1 kOhm, 1 pF, step 0 -> 1 V: v(t) = 1 - exp(-t/tau), tau = 1 ns.
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  const VsourceId vin = n.add_vsource(in, kGround, 0.0);
+  n.add_resistor(in, out, 1e3);
+  n.add_capacitor(out, kGround, 1e-12);
+
+  TransientOptions opt;
+  opt.timestep = 5e-12;
+  opt.stop_time = 5e-9;
+  const auto wave = step_waveform(0.0, 1.0, 0.0, 0.0);
+  opt.update_sources = [&](Real t, Netlist& net) {
+    net.vsource(vin).dc = wave(t);
+  };
+  opt.start_from_dc = false;
+
+  Netlist net = n;
+  const TransientResult res = run_transient(net, opt);
+  const Real tau = 1e-9;
+  for (std::size_t s = 1; s < res.time.size(); s += 50) {
+    const Real t = res.time[s];
+    const Real expected = 1.0 - std::exp(-t / tau);
+    // Backward Euler at h = tau/200: ~1% local accuracy.
+    EXPECT_NEAR(res.voltage(s, out), expected, 0.02) << "t=" << t;
+  }
+  // Fully settled at 5 tau.
+  EXPECT_NEAR(res.voltage(res.time.size() - 1, out), 1.0, 0.01);
+}
+
+TEST(Transient, HalvingTimestepReducesError) {
+  Netlist base;
+  const NodeId in = base.node("in");
+  const NodeId out = base.node("out");
+  const VsourceId vin = base.add_vsource(in, kGround, 0.0);
+  base.add_resistor(in, out, 1e3);
+  base.add_capacitor(out, kGround, 1e-12);
+  const Real tau = 1e-9;
+
+  const auto max_error = [&](Real h) {
+    Netlist net = base;
+    TransientOptions opt;
+    opt.timestep = h;
+    opt.stop_time = 3e-9;
+    opt.start_from_dc = false;
+    opt.update_sources = [&](Real, Netlist& nl) {
+      nl.vsource(vin).dc = 1.0;
+    };
+    const TransientResult res = run_transient(net, opt);
+    Real err = 0;
+    for (std::size_t s = 0; s < res.time.size(); ++s) {
+      const Real expected = 1.0 - std::exp(-res.time[s] / tau);
+      err = std::max(err, std::abs(res.voltage(s, out) - expected));
+    }
+    return err;
+  };
+
+  const Real coarse = max_error(40e-12);
+  const Real fine = max_error(10e-12);
+  // First-order method: error ~ h.
+  EXPECT_LT(fine, coarse / 2.5);
+  EXPECT_GT(fine, coarse / 8);
+}
+
+TEST(Transient, CapacitorBlocksDc) {
+  // Series C into R: after the step transient, current decays to zero and
+  // the output returns to 0.
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId mid = n.node("mid");
+  const VsourceId vin = n.add_vsource(in, kGround, 0.0);
+  n.add_capacitor(in, mid, 1e-12);
+  n.add_resistor(mid, kGround, 1e3);
+
+  TransientOptions opt;
+  opt.timestep = 5e-12;
+  opt.stop_time = 10e-9;
+  opt.start_from_dc = false;
+  opt.update_sources = [&](Real t, Netlist& nl) {
+    nl.vsource(vin).dc = t > 0 ? 1.0 : 0.0;
+  };
+  const TransientResult res = run_transient(n, opt);
+  // Early: the step couples through (high-pass).
+  EXPECT_GT(res.voltage(5, mid), 0.5);
+  // Late: fully decayed.
+  EXPECT_NEAR(res.voltage(res.time.size() - 1, mid), 0.0, 0.01);
+}
+
+TEST(Transient, MosfetInverterSwitches) {
+  // NMOS common-source inverter with resistive pull-up and load cap:
+  // input low -> output high; input steps high -> output falls.
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_vsource(vdd, kGround, 1.2);
+  const VsourceId vin = n.add_vsource(in, kGround, 0.0);
+  MosfetParams p;
+  p.w = 4e-6;
+  p.l = 0.12e-6;
+  n.add_mosfet(out, in, kGround, kGround, p);
+  n.add_resistor(vdd, out, 20e3);
+  n.add_capacitor(out, kGround, 20e-15);
+
+  TransientOptions opt;
+  opt.timestep = 2e-12;
+  opt.stop_time = 3e-9;
+  const auto wave = step_waveform(0.0, 1.2, 1e-9, 50e-12);
+  opt.update_sources = [&](Real t, Netlist& nl) {
+    nl.vsource(vin).dc = wave(t);
+  };
+  const TransientResult res = run_transient(n, opt);
+
+  // Before the step: output near VDD.
+  const auto idx_of = [&](Real t) {
+    return static_cast<std::size_t>(t / opt.timestep);
+  };
+  EXPECT_GT(res.voltage(idx_of(0.9e-9), out), 1.1);
+  // Well after: output pulled low.
+  EXPECT_LT(res.voltage(idx_of(2.8e-9), out), 0.2);
+  // Output is monotonically non-increasing during the fall.
+  Real prev = res.voltage(idx_of(1.1e-9), out);
+  for (Real t = 1.15e-9; t < 2.5e-9; t += 0.05e-9) {
+    const Real v = res.voltage(idx_of(t), out);
+    EXPECT_LE(v, prev + 1e-6);
+    prev = v;
+  }
+}
+
+TEST(Transient, StartFromDcIsSteadyWithConstantSources) {
+  // With constant sources and a DC start, nothing moves.
+  Netlist n;
+  const NodeId in = n.node("in");
+  const NodeId out = n.node("out");
+  n.add_vsource(in, kGround, 0.7);
+  n.add_resistor(in, out, 1e3);
+  n.add_capacitor(out, kGround, 1e-12);
+  TransientOptions opt;
+  opt.timestep = 10e-12;
+  opt.stop_time = 1e-9;
+  const TransientResult res = run_transient(n, opt);
+  for (std::size_t s = 0; s < res.time.size(); ++s)
+    EXPECT_NEAR(res.voltage(s, out), 0.7, 1e-6);
+}
+
+TEST(Transient, StepWaveformShape) {
+  const auto w = step_waveform(0.2, 1.0, 1e-9, 0.2e-9);
+  EXPECT_EQ(w(0.5e-9), 0.2);
+  EXPECT_EQ(w(1e-9), 0.2);
+  EXPECT_NEAR(w(1.1e-9), 0.6, 1e-12);
+  EXPECT_EQ(w(1.3e-9), 1.0);
+  EXPECT_EQ(w(5e-9), 1.0);
+}
+
+TEST(Transient, InvalidOptionsThrow) {
+  Netlist n;
+  n.add_vsource(n.node("a"), kGround, 1.0);
+  TransientOptions opt;
+  opt.timestep = 0;
+  EXPECT_THROW(run_transient(n, opt), Error);
+}
+
+}  // namespace
+}  // namespace rsm::spice

@@ -1,0 +1,78 @@
+#include "stats/covariance.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "stats/descriptive.hpp"
+
+namespace rsm {
+namespace {
+
+TEST(Covariance, InterDieStructure) {
+  const Matrix cov = inter_die_covariance(4, 0.5, 1.0);
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(cov(i, i), 1.25);
+    for (Index j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(cov(i, j), 0.25);
+      }
+    }
+  }
+}
+
+TEST(Covariance, InterDieIsPositiveDefinite) {
+  const Matrix cov = inter_die_covariance(10, 0.3, 0.8);
+  EXPECT_NO_THROW(CholeskyFactorization{cov});
+}
+
+TEST(Covariance, SpatialDecay) {
+  const std::vector<DiePosition> pos{{0, 0}, {1, 0}, {10, 0}};
+  const Matrix cov = spatial_covariance(pos, 0.0, 1.0, 2.0);
+  // Correlation decays with distance.
+  EXPECT_GT(cov(0, 1), cov(0, 2));
+  EXPECT_NEAR(cov(0, 1), std::exp(-0.5), 1e-12);
+  EXPECT_NEAR(cov(0, 2), std::exp(-5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 1.0);
+}
+
+TEST(Covariance, SpatialIsSymmetricPsd) {
+  std::vector<DiePosition> pos;
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j)
+      pos.push_back({static_cast<Real>(i), static_cast<Real>(j)});
+  const Matrix cov = spatial_covariance(pos, 0.2, 1.0, 3.0);
+  EXPECT_LT(max_abs_diff(cov, cov.transposed()), 1e-15);
+  EXPECT_NO_THROW(CholeskyFactorization{cov});
+}
+
+TEST(Covariance, SampleCovarianceKnown) {
+  // Two perfectly anticorrelated variables.
+  Matrix data(4, 2);
+  const Real vals[] = {1, -1, 2, -2, 3, -3, 4, -4};
+  for (Index r = 0; r < 4; ++r) {
+    data(r, 0) = vals[2 * r];
+    data(r, 1) = vals[2 * r + 1];
+  }
+  const Matrix cov = sample_covariance(data);
+  EXPECT_NEAR(cov(0, 0), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), -5.0 / 3.0, 1e-12);
+}
+
+TEST(Covariance, SampledCorrelatedMatchesTarget) {
+  const Matrix target = inter_die_covariance(3, 0.6, 0.5);
+  const CholeskyFactorization chol(target);
+  Rng rng(99);
+  const Index n = 60000;
+  Matrix draws(n, 3);
+  for (Index k = 0; k < n; ++k) {
+    const std::vector<Real> x = sample_correlated(chol.l(), rng);
+    for (Index j = 0; j < 3; ++j) draws(k, j) = x[static_cast<std::size_t>(j)];
+  }
+  const Matrix est = sample_covariance(draws);
+  EXPECT_LT(max_abs_diff(est, target), 0.02);
+}
+
+}  // namespace
+}  // namespace rsm

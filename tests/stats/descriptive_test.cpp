@@ -1,0 +1,72 @@
+#include "stats/descriptive.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rsm {
+namespace {
+
+TEST(Descriptive, Mean) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<Real>{1, 2, 3, 4}), 2.5);
+  EXPECT_THROW((void)mean(std::vector<Real>{}), Error);
+}
+
+TEST(Descriptive, VarianceUnbiased) {
+  // Sample variance of {1,2,3,4,5} is 2.5 with the n-1 divisor.
+  EXPECT_DOUBLE_EQ(variance(std::vector<Real>{1, 2, 3, 4, 5}), 2.5);
+  EXPECT_DOUBLE_EQ(variance(std::vector<Real>{7}), 0.0);
+}
+
+TEST(Descriptive, Stddev) {
+  EXPECT_DOUBLE_EQ(stddev(std::vector<Real>{1, 3}), std::sqrt(2.0));
+}
+
+TEST(Descriptive, SkewnessSigns) {
+  EXPECT_GT(skewness(std::vector<Real>{0, 0, 0, 0, 10}), 0.5);
+  EXPECT_LT(skewness(std::vector<Real>{0, 10, 10, 10, 10}), -0.5);
+  EXPECT_NEAR(skewness(std::vector<Real>{-1, 0, 1}), 0.0, 1e-12);
+}
+
+TEST(Descriptive, KurtosisOfTwoPoint) {
+  // Symmetric two-point distribution has excess kurtosis -2.
+  EXPECT_NEAR(excess_kurtosis(std::vector<Real>{-1, 1, -1, 1}), -2.0, 1e-12);
+}
+
+TEST(Descriptive, CorrelationPerfect) {
+  const std::vector<Real> x{1, 2, 3, 4};
+  const std::vector<Real> y{2, 4, 6, 8};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  const std::vector<Real> z{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Descriptive, CorrelationDegenerate) {
+  const std::vector<Real> x{1, 2, 3};
+  const std::vector<Real> c{5, 5, 5};
+  EXPECT_EQ(correlation(x, c), 0.0);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<Real> x{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.0), 10);
+  EXPECT_DOUBLE_EQ(quantile(x, 1.0), 40);
+  EXPECT_DOUBLE_EQ(quantile(x, 0.5), 25);
+  EXPECT_DOUBLE_EQ(quantile(x, 1.0 / 3.0), 20);
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+  const std::vector<Real> x{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(quantile(x, 0.5), 25);
+}
+
+TEST(Descriptive, Summary) {
+  const Summary s = summarize(std::vector<Real>{4, 1, 3, 2});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+}  // namespace
+}  // namespace rsm

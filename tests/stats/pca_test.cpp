@@ -1,0 +1,89 @@
+#include "stats/pca.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "stats/covariance.hpp"
+#include "stats/descriptive.hpp"
+
+namespace rsm {
+namespace {
+
+TEST(Pca, IdentityCovarianceIsPassthroughUpToRotation) {
+  const Pca pca(Matrix::identity(4));
+  EXPECT_EQ(pca.num_factors(), 4);
+  EXPECT_NEAR(pca.explained_variance_fraction(), 1.0, 1e-12);
+  for (Real v : pca.eigenvalues()) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(Pca, DropsNullDirections) {
+  // Rank-1 covariance: v v' with v = (1,1)/sqrt(2), eigenvalues {1, 0}.
+  Matrix cov{{0.5, 0.5}, {0.5, 0.5}};
+  const Pca pca(cov);
+  EXPECT_EQ(pca.num_factors(), 1);
+  EXPECT_NEAR(pca.eigenvalues()[0], 1.0, 1e-12);
+}
+
+TEST(Pca, RoundTripWithinRetainedSubspace) {
+  const Matrix cov = inter_die_covariance(5, 0.4, 0.7);
+  const Pca pca(cov);
+  ASSERT_EQ(pca.num_factors(), 5);
+  const std::vector<Real> dx{0.1, -0.2, 0.3, 0.0, -0.1};
+  const std::vector<Real> dy = pca.to_factors(dx);
+  const std::vector<Real> back = pca.to_physical(dy);
+  for (std::size_t i = 0; i < dx.size(); ++i)
+    EXPECT_NEAR(back[i], dx[i], 1e-10);
+}
+
+TEST(Pca, WhitensCorrelatedSamples) {
+  // dX ~ N(0, cov); dY = to_factors(dX) must be ~ N(0, I).
+  const Matrix cov = inter_die_covariance(4, 0.8, 0.5);
+  const Pca pca(cov);
+  const CholeskyFactorization chol(cov);
+  Rng rng(123);
+  const Index n = 50000;
+  Matrix factors(n, pca.num_factors());
+  for (Index k = 0; k < n; ++k) {
+    const std::vector<Real> dx = sample_correlated(chol.l(), rng);
+    const std::vector<Real> dy = pca.to_factors(dx);
+    for (Index j = 0; j < pca.num_factors(); ++j)
+      factors(k, j) = dy[static_cast<std::size_t>(j)];
+  }
+  const Matrix est = sample_covariance(factors);
+  EXPECT_LT(max_abs_diff(est, Matrix::identity(pca.num_factors())), 0.03);
+}
+
+TEST(Pca, ExplainedVarianceFractionPartial) {
+  // Eigenvalues 10 and 1e-14*10 -> keeping one factor explains ~everything;
+  // with a coarse tolerance the small one is dropped.
+  Matrix cov(2, 2);
+  cov(0, 0) = 10;
+  cov(1, 1) = 1e-6;
+  const Pca pca(cov, /*variance_tolerance=*/1e-4);
+  EXPECT_EQ(pca.num_factors(), 1);
+  EXPECT_GT(pca.explained_variance_fraction(), 0.999);
+}
+
+TEST(Pca, FactorsAreStandardNormalScaled) {
+  // A diagonal covariance: to_factors should divide by sqrt(variances).
+  Matrix cov(3, 3);
+  cov(0, 0) = 4;
+  cov(1, 1) = 9;
+  cov(2, 2) = 16;
+  const Pca pca(cov);
+  // dx aligned with the largest-variance axis (sorted first).
+  const std::vector<Real> dy = pca.to_factors(std::vector<Real>{0, 0, 4});
+  // Largest eigenvalue 16 -> factor = 4 / sqrt(16) = 1 (up to sign/order).
+  Real max_component = 0;
+  for (Real v : dy) max_component = std::max(max_component, std::abs(v));
+  EXPECT_NEAR(max_component, 1.0, 1e-10);
+}
+
+TEST(Pca, RejectsAllZeroCovariance) {
+  EXPECT_THROW(Pca{Matrix(3, 3)}, Error);
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,129 @@
+#include "stats/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+
+namespace rsm {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const Real u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const Real u = rng.uniform(-2, 3);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMomentsMatch) {
+  Rng rng(6);
+  std::vector<Real> x(200000);
+  for (Real& v : x) v = rng.uniform();
+  EXPECT_NEAR(mean(x), 0.5, 0.01);
+  EXPECT_NEAR(variance(x), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(7);
+  std::vector<Real> x(200000);
+  rng.fill_normal(x);
+  EXPECT_NEAR(mean(x), 0.0, 0.02);
+  EXPECT_NEAR(variance(x), 1.0, 0.03);
+  EXPECT_NEAR(skewness(x), 0.0, 0.05);
+  EXPECT_NEAR(excess_kurtosis(x), 0.0, 0.1);
+}
+
+TEST(Rng, NormalTailFractions) {
+  // P(|X| > 2) ~ 4.55%, P(|X| > 3) ~ 0.27%.
+  Rng rng(8);
+  int beyond2 = 0, beyond3 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const Real x = std::abs(rng.normal());
+    if (x > 2) ++beyond2;
+    if (x > 3) ++beyond3;
+  }
+  EXPECT_NEAR(static_cast<Real>(beyond2) / n, 0.0455, 0.004);
+  EXPECT_NEAR(static_cast<Real>(beyond3) / n, 0.0027, 0.001);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(9);
+  std::vector<Real> x(100000);
+  for (Real& v : x) v = rng.normal(10.0, 2.0);
+  EXPECT_NEAR(mean(x), 10.0, 0.05);
+  EXPECT_NEAR(stddev(x), 2.0, 0.05);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(10);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniform_index(7))];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<Index> items(50);
+  std::iota(items.begin(), items.end(), Index{0});
+  rng.shuffle(items);
+  std::vector<Index> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (Index i = 0; i < 50; ++i)
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  // And it actually moved things.
+  std::vector<Index> identity(50);
+  std::iota(identity.begin(), identity.end(), Index{0});
+  EXPECT_NE(items, identity);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng parent(12);
+  Rng child = parent.split();
+  std::vector<Real> a(20000), b(20000);
+  parent.fill_normal(a);
+  child.fill_normal(b);
+  EXPECT_LT(std::abs(correlation(a, b)), 0.03);
+}
+
+TEST(Rng, NormalVectorSize) {
+  Rng rng(13);
+  EXPECT_EQ(rng.normal_vector(17).size(), 17u);
+}
+
+TEST(Xoshiro, KnownNonDegenerate) {
+  // Any seed (even 0) must produce a non-stuck stream.
+  Xoshiro256 eng(0);
+  std::uint64_t first = eng();
+  int distinct = 0;
+  for (int i = 0; i < 100; ++i)
+    if (eng() != first) ++distinct;
+  EXPECT_GT(distinct, 95);
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,40 @@
+// Compile-and-smoke test of the umbrella header: one include drives a
+// miniature end-to-end flow touching every layer.
+#include "rsm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsm {
+namespace {
+
+TEST(Umbrella, EndToEndMiniFlow) {
+  Rng rng(1);
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::quadratic(6));
+  SyntheticOptions sopt;
+  sopt.num_active = 4;
+  const SyntheticSparseFunction fn(dict, sopt, rng);
+  const Matrix train = monte_carlo_normal(60, 6, rng);
+  const std::vector<Real> f = fn.observe(train, rng);
+
+  BuildOptions opt;
+  opt.max_lambda = 10;
+  const BuildReport report = build_model(dict, train, f, opt);
+  EXPECT_GT(report.lambda, 0);
+
+  const SobolIndices sensitivity = sobol_indices(report.model);
+  EXPECT_EQ(sensitivity.first_order.size(), 6u);
+
+  Specification spec;
+  spec.upper = report.model.analytic_mean();
+  Rng yrng(2);
+  const YieldResult y = estimate_yield(report.model, spec, 2000, yrng);
+  EXPECT_GT(y.yield, 0.0);
+  EXPECT_LT(y.yield, 1.0);
+
+  // And a one-liner on the simulator side.
+  spice::Netlist n = spice::parse_netlist("V1 a 0 2\nR1 a b 1k\nR2 b 0 1k\n");
+  EXPECT_NEAR(spice::solve_dc(n).voltage(n.node("b")), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rsm

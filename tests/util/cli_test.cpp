@@ -1,0 +1,93 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace rsm {
+namespace {
+
+CliArgs standard_args() {
+  CliArgs args;
+  args.add_option("samples", "100", "number of samples");
+  args.add_option("sigma", "1.5", "noise sigma");
+  args.add_flag("full", "run at full scale");
+  return args;
+}
+
+void parse(CliArgs& args, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsApply) {
+  CliArgs args = standard_args();
+  parse(args, {});
+  EXPECT_EQ(args.get_int("samples"), 100);
+  EXPECT_DOUBLE_EQ(args.get_double("sigma"), 1.5);
+  EXPECT_FALSE(args.get_flag("full"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  CliArgs args = standard_args();
+  parse(args, {"--samples", "250"});
+  EXPECT_EQ(args.get_int("samples"), 250);
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  CliArgs args = standard_args();
+  parse(args, {"--sigma=0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("sigma"), 0.25);
+}
+
+TEST(Cli, FlagSet) {
+  CliArgs args = standard_args();
+  parse(args, {"--full"});
+  EXPECT_TRUE(args.get_flag("full"));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliArgs args = standard_args();
+  EXPECT_THROW(parse(args, {"--bogus", "1"}), Error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliArgs args = standard_args();
+  EXPECT_THROW(parse(args, {"--samples"}), Error);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  CliArgs args = standard_args();
+  EXPECT_THROW(parse(args, {"--full=yes"}), Error);
+}
+
+TEST(Cli, NonIntegerThrows) {
+  CliArgs args = standard_args();
+  parse(args, {"--samples", "abc"});
+  EXPECT_THROW(args.get_int("samples"), Error);
+}
+
+TEST(Cli, HelpRequested) {
+  CliArgs args = standard_args();
+  parse(args, {"--help"});
+  EXPECT_TRUE(args.help_requested());
+  const std::string usage = args.usage("prog");
+  EXPECT_NE(usage.find("--samples"), std::string::npos);
+  EXPECT_NE(usage.find("number of samples"), std::string::npos);
+}
+
+TEST(Cli, DuplicateDeclarationThrows) {
+  CliArgs args;
+  args.add_option("x", "1", "");
+  EXPECT_THROW(args.add_option("x", "2", ""), Error);
+  EXPECT_THROW(args.add_flag("x", ""), Error);
+}
+
+TEST(Cli, UndeclaredGetThrows) {
+  CliArgs args = standard_args();
+  parse(args, {});
+  EXPECT_THROW(args.get("nope"), Error);
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,57 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace rsm {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "rsm_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"k", "error"});
+    csv.write_row(std::vector<std::string>{"100", "0.05"});
+    csv.write_row(std::vector<double>{200, 0.025});
+  }
+  const std::string content = slurp(path_);
+  EXPECT_EQ(content, "k,error\n100,0.05\n200,0.025\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter csv(path_, {"name", "note"});
+    csv.write_row(std::vector<std::string>{"a,b", "say \"hi\""});
+  }
+  const std::string content = slurp(path_);
+  EXPECT_NE(content.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(content.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST_F(CsvTest, WrongArityThrows) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.write_row({"only-one"}), Error);
+}
+
+TEST_F(CsvTest, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), Error);
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsm {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LogTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LogTest, BelowThresholdDoesNotEvaluateStream) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  RSM_DEBUG("value " << expensive());
+  RSM_INFO("value " << expensive());
+  EXPECT_EQ(evaluations, 0);  // the macro short-circuits
+  RSM_ERROR("value " << expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, EmitDoesNotThrow) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_NO_THROW(RSM_DEBUG("debug " << 1));
+  EXPECT_NO_THROW(RSM_INFO("info"));
+  EXPECT_NO_THROW(RSM_WARN("warn " << 2.5));
+  EXPECT_NO_THROW(RSM_ERROR("error"));
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace rsm {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, PadsColumnsToWidestCell) {
+  Table t({"h", "x"});
+  t.add_row({"a-very-long-cell", "1"});
+  const std::string s = t.render();
+  // Every rendered line has equal length.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, OverlongRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), Error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, Error);
+}
+
+TEST(Table, RuleInsertsSeparator) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.render();
+  // header rule + top + bottom + inserted = 4 horizontal lines.
+  std::size_t count = 0, pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++count;
+    pos += 3;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(Formatting, Sig) {
+  EXPECT_EQ(format_sig(1234.5678, 4), "1235");
+  EXPECT_EQ(format_sig(0.00012345, 3), "0.000123");
+}
+
+TEST(Formatting, Pct) {
+  EXPECT_EQ(format_pct(0.0421), "4.21%");
+  EXPECT_EQ(format_pct(1.0, 0), "100%");
+}
+
+TEST(Formatting, Seconds) {
+  EXPECT_EQ(format_seconds(5e-7), "0.5 us");
+  EXPECT_EQ(format_seconds(0.0123), "12.3 ms");
+  EXPECT_EQ(format_seconds(42.0), "42.0 s");
+  EXPECT_EQ(format_seconds(3600.0), "60.0 min");
+  EXPECT_EQ(format_seconds(3 * 3600.0), "3.0 h");
+  EXPECT_EQ(format_seconds(742106.0), "8.6 days");
+  EXPECT_EQ(format_seconds(-1.0), "-");
+}
+
+}  // namespace
+}  // namespace rsm
