@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_refit_cv"
+  "../bench/ablation_refit_cv.pdb"
+  "CMakeFiles/ablation_refit_cv.dir/ablation_refit_cv.cpp.o"
+  "CMakeFiles/ablation_refit_cv.dir/ablation_refit_cv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_refit_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

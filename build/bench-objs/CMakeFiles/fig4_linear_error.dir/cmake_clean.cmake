@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_linear_error"
+  "../bench/fig4_linear_error.pdb"
+  "CMakeFiles/fig4_linear_error.dir/fig4_linear_error.cpp.o"
+  "CMakeFiles/fig4_linear_error.dir/fig4_linear_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_linear_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

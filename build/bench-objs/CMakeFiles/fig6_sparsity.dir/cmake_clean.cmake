@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_sparsity"
+  "../bench/fig6_sparsity.pdb"
+  "CMakeFiles/fig6_sparsity.dir/fig6_sparsity.cpp.o"
+  "CMakeFiles/fig6_sparsity.dir/fig6_sparsity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

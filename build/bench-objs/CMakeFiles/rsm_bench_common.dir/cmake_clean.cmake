@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsm_bench_common.dir/common.cpp.o"
+  "CMakeFiles/rsm_bench_common.dir/common.cpp.o.d"
+  "CMakeFiles/rsm_bench_common.dir/quadratic_opamp.cpp.o"
+  "CMakeFiles/rsm_bench_common.dir/quadratic_opamp.cpp.o.d"
+  "librsm_bench_common.a"
+  "librsm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

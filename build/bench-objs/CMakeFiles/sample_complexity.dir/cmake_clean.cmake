@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sample_complexity"
+  "../bench/sample_complexity.pdb"
+  "CMakeFiles/sample_complexity.dir/sample_complexity.cpp.o"
+  "CMakeFiles/sample_complexity.dir/sample_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

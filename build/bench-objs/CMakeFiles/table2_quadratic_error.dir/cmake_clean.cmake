@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_quadratic_error"
+  "../bench/table2_quadratic_error.pdb"
+  "CMakeFiles/table2_quadratic_error.dir/table2_quadratic_error.cpp.o"
+  "CMakeFiles/table2_quadratic_error.dir/table2_quadratic_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_quadratic_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

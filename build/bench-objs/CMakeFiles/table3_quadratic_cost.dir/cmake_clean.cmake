@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_quadratic_cost"
+  "../bench/table3_quadratic_cost.pdb"
+  "CMakeFiles/table3_quadratic_cost.dir/table3_quadratic_cost.cpp.o"
+  "CMakeFiles/table3_quadratic_cost.dir/table3_quadratic_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_quadratic_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_sram"
+  "../bench/table4_sram.pdb"
+  "CMakeFiles/table4_sram.dir/table4_sram.cpp.o"
+  "CMakeFiles/table4_sram.dir/table4_sram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

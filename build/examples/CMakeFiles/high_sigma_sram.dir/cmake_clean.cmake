@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/high_sigma_sram.dir/high_sigma_sram.cpp.o"
+  "CMakeFiles/high_sigma_sram.dir/high_sigma_sram.cpp.o.d"
+  "high_sigma_sram"
+  "high_sigma_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/high_sigma_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_spice.dir/mini_spice.cpp.o"
+  "CMakeFiles/mini_spice.dir/mini_spice.cpp.o.d"
+  "mini_spice"
+  "mini_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opamp_modeling.dir/opamp_modeling.cpp.o"
+  "CMakeFiles/opamp_modeling.dir/opamp_modeling.cpp.o.d"
+  "opamp_modeling"
+  "opamp_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opamp_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

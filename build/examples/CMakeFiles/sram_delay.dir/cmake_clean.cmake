@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sram_delay.dir/sram_delay.cpp.o"
+  "CMakeFiles/sram_delay.dir/sram_delay.cpp.o.d"
+  "sram_delay"
+  "sram_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sram_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

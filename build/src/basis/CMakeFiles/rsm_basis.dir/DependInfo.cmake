@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/basis/dictionary.cpp" "src/basis/CMakeFiles/rsm_basis.dir/dictionary.cpp.o" "gcc" "src/basis/CMakeFiles/rsm_basis.dir/dictionary.cpp.o.d"
+  "/root/repo/src/basis/hermite.cpp" "src/basis/CMakeFiles/rsm_basis.dir/hermite.cpp.o" "gcc" "src/basis/CMakeFiles/rsm_basis.dir/hermite.cpp.o.d"
+  "/root/repo/src/basis/multi_index.cpp" "src/basis/CMakeFiles/rsm_basis.dir/multi_index.cpp.o" "gcc" "src/basis/CMakeFiles/rsm_basis.dir/multi_index.cpp.o.d"
+  "/root/repo/src/basis/quadrature.cpp" "src/basis/CMakeFiles/rsm_basis.dir/quadrature.cpp.o" "gcc" "src/basis/CMakeFiles/rsm_basis.dir/quadrature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/rsm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsm_basis.dir/dictionary.cpp.o"
+  "CMakeFiles/rsm_basis.dir/dictionary.cpp.o.d"
+  "CMakeFiles/rsm_basis.dir/hermite.cpp.o"
+  "CMakeFiles/rsm_basis.dir/hermite.cpp.o.d"
+  "CMakeFiles/rsm_basis.dir/multi_index.cpp.o"
+  "CMakeFiles/rsm_basis.dir/multi_index.cpp.o.d"
+  "CMakeFiles/rsm_basis.dir/quadrature.cpp.o"
+  "CMakeFiles/rsm_basis.dir/quadrature.cpp.o.d"
+  "librsm_basis.a"
+  "librsm_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsm_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

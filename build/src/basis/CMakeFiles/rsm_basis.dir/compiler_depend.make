@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rsm_basis.
+# This may be replaced when dependencies are built.

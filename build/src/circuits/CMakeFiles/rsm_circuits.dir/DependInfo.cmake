@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/corners.cpp" "src/circuits/CMakeFiles/rsm_circuits.dir/corners.cpp.o" "gcc" "src/circuits/CMakeFiles/rsm_circuits.dir/corners.cpp.o.d"
+  "/root/repo/src/circuits/opamp.cpp" "src/circuits/CMakeFiles/rsm_circuits.dir/opamp.cpp.o" "gcc" "src/circuits/CMakeFiles/rsm_circuits.dir/opamp.cpp.o.d"
+  "/root/repo/src/circuits/process.cpp" "src/circuits/CMakeFiles/rsm_circuits.dir/process.cpp.o" "gcc" "src/circuits/CMakeFiles/rsm_circuits.dir/process.cpp.o.d"
+  "/root/repo/src/circuits/ring_oscillator.cpp" "src/circuits/CMakeFiles/rsm_circuits.dir/ring_oscillator.cpp.o" "gcc" "src/circuits/CMakeFiles/rsm_circuits.dir/ring_oscillator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/rsm_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rsm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

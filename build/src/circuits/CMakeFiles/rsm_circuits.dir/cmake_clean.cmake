@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsm_circuits.dir/corners.cpp.o"
+  "CMakeFiles/rsm_circuits.dir/corners.cpp.o.d"
+  "CMakeFiles/rsm_circuits.dir/opamp.cpp.o"
+  "CMakeFiles/rsm_circuits.dir/opamp.cpp.o.d"
+  "CMakeFiles/rsm_circuits.dir/process.cpp.o"
+  "CMakeFiles/rsm_circuits.dir/process.cpp.o.d"
+  "CMakeFiles/rsm_circuits.dir/ring_oscillator.cpp.o"
+  "CMakeFiles/rsm_circuits.dir/ring_oscillator.cpp.o.d"
+  "librsm_circuits.a"
+  "librsm_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsm_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap.cpp" "src/core/CMakeFiles/rsm_core.dir/bootstrap.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/core/column_source.cpp" "src/core/CMakeFiles/rsm_core.dir/column_source.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/column_source.cpp.o.d"
+  "/root/repo/src/core/cosamp.cpp" "src/core/CMakeFiles/rsm_core.dir/cosamp.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/cosamp.cpp.o.d"
+  "/root/repo/src/core/cross_validation.cpp" "src/core/CMakeFiles/rsm_core.dir/cross_validation.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/core/lar.cpp" "src/core/CMakeFiles/rsm_core.dir/lar.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/lar.cpp.o.d"
+  "/root/repo/src/core/lasso_cd.cpp" "src/core/CMakeFiles/rsm_core.dir/lasso_cd.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/lasso_cd.cpp.o.d"
+  "/root/repo/src/core/least_squares.cpp" "src/core/CMakeFiles/rsm_core.dir/least_squares.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/least_squares.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/rsm_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/rsm_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/omp.cpp" "src/core/CMakeFiles/rsm_core.dir/omp.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/omp.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/rsm_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/sobol.cpp" "src/core/CMakeFiles/rsm_core.dir/sobol.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/sobol.cpp.o.d"
+  "/root/repo/src/core/solver_path.cpp" "src/core/CMakeFiles/rsm_core.dir/solver_path.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/solver_path.cpp.o.d"
+  "/root/repo/src/core/somp.cpp" "src/core/CMakeFiles/rsm_core.dir/somp.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/somp.cpp.o.d"
+  "/root/repo/src/core/stagewise.cpp" "src/core/CMakeFiles/rsm_core.dir/stagewise.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/stagewise.cpp.o.d"
+  "/root/repo/src/core/star.cpp" "src/core/CMakeFiles/rsm_core.dir/star.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/star.cpp.o.d"
+  "/root/repo/src/core/synthetic.cpp" "src/core/CMakeFiles/rsm_core.dir/synthetic.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/synthetic.cpp.o.d"
+  "/root/repo/src/core/worst_case.cpp" "src/core/CMakeFiles/rsm_core.dir/worst_case.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/worst_case.cpp.o.d"
+  "/root/repo/src/core/yield.cpp" "src/core/CMakeFiles/rsm_core.dir/yield.cpp.o" "gcc" "src/core/CMakeFiles/rsm_core.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/basis/CMakeFiles/rsm_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rsm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsm_linalg.dir/blas.cpp.o"
+  "CMakeFiles/rsm_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/rsm_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/rsm_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/rsm_linalg.dir/eigen_sym.cpp.o"
+  "CMakeFiles/rsm_linalg.dir/eigen_sym.cpp.o.d"
+  "CMakeFiles/rsm_linalg.dir/incremental_qr.cpp.o"
+  "CMakeFiles/rsm_linalg.dir/incremental_qr.cpp.o.d"
+  "CMakeFiles/rsm_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/rsm_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/rsm_linalg.dir/qr.cpp.o"
+  "CMakeFiles/rsm_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/rsm_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/rsm_linalg.dir/vector_ops.cpp.o.d"
+  "librsm_linalg.a"
+  "librsm_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsm_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac.cpp" "src/spice/CMakeFiles/rsm_spice.dir/ac.cpp.o" "gcc" "src/spice/CMakeFiles/rsm_spice.dir/ac.cpp.o.d"
+  "/root/repo/src/spice/dc.cpp" "src/spice/CMakeFiles/rsm_spice.dir/dc.cpp.o" "gcc" "src/spice/CMakeFiles/rsm_spice.dir/dc.cpp.o.d"
+  "/root/repo/src/spice/mna.cpp" "src/spice/CMakeFiles/rsm_spice.dir/mna.cpp.o" "gcc" "src/spice/CMakeFiles/rsm_spice.dir/mna.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/spice/CMakeFiles/rsm_spice.dir/mosfet.cpp.o" "gcc" "src/spice/CMakeFiles/rsm_spice.dir/mosfet.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/spice/CMakeFiles/rsm_spice.dir/netlist.cpp.o" "gcc" "src/spice/CMakeFiles/rsm_spice.dir/netlist.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/spice/CMakeFiles/rsm_spice.dir/parser.cpp.o" "gcc" "src/spice/CMakeFiles/rsm_spice.dir/parser.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/spice/CMakeFiles/rsm_spice.dir/transient.cpp.o" "gcc" "src/spice/CMakeFiles/rsm_spice.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/rsm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsm_spice.dir/ac.cpp.o"
+  "CMakeFiles/rsm_spice.dir/ac.cpp.o.d"
+  "CMakeFiles/rsm_spice.dir/dc.cpp.o"
+  "CMakeFiles/rsm_spice.dir/dc.cpp.o.d"
+  "CMakeFiles/rsm_spice.dir/mna.cpp.o"
+  "CMakeFiles/rsm_spice.dir/mna.cpp.o.d"
+  "CMakeFiles/rsm_spice.dir/mosfet.cpp.o"
+  "CMakeFiles/rsm_spice.dir/mosfet.cpp.o.d"
+  "CMakeFiles/rsm_spice.dir/netlist.cpp.o"
+  "CMakeFiles/rsm_spice.dir/netlist.cpp.o.d"
+  "CMakeFiles/rsm_spice.dir/parser.cpp.o"
+  "CMakeFiles/rsm_spice.dir/parser.cpp.o.d"
+  "CMakeFiles/rsm_spice.dir/transient.cpp.o"
+  "CMakeFiles/rsm_spice.dir/transient.cpp.o.d"
+  "librsm_spice.a"
+  "librsm_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsm_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

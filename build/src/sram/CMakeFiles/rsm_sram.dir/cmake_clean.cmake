@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsm_sram.dir/sram.cpp.o"
+  "CMakeFiles/rsm_sram.dir/sram.cpp.o.d"
+  "librsm_sram.a"
+  "librsm_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsm_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

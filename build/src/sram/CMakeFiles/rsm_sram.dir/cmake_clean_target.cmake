@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librsm_sram.a"
+)

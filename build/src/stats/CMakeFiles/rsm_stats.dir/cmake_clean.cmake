@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsm_stats.dir/covariance.cpp.o"
+  "CMakeFiles/rsm_stats.dir/covariance.cpp.o.d"
+  "CMakeFiles/rsm_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/rsm_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/rsm_stats.dir/lhs.cpp.o"
+  "CMakeFiles/rsm_stats.dir/lhs.cpp.o.d"
+  "CMakeFiles/rsm_stats.dir/pca.cpp.o"
+  "CMakeFiles/rsm_stats.dir/pca.cpp.o.d"
+  "CMakeFiles/rsm_stats.dir/rng.cpp.o"
+  "CMakeFiles/rsm_stats.dir/rng.cpp.o.d"
+  "librsm_stats.a"
+  "librsm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

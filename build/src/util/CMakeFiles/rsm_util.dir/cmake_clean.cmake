@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsm_util.dir/cli.cpp.o"
+  "CMakeFiles/rsm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/rsm_util.dir/csv.cpp.o"
+  "CMakeFiles/rsm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/rsm_util.dir/log.cpp.o"
+  "CMakeFiles/rsm_util.dir/log.cpp.o.d"
+  "CMakeFiles/rsm_util.dir/table.cpp.o"
+  "CMakeFiles/rsm_util.dir/table.cpp.o.d"
+  "librsm_util.a"
+  "librsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basis_tests.dir/basis/dictionary_test.cpp.o"
+  "CMakeFiles/basis_tests.dir/basis/dictionary_test.cpp.o.d"
+  "CMakeFiles/basis_tests.dir/basis/hermite_test.cpp.o"
+  "CMakeFiles/basis_tests.dir/basis/hermite_test.cpp.o.d"
+  "CMakeFiles/basis_tests.dir/basis/multi_index_test.cpp.o"
+  "CMakeFiles/basis_tests.dir/basis/multi_index_test.cpp.o.d"
+  "CMakeFiles/basis_tests.dir/basis/quadrature_test.cpp.o"
+  "CMakeFiles/basis_tests.dir/basis/quadrature_test.cpp.o.d"
+  "basis_tests"
+  "basis_tests.pdb"
+  "basis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_tests.dir/circuits/corners_test.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuits/corners_test.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/circuits/opamp_test.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuits/opamp_test.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/circuits/ring_oscillator_test.cpp.o"
+  "CMakeFiles/circuit_tests.dir/circuits/ring_oscillator_test.cpp.o.d"
+  "CMakeFiles/circuit_tests.dir/sram/sram_test.cpp.o"
+  "CMakeFiles/circuit_tests.dir/sram/sram_test.cpp.o.d"
+  "circuit_tests"
+  "circuit_tests.pdb"
+  "circuit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bootstrap_test.cpp" "tests/CMakeFiles/core_tests.dir/core/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/core/column_source_test.cpp" "tests/CMakeFiles/core_tests.dir/core/column_source_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/column_source_test.cpp.o.d"
+  "/root/repo/tests/core/cosamp_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cosamp_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cosamp_test.cpp.o.d"
+  "/root/repo/tests/core/cross_validation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cross_validation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cross_validation_test.cpp.o.d"
+  "/root/repo/tests/core/lar_test.cpp" "tests/CMakeFiles/core_tests.dir/core/lar_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lar_test.cpp.o.d"
+  "/root/repo/tests/core/lasso_cd_test.cpp" "tests/CMakeFiles/core_tests.dir/core/lasso_cd_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lasso_cd_test.cpp.o.d"
+  "/root/repo/tests/core/least_squares_test.cpp" "tests/CMakeFiles/core_tests.dir/core/least_squares_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/least_squares_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/model_test.cpp" "tests/CMakeFiles/core_tests.dir/core/model_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/model_test.cpp.o.d"
+  "/root/repo/tests/core/moments_test.cpp" "tests/CMakeFiles/core_tests.dir/core/moments_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/moments_test.cpp.o.d"
+  "/root/repo/tests/core/omp_test.cpp" "tests/CMakeFiles/core_tests.dir/core/omp_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/omp_test.cpp.o.d"
+  "/root/repo/tests/core/refit_test.cpp" "tests/CMakeFiles/core_tests.dir/core/refit_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/refit_test.cpp.o.d"
+  "/root/repo/tests/core/robustness_test.cpp" "tests/CMakeFiles/core_tests.dir/core/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/robustness_test.cpp.o.d"
+  "/root/repo/tests/core/sobol_test.cpp" "tests/CMakeFiles/core_tests.dir/core/sobol_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sobol_test.cpp.o.d"
+  "/root/repo/tests/core/solver_path_test.cpp" "tests/CMakeFiles/core_tests.dir/core/solver_path_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/solver_path_test.cpp.o.d"
+  "/root/repo/tests/core/somp_test.cpp" "tests/CMakeFiles/core_tests.dir/core/somp_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/somp_test.cpp.o.d"
+  "/root/repo/tests/core/stagewise_test.cpp" "tests/CMakeFiles/core_tests.dir/core/stagewise_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/stagewise_test.cpp.o.d"
+  "/root/repo/tests/core/star_test.cpp" "tests/CMakeFiles/core_tests.dir/core/star_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/star_test.cpp.o.d"
+  "/root/repo/tests/core/synthetic_test.cpp" "tests/CMakeFiles/core_tests.dir/core/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/synthetic_test.cpp.o.d"
+  "/root/repo/tests/core/worst_case_test.cpp" "tests/CMakeFiles/core_tests.dir/core/worst_case_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/worst_case_test.cpp.o.d"
+  "/root/repo/tests/core/yield_test.cpp" "tests/CMakeFiles/core_tests.dir/core/yield_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/yield_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/rsm_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/rsm_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/rsm_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/basis/CMakeFiles/rsm_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rsm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/circuit_modeling_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/circuit_modeling_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/circuit_modeling_test.cpp.o.d"
+  "/root/repo/tests/integration/pca_flow_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/pca_flow_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/pca_flow_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/property_sweeps_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/property_sweeps_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/property_sweeps_test.cpp.o.d"
+  "/root/repo/tests/integration/recovery_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/recovery_test.cpp.o.d"
+  "/root/repo/tests/integration/sram_transient_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/sram_transient_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/sram_transient_test.cpp.o.d"
+  "/root/repo/tests/umbrella_test.cpp" "tests/CMakeFiles/integration_tests.dir/umbrella_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/umbrella_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/rsm_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/rsm_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/rsm_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/basis/CMakeFiles/rsm_basis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rsm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

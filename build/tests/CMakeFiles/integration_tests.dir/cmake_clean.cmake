@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/circuit_modeling_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/circuit_modeling_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/pca_flow_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/pca_flow_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/property_sweeps_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/property_sweeps_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/recovery_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/recovery_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/sram_transient_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/sram_transient_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/umbrella_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/umbrella_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

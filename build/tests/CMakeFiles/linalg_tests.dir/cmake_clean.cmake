@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_tests.dir/linalg/blas_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/blas_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/cholesky_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/cholesky_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/eigen_sym_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/eigen_sym_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/incremental_qr_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/incremental_qr_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/lu_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/lu_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/matrix_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/matrix_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/qr_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/qr_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/vector_ops_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/vector_ops_test.cpp.o.d"
+  "linalg_tests"
+  "linalg_tests.pdb"
+  "linalg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_tests.dir/spice/ac_test.cpp.o"
+  "CMakeFiles/spice_tests.dir/spice/ac_test.cpp.o.d"
+  "CMakeFiles/spice_tests.dir/spice/dc_sweep_test.cpp.o"
+  "CMakeFiles/spice_tests.dir/spice/dc_sweep_test.cpp.o.d"
+  "CMakeFiles/spice_tests.dir/spice/dc_test.cpp.o"
+  "CMakeFiles/spice_tests.dir/spice/dc_test.cpp.o.d"
+  "CMakeFiles/spice_tests.dir/spice/mosfet_test.cpp.o"
+  "CMakeFiles/spice_tests.dir/spice/mosfet_test.cpp.o.d"
+  "CMakeFiles/spice_tests.dir/spice/netlist_test.cpp.o"
+  "CMakeFiles/spice_tests.dir/spice/netlist_test.cpp.o.d"
+  "CMakeFiles/spice_tests.dir/spice/parser_test.cpp.o"
+  "CMakeFiles/spice_tests.dir/spice/parser_test.cpp.o.d"
+  "CMakeFiles/spice_tests.dir/spice/topologies_test.cpp.o"
+  "CMakeFiles/spice_tests.dir/spice/topologies_test.cpp.o.d"
+  "CMakeFiles/spice_tests.dir/spice/transient_test.cpp.o"
+  "CMakeFiles/spice_tests.dir/spice/transient_test.cpp.o.d"
+  "spice_tests"
+  "spice_tests.pdb"
+  "spice_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
