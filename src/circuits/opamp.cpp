@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "spice/ac.hpp"
 #include "spice/dc.hpp"
@@ -226,12 +227,15 @@ OpAmpWorkload::OpAmpWorkload(const OpAmpConfig& config) : config_(config) {
 }
 
 OpAmpMetrics OpAmpWorkload::evaluate(std::span<const Real> dy) const {
+  return evaluate(dy, spice::DcOptions{});
+}
+
+OpAmpMetrics OpAmpWorkload::evaluate(
+    std::span<const Real> dy, const spice::DcOptions& dc_opt) const {
   const MappedVariation mv = map_variation(config_, dy);
   Bench bench = build_bench(config_, mv);
   const Real vdd = config_.process.vdd;
   const Real target = vdd / 2;
-
-  spice::DcOptions dc_opt;
 
   // --- Offset servo: bisection on the differential input vd so that
   // V(out) == VDD/2. The open-loop transfer is monotonic in vd.
@@ -242,8 +246,11 @@ OpAmpMetrics OpAmpWorkload::evaluate(std::span<const Real> dy) const {
   set_differential(bench, config_, vd_max);
   spice::DcSolution sol_hi = solve_dc(bench.netlist, dc_opt, sol_lo.x);
   const Real f_hi = sol_hi.voltage(bench.out) - target;
-  RSM_CHECK_MSG(f_lo * f_hi < 0,
-                "offset outside +/-" << vd_max << " V servo range");
+  if (!(f_lo * f_hi < 0)) {
+    throw NumericalDomainError("offset outside +/-" + std::to_string(vd_max) +
+                                   " V servo range",
+                               "offset-servo");
+  }
 
   Real lo = -vd_max, hi = vd_max;
   spice::DcSolution op = sol_hi;
@@ -277,7 +284,10 @@ OpAmpMetrics OpAmpWorkload::evaluate(std::span<const Real> dy) const {
   const Real f_ref = 10.0;  // well below the dominant pole
   const std::vector<spice::Phasor> ac = solve_ac(bench.netlist, op, f_ref);
   const Real gain_lin = std::abs(spice::ac_voltage(ac, bench.out));
-  RSM_CHECK_MSG(gain_lin > 1, "opamp gain collapsed; check operating point");
+  if (!(gain_lin > 1)) {
+    throw NumericalDomainError("opamp gain collapsed; check operating point",
+                               "ac-analysis");
+  }
   metrics.gain_db = Real{20} * std::log10(gain_lin);
   metrics.bandwidth_hz =
       spice::find_3db_bandwidth(bench.netlist, op, bench.out, f_ref, 1e9);

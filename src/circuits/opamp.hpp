@@ -32,6 +32,7 @@
 #include <string>
 
 #include "circuits/process.hpp"
+#include "spice/dc.hpp"
 #include "util/common.hpp"
 
 namespace rsm::circuits {
@@ -74,9 +75,17 @@ class OpAmpWorkload {
   [[nodiscard]] const OpAmpConfig& config() const { return config_; }
 
   /// Simulates one variation sample (dy.size() == num_variables()):
-  /// DC operating point + offset servo + AC sweep. Throws on a sample where
-  /// DC fails to converge (does not happen at the default sigma levels).
+  /// DC operating point + offset servo + AC sweep. Throws a structured
+  /// taxonomy error (util/errors.hpp) on a sample where DC fails to
+  /// converge or the servo bracket collapses (does not happen at the
+  /// default sigma levels).
   [[nodiscard]] OpAmpMetrics evaluate(std::span<const Real> dy) const;
+
+  /// Same, under caller-supplied DC solver options — the campaign layer's
+  /// escalation hook: retries pass spice::escalated(base, attempt).
+  [[nodiscard]] OpAmpMetrics evaluate(std::span<const Real> dy,
+                                      const spice::DcOptions& dc_options)
+      const;
 
   /// Nominal metrics (all-zeros sample), cached at construction.
   [[nodiscard]] const OpAmpMetrics& nominal() const { return nominal_; }

@@ -1,0 +1,130 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace rsm {
+
+Real CampaignReport::success_fraction() const {
+  if (attempted == 0) return 0;
+  return static_cast<Real>(succeeded) / static_cast<Real>(attempted);
+}
+
+Index CampaignReport::error_count(ErrorCode code) const {
+  return error_histogram[static_cast<std::size_t>(code)];
+}
+
+bool CampaignReport::fit_allowed() const {
+  return attempted > 0 && success_fraction() >= min_success_fraction;
+}
+
+std::string CampaignReport::summary() const {
+  std::ostringstream os;
+  os << "campaign: " << attempted << " attempted, " << succeeded
+     << " succeeded (" << recovered << " recovered on retry), "
+     << quarantined.size() << " quarantined, " << total_retries
+     << " retries; success fraction "
+     << (attempted > 0 ? success_fraction() : Real{0}) << " (threshold "
+     << min_success_fraction << ")";
+  bool any_errors = false;
+  for (Index count : error_histogram) any_errors = any_errors || count > 0;
+  if (any_errors) {
+    os << "\nfailed attempts by code:";
+    for (int c = 0; c < kNumErrorCodes; ++c) {
+      const Index count = error_histogram[static_cast<std::size_t>(c)];
+      if (count == 0) continue;
+      os << ' ' << error_code_name(static_cast<ErrorCode>(c)) << '=' << count;
+    }
+  }
+  if (!quarantined.empty()) {
+    os << "\nquarantined samples:";
+    for (const QuarantinedSample& q : quarantined)
+      os << ' ' << q.sample << " [" << error_code_name(q.code) << ']';
+  }
+  return os.str();
+}
+
+CampaignResult run_campaign(const Matrix& samples,
+                            const SampleEvaluator& evaluate,
+                            const CampaignOptions& options) {
+  RSM_CHECK_MSG(samples.rows() > 0, "campaign needs at least one sample");
+  RSM_CHECK_MSG(options.max_attempts >= 1,
+                "campaign needs a positive attempt budget");
+  RSM_CHECK(static_cast<bool>(evaluate));
+
+  const Index num_samples = samples.rows();
+  CampaignResult result;
+  CampaignReport& report = result.report;
+  report.attempted = num_samples;
+  report.min_success_fraction = options.min_success_fraction;
+
+  std::vector<Real> values;
+  std::vector<Index> survivors;
+  values.reserve(static_cast<std::size_t>(num_samples));
+  survivors.reserve(static_cast<std::size_t>(num_samples));
+
+  for (Index k = 0; k < num_samples; ++k) {
+    ErrorCode last_code = ErrorCode::kUnclassified;
+    std::string last_reason;
+    bool ok = false;
+    for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+      if (attempt > 0) ++report.total_retries;
+      try {
+        options.fault_injector.throw_if_faulted(k, attempt);
+        const Real value = evaluate(samples.row(k), attempt);
+        if (!std::isfinite(value)) {
+          throw NumericalDomainError("evaluator returned a non-finite value",
+                                     "campaign", k);
+        }
+        ok = true;
+        ++report.succeeded;
+        if (attempt > 0) ++report.recovered;
+        values.push_back(value);
+        survivors.push_back(k);
+        break;
+      } catch (const std::exception& e) {
+        last_code = classify_error(e);
+        last_reason = e.what();
+        ++report.error_histogram[static_cast<std::size_t>(last_code)];
+        RSM_DEBUG("campaign: sample " << k << " attempt " << attempt
+                                      << " failed: " << e.what());
+      }
+    }
+    if (!ok) {
+      RSM_WARN("campaign: quarantining sample "
+               << k << " after " << options.max_attempts << " attempts ["
+               << error_code_name(last_code) << "]");
+      report.quarantined.push_back({k, last_code, std::move(last_reason)});
+    }
+  }
+
+  result.samples = Matrix(static_cast<Index>(survivors.size()),
+                          samples.cols());
+  for (std::size_t r = 0; r < survivors.size(); ++r) {
+    const std::span<const Real> src = samples.row(survivors[r]);
+    std::copy(src.begin(), src.end(),
+              result.samples.row(static_cast<Index>(r)).begin());
+  }
+  result.values = std::move(values);
+  result.sample_indices = std::move(survivors);
+  return result;
+}
+
+BuildReport fit_campaign(const CampaignResult& result,
+                         std::shared_ptr<const BasisDictionary> dictionary,
+                         const BuildOptions& build_options) {
+  if (!result.report.fit_allowed()) {
+    throw Error("campaign success fraction below fitting threshold:\n" +
+                result.report.summary());
+  }
+  RSM_INFO("campaign: fitting on " << result.samples.rows() << '/'
+                                   << result.report.attempted
+                                   << " surviving samples");
+  return build_model(std::move(dictionary), result.samples, result.values,
+                     build_options);
+}
+
+}  // namespace rsm

@@ -1,0 +1,118 @@
+// Fault-tolerant simulation campaign runner.
+//
+// The paper fits sparse models from a small, expensive set of K
+// transistor-level simulations — so a production flow can afford neither to
+// waste samples nor to let one pathological sample (a DC operating point no
+// homotopy rescues, a singular MNA matrix) abort the whole run. The
+// campaign layer sits between sampling and fitting:
+//
+//   * every sample is evaluated through a type-erased SampleEvaluator; the
+//     escalation argument lets circuit benches harden their solver options
+//     per retry (spice::escalated);
+//   * failures are classified by the structured error taxonomy
+//     (util/errors.hpp) and retried up to a per-sample budget;
+//   * samples that keep failing are *quarantined* — recorded with their
+//     final error code and excluded from the fit — instead of aborting;
+//   * the CampaignReport counts attempted / succeeded / retried-recovered /
+//     quarantined samples and a per-ErrorCode histogram;
+//   * fitting proceeds only when the success fraction clears a configurable
+//     threshold, otherwise fit_campaign fails fast with the report.
+//
+// A deterministic FaultInjector (util/fault_injection.hpp) can be planted
+// in the options to force singular solves / Newton stalls at hash-chosen
+// sample indices, making the retry and quarantine machinery testable
+// end-to-end in CI.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "linalg/matrix.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+
+namespace rsm {
+
+/// Evaluates one variation sample (a row of the sample matrix) to a scalar
+/// performance. `escalation` is the 0-based attempt index; implementations
+/// map it to progressively hardened solver options. Failures are reported
+/// by throwing (ideally a StructuredError subclass).
+using SampleEvaluator =
+    std::function<Real(std::span<const Real> sample, int escalation)>;
+
+struct CampaignOptions {
+  /// Attempts per sample (>= 1); attempt i runs at escalation level i.
+  int max_attempts = 3;
+
+  /// Fitting proceeds when succeeded/attempted clears this fraction.
+  Real min_success_fraction = 0.9;
+
+  /// Deterministic fault injection (default-constructed = disabled).
+  FaultInjector fault_injector;
+};
+
+/// One permanently failed sample with its final classification.
+struct QuarantinedSample {
+  Index sample = -1;
+  ErrorCode code = ErrorCode::kUnclassified;
+  std::string reason;
+};
+
+struct CampaignReport {
+  Index attempted = 0;
+  Index succeeded = 0;
+
+  /// Succeeded, but only after at least one failed attempt.
+  Index recovered = 0;
+
+  /// Extra attempts spent beyond the first, over all samples.
+  int total_retries = 0;
+
+  std::vector<QuarantinedSample> quarantined;
+
+  /// Failed attempts by ErrorCode (indexed by static_cast<int>(code)).
+  std::array<Index, kNumErrorCodes> error_histogram{};
+
+  /// Threshold copied from CampaignOptions for the fit gate.
+  Real min_success_fraction = 0;
+
+  [[nodiscard]] Real success_fraction() const;
+  [[nodiscard]] Index error_count(ErrorCode code) const;
+  [[nodiscard]] bool fit_allowed() const;
+
+  /// Human-readable multi-line summary (counts, histogram, quarantine).
+  [[nodiscard]] std::string summary() const;
+};
+
+struct CampaignResult {
+  CampaignReport report;
+
+  /// Surviving samples, compacted (succeeded x N), aligned with `values`.
+  Matrix samples;
+  std::vector<Real> values;
+
+  /// Original row index of each surviving row.
+  std::vector<Index> sample_indices;
+};
+
+/// Runs every row of `samples` through `evaluate` with retry, escalation,
+/// and quarantine. Never throws on per-sample failures; only on misuse
+/// (empty sample set, non-positive attempt budget).
+[[nodiscard]] CampaignResult run_campaign(const Matrix& samples,
+                                          const SampleEvaluator& evaluate,
+                                          const CampaignOptions& options = {});
+
+/// The fit gate: builds a sparse model from the campaign survivors when the
+/// success fraction clears the report's threshold, and throws an Error
+/// carrying the report summary otherwise (fail fast with diagnostics).
+[[nodiscard]] BuildReport fit_campaign(
+    const CampaignResult& result,
+    std::shared_ptr<const BasisDictionary> dictionary,
+    const BuildOptions& build_options = {});
+
+}  // namespace rsm

@@ -6,6 +6,7 @@
 
 #include "core/metrics.hpp"
 #include "linalg/blas.hpp"
+#include "util/log.hpp"
 
 namespace rsm {
 
@@ -61,8 +62,19 @@ CrossValidationResult CrossValidator::run(const PathSolver& solver,
       f_test[r] = f[static_cast<std::size_t>(test_rows[r])];
     }
 
-    // One path fit per fold; evaluate every lambda on the held-out fold.
-    const SolverPath path = solver.fit_path(g_train, f_train, max_lambda);
+    // One path fit per fold; evaluate every lambda on the held-out fold. A
+    // degenerate fold (rank-collapsed training block, a solver that cannot
+    // make progress) is skipped with a warning — losing one of Q curves
+    // barely moves the averaged eps(lambda), aborting loses the campaign.
+    SolverPath path;
+    try {
+      path = solver.fit_path(g_train, f_train, max_lambda);
+    } catch (const Error& e) {
+      RSM_WARN("cross-validation: skipping degenerate fold " << fold << ": "
+                                                             << e.what());
+      ++result.skipped_folds;
+      continue;
+    }
     std::vector<Real>& curve =
         result.fold_curves[static_cast<std::size_t>(fold)];
     curve.reserve(static_cast<std::size_t>(path.num_steps()));
@@ -80,18 +92,24 @@ CrossValidationResult CrossValidator::run(const PathSolver& solver,
     }
   }
 
-  // Average the fold curves over their common length.
+  // Average the surviving fold curves over their common length.
+  const int used_folds = q - result.skipped_folds;
+  RSM_CHECK_MSG(used_folds > 0,
+                "every cross-validation fold was degenerate; cannot select "
+                "lambda");
   std::size_t common = std::numeric_limits<std::size_t>::max();
   for (const auto& curve : result.fold_curves)
-    common = std::min(common, curve.size());
+    if (!curve.empty()) common = std::min(common, curve.size());
   RSM_CHECK_MSG(common > 0 && common != std::numeric_limits<std::size_t>::max(),
                 "solver produced an empty path in cross-validation");
 
   result.error_curve.assign(common, Real{0});
-  for (const auto& curve : result.fold_curves)
+  for (const auto& curve : result.fold_curves) {
+    if (curve.empty()) continue;
     for (std::size_t t = 0; t < common; ++t)
       result.error_curve[t] += curve[t];
-  for (Real& e : result.error_curve) e /= static_cast<Real>(q);
+  }
+  for (Real& e : result.error_curve) e /= static_cast<Real>(used_folds);
 
   const auto best = std::min_element(result.error_curve.begin(),
                                      result.error_curve.end());

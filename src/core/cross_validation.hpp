@@ -25,8 +25,13 @@ struct CrossValidationResult {
   /// error_curve value at the optimum.
   Real best_error = 0;
 
-  /// Per-fold curves (diagnostic; rows = folds).
+  /// Per-fold curves (diagnostic; rows = folds). A skipped fold leaves an
+  /// empty curve at its position.
   std::vector<std::vector<Real>> fold_curves;
+
+  /// Folds whose path fit failed (degenerate training block) and were
+  /// excluded from the averaged curve rather than aborting the CV run.
+  int skipped_folds = 0;
 };
 
 class CrossValidator {

@@ -64,8 +64,26 @@ SolverPath OmpSolver::fit_path(const ColumnSource& source,
     selected[static_cast<std::size_t>(best)] = true;
     path.selection_order.push_back(best);
 
-    // Step 6: least-squares coefficients of the whole active set.
-    path.coefficients.push_back(qr.solve(f));
+    // Step 6: least-squares coefficients of the whole active set. A column
+    // that passed the dependence screen can still poison the triangular
+    // solve (near-zero R diagonal -> non-finite coefficients); evict it and
+    // retry the step with the next-best candidate instead of emitting a
+    // garbage model.
+    std::vector<Real> coefficients = qr.solve(f);
+    bool finite = true;
+    for (Real c : coefficients) {
+      if (!std::isfinite(c)) {
+        finite = false;
+        break;
+      }
+    }
+    if (!finite) {
+      qr.remove_column(qr.size() - 1);
+      path.selection_order.pop_back();
+      --step;  // retry this step with the next-best column
+      continue;
+    }
+    path.coefficients.push_back(std::move(coefficients));
 
     // Step 7: residual via projection (equals F - G_active * coeffs).
     residual = qr.residual(f);

@@ -1,6 +1,9 @@
 #include "linalg/cholesky.hpp"
 
 #include <cmath>
+#include <string>
+
+#include "util/errors.hpp"
 
 namespace rsm {
 
@@ -11,9 +14,11 @@ CholeskyFactorization::CholeskyFactorization(const Matrix& a)
   for (Index j = 0; j < n; ++j) {
     Real d = a(j, j);
     for (Index k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
-    RSM_CHECK_MSG(d > Real{0},
-                  "matrix not positive definite at pivot " << j << " (d=" << d
-                                                           << ")");
+    if (!(d > Real{0})) {
+      throw SingularMatrixError("matrix not positive definite at pivot " +
+                                std::to_string(j) +
+                                " (d=" + std::to_string(d) + ")");
+    }
     const Real ljj = std::sqrt(d);
     l_(j, j) = ljj;
     for (Index i = j + 1; i < n; ++i) {

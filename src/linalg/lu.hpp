@@ -8,9 +8,11 @@
 #include <cmath>
 #include <complex>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/errors.hpp"
 
 namespace rsm {
 
@@ -42,8 +44,10 @@ class LuFactorization {
           p = i;
         }
       }
-      RSM_CHECK_MSG(best > Real{0},
-                    "singular matrix in LU at column " << k);
+      if (!(best > Real{0})) {
+        throw SingularMatrixError("singular matrix in LU at column " +
+                                  std::to_string(k));
+      }
       if (p != k) {
         for (Index j = 0; j < n_; ++j) std::swap(at(k, j), at(p, j));
         std::swap(piv_[static_cast<std::size_t>(k)],

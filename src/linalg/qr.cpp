@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/errors.hpp"
+
 namespace rsm {
 
 QrFactorization::QrFactorization(const Matrix& a) : qr_(a) {
@@ -79,7 +81,10 @@ std::vector<Real> QrFactorization::solve_r(std::span<const Real> y) const {
     for (Index j = i + 1; j < n; ++j)
       s -= qr_(i, j) * x[static_cast<std::size_t>(j)];
     const Real rii = qr_(i, i);
-    RSM_CHECK_MSG(rii != Real{0}, "singular R in QR solve at diagonal " << i);
+    if (rii == Real{0}) {
+      throw SingularMatrixError("singular R in QR solve at diagonal " +
+                                std::to_string(i));
+    }
     x[static_cast<std::size_t>(i)] = s / rii;
   }
   return x;
@@ -136,6 +141,105 @@ bool QrFactorization::rank_deficient(Real relative_tolerance) const {
 std::vector<Real> least_squares_solve(const Matrix& a,
                                       std::span<const Real> b) {
   return QrFactorization(a).solve(b);
+}
+
+PivotedQr::PivotedQr(const Matrix& a, Real rank_tolerance) : qr_(a) {
+  const Index m = qr_.rows(), n = qr_.cols();
+  const Index kmax = std::min(m, n);
+  tau_.assign(static_cast<std::size_t>(kmax), Real{0});
+  perm_.resize(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) perm_[static_cast<std::size_t>(j)] = j;
+
+  // Largest initial column norm anchors the absolute rank cutoff.
+  Real norm_max = 0;
+  for (Index j = 0; j < n; ++j) {
+    Real s = 0;
+    for (Index i = 0; i < m; ++i) s += qr_(i, j) * qr_(i, j);
+    norm_max = std::max(norm_max, std::sqrt(s));
+  }
+  const Real cutoff = rank_tolerance * norm_max;
+
+  for (Index k = 0; k < kmax; ++k) {
+    // Pivot: bring the trailing column with the largest remaining norm to
+    // position k (norms recomputed exactly — O(mn) per step is irrelevant
+    // next to the factorization itself and immune to downdate cancellation).
+    Index pivot = k;
+    Real pivot_norm = 0;
+    for (Index j = k; j < n; ++j) {
+      Real s = 0;
+      for (Index i = k; i < m; ++i) s += qr_(i, j) * qr_(i, j);
+      s = std::sqrt(s);
+      if (s > pivot_norm) {
+        pivot_norm = s;
+        pivot = j;
+      }
+    }
+    if (pivot_norm <= cutoff) break;  // remaining columns are dependent
+    if (pivot != k) {
+      for (Index i = 0; i < m; ++i) std::swap(qr_(i, k), qr_(i, pivot));
+      std::swap(perm_[static_cast<std::size_t>(k)],
+                perm_[static_cast<std::size_t>(pivot)]);
+    }
+
+    // Householder vector from column k, rows k..m-1 (same scheme as the
+    // unpivoted factorization above).
+    const Real alpha = qr_(k, k) >= 0 ? -pivot_norm : pivot_norm;
+    const Real v0 = qr_(k, k) - alpha;
+    for (Index i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    tau_[static_cast<std::size_t>(k)] = -v0 / alpha;
+    qr_(k, k) = alpha;
+
+    const Real tau = tau_[static_cast<std::size_t>(k)];
+    for (Index j = k + 1; j < n; ++j) {
+      Real s = qr_(k, j);
+      for (Index i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= tau;
+      qr_(k, j) -= s;
+      for (Index i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+    rank_ = k + 1;
+  }
+}
+
+std::vector<Real> PivotedQr::solve(std::span<const Real> b) const {
+  const Index m = qr_.rows(), n = qr_.cols();
+  RSM_CHECK(static_cast<Index>(b.size()) == m);
+
+  // y = Q' b over the first rank_ reflectors.
+  std::vector<Real> y(b.begin(), b.end());
+  for (Index k = 0; k < rank_; ++k) {
+    const Real tau = tau_[static_cast<std::size_t>(k)];
+    if (tau == Real{0}) continue;
+    Real s = y[static_cast<std::size_t>(k)];
+    for (Index i = k + 1; i < m; ++i)
+      s += qr_(i, k) * y[static_cast<std::size_t>(i)];
+    s *= tau;
+    y[static_cast<std::size_t>(k)] -= s;
+    for (Index i = k + 1; i < m; ++i)
+      y[static_cast<std::size_t>(i)] -= s * qr_(i, k);
+  }
+
+  // Back-substitute the leading rank_ x rank_ triangle.
+  std::vector<Real> z(static_cast<std::size_t>(rank_));
+  for (Index i = rank_ - 1; i >= 0; --i) {
+    Real s = y[static_cast<std::size_t>(i)];
+    for (Index j = i + 1; j < rank_; ++j)
+      s -= qr_(i, j) * z[static_cast<std::size_t>(j)];
+    z[static_cast<std::size_t>(i)] = s / qr_(i, i);
+  }
+
+  // Scatter through the permutation; dependent columns get exact zeros.
+  std::vector<Real> x(static_cast<std::size_t>(n), Real{0});
+  for (Index k = 0; k < rank_; ++k)
+    x[static_cast<std::size_t>(perm_[static_cast<std::size_t>(k)])] =
+        z[static_cast<std::size_t>(k)];
+  return x;
+}
+
+std::vector<Real> least_squares_solve_pivoted(const Matrix& a,
+                                              std::span<const Real> b,
+                                              Real rank_tolerance) {
+  return PivotedQr(a, rank_tolerance).solve(b);
 }
 
 }  // namespace rsm

@@ -60,4 +60,43 @@ class QrFactorization {
 [[nodiscard]] std::vector<Real> least_squares_solve(const Matrix& a,
                                                     std::span<const Real> b);
 
+/// Rank-revealing Householder QR with column pivoting: A P = Q R.
+///
+/// The robust fallback for least-squares systems the plain factorizations
+/// reject — a rank-deficient design matrix (duplicate dictionary columns, a
+/// degenerate CV fold) gets a well-defined *basic* solution: coefficients
+/// for the `rank()` pivoted columns, exact zeros for the dependent rest,
+/// instead of a SingularMatrixError.
+class PivotedQr {
+ public:
+  /// Factorizes `a` (any shape). Columns whose trailing norm falls below
+  /// `rank_tolerance` times the largest initial column norm are treated as
+  /// dependent and never pivoted into the basis.
+  explicit PivotedQr(const Matrix& a, Real rank_tolerance = 1e-12);
+
+  [[nodiscard]] Index rows() const { return qr_.rows(); }
+  [[nodiscard]] Index cols() const { return qr_.cols(); }
+
+  /// Numerical rank detected during factorization.
+  [[nodiscard]] Index rank() const { return rank_; }
+
+  /// Column permutation: factorization column k holds original column
+  /// `permutation()[k]`.
+  [[nodiscard]] const std::vector<Index>& permutation() const { return perm_; }
+
+  /// Basic least-squares solution of A x ~= b (length cols(), zeros on the
+  /// non-pivot columns). b.size() == rows().
+  [[nodiscard]] std::vector<Real> solve(std::span<const Real> b) const;
+
+ private:
+  Matrix qr_;
+  std::vector<Real> tau_;
+  std::vector<Index> perm_;
+  Index rank_ = 0;
+};
+
+/// One-shot rank-tolerant least squares via PivotedQr; works at any rank.
+[[nodiscard]] std::vector<Real> least_squares_solve_pivoted(
+    const Matrix& a, std::span<const Real> b, Real rank_tolerance = 1e-12);
+
 }  // namespace rsm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "linalg/lu.hpp"
 #include "spice/mna.hpp"
@@ -10,52 +11,204 @@
 namespace rsm::spice {
 namespace {
 
-/// One Newton run at a fixed gmin. Returns converged flag; x is updated in
-/// place with the best iterate.
-bool newton_run(const Netlist& netlist, const DcOptions& opt, Real gmin,
-                std::vector<Real>& x, int& iterations_used) {
+/// Why a Newton run gave up; solve_dc aggregates these into the taxonomy
+/// error it throws when the whole ladder is exhausted.
+enum class RunFail { kNone, kSingular, kNonFinite, kMaxIterations };
+
+struct RunConfig {
+  Real gmin = 0;
+  Real source_scale = 1;
+  /// Pseudo-transient anchor: when set, every node is tied to
+  /// anchor[node] through g_anchor (companion model of a pseudo-capacitor).
+  const std::vector<Real>* anchor = nullptr;
+  Real g_anchor = 0;
+};
+
+/// One Newton run under a fixed convergence-aid configuration. Returns the
+/// converged flag; x is updated in place with the best iterate.
+bool newton_run(const Netlist& netlist, const DcOptions& opt,
+                const RunConfig& cfg, std::vector<Real>& x,
+                int& iterations_used, RunFail& fail) {
   const Index n = netlist.mna_size();
+  const Index num_voltage_unknowns = netlist.num_nodes() - 1;
+  fail = RunFail::kMaxIterations;
   for (int it = 0; it < opt.max_iterations; ++it) {
     RealStamp stamp(n);
-    stamp_dc(netlist, x, gmin, stamp);
+    stamp_dc(netlist, x, cfg.gmin, stamp, cfg.source_scale);
+    if (cfg.anchor != nullptr && cfg.g_anchor > 0) {
+      for (Index i = 0; i < num_voltage_unknowns; ++i) {
+        stamp.add(i, i, cfg.g_anchor);
+        stamp.add_rhs(i, cfg.g_anchor *
+                             (*cfg.anchor)[static_cast<std::size_t>(i)]);
+      }
+    }
 
     std::vector<Real> x_new;
     try {
       LuFactorization<Real> lu(std::move(stamp.matrix()), n);
       x_new = lu.solve(stamp.rhs());
     } catch (const Error&) {
-      return false;  // singular system; caller escalates gmin
+      fail = RunFail::kSingular;  // singular system; caller escalates
+      return false;
+    }
+    for (Real v : x_new) {
+      if (!std::isfinite(v)) {
+        fail = RunFail::kNonFinite;  // device model overflow / bad stamp
+        return false;
+      }
     }
 
-    // Damped update: limit per-node voltage change to max_step.
+    // Damped update: limit per-node voltage change to max_step. Branch
+    // currents are updated undamped but still tracked for convergence with
+    // their own tolerance — otherwise a run can report a converged voltage
+    // profile while source currents are still moving.
     Real max_dv = 0;
-    const Index num_voltage_unknowns = netlist.num_nodes() - 1;
+    Real max_di = 0;
     for (Index i = 0; i < n; ++i) {
       Real dv = x_new[static_cast<std::size_t>(i)] -
                 x[static_cast<std::size_t>(i)];
       if (i < num_voltage_unknowns) {
         dv = std::clamp(dv, -opt.max_step, opt.max_step);
         max_dv = std::max(max_dv, std::abs(dv));
+      } else {
+        max_di = std::max(max_di, std::abs(dv));
       }
       x[static_cast<std::size_t>(i)] += dv;
     }
     ++iterations_used;
 
-    Real max_abs_x = 0;
-    for (Real v : x) max_abs_x = std::max(max_abs_x, std::abs(v));
-    if (max_dv < opt.voltage_tolerance + opt.relative_tolerance * max_abs_x) {
+    Real max_abs_v = 0;
+    Real max_abs_i = 0;
+    for (Index i = 0; i < n; ++i) {
+      const Real a = std::abs(x[static_cast<std::size_t>(i)]);
+      if (i < num_voltage_unknowns) {
+        max_abs_v = std::max(max_abs_v, a);
+      } else {
+        max_abs_i = std::max(max_abs_i, a);
+      }
+    }
+    const bool v_done =
+        max_dv < opt.voltage_tolerance + opt.relative_tolerance * max_abs_v;
+    const bool i_done =
+        max_di < opt.current_tolerance + opt.relative_tolerance * max_abs_i;
+    if (v_done && i_done) {
+      fail = RunFail::kNone;
       return true;
     }
   }
   return false;
 }
 
+/// Strategy drivers. Each returns converged-at-target; `fail` reports the
+/// final verification run's failure mode.
+
+bool run_plain_newton(const Netlist& netlist, const DcOptions& opt,
+                      std::vector<Real>& x, int& iterations, RunFail& fail) {
+  return newton_run(netlist, opt, {.gmin = opt.gmin}, x, iterations, fail);
+}
+
+bool run_gmin_stepping(const Netlist& netlist, const DcOptions& opt,
+                       std::vector<Real>& x, int& iterations, RunFail& fail) {
+  // Start heavily damped (large gmin linearizes the system), walk down to
+  // the target, warm-starting each rung from the previous.
+  std::fill(x.begin(), x.end(), Real{0});
+  Real gmin = Real{1e-2};
+  for (int step = 0; step <= opt.gmin_ladder_steps; ++step) {
+    const bool last = gmin <= opt.gmin;
+    const Real g = last ? opt.gmin : gmin;
+    RunFail rung_fail = RunFail::kNone;
+    if (!newton_run(netlist, opt, {.gmin = g}, x, iterations, rung_fail)) {
+      RSM_DEBUG("DC: gmin rung " << g << " failed");
+      // Keep descending anyway; a later rung sometimes recovers.
+    }
+    if (last) break;
+    gmin *= Real{1e-1};
+    if (gmin < opt.gmin) gmin = opt.gmin;
+  }
+  // Final verification run at the target gmin.
+  return newton_run(netlist, opt, {.gmin = opt.gmin}, x, iterations, fail);
+}
+
+bool run_source_stepping(const Netlist& netlist, const DcOptions& opt,
+                         std::vector<Real>& x, int& iterations,
+                         RunFail& fail) {
+  // Homotopy in source strength: at scale 0 the all-off circuit converges
+  // from anywhere; each rung warm-starts the next along a continuous branch
+  // of solutions, which steers multistable circuits to a stable state.
+  std::fill(x.begin(), x.end(), Real{0});
+  const int steps = std::max(opt.source_ladder_steps, 1);
+  for (int step = 1; step <= steps; ++step) {
+    const Real scale = static_cast<Real>(step) / static_cast<Real>(steps);
+    RunFail rung_fail = RunFail::kNone;
+    if (!newton_run(netlist, opt, {.gmin = opt.gmin, .source_scale = scale},
+                    x, iterations, rung_fail)) {
+      RSM_DEBUG("DC: source rung " << scale << " failed");
+    }
+  }
+  return newton_run(netlist, opt, {.gmin = opt.gmin}, x, iterations, fail);
+}
+
+bool run_pseudo_transient(const Netlist& netlist, const DcOptions& opt,
+                          std::vector<Real>& x, int& iterations,
+                          RunFail& fail) {
+  // Pseudo-capacitor continuation: tie every node to its previous
+  // pseudo-state through g_anchor (backward-Euler companion of C/dt) and
+  // relax g_anchor geometrically — equivalent to integrating d/dt with an
+  // exponentially growing pseudo-timestep until the circuit is at rest.
+  std::fill(x.begin(), x.end(), Real{0});
+  const int steps = std::max(opt.ptran_steps, 1);
+  const Real g0 = std::max(opt.ptran_g_initial, opt.ptran_g_final);
+  const Real g1 = std::max(opt.ptran_g_final, Real{1e-300});
+  const Real shrink =
+      steps > 1 ? std::pow(g1 / g0, Real{1} / static_cast<Real>(steps - 1))
+                : Real{1};
+  std::vector<Real> anchor = x;
+  Real g = g0;
+  for (int step = 0; step < steps; ++step) {
+    RunFail rung_fail = RunFail::kNone;
+    if (!newton_run(
+            netlist, opt,
+            {.gmin = opt.gmin, .anchor = &anchor, .g_anchor = g}, x,
+            iterations, rung_fail)) {
+      RSM_DEBUG("DC: ptran rung g=" << g << " failed");
+    }
+    anchor = x;
+    g *= shrink;
+  }
+  return newton_run(netlist, opt, {.gmin = opt.gmin}, x, iterations, fail);
+}
+
 }  // namespace
+
+const char* dc_strategy_name(DcStrategy strategy) {
+  switch (strategy) {
+    case DcStrategy::kNewton: return "newton";
+    case DcStrategy::kGminStepping: return "gmin-stepping";
+    case DcStrategy::kSourceStepping: return "source-stepping";
+    case DcStrategy::kPseudoTransient: return "pseudo-transient";
+  }
+  return "?";
+}
+
+DcOptions escalated(const DcOptions& base, int level) {
+  RSM_CHECK(level >= 0);
+  DcOptions opt = base;
+  for (int l = 0; l < level; ++l) {
+    opt.max_iterations *= 2;
+    opt.max_step = std::max(opt.max_step / 2, Real{0.05});
+    opt.gmin_ladder_steps += 4;
+    opt.source_ladder_steps *= 2;
+    opt.ptran_steps += opt.ptran_steps / 2;
+  }
+  return opt;
+}
 
 DcSolution solve_dc(const Netlist& netlist, const DcOptions& options,
                     std::span<const Real> initial_guess) {
   const Index n = netlist.mna_size();
   RSM_CHECK_MSG(n > 0, "empty netlist");
+  RSM_CHECK_MSG(!options.strategies.empty(),
+                "DcOptions.strategies must not be empty");
 
   DcSolution sol;
   sol.x.assign(static_cast<std::size_t>(n), Real{0});
@@ -64,34 +217,55 @@ DcSolution solve_dc(const Netlist& netlist, const DcOptions& options,
     std::copy(initial_guess.begin(), initial_guess.end(), sol.x.begin());
   }
 
-  // Plain Newton at the target gmin first.
-  if (newton_run(netlist, options, options.gmin, sol.x, sol.iterations)) {
-    sol.converged = true;
-    return sol;
+  bool all_singular = true;
+  bool any_non_finite = false;
+  for (const DcStrategy strategy : options.strategies) {
+    ++sol.strategies_tried;
+    if (sol.strategies_tried > 1) {
+      RSM_DEBUG("DC: escalating to " << dc_strategy_name(strategy));
+    }
+    RunFail fail = RunFail::kNone;
+    bool ok = false;
+    switch (strategy) {
+      case DcStrategy::kNewton:
+        ok = run_plain_newton(netlist, options, sol.x, sol.iterations, fail);
+        break;
+      case DcStrategy::kGminStepping:
+        ok = run_gmin_stepping(netlist, options, sol.x, sol.iterations, fail);
+        break;
+      case DcStrategy::kSourceStepping:
+        ok = run_source_stepping(netlist, options, sol.x, sol.iterations,
+                                 fail);
+        break;
+      case DcStrategy::kPseudoTransient:
+        ok = run_pseudo_transient(netlist, options, sol.x, sol.iterations,
+                                  fail);
+        break;
+    }
+    if (ok) {
+      sol.converged = true;
+      sol.strategy = strategy;
+      return sol;
+    }
+    if (fail != RunFail::kSingular) all_singular = false;
+    if (fail == RunFail::kNonFinite) any_non_finite = true;
   }
 
-  // gmin stepping: start heavily damped (large gmin linearizes the system),
-  // walk down to the target, warm-starting each rung from the previous.
-  RSM_DEBUG("DC: plain Newton failed, entering gmin stepping");
-  std::fill(sol.x.begin(), sol.x.end(), Real{0});
-  Real gmin = Real{1e-2};
-  for (int step = 0; step <= options.gmin_ladder_steps; ++step) {
-    const bool last = gmin <= options.gmin;
-    const Real g = last ? options.gmin : gmin;
-    if (!newton_run(netlist, options, g, sol.x, sol.iterations)) {
-      RSM_DEBUG("DC: gmin rung " << g << " failed");
-      // Keep descending anyway; a later rung sometimes recovers.
-    }
-    if (last) break;
-    gmin *= Real{1e-1};
-    if (gmin < options.gmin) gmin = options.gmin;
+  std::ostringstream os;
+  os << "DC operating point failed after " << sol.strategies_tried
+     << " strategies / " << sol.iterations << " Newton iterations";
+  const char* last_strategy =
+      dc_strategy_name(options.strategies.back());
+  if (all_singular) {
+    throw SingularMatrixError(
+        "MNA matrix singular under every strategy — " + os.str(),
+        last_strategy);
   }
-  // Final verification run at the target gmin.
-  sol.converged = newton_run(netlist, options, options.gmin, sol.x,
-                             sol.iterations);
-  RSM_CHECK_MSG(sol.converged, "DC operating point failed to converge after "
-                                   << sol.iterations << " iterations");
-  return sol;
+  if (any_non_finite) {
+    throw NumericalDomainError("non-finite Newton iterate — " + os.str(),
+                               last_strategy);
+  }
+  throw ConvergenceError(os.str(), sol.iterations, last_strategy);
 }
 
 Real vsource_current(const Netlist& netlist, const DcSolution& solution,

@@ -90,7 +90,7 @@ LinearizedMos linearize(const Mosfet& m, Real vd, Real vg, Real vs) {
 }  // namespace
 
 void stamp_dc(const Netlist& netlist, std::span<const Real> x, Real gmin,
-              RealStamp& stamp) {
+              RealStamp& stamp, Real source_scale) {
   RSM_CHECK(static_cast<Index>(x.size()) == netlist.mna_size());
   RSM_CHECK(stamp.size() == netlist.mna_size());
 
@@ -100,8 +100,8 @@ void stamp_dc(const Netlist& netlist, std::span<const Real> x, Real gmin,
   // Capacitors are open circuits at DC.
 
   for (const CurrentSource& i : netlist.isources()) {
-    stamp.current_into(i.a, -i.dc);
-    stamp.current_into(i.b, i.dc);
+    stamp.current_into(i.a, -i.dc * source_scale);
+    stamp.current_into(i.b, i.dc * source_scale);
   }
 
   const auto& vsources = netlist.vsources();
@@ -118,7 +118,7 @@ void stamp_dc(const Netlist& netlist, std::span<const Real> x, Real gmin,
       stamp.add(ib, br, Real{-1});
       stamp.add(br, ib, Real{-1});
     }
-    stamp.add_rhs(br, v.dc);
+    stamp.add_rhs(br, v.dc * source_scale);
   }
 
   const auto& vcvs = netlist.vcvs_list();

@@ -62,8 +62,11 @@ class ComplexStamp {
 /// (capacitors are open at DC) around the solution estimate `x` and adds the
 /// companion models of all MOSFETs linearized at `x`. `gmin` is a
 /// conductance tied from every node to ground for convergence aid.
+/// `source_scale` multiplies every independent source value — the source
+/// stepping homotopy ramps it 0 -> 1 (at 0 the only DC solution is the
+/// all-off state, which Newton finds trivially).
 void stamp_dc(const Netlist& netlist, std::span<const Real> x, Real gmin,
-              RealStamp& stamp);
+              RealStamp& stamp, Real source_scale = Real{1});
 
 /// Stamps the small-signal system at angular frequency `omega`, linearizing
 /// MOSFETs at the DC solution `dc_solution`. Independent sources contribute

@@ -54,9 +54,21 @@ namespace detail {
     }                                                                        \
   } while (false)
 
-/// Debug-only check, compiled out in NDEBUG builds (hot loops).
+/// Debug-only check for hot loops. In NDEBUG builds the expression is
+/// type-checked (sizeof of an unevaluated operand) but never evaluated, so
+/// it costs nothing at runtime yet cannot bitrot in release-only code.
 #ifdef NDEBUG
-#define RSM_DCHECK(expr) ((void)0)
+#define RSM_DCHECK(expr) static_cast<void>(sizeof((expr) ? 1 : 0))
 #else
 #define RSM_DCHECK(expr) RSM_CHECK(expr)
 #endif
+
+/// True when RSM_DCHECK is enforced at runtime (i.e. a debug build); lets
+/// tests assert the macro fires exactly when it should.
+namespace rsm {
+#ifdef NDEBUG
+inline constexpr bool kDchecksEnabled = false;
+#else
+inline constexpr bool kDchecksEnabled = true;
+#endif
+}  // namespace rsm

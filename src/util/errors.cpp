@@ -1,0 +1,49 @@
+#include "util/errors.hpp"
+
+#include <sstream>
+
+namespace rsm {
+namespace {
+
+std::string format_message(ErrorCode code, const std::string& message,
+                           const std::string& strategy, Index sample) {
+  std::ostringstream os;
+  os << '[' << error_code_name(code) << ']';
+  if (!strategy.empty()) os << " (" << strategy << ')';
+  if (sample >= 0) os << " sample " << sample << ':';
+  os << ' ' << message;
+  return os.str();
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kSingularMatrix: return "singular-matrix";
+    case ErrorCode::kNoConvergence: return "no-convergence";
+    case ErrorCode::kNumericalDomain: return "numerical-domain";
+    case ErrorCode::kUnclassified: return "unclassified";
+  }
+  return "?";
+}
+
+StructuredError::StructuredError(ErrorCode code, const std::string& message,
+                                 std::string strategy, Index sample)
+    : Error(format_message(code, message, strategy, sample)),
+      code_(code),
+      strategy_(std::move(strategy)),
+      sample_(sample) {}
+
+ConvergenceError::ConvergenceError(const std::string& message, int iterations,
+                                   std::string strategy, Index sample)
+    : StructuredError(ErrorCode::kNoConvergence, message, std::move(strategy),
+                      sample),
+      iterations_(iterations) {}
+
+ErrorCode classify_error(const std::exception& e) {
+  if (const auto* s = dynamic_cast<const StructuredError*>(&e)) return s->code();
+  return ErrorCode::kUnclassified;
+}
+
+}  // namespace rsm

@@ -1,0 +1,89 @@
+// Structured error taxonomy for recoverable numerical failures.
+//
+// Production simulation campaigns must distinguish *why* a sample failed —
+// a singular MNA matrix is permanent (topology problem), a Newton stall is
+// often recoverable with a stronger convergence aid, a domain error (NaN /
+// servo out of range) may or may not be. Every throwing site in the solver
+// and simulator layers raises one of the subclasses below instead of a bare
+// rsm::Error, carrying a machine-readable ErrorCode plus the sample and
+// strategy context the campaign layer (core/campaign.hpp) uses to decide
+// between retry, escalation, and quarantine.
+#pragma once
+
+#include <string>
+
+#include "util/common.hpp"
+
+namespace rsm {
+
+/// Machine-readable failure classes. Order is stable (reports index by it).
+enum class ErrorCode {
+  kOk = 0,
+  kSingularMatrix,   // factorization hit a zero pivot / rank deficiency
+  kNoConvergence,    // iteration budget exhausted without meeting tolerance
+  kNumericalDomain,  // NaN/inf iterate, servo out of range, log of <= 0, ...
+  kUnclassified,     // legacy rsm::Error or foreign std::exception
+};
+
+inline constexpr int kNumErrorCodes = 5;
+
+/// Short stable name for reports and logs ("singular-matrix", ...).
+[[nodiscard]] const char* error_code_name(ErrorCode code);
+
+/// Base of the taxonomy: an rsm::Error with a code and optional context.
+///
+/// `sample` is the campaign sample index (-1 outside a campaign); `strategy`
+/// names the solver strategy that was active ("newton", "gmin-stepping",
+/// "fault-injection", ...). Both are advisory — formatting them into what()
+/// happens at construction so catch sites can log cheaply.
+class StructuredError : public Error {
+ public:
+  StructuredError(ErrorCode code, const std::string& message,
+                  std::string strategy = {}, Index sample = -1);
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& strategy() const { return strategy_; }
+  [[nodiscard]] Index sample() const { return sample_; }
+
+ private:
+  ErrorCode code_;
+  std::string strategy_;
+  Index sample_;
+};
+
+/// A linear solve met an (numerically) singular matrix.
+class SingularMatrixError : public StructuredError {
+ public:
+  explicit SingularMatrixError(const std::string& message,
+                               std::string strategy = {}, Index sample = -1)
+      : StructuredError(ErrorCode::kSingularMatrix, message,
+                        std::move(strategy), sample) {}
+};
+
+/// An iterative method exhausted its budget without converging.
+class ConvergenceError : public StructuredError {
+ public:
+  ConvergenceError(const std::string& message, int iterations,
+                   std::string strategy = {}, Index sample = -1);
+
+  [[nodiscard]] int iterations() const { return iterations_; }
+
+ private:
+  int iterations_;
+};
+
+/// A computation left its numerical domain (non-finite values, a bisection
+/// bracket that does not contain a root, ...).
+class NumericalDomainError : public StructuredError {
+ public:
+  explicit NumericalDomainError(const std::string& message,
+                                std::string strategy = {}, Index sample = -1)
+      : StructuredError(ErrorCode::kNumericalDomain, message,
+                        std::move(strategy), sample) {}
+};
+
+/// Maps any in-flight exception to its taxonomy code: StructuredError
+/// reports its own code, anything else is kUnclassified.
+[[nodiscard]] ErrorCode classify_error(const std::exception& e);
+
+}  // namespace rsm

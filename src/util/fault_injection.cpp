@@ -1,0 +1,64 @@
+#include "util/fault_injection.hpp"
+
+namespace rsm {
+namespace {
+
+/// splitmix64 finalizer: one well-mixed 64-bit word per (seed, sample, lane).
+std::uint64_t mix(std::uint64_t seed, std::uint64_t sample,
+                  std::uint64_t lane) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (sample + 1) + lane;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform in [0, 1) from one hash word.
+Real uniform(std::uint64_t seed, std::uint64_t sample, std::uint64_t lane) {
+  return static_cast<Real>(mix(seed, sample, lane) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const Options& options) : options_(options) {
+  RSM_CHECK_MSG(options.fault_rate >= 0 && options.fault_rate <= 1,
+                "fault_rate must be in [0, 1]");
+  RSM_CHECK_MSG(
+      options.persistent_fraction >= 0 && options.persistent_fraction <= 1,
+      "persistent_fraction must be in [0, 1]");
+}
+
+FaultKind FaultInjector::kind(Index sample) const {
+  if (!enabled()) return FaultKind::kNone;
+  const auto s = static_cast<std::uint64_t>(sample);
+  if (uniform(options_.seed, s, 0) >= options_.fault_rate)
+    return FaultKind::kNone;
+  return uniform(options_.seed, s, 1) < Real{0.5} ? FaultKind::kSingularSolve
+                                                  : FaultKind::kNewtonStall;
+}
+
+bool FaultInjector::is_persistent(Index sample) const {
+  if (kind(sample) == FaultKind::kNone) return false;
+  const auto s = static_cast<std::uint64_t>(sample);
+  return uniform(options_.seed, s, 2) < options_.persistent_fraction;
+}
+
+bool FaultInjector::should_fail(Index sample, int attempt) const {
+  const FaultKind k = kind(sample);
+  if (k == FaultKind::kNone) return false;
+  return attempt == 0 || is_persistent(sample);
+}
+
+void FaultInjector::throw_if_faulted(Index sample, int attempt) const {
+  if (!should_fail(sample, attempt)) return;
+  switch (kind(sample)) {
+    case FaultKind::kSingularSolve:
+      throw SingularMatrixError("injected singular solve", "fault-injection",
+                                sample);
+    case FaultKind::kNewtonStall:
+      throw ConvergenceError("injected Newton stall", /*iterations=*/0,
+                             "fault-injection", sample);
+    case FaultKind::kNone: break;
+  }
+}
+
+}  // namespace rsm

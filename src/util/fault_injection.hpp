@@ -1,0 +1,68 @@
+// Deterministic fault injection for campaign robustness testing.
+//
+// Production fault tolerance is only trustworthy if the recovery paths run
+// in CI. The injector decides — from a seed and the sample index alone, via
+// a splitmix64-style hash, so the decision is independent of evaluation
+// order and thread count — whether a sample "faults", with which failure
+// mode (singular solve vs. Newton stall), and whether the fault is
+// *transient* (clears on retry, exercising the escalation path) or
+// *persistent* (fails every attempt, exercising quarantine).
+//
+// The campaign layer calls `throw_if_faulted(sample, attempt)` before each
+// evaluation attempt; tests then assert exact quarantine sets and per-code
+// histograms against `kind()` / `is_persistent()`.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+#include "util/errors.hpp"
+
+namespace rsm {
+
+enum class FaultKind {
+  kNone = 0,
+  kSingularSolve,  // raises SingularMatrixError
+  kNewtonStall,    // raises ConvergenceError
+};
+
+class FaultInjector {
+ public:
+  struct Options {
+    /// Expected fraction of samples that fault (0 disables injection).
+    Real fault_rate = 0;
+
+    /// Of the faulted samples, the fraction whose fault persists across
+    /// every retry (and therefore must be quarantined).
+    Real persistent_fraction = 0.5;
+
+    /// Hash seed; campaigns derive it from their own RNG seed so one seed
+    /// reproduces both the sample draw and the fault pattern.
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  };
+
+  /// Disabled injector (never faults).
+  FaultInjector() = default;
+  explicit FaultInjector(const Options& options);
+
+  [[nodiscard]] bool enabled() const { return options_.fault_rate > 0; }
+
+  /// Fault mode assigned to `sample` (kNone for unfaulted samples).
+  [[nodiscard]] FaultKind kind(Index sample) const;
+
+  /// True if `sample` faults on every attempt (unrecoverable).
+  [[nodiscard]] bool is_persistent(Index sample) const;
+
+  /// True if attempt `attempt` (0-based) on `sample` should fail:
+  /// transient faults fail only attempt 0, persistent faults fail all.
+  [[nodiscard]] bool should_fail(Index sample, int attempt) const;
+
+  /// Raises the structured error for (sample, attempt) when it should fail;
+  /// no-op otherwise.
+  void throw_if_faulted(Index sample, int attempt) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace rsm

@@ -9,6 +9,7 @@
 #include "linalg/vector_ops.hpp"
 #include "stats/lhs.hpp"
 #include "stats/rng.hpp"
+#include "util/errors.hpp"
 
 namespace rsm {
 namespace {
@@ -124,6 +125,56 @@ TEST(CrossValidation, FoldCountValidation) {
   CrossValidator::Options opt;
   opt.num_folds = 1;
   EXPECT_THROW(CrossValidator{opt}, Error);
+}
+
+TEST(CrossValidation, CleanRunReportsNoSkippedFolds) {
+  const SparseProblem prob = make_problem(60, 100, 3, 0.1, 510);
+  const CrossValidationResult cv =
+      CrossValidator().run(OmpSolver(), prob.g, prob.f, 15);
+  EXPECT_EQ(cv.skipped_folds, 0);
+}
+
+/// Delegates to OMP but throws on chosen invocations — a stand-in for a
+/// degenerate training block that breaks the path fit.
+class FlakySolver : public PathSolver {
+ public:
+  explicit FlakySolver(int fail_first_n) : fail_first_n_(fail_first_n) {}
+
+  [[nodiscard]] SolverPath fit_path(const Matrix& g, std::span<const Real> f,
+                                    Index max_steps) const override {
+    if (calls_++ < fail_first_n_)
+      throw SingularMatrixError("degenerate fold (injected)");
+    return inner_.fit_path(g, f, max_steps);
+  }
+
+  [[nodiscard]] const char* name() const override { return "flaky"; }
+
+ private:
+  OmpSolver inner_;
+  int fail_first_n_;
+  mutable int calls_ = 0;
+};
+
+TEST(CrossValidation, DegenerateFoldIsSkippedNotFatal) {
+  const SparseProblem prob = make_problem(80, 120, 4, 0.1, 511);
+  const FlakySolver solver(1);  // first fold's fit throws
+  const CrossValidationResult cv =
+      CrossValidator().run(solver, prob.g, prob.f, 20);
+  EXPECT_EQ(cv.skipped_folds, 1);
+  ASSERT_EQ(cv.fold_curves.size(), 4u);
+  int empty_curves = 0;
+  for (const auto& curve : cv.fold_curves)
+    if (curve.empty()) ++empty_curves;
+  EXPECT_EQ(empty_curves, 1);
+  // The surviving folds still produce a usable averaged curve.
+  EXPECT_GE(cv.best_lambda, 1);
+  EXPECT_TRUE(std::isfinite(cv.best_error));
+}
+
+TEST(CrossValidation, AllFoldsDegenerateThrows) {
+  const SparseProblem prob = make_problem(80, 120, 4, 0.1, 512);
+  const FlakySolver solver(4);  // every fold throws
+  EXPECT_THROW((void)CrossValidator().run(solver, prob.g, prob.f, 20), Error);
 }
 
 class CvFoldSweep : public ::testing::TestWithParam<int> {};

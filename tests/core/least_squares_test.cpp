@@ -63,6 +63,36 @@ TEST(LeastSquares, RidgeAllowsUnderdetermined) {
   EXPECT_TRUE(std::isfinite(nrm2(x)));
 }
 
+TEST(LeastSquares, RankDeficientFallsBackToPivotedQr) {
+  // A duplicated column makes both the plain QR back-substitution and the
+  // normal-equation Cholesky singular; the fitter must fall back to the
+  // rank-revealing path and return a finite minimizer instead of throwing.
+  Rng rng(406);
+  Matrix a(30, 4);
+  for (Index r = 0; r < 30; ++r) {
+    a(r, 0) = rng.normal();
+    a(r, 1) = rng.normal();
+    a(r, 2) = rng.normal();
+    a(r, 3) = a(r, 1);  // dependent column
+  }
+  std::vector<Real> b(30);
+  for (Index r = 0; r < 30; ++r)
+    b[static_cast<std::size_t>(r)] = a(r, 0) - 3.0 * a(r, 1);
+
+  for (const bool normal_equations : {false, true}) {
+    LeastSquaresFitter::Options opt;
+    opt.use_normal_equations = normal_equations;
+    const std::vector<Real> x = LeastSquaresFitter(opt).fit(a, b);
+    ASSERT_EQ(x.size(), 4u);
+    for (Real v : x) EXPECT_TRUE(std::isfinite(v));
+    // b is in the column space, so the recovered fit must be exact even
+    // though the coefficient split between the twin columns is not unique.
+    const std::vector<Real> r = vsub(b, a * x);
+    EXPECT_LT(max_abs(r), 1e-6)
+        << (normal_equations ? "normal equations" : "qr") << " path";
+  }
+}
+
 TEST(LeastSquares, ResidualOrthogonalToColumns) {
   Rng rng(405);
   const Matrix a = monte_carlo_normal(60, 8, rng);

@@ -1,5 +1,7 @@
 #include "linalg/qr.hpp"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "linalg/blas.hpp"
@@ -126,6 +128,81 @@ TEST(Qr, OneShotHelper) {
   // Normal equations: A'A = [[2,1],[1,2]], A'b = (4,5) -> x = (1, 2).
   EXPECT_NEAR(x[0], 1.0, 1e-12);
   EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(PivotedQr, FullRankMatchesPlainLeastSquares) {
+  Rng rng(17);
+  const Matrix a = random_matrix(40, 7, rng);
+  const std::vector<Real> b = rng.normal_vector(40);
+  const std::vector<Real> x_plain = least_squares_solve(a, b);
+  const PivotedQr pqr(a);
+  EXPECT_EQ(pqr.rank(), 7);
+  const std::vector<Real> x_piv = pqr.solve(b);
+  for (Index i = 0; i < 7; ++i)
+    EXPECT_NEAR(x_piv[static_cast<std::size_t>(i)],
+                x_plain[static_cast<std::size_t>(i)], 1e-9);
+}
+
+TEST(PivotedQr, RankDeficientGivesFiniteBasicSolution) {
+  // Column 2 duplicates column 0: plain QR back-substitution would divide
+  // by a (near-)zero diagonal, but the pivoted factorization must report
+  // rank 2 and return a basic solution that zeros the dependent column and
+  // still minimizes the residual.
+  Matrix a(12, 3);
+  Rng rng(18);
+  for (Index r = 0; r < 12; ++r) {
+    a(r, 0) = rng.normal();
+    a(r, 1) = rng.normal();
+    a(r, 2) = a(r, 0);
+  }
+  std::vector<Real> b(12);
+  for (Index r = 0; r < 12; ++r)
+    b[static_cast<std::size_t>(r)] = 2.0 * a(r, 0) - a(r, 1);
+
+  const PivotedQr pqr(a);
+  EXPECT_EQ(pqr.rank(), 2);
+  const std::vector<Real> x = pqr.solve(b);
+  ASSERT_EQ(x.size(), 3u);
+  int zeros = 0;
+  for (Real v : x) {
+    EXPECT_TRUE(std::isfinite(v));
+    if (v == 0.0) ++zeros;
+  }
+  EXPECT_EQ(zeros, 1);  // exactly one dependent column dropped
+  // The fit itself is exact: b lies in the column space.
+  const std::vector<Real> residual = vsub(b, a * x);
+  EXPECT_LT(max_abs(residual), 1e-10);
+}
+
+TEST(PivotedQr, ZeroMatrixHasRankZero) {
+  const Matrix a(5, 3);
+  const std::vector<Real> b{1, 2, 3, 4, 5};
+  const PivotedQr pqr(a);
+  EXPECT_EQ(pqr.rank(), 0);
+  const std::vector<Real> x = pqr.solve(b);
+  for (Real v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(PivotedQr, PermutationIsValid) {
+  Rng rng(19);
+  const Matrix a = random_matrix(10, 4, rng);
+  const PivotedQr pqr(a);
+  std::vector<bool> seen(4, false);
+  for (Index j : pqr.permutation()) {
+    ASSERT_GE(j, 0);
+    ASSERT_LT(j, 4);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(j)]);
+    seen[static_cast<std::size_t>(j)] = true;
+  }
+}
+
+TEST(PivotedQr, OneShotHelperHandlesDuplicateColumns) {
+  const Matrix a{{1, 1}, {2, 2}, {3, 3}};
+  const std::vector<Real> b{2, 4, 6};
+  const std::vector<Real> x = least_squares_solve_pivoted(a, b);
+  // Both columns equal; the basic solution puts the full weight on one.
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-10);
+  EXPECT_TRUE(x[0] == 0.0 || x[1] == 0.0);
 }
 
 }  // namespace

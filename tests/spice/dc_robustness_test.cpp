@@ -1,0 +1,198 @@
+// Pathological-netlist coverage for the convergence-aid ladder and the
+// structured error taxonomy: circuits that are singular, starved of Newton
+// iterations, or multistable, and the strategy that rescues (or correctly
+// refuses to rescue) each.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "spice/dc.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/netlist.hpp"
+#include "util/errors.hpp"
+
+namespace rsm::spice {
+namespace {
+
+MosfetParams nmos(Real w = 10e-6, Real l = 1e-6) {
+  MosfetParams p;
+  p.vt0 = 0.4;
+  p.kp = 200e-6;
+  p.lambda = 0.0;
+  p.w = w;
+  p.l = l;
+  return p;
+}
+
+/// The current-mirror circuit from dc_test — nonlinear, well-posed, known
+/// answer — used to verify each ladder rung alone reaches the same point.
+Netlist mirror_netlist() {
+  Netlist n;
+  const NodeId bias = n.node("bias");
+  const NodeId out = n.node("out");
+  const NodeId vdd = n.node("vdd");
+  n.add_vsource(vdd, kGround, 1.2);
+  n.add_isource(vdd, bias, 50e-6);
+  n.add_mosfet(bias, bias, kGround, kGround, nmos());
+  MosfetParams p2 = nmos(30e-6);
+  n.add_mosfet(out, bias, kGround, kGround, p2);
+  n.add_resistor(vdd, out, 2e3);
+  return n;
+}
+
+TEST(DcRobustness, VoltageSourceLoopThrowsSingularMatrixError) {
+  // Two sources forcing different voltages across the same node pair: the
+  // two branch rows of the MNA matrix are identical — singular under every
+  // strategy, so the ladder must classify it as a topology problem.
+  Netlist n;
+  const NodeId a = n.node("a");
+  n.add_vsource(a, kGround, 3.0);
+  n.add_vsource(a, kGround, 5.0);
+  n.add_resistor(a, kGround, 1e3);
+  try {
+    (void)solve_dc(n);
+    FAIL() << "expected SingularMatrixError";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSingularMatrix);
+    EXPECT_NE(std::string(e.what()).find("singular"), std::string::npos);
+  }
+}
+
+TEST(DcRobustness, FloatingGateNeedsGmin) {
+  // A MOSFET whose gate has no DC path (capacitor only): without gmin the
+  // gate row is all zeros -> singular; the default gmin resolves it.
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId gate = n.node("gate");
+  const NodeId out = n.node("out");
+  n.add_vsource(vdd, kGround, 1.2);
+  n.add_capacitor(gate, kGround, 1e-12);
+  n.add_mosfet(out, gate, kGround, kGround, nmos());
+  n.add_resistor(vdd, out, 10e3);
+
+  DcOptions no_gmin;
+  no_gmin.gmin = 0;
+  no_gmin.strategies = {DcStrategy::kNewton};
+  EXPECT_THROW((void)solve_dc(n, no_gmin), SingularMatrixError);
+
+  const DcSolution sol = solve_dc(n);  // default options
+  EXPECT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.voltage(gate), 0.0, 1e-6);  // leaked to ground via gmin
+  EXPECT_NEAR(sol.voltage(out), 1.2, 1e-3);   // device off
+}
+
+TEST(DcRobustness, StarvedIterationBudgetThrowsConvergenceError) {
+  Netlist n = mirror_netlist();
+  DcOptions opt;
+  opt.max_iterations = 2;
+  opt.strategies = {DcStrategy::kNewton};
+  try {
+    (void)solve_dc(n, opt);
+    FAIL() << "expected ConvergenceError";
+  } catch (const ConvergenceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNoConvergence);
+    EXPECT_EQ(e.strategy(), "newton");
+  }
+}
+
+TEST(DcRobustness, SourceSteppingAloneMatchesPlainNewton) {
+  Netlist n = mirror_netlist();
+  const DcSolution reference = solve_dc(n);
+
+  DcOptions opt;
+  opt.strategies = {DcStrategy::kSourceStepping};
+  const DcSolution sol = solve_dc(n, opt);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_EQ(sol.strategy, DcStrategy::kSourceStepping);
+  for (NodeId node = 1; node < n.num_nodes(); ++node)
+    EXPECT_NEAR(sol.voltage(node), reference.voltage(node), 1e-6);
+}
+
+TEST(DcRobustness, PseudoTransientAloneMatchesPlainNewton) {
+  Netlist n = mirror_netlist();
+  const DcSolution reference = solve_dc(n);
+
+  DcOptions opt;
+  opt.strategies = {DcStrategy::kPseudoTransient};
+  const DcSolution sol = solve_dc(n, opt);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_EQ(sol.strategy, DcStrategy::kPseudoTransient);
+  for (NodeId node = 1; node < n.num_nodes(); ++node)
+    EXPECT_NEAR(sol.voltage(node), reference.voltage(node), 1e-6);
+}
+
+TEST(DcRobustness, BistableLatchSettlesToAStableState) {
+  // Cross-coupled NMOS inverters with asymmetric sizing. A flat Newton
+  // start from zeros can legitimately land on the metastable midpoint (a
+  // valid root of the DC equations), but the source-stepping homotopy ramps
+  // the supply from zero, so the stronger pulldown wins the race as devices
+  // turn on and the latch regenerates into a genuinely stable, strongly
+  // split state.
+  Netlist n;
+  const NodeId vdd = n.node("vdd");
+  const NodeId q = n.node("q");
+  const NodeId qb = n.node("qb");
+  n.add_vsource(vdd, kGround, 1.2);
+  n.add_resistor(vdd, q, 100e3);
+  n.add_resistor(vdd, qb, 100e3);
+  n.add_mosfet(q, qb, kGround, kGround, nmos(24e-6));  // stronger device
+  n.add_mosfet(qb, q, kGround, kGround, nmos(6e-6));
+
+  // The default ladder must at minimum return some valid operating point.
+  const DcSolution any = solve_dc(n);
+  EXPECT_TRUE(any.converged);
+  EXPECT_GE(any.voltage(q), -1e-6);
+  EXPECT_LE(any.voltage(q), 1.2 + 1e-6);
+
+  DcOptions homotopy;
+  homotopy.strategies = {DcStrategy::kSourceStepping};
+  const DcSolution sol = solve_dc(n, homotopy);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_EQ(sol.strategy, DcStrategy::kSourceStepping);
+  const Real vq = sol.voltage(q);
+  const Real vqb = sol.voltage(qb);
+  // Stable state: the strong side pulled low, the weak side left high.
+  EXPECT_GT(vqb - vq, 0.3);
+}
+
+TEST(DcRobustness, BranchCurrentsGateConvergence) {
+  // With a deliberately loose voltage tolerance, the old criterion (node
+  // voltages only) would declare victory while the source current is still
+  // moving; the current tolerance must keep iterating until it settles.
+  Netlist n = mirror_netlist();
+  DcOptions loose;
+  loose.voltage_tolerance = 0.05;  // would stop almost immediately
+  loose.relative_tolerance = 0;
+  loose.current_tolerance = 1e-12;
+  const DcSolution sol = solve_dc(n, loose);
+
+  DcOptions tight;  // defaults
+  const DcSolution reference = solve_dc(n, tight);
+  EXPECT_NEAR(vsource_current(n, sol, 0), vsource_current(n, reference, 0),
+              1e-6);
+}
+
+TEST(DcRobustness, EscalatedOptionsDeepenEveryLadder) {
+  const DcOptions base;
+  const DcOptions level0 = escalated(base, 0);
+  EXPECT_EQ(level0.max_iterations, base.max_iterations);
+
+  const DcOptions level2 = escalated(base, 2);
+  EXPECT_EQ(level2.max_iterations, base.max_iterations * 4);
+  EXPECT_LT(level2.max_step, base.max_step);
+  EXPECT_GT(level2.gmin_ladder_steps, base.gmin_ladder_steps);
+  EXPECT_GT(level2.source_ladder_steps, base.source_ladder_steps);
+  EXPECT_GT(level2.ptran_steps, base.ptran_steps);
+}
+
+TEST(DcRobustness, SolutionReportsWinningStrategy) {
+  Netlist n = mirror_netlist();
+  const DcSolution sol = solve_dc(n);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_EQ(sol.strategy, DcStrategy::kNewton);
+  EXPECT_EQ(sol.strategies_tried, 1);
+  EXPECT_STREQ(dc_strategy_name(sol.strategy), "newton");
+}
+
+}  // namespace
+}  // namespace rsm::spice

@@ -1,0 +1,160 @@
+// Assertion-macro semantics, the structured error taxonomy, and the
+// deterministic fault injector.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+
+namespace rsm {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    RSM_CHECK_MSG(1 + 1 == 3, "math broke: " << 42);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos);
+    EXPECT_NE(what.find("math broke: 42"), std::string::npos);
+  }
+}
+
+TEST(Dcheck, FiresExactlyInDebugBuilds) {
+  // RSM_DCHECK must throw in debug builds and must not even EVALUATE its
+  // argument in release builds (it is in hot loops).
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  RSM_DCHECK(touch());
+  EXPECT_EQ(evaluations, kDchecksEnabled ? 1 : 0);
+
+  if (kDchecksEnabled) {
+    EXPECT_THROW(RSM_DCHECK(false), Error);
+  } else {
+    EXPECT_NO_THROW(RSM_DCHECK(false));
+  }
+}
+
+TEST(ErrorTaxonomy, CodesAndNames) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kSingularMatrix),
+               "singular-matrix");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNoConvergence), "no-convergence");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNumericalDomain),
+               "numerical-domain");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnclassified), "unclassified");
+}
+
+TEST(ErrorTaxonomy, CarriesSampleAndStrategyContext) {
+  const SingularMatrixError e("zero pivot", "gmin-stepping", 17);
+  EXPECT_EQ(e.code(), ErrorCode::kSingularMatrix);
+  EXPECT_EQ(e.strategy(), "gmin-stepping");
+  EXPECT_EQ(e.sample(), 17);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("singular-matrix"), std::string::npos);
+  EXPECT_NE(what.find("gmin-stepping"), std::string::npos);
+  EXPECT_NE(what.find("17"), std::string::npos);
+  EXPECT_NE(what.find("zero pivot"), std::string::npos);
+}
+
+TEST(ErrorTaxonomy, ConvergenceErrorRecordsIterations) {
+  const ConvergenceError e("stalled", 123, "newton");
+  EXPECT_EQ(e.code(), ErrorCode::kNoConvergence);
+  EXPECT_EQ(e.iterations(), 123);
+}
+
+TEST(ErrorTaxonomy, ClassifyMapsToCodes) {
+  EXPECT_EQ(classify_error(SingularMatrixError("x")),
+            ErrorCode::kSingularMatrix);
+  EXPECT_EQ(classify_error(ConvergenceError("x", 1)),
+            ErrorCode::kNoConvergence);
+  EXPECT_EQ(classify_error(NumericalDomainError("x")),
+            ErrorCode::kNumericalDomain);
+  EXPECT_EQ(classify_error(Error("legacy")), ErrorCode::kUnclassified);
+  EXPECT_EQ(classify_error(std::runtime_error("foreign")),
+            ErrorCode::kUnclassified);
+}
+
+TEST(ErrorTaxonomy, SubclassesCatchAsError) {
+  // Every taxonomy member must remain catchable as rsm::Error so legacy
+  // call sites keep working.
+  EXPECT_THROW(throw SingularMatrixError("x"), Error);
+  EXPECT_THROW(throw ConvergenceError("x", 1), Error);
+  EXPECT_THROW(throw NumericalDomainError("x"), Error);
+}
+
+TEST(FaultInjector, DisabledNeverFaults) {
+  const FaultInjector off;
+  EXPECT_FALSE(off.enabled());
+  for (Index k = 0; k < 100; ++k) {
+    EXPECT_EQ(off.kind(k), FaultKind::kNone);
+    EXPECT_NO_THROW(off.throw_if_faulted(k, 0));
+  }
+}
+
+TEST(FaultInjector, DeterministicAndSeedDependent) {
+  const FaultInjector a({.fault_rate = 0.1, .seed = 7});
+  const FaultInjector b({.fault_rate = 0.1, .seed = 7});
+  const FaultInjector c({.fault_rate = 0.1, .seed = 8});
+  int differences = 0;
+  for (Index k = 0; k < 1000; ++k) {
+    EXPECT_EQ(a.kind(k), b.kind(k));
+    EXPECT_EQ(a.is_persistent(k), b.is_persistent(k));
+    if (a.kind(k) != c.kind(k)) ++differences;
+  }
+  EXPECT_GT(differences, 0);  // a different seed gives a different plan
+}
+
+TEST(FaultInjector, RateIsApproximatelyHonored) {
+  const FaultInjector inj({.fault_rate = 0.05, .seed = 42});
+  int faulted = 0;
+  for (Index k = 0; k < 10000; ++k)
+    if (inj.kind(k) != FaultKind::kNone) ++faulted;
+  EXPECT_GT(faulted, 300);  // ~500 expected
+  EXPECT_LT(faulted, 700);
+}
+
+TEST(FaultInjector, TransientFaultsClearOnRetryPersistentDoNot) {
+  const FaultInjector inj(
+      {.fault_rate = 0.3, .persistent_fraction = 0.5, .seed = 3});
+  for (Index k = 0; k < 500; ++k) {
+    if (inj.kind(k) == FaultKind::kNone) {
+      EXPECT_FALSE(inj.should_fail(k, 0));
+      continue;
+    }
+    EXPECT_TRUE(inj.should_fail(k, 0));  // first attempt always fails
+    EXPECT_EQ(inj.should_fail(k, 1), inj.is_persistent(k));
+    EXPECT_EQ(inj.should_fail(k, 5), inj.is_persistent(k));
+  }
+}
+
+TEST(FaultInjector, ThrowsTheAdvertisedTaxonomyType) {
+  const FaultInjector inj({.fault_rate = 1.0, .seed = 11});
+  bool saw_singular = false;
+  bool saw_stall = false;
+  for (Index k = 0; k < 100; ++k) {
+    try {
+      inj.throw_if_faulted(k, 0);
+      FAIL() << "fault_rate 1.0 must fault every sample";
+    } catch (const StructuredError& e) {
+      EXPECT_EQ(e.sample(), k);
+      EXPECT_EQ(e.strategy(), "fault-injection");
+      if (inj.kind(k) == FaultKind::kSingularSolve) {
+        EXPECT_EQ(e.code(), ErrorCode::kSingularMatrix);
+        saw_singular = true;
+      } else {
+        EXPECT_EQ(e.code(), ErrorCode::kNoConvergence);
+        saw_stall = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_singular);
+  EXPECT_TRUE(saw_stall);
+}
+
+}  // namespace
+}  // namespace rsm
