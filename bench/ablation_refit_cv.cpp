@@ -209,6 +209,7 @@ int main(int argc, char** argv) {
   }
   print_header("Ablations — why OMP's design choices matter",
                "(supporting analysis; not a paper table)");
+  BenchReport bench_report("ablation_refit_cv");
   ablation_refit();
   ablation_cv_folds();
   ablation_sampling();

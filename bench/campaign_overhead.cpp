@@ -51,6 +51,11 @@ int main(int argc, char** argv) {
                "fault-free bookkeeping cost and faulted retry cost, OpAmp "
                "gain bench");
 
+  BenchReport bench_report("campaign_overhead");
+  bench_report.results().set("samples",
+                             static_cast<std::int64_t>(num_samples));
+  bench_report.results().set("fault_rate", static_cast<double>(fault_rate));
+
   circuits::OpAmpConfig config;
   config.num_variables = 38;
   const circuits::OpAmpWorkload opamp(config);
@@ -111,5 +116,13 @@ int main(int argc, char** argv) {
               100.0 * (with_campaign / direct - 1.0),
               100.0 * (with_faults / direct - 1.0));
   std::printf("\n%s\n", faulted.report.summary().c_str());
+
+  bench_report.results().set("direct_seconds", direct);
+  bench_report.results().set("campaign_seconds", with_campaign);
+  bench_report.results().set("campaign_faulted_seconds", with_faults);
+  bench_report.results().set("bookkeeping_overhead_fraction",
+                             with_campaign / direct - 1.0);
+  bench_report.results().set("clean_report", clean.report.to_json());
+  bench_report.results().set("faulted_report", faulted.report.to_json());
   return 0;
 }

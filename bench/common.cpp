@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "obs/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/lhs.hpp"
 #include "util/timer.hpp"
 
@@ -78,5 +81,26 @@ MethodResult run_method(Method method,
   result.test_error = validate_model(report.model, test_samples, f_test);
   return result;
 }
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  obs::apply_env_overrides();
+  obs::reset_tracing();
+  obs::metrics().reset();
+  // RSM_OBS_LEVEL=0 means "zero observability" — no capture, so the report
+  // carries only results. RSM_OBS_LEVEL=2 already installed a JSONL sink;
+  // leave it in place (the report's telemetry field is null then, the
+  // records live in the JSONL file instead).
+  if (obs::obs_level() >= 1 && obs::telemetry_sink() == nullptr) {
+    ring_ = std::make_shared<obs::RingBufferSink>();
+    previous_ = obs::set_telemetry_sink(ring_);
+  }
+}
+
+BenchReport::~BenchReport() {
+  obs::write_report(path(), name_, std::move(results_), ring_.get());
+  if (ring_ != nullptr) obs::set_telemetry_sink(std::move(previous_));
+}
+
+std::string BenchReport::path() const { return "BENCH_" + name_ + ".json"; }
 
 }  // namespace rsm::bench

@@ -8,12 +8,16 @@
 // speedups (2x / 24x / 25x) are sample-count ratios and reproduce exactly.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "circuits/opamp.hpp"
 #include "core/pipeline.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "sram/sram.hpp"
 #include "stats/rng.hpp"
 #include "util/table.hpp"
@@ -70,5 +74,39 @@ struct MethodResult {
     const Matrix& g_train, std::span<const Real> f_train,
     const Matrix& test_samples, std::span<const Real> f_test,
     Index max_lambda);
+
+/// Scope guard turning one bench run into a machine-readable report.
+///
+/// On construction it applies the RSM_OBS_LEVEL environment override, resets
+/// the span tree and metrics registry (so the report covers exactly this
+/// run), and — unless observability is off or a sink is already installed
+/// (RSM_OBS_LEVEL=2) — captures telemetry into a ring buffer. On destruction
+/// it writes `BENCH_<name>.json` (schema in docs/observability.md) into the
+/// working directory and restores the previous telemetry sink.
+///
+///   int main() {
+///     bench::BenchReport bench_report("table1_linear_cost");
+///     ...
+///     bench_report.results().set("speedup", 2.0);
+///   }
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+  ~BenchReport();
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// Tool-specific `results` object embedded in the report.
+  [[nodiscard]] obs::JsonValue& results() { return results_; }
+
+  /// The report path this guard will write ("BENCH_<name>.json").
+  [[nodiscard]] std::string path() const;
+
+ private:
+  std::string name_;
+  obs::JsonValue results_ = obs::JsonValue::object();
+  std::shared_ptr<obs::RingBufferSink> ring_;
+  std::shared_ptr<obs::TelemetrySink> previous_;
+};
 
 }  // namespace rsm::bench

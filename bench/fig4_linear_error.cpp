@@ -50,6 +50,9 @@ int main(int argc, char** argv) {
                "M = " + std::to_string(m) + " coefficients; LS runs only "
                "where K >= M");
 
+  BenchReport bench_report("fig4_linear_error");
+  bench_report.results().set("coefficients", static_cast<std::int64_t>(m));
+
   Rng rng(4);
   WallTimer sim_timer;
   const OpAmpSamples test = simulate_opamp(opamp, args.get_int("test"), rng);
@@ -70,6 +73,7 @@ int main(int argc, char** argv) {
         std::vector<std::string>{"metric", "method", "num_samples", "error",
                                  "lambda"});
 
+  obs::JsonValue curves = obs::JsonValue::array();
   for (circuits::OpAmpMetric metric : circuits::kAllOpAmpMetrics) {
     const std::vector<Real> f_test = test.metric_values(metric);
     const std::vector<Real> f_pool = pool.metric_values(metric);
@@ -94,6 +98,13 @@ int main(int argc, char** argv) {
             run_method(method, dict, g_train, f_train, test.inputs, f_test,
                        args.get_int("max-lambda"));
         row.push_back(format_pct(res.test_error));
+        obs::JsonValue point = obs::JsonValue::object();
+        point.set("metric", circuits::opamp_metric_name(metric));
+        point.set("method", method_name(method));
+        point.set("num_samples", static_cast<std::int64_t>(k));
+        point.set("test_error", static_cast<double>(res.test_error));
+        point.set("lambda", static_cast<std::int64_t>(res.lambda));
+        curves.push_back(std::move(point));
         if (csv)
           csv->write_row(std::vector<std::string>{
               circuits::opamp_metric_name(metric), method_name(method),
@@ -105,6 +116,7 @@ int main(int argc, char** argv) {
     std::printf("\n(%s)\n%s", circuits::opamp_metric_name(metric),
                 table.render().c_str());
   }
+  bench_report.results().set("error_curves", std::move(curves));
 
   print_paper_reference({
       "Fig. 4(a-d): with 630 variables, STAR/LAR/OMP reach a few-percent",

@@ -42,6 +42,10 @@ int main(int argc, char** argv) {
                "M = " + std::to_string(dict->size()) +
                    " candidate coefficients");
 
+  BenchReport bench_report("fig6_sparsity");
+  bench_report.results().set("candidate_coefficients",
+                             static_cast<std::int64_t>(dict->size()));
+
   Rng rng(6);
   const Index k = args.get_int("samples");
   const SramSamples train = simulate_sram(sram, k, rng);
@@ -90,6 +94,12 @@ int main(int argc, char** argv) {
   }
   std::printf("\nall remaining %ld candidate coefficients are exactly zero\n",
               static_cast<long>(dict->size() - report.lambda));
+
+  bench_report.results().set("selected_terms",
+                             static_cast<std::int64_t>(report.lambda));
+  bench_report.results().set("cv_error",
+                             static_cast<double>(report.cv.best_error));
+  bench_report.results().set("fit_seconds", report.fit_seconds);
 
   print_paper_reference({
       "Fig. 6: 36 of 21 311 basis functions selected; coefficient",

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "basis/dictionary.hpp"
+#include "common.hpp"
 #include "core/lar.hpp"
 #include "core/omp.hpp"
 #include "core/star.hpp"
@@ -174,4 +175,16 @@ BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with a BenchReport wrapped around the run, so
+// the span tree and solver telemetry the fixtures generate land in
+// BENCH_kernel_microbench.json like every other bench.
+int main(int argc, char** argv) {
+  rsm::bench::BenchReport bench_report("kernel_microbench");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  bench_report.results().set("benchmarks_run",
+                             static_cast<std::int64_t>(ran));
+  benchmark::Shutdown();
+  return 0;
+}

@@ -61,6 +61,10 @@ int main(int argc, char** argv) {
                "smallest K with " + std::to_string(trials) + "/" +
                    std::to_string(trials) + " exact support recoveries");
 
+  BenchReport bench_report("sample_complexity");
+  bench_report.results().set("sparsity", static_cast<std::int64_t>(p));
+  obs::JsonValue points = obs::JsonValue::array();
+
   Table table({"M", "K* (measured)", "P*log2(M)", "K*/(P*log2 M)", "K*/M"});
   for (Index m : {200L, 1000L, 5000L, 20000L, 80000L}) {
     Index k_star = 0;
@@ -82,7 +86,13 @@ int main(int argc, char** argv) {
                    k_star ? format_sig(static_cast<double>(k_star) /
                                            static_cast<double>(m), 2)
                           : "-"});
+    obs::JsonValue point = obs::JsonValue::object();
+    point.set("dictionary_size", static_cast<std::int64_t>(m));
+    point.set("k_star", static_cast<std::int64_t>(k_star));
+    point.set("p_log2_m", plogm);
+    points.push_back(std::move(point));
   }
+  bench_report.results().set("recovery_thresholds", std::move(points));
   std::printf("%s", table.render().c_str());
   std::printf("\nK*/(P log2 M) staying ~constant while K*/M collapses is the"
               "\nlogarithmic scaling the paper's approach rides on: LS would"

@@ -46,6 +46,12 @@ int main(int argc, char** argv) {
                "averaged over the 4 metrics; simulation cost uses the "
                "paper's 13.45 s/sample Spectre constant");
 
+  BenchReport bench_report("table1_linear_cost");
+  bench_report.results().set("variables", static_cast<std::int64_t>(n));
+  bench_report.results().set("ls_samples", static_cast<std::int64_t>(k_ls));
+  bench_report.results().set("sparse_samples",
+                             static_cast<std::int64_t>(k_sparse));
+
   Rng rng(41);
   WallTimer sim_timer;
   const OpAmpSamples pool = simulate_opamp(opamp, k_ls, rng);
@@ -66,6 +72,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> row_total{"total (paper-equiv)"};
   std::vector<std::string> row_err{"avg modeling error"};
 
+  obs::JsonValue methods_json = obs::JsonValue::object();
   for (Method method : kAllMethods) {
     const bool is_ls = method == Method::kLeastSquares;
     const Index k = is_ls ? k_ls : k_sparse;
@@ -88,7 +95,18 @@ int main(int argc, char** argv) {
     row_fit.push_back(format_seconds(fit_seconds));
     row_total.push_back(format_seconds(sim_cost + fit_seconds));
     row_err.push_back(format_pct(err_sum / 4));
+
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("training_samples", static_cast<std::int64_t>(k));
+    entry.set("fit_seconds", fit_seconds);
+    entry.set("simulation_seconds_paper_equiv", sim_cost);
+    entry.set("avg_test_error", static_cast<double>(err_sum / 4));
+    methods_json.set(method_name(method), std::move(entry));
   }
+  bench_report.results().set("methods", std::move(methods_json));
+  bench_report.results().set(
+      "sparse_speedup_over_ls",
+      static_cast<double>(k_ls) / static_cast<double>(k_sparse));
   table.add_row(row_samples);
   table.add_row(row_sim);
   table.add_row(row_fit);

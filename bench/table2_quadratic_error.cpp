@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   print_header("Table II — quadratic performance modeling error (OpAmp)",
                "top-" + std::to_string(opt.top_vars) +
                    " critical variables after linear screening");
+  BenchReport bench_report("table2_quadratic_error");
   const QuadraticExperiment exp = run_quadratic_opamp(opt);
 
   std::printf("\nM = %ld quadratic coefficients; sparse K = %ld, LS K = %s\n\n",
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
                          : "skipped (see --help)");
 
   Table table({"", "LS [21]", "STAR [1]", "LAR [2]", "OMP"});
+  obs::JsonValue cells = obs::JsonValue::array();
   for (int mi = 0; mi < 4; ++mi) {
     std::vector<std::string> row{
         circuits::opamp_metric_name(circuits::kAllOpAmpMetrics[mi])};
@@ -65,10 +67,21 @@ int main(int argc, char** argv) {
       const QuadraticCell& cell =
           exp.cells[static_cast<std::size_t>(mi)][static_cast<std::size_t>(me)];
       row.push_back(cell.ran ? format_pct(cell.error) : "skipped");
+      if (!cell.ran) continue;
+      obs::JsonValue entry = obs::JsonValue::object();
+      entry.set("metric",
+                circuits::opamp_metric_name(circuits::kAllOpAmpMetrics[mi]));
+      entry.set("method", method_name(kAllMethods[me]));
+      entry.set("test_error", static_cast<double>(cell.error));
+      entry.set("fit_seconds", cell.fit_seconds);
+      cells.push_back(std::move(entry));
     }
     table.add_row(row);
   }
   std::printf("%s", table.render().c_str());
+  bench_report.results().set("dictionary_size",
+                             static_cast<std::int64_t>(exp.dictionary_size));
+  bench_report.results().set("cells", std::move(cells));
 
   print_paper_reference({
       "Table II: Gain 4.21/8.03/5.77/4.39 %, Bandwidth 3.84/5.36/4.11/2.94 %,",

@@ -44,7 +44,9 @@ int main(int argc, char** argv) {
   print_header("Table III — quadratic performance modeling cost (OpAmp)",
                "simulation cost uses the paper's 13.45 s/sample constant; "
                "fitting cost is measured locally");
+  BenchReport bench_report("table3_quadratic_cost");
   const QuadraticExperiment exp = run_quadratic_opamp(opt);
+  obs::JsonValue methods_json = obs::JsonValue::object();
 
   Table table({"", "LS [21]", "STAR [1]", "LAR [2]", "OMP"});
   std::vector<std::string> row_k{"# of training samples"};
@@ -70,7 +72,14 @@ int main(int argc, char** argv) {
     row_sim.push_back(format_seconds(sim));
     row_fit.push_back(format_seconds(fit));
     row_total.push_back(format_seconds(sim + fit));
+
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("training_samples", static_cast<std::int64_t>(k));
+    entry.set("fit_seconds", fit);
+    entry.set("simulation_seconds_paper_equiv", sim);
+    methods_json.set(method_name(kAllMethods[me]), std::move(entry));
   }
+  bench_report.results().set("methods", std::move(methods_json));
   table.add_row(row_k);
   table.add_row(row_sim);
   table.add_row(row_fit);

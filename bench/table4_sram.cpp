@@ -58,6 +58,11 @@ int main(int argc, char** argv) {
                std::to_string(n) + " independent variables, M = " +
                    std::to_string(m) + " coefficients");
 
+  BenchReport bench_report("table4_sram");
+  bench_report.results().set("variables", static_cast<std::int64_t>(n));
+  bench_report.results().set("coefficients", static_cast<std::int64_t>(m));
+  obs::JsonValue methods_json = obs::JsonValue::object();
+
   Rng rng(44);
   WallTimer sim_timer;
   const Index pool_size = run_ls ? k_ls : k_sparse;
@@ -103,7 +108,14 @@ int main(int argc, char** argv) {
     std::printf("%-5s lambda=%-4ld err=%5.2f%% fit=%s\n", method_name(method),
                 static_cast<long>(res.lambda), 100.0 * res.test_error,
                 format_seconds(res.fit_seconds).c_str());
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("training_samples", static_cast<std::int64_t>(k));
+    entry.set("fit_seconds", res.fit_seconds);
+    entry.set("test_error", static_cast<double>(res.test_error));
+    entry.set("lambda", static_cast<std::int64_t>(res.lambda));
+    methods_json.set(method_name(method), std::move(entry));
   }
+  bench_report.results().set("methods", std::move(methods_json));
   table.add_row(row_err);
   table.add_rule();
   table.add_row(row_k);

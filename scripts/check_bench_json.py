@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json reports emitted by the bench binaries.
+
+Checks (stdlib only, exit status 0 = all files valid):
+  * schema_version == 1 and every top-level key of the v1 schema present;
+  * the span tree is well-formed (recursive field/type checks, min <= max,
+    children are trees);
+  * metrics arrays carry the expected sample shapes;
+  * telemetry is either null or {records, dropped} with per-type field
+    checks on every record;
+  * per-solver residual norms in solver_iteration records are monotonically
+    non-increasing in step order;
+  * when results.methods.OMP.fit_seconds is present, the "omp.fit" span
+    subtree accounts for >= 90% of it (the ISSUE acceptance criterion).
+
+Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+TOP_LEVEL_KEYS = (
+    "schema_version", "tool", "generated_unix_ms", "tracing", "spans",
+    "metrics", "telemetry", "results",
+)
+SPAN_KEYS = (
+    "name", "count", "total_seconds", "min_seconds", "max_seconds",
+    "cpu_seconds", "children",
+)
+RECORD_FIELDS = {
+    "solver_iteration": {
+        "solver": str, "step": int, "selected": int,
+        "max_correlation": (int, float, type(None)),
+        "residual_norm": (int, float, type(None)), "active_count": int,
+    },
+    "cv_fold": {
+        "solver": str, "fold": int, "path_steps": int, "best_lambda": int,
+        "best_rmse": (int, float, type(None)), "skipped": bool,
+    },
+    "campaign_sample": {
+        "sample": int, "attempts": int, "succeeded": bool,
+        "recovered": bool, "error_code": str,
+    },
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(path, message):
+    raise ValidationError(f"{path}: {message}")
+
+
+def check_number(doc_path, node, key):
+    value = node.get(key)
+    # Non-finite doubles serialize as null; accept that.
+    if value is not None and not isinstance(value, (int, float)):
+        fail(doc_path, f"'{key}' must be a number or null, got {value!r}")
+
+
+def check_span(doc_path, node, depth=0):
+    if depth > 200:
+        fail(doc_path, "span tree deeper than 200 levels")
+    if not isinstance(node, dict):
+        fail(doc_path, f"span node must be an object, got {type(node).__name__}")
+    for key in SPAN_KEYS:
+        if key not in node:
+            fail(doc_path, f"span node missing '{key}'")
+    if not isinstance(node["name"], str):
+        fail(doc_path, "span 'name' must be a string")
+    if not isinstance(node["count"], int) or node["count"] < 0:
+        fail(doc_path, f"span '{node['name']}' has bad count {node['count']!r}")
+    for key in ("total_seconds", "min_seconds", "max_seconds", "cpu_seconds"):
+        check_number(doc_path, node, key)
+    if node["count"] > 0 and None not in (node["min_seconds"], node["max_seconds"]):
+        if node["min_seconds"] > node["max_seconds"]:
+            fail(doc_path, f"span '{node['name']}': min > max")
+    if not isinstance(node["children"], list):
+        fail(doc_path, f"span '{node['name']}': children must be an array")
+    for child in node["children"]:
+        check_span(doc_path, child, depth + 1)
+
+
+def check_metrics(doc_path, metrics):
+    if not isinstance(metrics, dict):
+        fail(doc_path, "'metrics' must be an object")
+    for kind in ("counters", "gauges", "histograms"):
+        samples = metrics.get(kind)
+        if not isinstance(samples, list):
+            fail(doc_path, f"metrics.{kind} must be an array")
+        for sample in samples:
+            if not isinstance(sample.get("name"), str):
+                fail(doc_path, f"metrics.{kind} entry without a string name")
+            if kind == "histograms":
+                bounds = sample.get("upper_bounds")
+                counts = sample.get("bucket_counts")
+                if not isinstance(bounds, list) or not isinstance(counts, list):
+                    fail(doc_path, f"histogram '{sample['name']}' malformed")
+                if len(counts) != len(bounds) + 1:
+                    fail(doc_path,
+                         f"histogram '{sample['name']}': {len(counts)} buckets "
+                         f"for {len(bounds)} bounds (want bounds+1)")
+                if sum(counts) != sample.get("count"):
+                    fail(doc_path,
+                         f"histogram '{sample['name']}': bucket sum "
+                         f"{sum(counts)} != count {sample.get('count')}")
+            else:
+                check_number(doc_path, sample, "value")
+
+
+def check_telemetry(doc_path, telemetry):
+    if telemetry is None:
+        return []
+    if not isinstance(telemetry, dict):
+        fail(doc_path, "'telemetry' must be null or an object")
+    records = telemetry.get("records")
+    if not isinstance(records, list):
+        fail(doc_path, "telemetry.records must be an array")
+    if not isinstance(telemetry.get("dropped"), int):
+        fail(doc_path, "telemetry.dropped must be an integer")
+    for i, record in enumerate(records):
+        rtype = record.get("type")
+        fields = RECORD_FIELDS.get(rtype)
+        if fields is None:
+            fail(doc_path, f"record {i}: unknown type {rtype!r}")
+        for field, expected in fields.items():
+            if field not in record:
+                fail(doc_path, f"record {i} ({rtype}): missing '{field}'")
+            value = record[field]
+            if not isinstance(value, expected) or isinstance(value, bool) != (
+                    expected is bool):
+                fail(doc_path,
+                     f"record {i} ({rtype}): '{field}' has bad value {value!r}")
+    return records
+
+
+def check_residual_monotonicity(doc_path, records):
+    """Within each uninterrupted per-solver fit, residuals must not grow."""
+    previous = {}  # solver -> (step, residual_norm)
+    for record in records:
+        if record.get("type") != "solver_iteration":
+            continue
+        solver = record["solver"]
+        step, norm = record["step"], record["residual_norm"]
+        if norm is None:
+            continue
+        last = previous.get(solver)
+        # step resets to 0 at the start of each new fit.
+        if last is not None and step == last[0] + 1 and norm > last[1] + 1e-9:
+            fail(doc_path,
+                 f"{solver} residual rose at step {step}: "
+                 f"{last[1]} -> {norm}")
+        previous[solver] = (step, norm)
+
+
+def total_named(node, name):
+    """Sum of total_seconds over every span named `name` (like
+    SpanStats::total_named: subtrees under a matching node are not
+    double-counted because a span cannot nest inside itself except as a
+    recursion chain, which the total already includes)."""
+    if node.get("name") == name:
+        return node.get("total_seconds") or 0.0
+    return sum(total_named(child, name)
+               for child in node.get("children", []))
+
+
+def check_omp_fit_coverage(doc_path, doc):
+    methods = doc.get("results", {}).get("methods")
+    if not isinstance(methods, dict):
+        return None
+    fit_seconds = methods.get("OMP", {}).get("fit_seconds")
+    if not isinstance(fit_seconds, (int, float)) or fit_seconds <= 0:
+        return None
+    if not doc["tracing"]["compiled"] or not doc["tracing"]["enabled"]:
+        return None
+    covered = total_named(doc["spans"], "omp.fit")
+    if covered == 0.0:
+        fail(doc_path, "results report OMP fit_seconds but no 'omp.fit' span")
+    ratio = covered / fit_seconds
+    if ratio < 0.90:
+        fail(doc_path,
+             f"'omp.fit' spans cover only {ratio:.1%} of OMP fit_seconds "
+             f"({covered:.4f}s of {fit_seconds:.4f}s)")
+    return ratio
+
+
+def check_file(doc_path):
+    with open(doc_path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    for key in TOP_LEVEL_KEYS:
+        if key not in doc:
+            fail(doc_path, f"missing top-level key '{key}'")
+    if doc["schema_version"] != SCHEMA_VERSION:
+        fail(doc_path,
+             f"schema_version {doc['schema_version']!r} != {SCHEMA_VERSION}")
+    if not isinstance(doc["tool"], str) or not doc["tool"]:
+        fail(doc_path, "'tool' must be a non-empty string")
+    if not isinstance(doc["generated_unix_ms"], int) or doc["generated_unix_ms"] <= 0:
+        fail(doc_path, "'generated_unix_ms' must be a positive integer")
+    tracing = doc["tracing"]
+    if not isinstance(tracing, dict) or not all(
+            isinstance(tracing.get(k), bool) for k in ("compiled", "enabled")):
+        fail(doc_path, "'tracing' must be {compiled: bool, enabled: bool}")
+    if not isinstance(doc["results"], dict):
+        fail(doc_path, "'results' must be an object")
+
+    check_span(doc_path, doc["spans"])
+    check_metrics(doc_path, doc["metrics"])
+    records = check_telemetry(doc_path, doc["telemetry"])
+    check_residual_monotonicity(doc_path, records)
+    ratio = check_omp_fit_coverage(doc_path, doc)
+
+    detail = f"{len(records)} telemetry records"
+    if ratio is not None:
+        detail += f", omp.fit covers {ratio:.1%} of OMP fit_seconds"
+    print(f"OK {doc_path}: tool={doc['tool']}, {detail}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for doc_path in argv[1:]:
+        try:
+            check_file(doc_path)
+        except (ValidationError, OSError, json.JSONDecodeError, KeyError,
+                TypeError) as error:
+            print(f"FAIL {doc_path}: {error}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace rsm {
@@ -47,9 +50,38 @@ std::string CampaignReport::summary() const {
   return os.str();
 }
 
+obs::JsonValue CampaignReport::to_json() const {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("attempted", static_cast<std::int64_t>(attempted));
+  doc.set("succeeded", static_cast<std::int64_t>(succeeded));
+  doc.set("recovered", static_cast<std::int64_t>(recovered));
+  doc.set("total_retries", static_cast<std::int64_t>(total_retries));
+  doc.set("success_fraction", static_cast<double>(success_fraction()));
+  doc.set("min_success_fraction", static_cast<double>(min_success_fraction));
+  doc.set("fit_allowed", fit_allowed());
+  obs::JsonValue errors = obs::JsonValue::object();
+  for (int c = 0; c < kNumErrorCodes; ++c) {
+    errors.set(error_code_name(static_cast<ErrorCode>(c)),
+               static_cast<std::int64_t>(
+                   error_histogram[static_cast<std::size_t>(c)]));
+  }
+  doc.set("failed_attempts_by_code", std::move(errors));
+  obs::JsonValue quarantine = obs::JsonValue::array();
+  for (const QuarantinedSample& q : quarantined) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("sample", static_cast<std::int64_t>(q.sample));
+    entry.set("code", error_code_name(q.code));
+    entry.set("reason", q.reason);
+    quarantine.push_back(std::move(entry));
+  }
+  doc.set("quarantined", std::move(quarantine));
+  return doc;
+}
+
 CampaignResult run_campaign(const Matrix& samples,
                             const SampleEvaluator& evaluate,
                             const CampaignOptions& options) {
+  RSM_TRACE_SPAN("campaign.run");
   RSM_CHECK_MSG(samples.rows() > 0, "campaign needs at least one sample");
   RSM_CHECK_MSG(options.max_attempts >= 1,
                 "campaign needs a positive attempt budget");
@@ -70,8 +102,10 @@ CampaignResult run_campaign(const Matrix& samples,
     ErrorCode last_code = ErrorCode::kUnclassified;
     std::string last_reason;
     bool ok = false;
+    int attempts_used = 0;
     for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
       if (attempt > 0) ++report.total_retries;
+      attempts_used = attempt + 1;
       try {
         options.fault_injector.throw_if_faulted(k, attempt);
         const Real value = evaluate(samples.row(k), attempt);
@@ -99,7 +133,22 @@ CampaignResult run_campaign(const Matrix& samples,
                << error_code_name(last_code) << "]");
       report.quarantined.push_back({k, last_code, std::move(last_reason)});
     }
+    if (obs::telemetry_enabled()) {
+      obs::emit(obs::CampaignSampleEvent{
+          .sample = k,
+          .attempts = attempts_used,
+          .succeeded = ok,
+          .recovered = ok && attempts_used > 1,
+          .code = ok ? ErrorCode::kOk : last_code});
+    }
   }
+
+  obs::metrics().counter("campaign.samples.attempted").increment(num_samples);
+  obs::metrics().counter("campaign.samples.succeeded")
+      .increment(report.succeeded);
+  obs::metrics().counter("campaign.samples.quarantined")
+      .increment(static_cast<std::int64_t>(report.quarantined.size()));
+  obs::metrics().counter("campaign.retries").increment(report.total_retries);
 
   result.samples = Matrix(static_cast<Index>(survivors.size()),
                           samples.cols());

@@ -33,6 +33,7 @@
 
 #include "core/pipeline.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/json.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
 
@@ -87,6 +88,10 @@ struct CampaignReport {
 
   /// Human-readable multi-line summary (counts, histogram, quarantine).
   [[nodiscard]] std::string summary() const;
+
+  /// Machine-readable form of the same report, suitable for embedding in a
+  /// bench report (obs/report.hpp) or dumping alongside campaign logs.
+  [[nodiscard]] obs::JsonValue to_json() const;
 };
 
 struct CampaignResult {

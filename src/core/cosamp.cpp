@@ -8,6 +8,8 @@
 #include "linalg/blas.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace rsm {
 namespace {
@@ -50,6 +52,7 @@ std::vector<Real> ls_on_support(const Matrix& g, std::span<const Real> f,
 SolverPath CosampSolver::fit_at_sparsity(const Matrix& g,
                                          std::span<const Real> f,
                                          Index sparsity) const {
+  RSM_TRACE_SPAN("cosamp.fit");
   const Index k = g.rows();
   const Index m = g.cols();
   RSM_CHECK(static_cast<Index>(f.size()) == k);
@@ -63,6 +66,7 @@ SolverPath CosampSolver::fit_at_sparsity(const Matrix& g,
   Real prev_res_norm = nrm2(f);
 
   for (int it = 0; it < options_.max_iterations; ++it) {
+    RSM_TRACE_SPAN("cosamp.iteration");
     // Identify: up to 2s largest proxy correlations, merged with the
     // current support — capped so the merged candidate set stays solvable
     // by LS (at most k columns).
@@ -93,6 +97,17 @@ SolverPath CosampSolver::fit_at_sparsity(const Matrix& g,
     support = std::move(new_support);
 
     const Real res_norm = nrm2(residual);
+    if (obs::telemetry_enabled()) {
+      // CoSaMP reselects a whole support per iteration, so `selected` is
+      // meaningless; report the proxy's strongest correlation instead.
+      obs::emit(obs::SolverIterationEvent{
+          .solver = "CoSaMP",
+          .step = static_cast<Index>(it),
+          .selected = -1,
+          .max_correlation = max_abs(corr),
+          .residual_norm = res_norm,
+          .active_count = static_cast<Index>(support.size())});
+    }
     if (res_norm >= prev_res_norm * (1 - options_.stall_tolerance)) break;
     prev_res_norm = res_norm;
   }

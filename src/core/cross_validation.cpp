@@ -6,6 +6,8 @@
 
 #include "core/metrics.hpp"
 #include "linalg/blas.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace rsm {
@@ -18,6 +20,7 @@ CrossValidationResult CrossValidator::run(const PathSolver& solver,
                                           const Matrix& g,
                                           std::span<const Real> f,
                                           Index max_lambda) const {
+  RSM_TRACE_SPAN("cv.run");
   const Index num_samples = g.rows();
   const Index num_columns = g.cols();
   RSM_CHECK(static_cast<Index>(f.size()) == num_samples);
@@ -36,6 +39,7 @@ CrossValidationResult CrossValidator::run(const PathSolver& solver,
   result.fold_curves.resize(static_cast<std::size_t>(q));
 
   for (int fold = 0; fold < q; ++fold) {
+    RSM_TRACE_SPAN("cv.fold");
     // Split rows.
     std::vector<Index> train_rows, test_rows;
     for (Index i = 0; i < num_samples; ++i) {
@@ -73,6 +77,11 @@ CrossValidationResult CrossValidator::run(const PathSolver& solver,
       RSM_WARN("cross-validation: skipping degenerate fold " << fold << ": "
                                                              << e.what());
       ++result.skipped_folds;
+      if (obs::telemetry_enabled()) {
+        obs::emit(obs::CvFoldEvent{.solver = solver.name(),
+                                   .fold = fold,
+                                   .skipped = true});
+      }
       continue;
     }
     std::vector<Real>& curve =
@@ -89,6 +98,17 @@ CrossValidationResult CrossValidator::run(const PathSolver& solver,
           pred[r] += coef[s] * g_test(static_cast<Index>(r), sup[s]);
       }
       curve.push_back(relative_rms_error(pred, f_test));
+    }
+
+    if (obs::telemetry_enabled() && !curve.empty()) {
+      const auto fold_best = std::min_element(curve.begin(), curve.end());
+      obs::emit(obs::CvFoldEvent{
+          .solver = solver.name(),
+          .fold = fold,
+          .path_steps = path.num_steps(),
+          .best_lambda = static_cast<Index>(fold_best - curve.begin()) + 1,
+          .best_rmse = *fold_best,
+          .skipped = false});
     }
   }
 

@@ -7,6 +7,8 @@
 
 #include "linalg/blas.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace rsm {
 namespace {
@@ -80,6 +82,7 @@ class ActiveGramCholesky {
 
 SolverPath LarSolver::fit_path(const Matrix& g, std::span<const Real> f,
                                Index max_steps) const {
+  RSM_TRACE_SPAN("lar.fit");
   const Index num_samples = g.rows();
   const Index num_columns = g.cols();
   RSM_CHECK(static_cast<Index>(f.size()) == num_samples);
@@ -123,6 +126,7 @@ SolverPath LarSolver::fit_path(const Matrix& g, std::span<const Real> f,
   bool just_dropped = false;
   // Each loop iteration performs one LAR event (add or drop) plus a move.
   for (Index event = 0; event < 4 * max_steps + 8; ++event) {
+    RSM_TRACE_SPAN("lar.step");
     if (static_cast<Index>(active.size()) >= max_steps && !just_dropped) break;
 
     gemv_transposed(x, residual, c);
@@ -246,6 +250,16 @@ SolverPath LarSolver::fit_path(const Matrix& g, std::span<const Real> f,
     path.coefficients.push_back(std::move(denorm));
     path.selection_order.push_back(active.empty() ? -1 : active.back());
     path.residual_norms.push_back(nrm2(residual));
+
+    if (obs::telemetry_enabled()) {
+      obs::emit(obs::SolverIterationEvent{
+          .solver = "LAR",
+          .step = static_cast<Index>(path.coefficients.size()) - 1,
+          .selected = path.selection_order.back(),
+          .max_correlation = cmax,
+          .residual_norm = path.residual_norms.back(),
+          .active_count = static_cast<Index>(active.size())});
+    }
 
     if (gamma >= cmax / a_norm - Real{1e-14} && drop < 0) {
       // Took the full least-squares step: correlations are (numerically)

@@ -6,6 +6,8 @@
 
 #include "linalg/incremental_qr.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace rsm {
 
@@ -17,6 +19,7 @@ SolverPath OmpSolver::fit_path(const Matrix& g, std::span<const Real> f,
 SolverPath OmpSolver::fit_path(const ColumnSource& source,
                                std::span<const Real> f,
                                Index max_steps) const {
+  RSM_TRACE_SPAN("omp.fit");
   const Index num_samples = source.rows();
   const Index num_columns = source.num_columns();
   RSM_CHECK(static_cast<Index>(f.size()) == num_samples);
@@ -36,6 +39,7 @@ SolverPath OmpSolver::fit_path(const ColumnSource& source,
   const Real f_norm = std::max(nrm2(f), Real{1e-300});
 
   for (Index step = 0; step < max_steps; ++step) {
+    RSM_TRACE_SPAN("omp.iteration");
     // Step 3: xi_m = G_m' * Res for all m (the paper's 1/K factor is a
     // monotone scaling that does not affect the argmax).
     source.correlate(residual, correlations);
@@ -89,6 +93,16 @@ SolverPath OmpSolver::fit_path(const ColumnSource& source,
     residual = qr.residual(f);
     const Real res_norm = nrm2(residual);
     path.residual_norms.push_back(res_norm);
+
+    if (obs::telemetry_enabled()) {
+      obs::emit(obs::SolverIterationEvent{
+          .solver = "OMP",
+          .step = step,
+          .selected = best,
+          .max_correlation = best_val,
+          .residual_norm = res_norm,
+          .active_count = static_cast<Index>(path.selection_order.size())});
+    }
 
     if (options_.residual_tolerance > 0 &&
         res_norm <= options_.residual_tolerance * f_norm) {

@@ -7,6 +7,8 @@
 #include "core/metrics.hpp"
 #include "core/omp.hpp"
 #include "core/star.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace rsm {
@@ -38,7 +40,11 @@ BuildReport build_model(std::shared_ptr<const BasisDictionary> dictionary,
   RSM_CHECK(dictionary != nullptr);
   RSM_CHECK(samples.cols() == dictionary->num_variables());
   WallTimer timer;
-  const Matrix design = dictionary->design_matrix(samples);
+  Matrix design;
+  {
+    RSM_TRACE_SPAN("pipeline.design_matrix");
+    design = dictionary->design_matrix(samples);
+  }
   BuildReport report =
       build_model_from_design(std::move(dictionary), design, values, options);
   report.fit_seconds = timer.seconds();  // include design evaluation
@@ -48,6 +54,7 @@ BuildReport build_model(std::shared_ptr<const BasisDictionary> dictionary,
 BuildReport build_model_from_design(
     std::shared_ptr<const BasisDictionary> dictionary, const Matrix& design,
     std::span<const Real> values, const BuildOptions& options) {
+  RSM_TRACE_SPAN("pipeline.fit");
   RSM_CHECK(dictionary != nullptr);
   RSM_CHECK(design.cols() == dictionary->size());
   RSM_CHECK(static_cast<Index>(values.size()) == design.rows());
@@ -57,6 +64,7 @@ BuildReport build_model_from_design(
   report.method = options.method;
 
   if (options.method == Method::kLeastSquares) {
+    RSM_TRACE_SPAN("pipeline.least_squares");
     LeastSquaresFitter::Options ls_opt;
     ls_opt.ridge = options.ridge;
     const std::vector<Real> dense =
@@ -67,6 +75,7 @@ BuildReport build_model_from_design(
     const std::unique_ptr<PathSolver> solver = make_path_solver(options.method);
     Index lambda = options.max_lambda;
     if (!options.skip_cross_validation) {
+      RSM_TRACE_SPAN("pipeline.cross_validation");
       CrossValidator::Options cv_opt;
       cv_opt.num_folds = options.cv_folds;
       cv_opt.seed = options.cv_seed;
@@ -75,6 +84,7 @@ BuildReport build_model_from_design(
       lambda = report.cv.best_lambda;
     }
     // Final fit on all training data at the chosen lambda.
+    RSM_TRACE_SPAN("pipeline.final_fit");
     const SolverPath path = solver->fit_path(design, values, lambda);
     RSM_CHECK_MSG(path.num_steps() > 0, "solver returned an empty path");
     const Index t = std::min<Index>(lambda, path.num_steps()) - 1;
@@ -94,6 +104,18 @@ BuildReport build_model_from_design(
       pred[static_cast<std::size_t>(k)] +=
           term.coefficient * design(k, term.basis_index);
   report.training_error = relative_rms_error(pred, values);
+
+  obs::metrics().counter("pipeline.models_built").increment();
+  obs::metrics()
+      .counter(std::string("pipeline.models_built.") +
+               method_name(options.method))
+      .increment();
+  obs::metrics()
+      .histogram("pipeline.fit_seconds",
+                 {1e-3, 1e-2, 0.1, 0.5, 1, 5, 30, 120, 600})
+      .observe(report.fit_seconds);
+  obs::metrics().gauge("pipeline.last_lambda").set(
+      static_cast<double>(report.lambda));
   return report;
 }
 

@@ -5,11 +5,14 @@
 
 #include "linalg/incremental_qr.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace rsm {
 
 SompResult SompSolver::fit(const Matrix& g, const Matrix& responses,
                            Index max_terms) const {
+  RSM_TRACE_SPAN("somp.fit");
   const Index k = g.rows();
   const Index m = g.cols();
   const Index num_responses = responses.cols();
@@ -34,6 +37,7 @@ SompResult SompSolver::fit(const Matrix& g, const Matrix& responses,
   Real first_best_score = -1;
 
   for (Index step = 0; step < max_terms; ++step) {
+    RSM_TRACE_SPAN("somp.iteration");
     // Joint score per column: sum_r (G_j' res_r / ||f_r||)^2. Response
     // normalization keeps large-magnitude metrics from dominating; columns
     // are NOT norm-normalized, matching the paper's inner-product criterion
@@ -73,6 +77,23 @@ SompResult SompSolver::fit(const Matrix& g, const Matrix& responses,
     // Re-fit every response on the shared support; update residuals.
     for (Index r = 0; r < num_responses; ++r)
       residuals[static_cast<std::size_t>(r)] = qr.residual(responses.col(r));
+
+    if (obs::telemetry_enabled()) {
+      // Joint residual norm across the (normalized) responses.
+      Real joint = 0;
+      for (Index r = 0; r < num_responses; ++r) {
+        const Real norm = nrm2(residuals[static_cast<std::size_t>(r)]) /
+                          response_scale[static_cast<std::size_t>(r)];
+        joint += norm * norm;
+      }
+      obs::emit(obs::SolverIterationEvent{
+          .solver = "SOMP",
+          .step = step,
+          .selected = best,
+          .max_correlation = std::sqrt(best_score),
+          .residual_norm = std::sqrt(joint),
+          .active_count = static_cast<Index>(result.support.size())});
+    }
   }
 
   result.coefficients.resize(static_cast<std::size_t>(num_responses));

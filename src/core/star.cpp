@@ -5,11 +5,14 @@
 
 #include "linalg/blas.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace rsm {
 
 SolverPath StarSolver::fit_path(const Matrix& g, std::span<const Real> f,
                                 Index max_steps) const {
+  RSM_TRACE_SPAN("star.fit");
   const Index num_samples = g.rows();
   const Index num_columns = g.cols();
   RSM_CHECK(static_cast<Index>(f.size()) == num_samples);
@@ -23,6 +26,7 @@ SolverPath StarSolver::fit_path(const Matrix& g, std::span<const Real> f,
   std::vector<Real> step_coefficients;  // aligned with selection_order
 
   for (Index step = 0; step < max_steps; ++step) {
+    RSM_TRACE_SPAN("star.iteration");
     gemv_transposed(g, residual, correlations);
     const Index best = argmax_abs(correlations);
     if (best < 0) break;
@@ -42,6 +46,17 @@ SolverPath StarSolver::fit_path(const Matrix& g, std::span<const Real> f,
 
     axpy(-alpha, column, residual);
     path.residual_norms.push_back(nrm2(residual));
+
+    if (obs::telemetry_enabled()) {
+      obs::emit(obs::SolverIterationEvent{
+          .solver = "STAR",
+          .step = step,
+          .selected = best,
+          .max_correlation =
+              std::abs(correlations[static_cast<std::size_t>(best)]),
+          .residual_norm = path.residual_norms.back(),
+          .active_count = static_cast<Index>(path.selection_order.size())});
+    }
   }
   return path;
 }

@@ -1,0 +1,66 @@
+#include "obs/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace rsm::obs {
+namespace {
+
+int g_level = 1;
+
+/// -1 = unset/unparsable; otherwise the numeric level.
+int parse_level(const char* value) {
+  if (value == nullptr || *value == '\0') return -1;
+  if (std::strcmp(value, "off") == 0) return 0;
+  if (std::strcmp(value, "trace") == 0) return 1;
+  if (std::strcmp(value, "jsonl") == 0) return 2;
+  char* end = nullptr;
+  const long level = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || level < 0) return -1;
+  return static_cast<int>(level > 2 ? 2 : level);
+}
+
+void apply_once() {
+  const char* raw = std::getenv("RSM_OBS_LEVEL");
+  int level = parse_level(raw);
+  if (raw != nullptr && *raw != '\0' && level < 0) {
+    RSM_WARN("RSM_OBS_LEVEL='" << raw
+                               << "' not understood (want 0/off, 1/trace, "
+                                  "2/jsonl); ignoring");
+  }
+  if (level < 0) level = 1;  // default: tracing on, no sink
+  g_level = level;
+
+  set_tracing_enabled(level >= 1 && kTracingCompiled);
+  if (level >= 2) {
+    const char* path = std::getenv("RSM_OBS_JSONL");
+    const std::string jsonl_path =
+        (path != nullptr && *path != '\0') ? path : "rsm_telemetry.jsonl";
+    try {
+      set_telemetry_sink(std::make_shared<JsonlFileSink>(jsonl_path));
+      RSM_INFO("observability: telemetry JSONL -> " << jsonl_path);
+    } catch (const Error& e) {
+      RSM_WARN("observability: " << e.what() << "; telemetry disabled");
+    }
+  }
+}
+
+}  // namespace
+
+void apply_env_overrides() {
+  static std::once_flag flag;
+  std::call_once(flag, apply_once);
+}
+
+int obs_level() {
+  apply_env_overrides();
+  return g_level;
+}
+
+}  // namespace rsm::obs

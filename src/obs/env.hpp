@@ -1,0 +1,29 @@
+// RSM_OBS_LEVEL environment override — enable observability in existing
+// binaries without recompiling or new CLI flags.
+//
+//   RSM_OBS_LEVEL=0|off       tracing off, no telemetry sink
+//   RSM_OBS_LEVEL=1|trace     tracing on (the default when unset)
+//   RSM_OBS_LEVEL=2|jsonl     tracing on + JsonlFileSink writing every
+//                             telemetry event to $RSM_OBS_JSONL
+//                             (default "rsm_telemetry.jsonl")
+//
+// The variables are parsed exactly once per process (std::call_once); later
+// set_tracing_enabled()/set_telemetry_sink() calls override the environment
+// (explicit code wins over ambient configuration). tracing_enabled() applies
+// the override lazily on first query, so simply setting the variable works
+// for every bench/example with no code at all.
+#pragma once
+
+namespace rsm::obs {
+
+/// Parses RSM_OBS_LEVEL / RSM_OBS_JSONL and applies them. Idempotent and
+/// thread-safe; called automatically from the first tracing_enabled() query
+/// and from bench::BenchReport.
+void apply_env_overrides();
+
+/// The resolved level (0, 1, or 2) after env parsing; applies the override
+/// first when needed. Level 0 means the user asked for zero observability —
+/// callers like bench::BenchReport skip installing sinks entirely.
+[[nodiscard]] int obs_level();
+
+}  // namespace rsm::obs

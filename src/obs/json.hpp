@@ -1,0 +1,85 @@
+// Minimal ordered JSON document model for the observability layer.
+//
+// The obs subsystem emits machine-readable reports (BENCH_*.json, JSONL
+// telemetry); this is the small dependency-free value type they serialize
+// through. It is a *writer* — deliberately no parser — kept ordered
+// (insertion order of object keys is preserved) so reports diff cleanly
+// across runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace rsm::obs {
+
+/// Ordered JSON value: null, bool, int64, double, string, array, object.
+/// Doubles serialize with %.17g (round-trip exact); non-finite doubles
+/// serialize as null per RFC 8259 (JSON has no NaN/Inf).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}                // NOLINT
+  JsonValue(std::int64_t i) : kind_(Kind::kInt), int_(i) {}          // NOLINT
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}      // NOLINT
+  JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}          // NOLINT
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}     // NOLINT
+
+  [[nodiscard]] static JsonValue array();
+  [[nodiscard]] static JsonValue object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Array append. RSM_CHECKs that this value is an array.
+  void push_back(JsonValue v);
+
+  /// Object insert-or-overwrite, preserving first-insertion order.
+  /// RSM_CHECKs that this value is an object.
+  void set(const std::string& key, JsonValue v);
+
+  /// Object lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] JsonValue* find(const std::string& key);
+
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const { return int_; }
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  /// Compact single-line serialization.
+  [[nodiscard]] std::string dump() const;
+
+  /// Pretty serialization with 2-space indentation.
+  [[nodiscard]] std::string dump_pretty() const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace rsm::obs

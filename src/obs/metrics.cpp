@@ -1,0 +1,115 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace rsm::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1) {
+  RSM_CHECK_MSG(!upper_bounds_.empty(), "histogram needs at least one bucket");
+  for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+    RSM_CHECK_MSG(upper_bounds_[i - 1] < upper_bounds_[i],
+                  "histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double value) {
+  // First bucket whose upper bound is >= value; everything above the last
+  // bound is the overflow bucket.
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - upper_bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  return counts;
+}
+
+namespace {
+
+template <typename T, typename... Args>
+T& find_or_create(std::vector<std::pair<std::string, std::unique_ptr<T>>>& map,
+                  const std::string& name, Args&&... args) {
+  for (auto& [key, metric] : map) {
+    if (key == name) return *metric;
+  }
+  map.emplace_back(name, std::unique_ptr<T>(new T(std::forward<Args>(args)...)));
+  return *map.back().second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, metric] : histograms_) {
+    if (key == name) return *metric;
+  }
+  histograms_.emplace_back(
+      name, std::unique_ptr<Histogram>(new Histogram(std::move(upper_bounds))));
+  return *histograms_.back().second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_)
+      snap.counters.push_back({name, c->value()});
+    for (const auto& [name, g] : gauges_)
+      snap.gauges.push_back({name, g->value()});
+    for (const auto& [name, h] : histograms_) {
+      snap.histograms.push_back({name, h->upper_bounds(), h->bucket_counts(),
+                                 h->count(), h->sum()});
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_)
+    c->value_.store(0, std::memory_order_relaxed);
+  for (auto& [name, g] : gauges_)
+    g->value_.store(0, std::memory_order_relaxed);
+  for (auto& [name, h] : histograms_) {
+    for (auto& bucket : h->buckets_)
+      bucket.store(0, std::memory_order_relaxed);
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace rsm::obs

@@ -1,0 +1,149 @@
+// Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+//
+//   static obs::Counter& solves = obs::metrics().counter("dc.solves");
+//   solves.increment();
+//
+// Registration is thread-safe and idempotent (find-or-create by name);
+// returned references stay valid for the life of the process, so hot paths
+// cache them in a local/static and pay one atomic op per update. Snapshots
+// are taken without stopping writers. Metric names follow the same dotted
+// lowercase convention as trace spans ("campaign.samples.succeeded") — see
+// docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace rsm::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void increment(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written floating-point metric.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// value <= upper_bounds[i] (first matching bucket); observations above the
+/// last bound land in the implicit overflow bucket.
+class Histogram {
+ public:
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return upper_bounds_;
+  }
+
+  /// Per-bucket counts; size() == upper_bounds().size() + 1, the last entry
+  /// being the overflow bucket.
+  [[nodiscard]] std::vector<std::int64_t> bucket_counts() const;
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  std::vector<double> upper_bounds_;               // strictly increasing
+  std::vector<std::atomic<std::int64_t>> buckets_; // bounds.size() + 1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+struct CounterSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> upper_bounds;
+  std::vector<std::int64_t> bucket_counts;  // incl. trailing overflow bucket
+  std::int64_t count = 0;
+  double sum = 0;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. The returned reference is process-lifetime stable.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// Find-or-create; `upper_bounds` must be non-empty and strictly
+  /// increasing. A second registration of the same name returns the
+  /// existing histogram (its original bounds win).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (registrations are kept, so cached
+  /// references stay valid). Used by tests and the bench report scope.
+  void reset();
+
+ private:
+  friend MetricsRegistry& metrics();
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;  // guards the maps, not the metric values
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+/// The process-wide registry.
+[[nodiscard]] MetricsRegistry& metrics();
+
+}  // namespace rsm::obs

@@ -1,0 +1,117 @@
+#include "obs/report.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace rsm::obs {
+
+JsonValue span_to_json(const SpanStats& stats) {
+  JsonValue node = JsonValue::object();
+  node.set("name", stats.name);
+  node.set("count", static_cast<std::int64_t>(stats.count));
+  node.set("total_seconds", stats.total_seconds);
+  node.set("min_seconds", stats.min_seconds);
+  node.set("max_seconds", stats.max_seconds);
+  node.set("cpu_seconds", stats.cpu_seconds);
+  JsonValue children = JsonValue::array();
+  for (const SpanStats& child : stats.children)
+    children.push_back(span_to_json(child));
+  node.set("children", std::move(children));
+  return node;
+}
+
+JsonValue metrics_to_json(const MetricsSnapshot& snapshot) {
+  JsonValue out = JsonValue::object();
+
+  JsonValue counters = JsonValue::array();
+  for (const CounterSample& c : snapshot.counters) {
+    JsonValue item = JsonValue::object();
+    item.set("name", c.name);
+    item.set("value", c.value);
+    counters.push_back(std::move(item));
+  }
+  out.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::array();
+  for (const GaugeSample& g : snapshot.gauges) {
+    JsonValue item = JsonValue::object();
+    item.set("name", g.name);
+    item.set("value", g.value);
+    gauges.push_back(std::move(item));
+  }
+  out.set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::array();
+  for (const HistogramSample& h : snapshot.histograms) {
+    JsonValue item = JsonValue::object();
+    item.set("name", h.name);
+    JsonValue bounds = JsonValue::array();
+    for (const double b : h.upper_bounds) bounds.push_back(b);
+    item.set("upper_bounds", std::move(bounds));
+    JsonValue counts = JsonValue::array();
+    for (const std::int64_t c : h.bucket_counts) counts.push_back(c);
+    item.set("bucket_counts", std::move(counts));
+    item.set("count", h.count);
+    item.set("sum", h.sum);
+    histograms.push_back(std::move(item));
+  }
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+JsonValue build_report(const std::string& tool, JsonValue results,
+                       const RingBufferSink* telemetry) {
+  RSM_CHECK_MSG(results.is_object(), "report results must be a JSON object");
+
+  JsonValue report = JsonValue::object();
+  report.set("schema_version", kReportSchemaVersion);
+  report.set("tool", tool);
+  report.set("generated_unix_ms",
+             static_cast<std::int64_t>(
+                 std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                     .count()));
+
+  JsonValue tracing = JsonValue::object();
+  tracing.set("compiled", kTracingCompiled);
+  tracing.set("enabled", tracing_enabled());
+  report.set("tracing", std::move(tracing));
+
+  report.set("spans", span_to_json(trace_snapshot()));
+  report.set("metrics", metrics_to_json(metrics().snapshot()));
+
+  if (telemetry != nullptr) {
+    JsonValue tele = JsonValue::object();
+    JsonValue records = JsonValue::array();
+    for (const TelemetryRecord& record : telemetry->records())
+      records.push_back(telemetry_record_value(record));
+    tele.set("records", std::move(records));
+    tele.set("dropped", static_cast<std::int64_t>(telemetry->dropped()));
+    report.set("telemetry", std::move(tele));
+  } else {
+    report.set("telemetry", JsonValue());
+  }
+
+  report.set("results", std::move(results));
+  return report;
+}
+
+bool write_report(const std::string& path, const std::string& tool,
+                  JsonValue results, const RingBufferSink* telemetry) {
+  const JsonValue report = build_report(tool, std::move(results), telemetry);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    RSM_WARN("observability: cannot write report to '" << path << '\'');
+    return false;
+  }
+  const std::string text = report.dump_pretty();
+  std::fputs(text.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  RSM_INFO("observability: wrote " << path);
+  return true;
+}
+
+}  // namespace rsm::obs

@@ -1,0 +1,56 @@
+// Versioned machine-readable observability report (the BENCH_*.json format).
+//
+// One report bundles everything the obs layer knows — the hierarchical span
+// tree, the metrics registry snapshot, the telemetry records of a
+// RingBufferSink — together with tool-specific `results` (table rows, fit
+// timings) into a single JSON document:
+//
+//   {
+//     "schema_version": 1,
+//     "tool": "table1_linear_cost",
+//     "generated_unix_ms": 1754500000000,
+//     "tracing": {"compiled": true, "enabled": true},
+//     "spans":   {"name": "", "count": 0, ..., "children": [...]},
+//     "metrics": {"counters": [...], "gauges": [...], "histograms": [...]},
+//     "telemetry": {"records": [...], "dropped": 0},
+//     "results": { ... tool specific ... }
+//   }
+//
+// The schema is documented field-by-field in docs/observability.md and
+// validated in CI by scripts/check_bench_json.py. Bump kReportSchemaVersion
+// on any incompatible change.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace rsm::obs {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Span tree -> JSON node: {"name", "count", "total_seconds",
+/// "min_seconds", "max_seconds", "cpu_seconds", "children": [...]}.
+[[nodiscard]] JsonValue span_to_json(const SpanStats& stats);
+
+/// Metrics snapshot -> {"counters": [...], "gauges": [...],
+/// "histograms": [...]}.
+[[nodiscard]] JsonValue metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// Assembles the full report document. `results` must be an object (pass
+/// JsonValue::object() when a tool has nothing extra to record);
+/// `telemetry` may be nullptr, which serializes the field as null.
+[[nodiscard]] JsonValue build_report(const std::string& tool,
+                                     JsonValue results,
+                                     const RingBufferSink* telemetry = nullptr);
+
+/// build_report + pretty-print to `path`. Returns false (after logging a
+/// warning) when the file cannot be written — report emission must never
+/// take down the tool it observes.
+bool write_report(const std::string& path, const std::string& tool,
+                  JsonValue results, const RingBufferSink* telemetry = nullptr);
+
+}  // namespace rsm::obs

@@ -1,0 +1,167 @@
+#include "obs/telemetry.hpp"
+
+#include "obs/json.hpp"
+
+namespace rsm::obs {
+
+namespace detail {
+std::atomic<bool> g_telemetry_enabled{false};
+}
+
+namespace {
+
+struct SinkSlot {
+  std::mutex mutex;
+  std::shared_ptr<TelemetrySink> sink;
+};
+
+SinkSlot& sink_slot() {
+  static SinkSlot slot;
+  return slot;
+}
+
+std::shared_ptr<TelemetrySink> current_sink() {
+  SinkSlot& slot = sink_slot();
+  const std::lock_guard<std::mutex> lock(slot.mutex);
+  return slot.sink;
+}
+
+}  // namespace
+
+std::shared_ptr<TelemetrySink> set_telemetry_sink(
+    std::shared_ptr<TelemetrySink> sink) {
+  SinkSlot& slot = sink_slot();
+  const std::lock_guard<std::mutex> lock(slot.mutex);
+  std::shared_ptr<TelemetrySink> previous = std::move(slot.sink);
+  slot.sink = std::move(sink);
+  detail::g_telemetry_enabled.store(slot.sink != nullptr,
+                                    std::memory_order_relaxed);
+  return previous;
+}
+
+std::shared_ptr<TelemetrySink> telemetry_sink() { return current_sink(); }
+
+void emit(const SolverIterationEvent& event) {
+  if (const std::shared_ptr<TelemetrySink> sink = current_sink())
+    sink->on_solver_iteration(event);
+}
+
+void emit(const CvFoldEvent& event) {
+  if (const std::shared_ptr<TelemetrySink> sink = current_sink())
+    sink->on_cv_fold(event);
+}
+
+void emit(const CampaignSampleEvent& event) {
+  if (const std::shared_ptr<TelemetrySink> sink = current_sink())
+    sink->on_campaign_sample(event);
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RingBufferSink::push(TelemetryRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void RingBufferSink::on_solver_iteration(const SolverIterationEvent& event) {
+  push(event);
+}
+
+void RingBufferSink::on_cv_fold(const CvFoldEvent& event) { push(event); }
+
+void RingBufferSink::on_campaign_sample(const CampaignSampleEvent& event) {
+  push(event);
+}
+
+std::vector<TelemetryRecord> RingBufferSink::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TelemetryRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::uint64_t RingBufferSink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void RingBufferSink::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+JsonValue telemetry_record_value(const TelemetryRecord& record) {
+  JsonValue obj = JsonValue::object();
+  if (const auto* it = std::get_if<SolverIterationEvent>(&record)) {
+    obj.set("type", "solver_iteration");
+    obj.set("solver", it->solver);
+    obj.set("step", it->step);
+    obj.set("selected", it->selected);
+    obj.set("max_correlation", static_cast<double>(it->max_correlation));
+    obj.set("residual_norm", static_cast<double>(it->residual_norm));
+    obj.set("active_count", it->active_count);
+  } else if (const auto* cv = std::get_if<CvFoldEvent>(&record)) {
+    obj.set("type", "cv_fold");
+    obj.set("solver", cv->solver);
+    obj.set("fold", cv->fold);
+    obj.set("path_steps", cv->path_steps);
+    obj.set("best_lambda", cv->best_lambda);
+    obj.set("best_rmse", static_cast<double>(cv->best_rmse));
+    obj.set("skipped", cv->skipped);
+  } else if (const auto* cs = std::get_if<CampaignSampleEvent>(&record)) {
+    obj.set("type", "campaign_sample");
+    obj.set("sample", cs->sample);
+    obj.set("attempts", cs->attempts);
+    obj.set("succeeded", cs->succeeded);
+    obj.set("recovered", cs->recovered);
+    obj.set("error_code", error_code_name(cs->code));
+  }
+  return obj;
+}
+
+std::string telemetry_record_json(const TelemetryRecord& record) {
+  return telemetry_record_value(record).dump();
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    throw Error("JsonlFileSink: cannot open '" + path + "' for writing");
+  }
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlFileSink::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void JsonlFileSink::on_solver_iteration(const SolverIterationEvent& event) {
+  write_line(telemetry_record_json(event));
+}
+
+void JsonlFileSink::on_cv_fold(const CvFoldEvent& event) {
+  write_line(telemetry_record_json(event));
+}
+
+void JsonlFileSink::on_campaign_sample(const CampaignSampleEvent& event) {
+  write_line(telemetry_record_json(event));
+}
+
+}  // namespace rsm::obs

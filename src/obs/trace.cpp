@@ -1,0 +1,221 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/env.hpp"
+#include "util/timer.hpp"
+
+namespace rsm::obs {
+
+double SpanStats::total_named(const std::string& span_name) const {
+  double sum = name == span_name ? total_seconds : 0;
+  for (const SpanStats& c : children) sum += c.total_named(span_name);
+  return sum;
+}
+
+const SpanStats* SpanStats::child(const std::string& child_name) const {
+  for (const SpanStats& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+namespace detail {
+
+struct SpanNode {
+  const char* name = "";
+  SpanNode* parent = nullptr;
+  std::vector<std::unique_ptr<SpanNode>> children;
+  std::uint64_t count = 0;
+  double total = 0;
+  double min = 0;
+  double max = 0;
+  double cpu = 0;
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::SpanNode;
+
+/// -1 = uninitialized (environment override not yet applied).
+std::atomic<int> g_tracing{-1};
+
+/// Merges `src` into `dst` (same name assumed), matching children by name.
+void merge_stats(SpanStats& dst, const SpanStats& src) {
+  if (src.count > 0) {
+    if (dst.count == 0) {
+      dst.min_seconds = src.min_seconds;
+    } else {
+      dst.min_seconds = std::min(dst.min_seconds, src.min_seconds);
+    }
+    dst.max_seconds = std::max(dst.max_seconds, src.max_seconds);
+  }
+  dst.count += src.count;
+  dst.total_seconds += src.total_seconds;
+  dst.cpu_seconds += src.cpu_seconds;
+  for (const SpanStats& child : src.children) {
+    SpanStats* match = nullptr;
+    for (SpanStats& existing : dst.children) {
+      if (existing.name == child.name) {
+        match = &existing;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      dst.children.push_back(child);
+    } else {
+      merge_stats(*match, child);
+    }
+  }
+}
+
+/// Converts a live node tree to SpanStats, pruning nodes never completed
+/// (count == 0 with no completed descendants — e.g. zeroed by
+/// reset_tracing while a span was open).
+bool snapshot_node(const SpanNode& node, SpanStats& out) {
+  out.name = node.name;
+  out.count = node.count;
+  out.total_seconds = node.total;
+  out.min_seconds = node.min;
+  out.max_seconds = node.max;
+  out.cpu_seconds = node.cpu;
+  bool any = node.count > 0;
+  for (const auto& child : node.children) {
+    SpanStats child_stats;
+    if (snapshot_node(*child, child_stats)) {
+      out.children.push_back(std::move(child_stats));
+      any = true;
+    }
+  }
+  return any;
+}
+
+void zero_node(SpanNode& node) {
+  node.count = 0;
+  node.total = node.min = node.max = node.cpu = 0;
+  for (auto& child : node.children) zero_node(*child);
+}
+
+/// Span statistics of threads that have already exited, merged at thread
+/// teardown so trace_snapshot() keeps their data.
+struct Retired {
+  std::mutex mutex;
+  SpanStats tree;  // root name ""
+};
+
+Retired& retired() {
+  static Retired r;
+  return r;
+}
+
+/// Per-thread span tree. Recording touches only this — no locks on the hot
+/// path. The destructor folds the tree into the retired accumulator.
+struct ThreadTree {
+  SpanNode root;
+  SpanNode* current = &root;
+
+  ThreadTree() {
+    (void)retired();  // force construction order: retired outlives us
+  }
+
+  ~ThreadTree() {
+    SpanStats stats;
+    if (!snapshot_node(root, stats)) return;
+    Retired& r = retired();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    merge_stats(r.tree, stats);
+  }
+};
+
+ThreadTree& thread_tree() {
+  thread_local ThreadTree tree;
+  return tree;
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  if constexpr (!kTracingCompiled) return false;
+  int v = g_tracing.load(std::memory_order_relaxed);
+  if (v < 0) {
+    apply_env_overrides();  // sets the flag (default: enabled)
+    v = g_tracing.load(std::memory_order_relaxed);
+    if (v < 0) {
+      g_tracing.store(1, std::memory_order_relaxed);
+      v = 1;
+    }
+  }
+  return v != 0;
+}
+
+void set_tracing_enabled(bool enabled) {
+  g_tracing.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+SpanStats trace_snapshot() {
+  SpanStats merged;
+  {
+    Retired& r = retired();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    merged = r.tree;
+  }
+  merged.name = "";
+  SpanStats live;
+  if (snapshot_node(thread_tree().root, live)) merge_stats(merged, live);
+  return merged;
+}
+
+void reset_tracing() {
+  {
+    Retired& r = retired();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.tree = SpanStats{};
+  }
+  // Zero (rather than delete) the calling thread's nodes: ScopedSpans still
+  // open on the stack hold pointers into this tree.
+  zero_node(thread_tree().root);
+}
+
+namespace detail {
+
+SpanNode* span_push(const char* name) {
+  ThreadTree& tree = thread_tree();
+  SpanNode* current = tree.current;
+  for (const auto& child : current->children) {
+    // Names are string literals: pointer equality is the common fast case.
+    if (child->name == name || std::strcmp(child->name, name) == 0) {
+      tree.current = child.get();
+      return child.get();
+    }
+  }
+  auto node = std::make_unique<SpanNode>();
+  node->name = name;
+  node->parent = current;
+  SpanNode* raw = node.get();
+  current->children.push_back(std::move(node));
+  tree.current = raw;
+  return raw;
+}
+
+void span_pop(SpanNode* node, double wall_seconds, double cpu_seconds) {
+  ++node->count;
+  node->total += wall_seconds;
+  node->min = node->count == 1 ? wall_seconds
+                               : std::min(node->min, wall_seconds);
+  node->max = std::max(node->max, wall_seconds);
+  node->cpu += cpu_seconds;
+  ThreadTree& tree = thread_tree();
+  tree.current = node->parent != nullptr ? node->parent : &tree.root;
+}
+
+double cpu_now() { return ThreadCpuTimer::now(); }
+
+}  // namespace detail
+
+}  // namespace rsm::obs

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "linalg/lu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spice/mna.hpp"
 #include "util/log.hpp"
 
@@ -205,6 +207,8 @@ DcOptions escalated(const DcOptions& base, int level) {
 
 DcSolution solve_dc(const Netlist& netlist, const DcOptions& options,
                     std::span<const Real> initial_guess) {
+  RSM_TRACE_SPAN("dc.solve");
+  obs::metrics().counter("dc.solves").increment();
   const Index n = netlist.mna_size();
   RSM_CHECK_MSG(n > 0, "empty netlist");
   RSM_CHECK_MSG(!options.strategies.empty(),
@@ -227,30 +231,43 @@ DcSolution solve_dc(const Netlist& netlist, const DcOptions& options,
     RunFail fail = RunFail::kNone;
     bool ok = false;
     switch (strategy) {
-      case DcStrategy::kNewton:
+      case DcStrategy::kNewton: {
+        RSM_TRACE_SPAN("dc.newton");
         ok = run_plain_newton(netlist, options, sol.x, sol.iterations, fail);
         break;
-      case DcStrategy::kGminStepping:
+      }
+      case DcStrategy::kGminStepping: {
+        RSM_TRACE_SPAN("dc.gmin_stepping");
         ok = run_gmin_stepping(netlist, options, sol.x, sol.iterations, fail);
         break;
-      case DcStrategy::kSourceStepping:
+      }
+      case DcStrategy::kSourceStepping: {
+        RSM_TRACE_SPAN("dc.source_stepping");
         ok = run_source_stepping(netlist, options, sol.x, sol.iterations,
                                  fail);
         break;
-      case DcStrategy::kPseudoTransient:
+      }
+      case DcStrategy::kPseudoTransient: {
+        RSM_TRACE_SPAN("dc.pseudo_transient");
         ok = run_pseudo_transient(netlist, options, sol.x, sol.iterations,
                                   fail);
         break;
+      }
     }
     if (ok) {
       sol.converged = true;
       sol.strategy = strategy;
+      obs::metrics()
+          .histogram("dc.newton_iterations",
+                     {5, 10, 25, 50, 100, 250, 500, 1000})
+          .observe(static_cast<double>(sol.iterations));
       return sol;
     }
     if (fail != RunFail::kSingular) all_singular = false;
     if (fail == RunFail::kNonFinite) any_non_finite = true;
   }
 
+  obs::metrics().counter("dc.failures").increment();
   std::ostringstream os;
   os << "DC operating point failed after " << sol.strategies_tried
      << " strategies / " << sol.iterations << " Newton iterations";

@@ -1,12 +1,26 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace rsm {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Guards sink installation and every emission: concurrent RSM_LOG calls
+/// from campaign/bench threads must not interleave half-lines on stderr.
+std::mutex& log_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;
+  return sink;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -18,16 +32,51 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
+std::chrono::steady_clock::time_point process_start() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
-namespace detail {
-void log_emit(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  sink_slot() = std::move(sink);
 }
+
+namespace detail {
+
+double log_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       process_start())
+      .count();
+}
+
+std::string format_log_line(LogLevel level, double seconds,
+                            const std::string& message) {
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "[%9.3f %s] ", seconds,
+                level_tag(level));
+  return prefix + message;
+}
+
+void log_emit(LogLevel level, const std::string& message) {
+  const double uptime = log_uptime_seconds();
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  const LogSink& sink = sink_slot();
+  if (sink) {
+    sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "%s\n",
+               format_log_line(level, uptime, message).c_str());
+}
+
 }  // namespace detail
 
 }  // namespace rsm

@@ -1,7 +1,19 @@
 // Minimal leveled logging to stderr. Benches use Info for progress lines;
 // solvers use Debug for per-iteration traces (off by default).
+//
+// Emission is serialized by a mutex and each line is prefixed with the
+// monotonic seconds since process start plus a level tag:
+//
+//   [   12.345 INFO ] campaign: fitting on 198/200 surviving samples
+//
+// Tests (and embedders) can capture output instead of scraping stderr:
+//
+//   set_log_sink([&](LogLevel level, const std::string& msg) { ... });
+//   ...
+//   set_log_sink(nullptr);  // restore stderr
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,9 +25,26 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
+/// Receives every emitted (level, raw message) pair — the message carries no
+/// timestamp/tag prefix; the default stderr path adds it via
+/// detail::format_log_line. Invoked under the log mutex, so sinks need no
+/// synchronization of their own but must not log reentrantly.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Installs a capture sink; nullptr restores the default stderr writer.
+void set_log_sink(LogSink sink);
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);
-}
+
+/// "[%9.3f LEVEL] message" — the line format the stderr writer emits, with
+/// `seconds` the monotonic time since process start.
+[[nodiscard]] std::string format_log_line(LogLevel level, double seconds,
+                                          const std::string& message);
+
+/// Monotonic seconds since the first logging call of the process.
+[[nodiscard]] double log_uptime_seconds();
+}  // namespace detail
 
 }  // namespace rsm
 

@@ -1,17 +1,24 @@
-// Wall-clock timing utilities used by the benchmark harness.
+// Wall-clock and thread-CPU timing utilities used by the benchmark harness
+// and the observability layer (obs/trace.hpp spans record both).
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace rsm {
 
 /// Monotonic wall-clock stopwatch. Started on construction; `seconds()` reads
-/// elapsed time without stopping; `restart()` resets the origin.
+/// elapsed time without stopping; `restart()` resets the origin; `lap()`
+/// returns the time since the last lap (or construction/restart) and opens a
+/// new lap without disturbing the overall `seconds()` origin.
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_(Clock::now()), lap_(start_) {}
 
-  void restart() { start_ = Clock::now(); }
+  void restart() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   [[nodiscard]] double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
@@ -19,9 +26,49 @@ class WallTimer {
 
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
 
+  /// Elapsed seconds since the previous lap() / restart() / construction;
+  /// resets the lap origin to now.
+  double lap() {
+    const Clock::time_point now = Clock::now();
+    const double elapsed = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return elapsed;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
+};
+
+/// CPU-time counterpart of WallTimer scoped to the *calling thread*:
+/// `seconds()` is the CPU time this thread has burned since construction,
+/// which excludes time spent blocked or preempted. Backed by
+/// clock_gettime(CLOCK_THREAD_CPUTIME_ID) where available (Linux/macOS);
+/// falls back to process CPU time via std::clock() elsewhere.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  void restart() { start_ = now(); }
+
+  [[nodiscard]] double seconds() const { return now() - start_; }
+
+  /// Absolute thread-CPU clock reading in seconds (origin unspecified).
+  [[nodiscard]] static double now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return static_cast<double>(std::clock()) /
+           static_cast<double>(CLOCKS_PER_SEC);
+  }
+
+ private:
+  double start_;
 };
 
 }  // namespace rsm

@@ -13,6 +13,7 @@
 #include "core/campaign.hpp"
 #include "core/pipeline.hpp"
 #include "core/synthetic.hpp"
+#include "obs/telemetry.hpp"
 #include "stats/lhs.hpp"
 #include "stats/rng.hpp"
 
@@ -257,6 +258,102 @@ TEST(Campaign, MisuseStillThrows) {
   EXPECT_THROW((void)run_campaign(bench.samples, bench.evaluator(), bad),
                Error);
   EXPECT_THROW((void)run_campaign(Matrix(), bench.evaluator()), Error);
+}
+
+TEST(Campaign, TelemetryMirrorsFaultInjectionOutcomes) {
+  // The observability acceptance pin: every sample of a fault-injected
+  // campaign shows up as exactly one CampaignSampleEvent, and the events'
+  // ErrorCodes match the injector's plan sample-by-sample.
+  const SyntheticBench bench(120);
+  CampaignOptions options;
+  options.max_attempts = 3;
+  options.fault_injector = FaultInjector(
+      {.fault_rate = 0.05, .persistent_fraction = 0.5, .seed = 99});
+
+  const auto ring = std::make_shared<obs::RingBufferSink>();
+  obs::set_telemetry_sink(ring);
+  const CampaignResult result =
+      run_campaign(bench.samples, bench.evaluator(), options);
+  obs::set_telemetry_sink(nullptr);
+
+  std::vector<obs::CampaignSampleEvent> events;
+  for (const obs::TelemetryRecord& record : ring->records()) {
+    if (const auto* ev = std::get_if<obs::CampaignSampleEvent>(&record))
+      events.push_back(*ev);
+  }
+  ASSERT_EQ(events.size(), 120u);
+
+  Index quarantine_cursor = 0;
+  for (Index k = 0; k < 120; ++k) {
+    const obs::CampaignSampleEvent& ev = events[static_cast<std::size_t>(k)];
+    EXPECT_EQ(ev.sample, k);
+    const FaultKind kind = options.fault_injector.kind(k);
+    const bool sticky =
+        kind != FaultKind::kNone && options.fault_injector.is_persistent(k);
+    if (kind == FaultKind::kNone) {
+      EXPECT_TRUE(ev.succeeded);
+      EXPECT_FALSE(ev.recovered);
+      EXPECT_EQ(ev.attempts, 1);
+      EXPECT_EQ(ev.code, ErrorCode::kOk);
+    } else if (sticky) {
+      // Persistent faults exhaust the budget and report the final failure's
+      // classification — the same code the quarantine recorded.
+      EXPECT_FALSE(ev.succeeded);
+      EXPECT_EQ(ev.attempts, options.max_attempts);
+      const QuarantinedSample& q = result.report.quarantined[
+          static_cast<std::size_t>(quarantine_cursor++)];
+      EXPECT_EQ(q.sample, k);
+      EXPECT_EQ(ev.code, q.code);
+      EXPECT_NE(ev.code, ErrorCode::kOk);
+    } else {
+      EXPECT_TRUE(ev.succeeded);
+      EXPECT_TRUE(ev.recovered);
+      EXPECT_EQ(ev.attempts, 2);  // one injected failure, then recovery
+      EXPECT_EQ(ev.code, ErrorCode::kOk);
+    }
+  }
+  EXPECT_EQ(quarantine_cursor,
+            static_cast<Index>(result.report.quarantined.size()));
+}
+
+TEST(Campaign, ReportToJsonMirrorsCounts) {
+  const SyntheticBench bench(30);
+  CampaignOptions options;
+  options.max_attempts = 2;
+  options.fault_injector = FaultInjector(
+      {.fault_rate = 0.3, .persistent_fraction = 0.5, .seed = 7});
+  const CampaignResult result =
+      run_campaign(bench.samples, bench.evaluator(), options);
+  const CampaignReport& report = result.report;
+
+  const obs::JsonValue doc = report.to_json();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("attempted")->as_int(), report.attempted);
+  EXPECT_EQ(doc.find("succeeded")->as_int(), report.succeeded);
+  EXPECT_EQ(doc.find("recovered")->as_int(), report.recovered);
+  EXPECT_EQ(doc.find("total_retries")->as_int(), report.total_retries);
+  EXPECT_DOUBLE_EQ(doc.find("success_fraction")->as_double(),
+                   report.success_fraction());
+  EXPECT_EQ(doc.find("fit_allowed")->as_bool(), report.fit_allowed());
+
+  const obs::JsonValue* errors = doc.find("failed_attempts_by_code");
+  ASSERT_NE(errors, nullptr);
+  for (int c = 0; c < kNumErrorCodes; ++c) {
+    const ErrorCode code = static_cast<ErrorCode>(c);
+    ASSERT_NE(errors->find(error_code_name(code)), nullptr);
+    EXPECT_EQ(errors->find(error_code_name(code))->as_int(),
+              report.error_count(code));
+  }
+
+  const obs::JsonValue* quarantine = doc.find("quarantined");
+  ASSERT_NE(quarantine, nullptr);
+  ASSERT_EQ(quarantine->size(), report.quarantined.size());
+  for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+    const obs::JsonValue& entry = quarantine->items()[i];
+    EXPECT_EQ(entry.find("sample")->as_int(), report.quarantined[i].sample);
+    EXPECT_EQ(entry.find("code")->as_string(),
+              error_code_name(report.quarantined[i].code));
+  }
 }
 
 }  // namespace

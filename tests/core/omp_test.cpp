@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
+#include <variant>
 
 #include <gtest/gtest.h>
 
 #include "linalg/qr.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/telemetry.hpp"
 #include "stats/lhs.hpp"
 #include "stats/rng.hpp"
 
@@ -154,6 +157,54 @@ TEST(Omp, PathSupportsAreNested) {
     ASSERT_EQ(cur.size(), prev.size() + 1);
     for (std::size_t i = 0; i < prev.size(); ++i) EXPECT_EQ(cur[i], prev[i]);
   }
+}
+
+TEST(Omp, TelemetryEventsMirrorTheSolverPath) {
+  // With a ring sink installed, each OMP step emits one SolverIterationEvent
+  // whose fields replay the SolverPath: selection order, growing active set,
+  // and monotonically non-increasing residual norms.
+  Rng rng(110);
+  const Matrix g = monte_carlo_normal(50, 100, rng);
+  const std::vector<Real> f = rng.normal_vector(50);
+
+  const auto ring = std::make_shared<obs::RingBufferSink>();
+  obs::set_telemetry_sink(ring);
+  const SolverPath path = OmpSolver().fit_path(g, f, 12);
+  obs::set_telemetry_sink(nullptr);
+
+  std::vector<obs::SolverIterationEvent> events;
+  for (const obs::TelemetryRecord& record : ring->records()) {
+    if (const auto* ev = std::get_if<obs::SolverIterationEvent>(&record))
+      events.push_back(*ev);
+  }
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(path.num_steps()));
+  for (std::size_t t = 0; t < events.size(); ++t) {
+    EXPECT_EQ(events[t].solver, std::string("OMP"));
+    EXPECT_EQ(events[t].step, static_cast<Index>(t));
+    EXPECT_EQ(events[t].selected, path.selection_order[t]);
+    EXPECT_EQ(events[t].active_count, static_cast<Index>(t) + 1);
+    EXPECT_DOUBLE_EQ(events[t].residual_norm, path.residual_norms[t]);
+    EXPECT_GT(events[t].max_correlation, 0.0);
+    if (t > 0) {
+      EXPECT_LE(events[t].residual_norm,
+                events[t - 1].residual_norm + 1e-12);
+    }
+  }
+}
+
+TEST(Omp, NoTelemetryEmittedWithoutSink) {
+  // The default (null sink) configuration must leave nothing behind: install
+  // a ring only AFTER the fit and confirm the fit emitted nothing.
+  Rng rng(111);
+  const Matrix g = monte_carlo_normal(30, 60, rng);
+  const std::vector<Real> f = rng.normal_vector(30);
+  (void)OmpSolver().fit_path(g, f, 5);
+  const auto ring = std::make_shared<obs::RingBufferSink>();
+  obs::set_telemetry_sink(ring);
+  obs::set_telemetry_sink(nullptr);
+  EXPECT_TRUE(ring->records().empty());
+  EXPECT_EQ(ring->dropped(), 0u);
 }
 
 // Scaling sweep: recovery holds across problem sizes with K ~ 4 P log10(M).

@@ -1,0 +1,79 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rsm::obs {
+namespace {
+
+TEST(JsonValueTest, ScalarsSerialize) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+  EXPECT_EQ(JsonValue(0.5).dump(), "0.5");
+}
+
+TEST(JsonValueTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(-std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(JsonValueTest, DoublesRoundTripExactly) {
+  const double value = 0.1 + 0.2;  // not representable as a short decimal
+  const std::string dumped = JsonValue(value).dump();
+  EXPECT_EQ(std::stod(dumped), value);
+}
+
+TEST(JsonValueTest, StringsAreEscaped) {
+  EXPECT_EQ(JsonValue("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonValue("tab\there").dump(), "\"tab\\there\"");
+  EXPECT_EQ(JsonValue("new\nline").dump(), "\"new\\nline\"");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zeta", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+  // Overwrite keeps the original position.
+  obj.set("zeta", 9);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":9,\"alpha\":2,\"mid\":3}");
+  ASSERT_NE(obj.find("alpha"), nullptr);
+  EXPECT_EQ(obj.find("alpha")->as_int(), 2);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, NestedStructuresDump) {
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  JsonValue inner = JsonValue::object();
+  inner.set("k", true);
+  arr.push_back(std::move(inner));
+  JsonValue doc = JsonValue::object();
+  doc.set("items", std::move(arr));
+  EXPECT_EQ(doc.dump(), "{\"items\":[1,\"two\",{\"k\":true}]}");
+  EXPECT_EQ(doc.find("items")->size(), 3u);
+}
+
+TEST(JsonValueTest, PrettyPrintIndentsTwoSpaces) {
+  JsonValue doc = JsonValue::object();
+  doc.set("a", 1);
+  const std::string pretty = doc.dump_pretty();
+  EXPECT_NE(pretty.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsm::obs

@@ -1,0 +1,121 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rsm::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { metrics().reset(); }
+  void TearDown() override { metrics().reset(); }
+};
+
+TEST_F(MetricsTest, CounterFindOrCreateIsIdempotent) {
+  Counter& a = metrics().counter("test.counter");
+  Counter& b = metrics().counter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.increment();
+  b.increment(4);
+  EXPECT_EQ(a.value(), 5);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastWrite) {
+  Gauge& g = metrics().gauge("test.gauge");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundariesAreInclusive) {
+  Histogram& h = metrics().histogram("test.hist", {1.0, 2.0, 5.0});
+  // A value exactly on an upper bound lands in that bound's bucket.
+  h.observe(0.5);   // <= 1.0      -> bucket 0
+  h.observe(1.0);   // == bound 0  -> bucket 0
+  h.observe(1.001); // <= 2.0      -> bucket 1
+  h.observe(2.0);   // == bound 1  -> bucket 1
+  h.observe(5.0);   // == bound 2  -> bucket 2
+  h.observe(5.001); // overflow    -> bucket 3
+  h.observe(1e12);  // overflow    -> bucket 3
+  const std::vector<std::int64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 2);
+  EXPECT_EQ(h.count(), 7);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 5.001 + 1e12, 1e-3);
+}
+
+TEST_F(MetricsTest, HistogramReregistrationKeepsOriginalBounds) {
+  Histogram& a = metrics().histogram("test.rereg", {1.0, 2.0});
+  Histogram& b = metrics().histogram("test.rereg", {10.0, 20.0, 30.0});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByName) {
+  // The registry is process-wide and reset() keeps registrations, so other
+  // tests' metrics may coexist — assert global sortedness, not exact content.
+  metrics().counter("zz.last").increment();
+  metrics().counter("aa.first").increment();
+  metrics().counter("mm.middle").increment();
+  const MetricsSnapshot snap = metrics().snapshot();
+  ASSERT_GE(snap.counters.size(), 3u);
+  std::vector<std::string> names;
+  for (const CounterSample& c : snap.counters) names.push_back(c.name);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected : {"aa.first", "mm.middle", "zz.last"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsRegistrations) {
+  Counter& c = metrics().counter("test.reset");
+  Histogram& h = metrics().histogram("test.reset.hist", {1.0});
+  c.increment(7);
+  h.observe(0.5);
+  metrics().reset();
+  EXPECT_EQ(c.value(), 0);  // the cached reference is still live
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::int64_t>{0, 0}));
+  c.increment();
+  EXPECT_EQ(metrics().counter("test.reset").value(), 1);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreLossless) {
+  Counter& c = metrics().counter("test.concurrent");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, SnapshotCapturesHistogramShape) {
+  Histogram& h = metrics().histogram("test.snap.hist", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(100.0);
+  const MetricsSnapshot snap = metrics().snapshot();
+  const HistogramSample* s = nullptr;
+  for (const HistogramSample& cand : snap.histograms)
+    if (cand.name == "test.snap.hist") s = &cand;
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->upper_bounds, (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(s->bucket_counts, (std::vector<std::int64_t>{1, 0, 1}));
+  EXPECT_EQ(s->count, 2);
+}
+
+}  // namespace
+}  // namespace rsm::obs

@@ -1,0 +1,121 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace rsm::obs {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing_enabled(true);
+    reset_tracing();
+    metrics().reset();
+  }
+  void TearDown() override {
+    set_telemetry_sink(nullptr);
+    reset_tracing();
+    metrics().reset();
+    set_tracing_enabled(kTracingCompiled);
+  }
+};
+
+TEST_F(ReportTest, ReportCarriesEverySchemaField) {
+  {
+    RSM_TRACE_SPAN("report_test.work");
+  }
+  metrics().counter("report_test.counter").increment(3);
+  metrics().gauge("report_test.gauge").set(1.25);
+  metrics().histogram("report_test.hist", {1.0, 2.0}).observe(1.5);
+
+  RingBufferSink ring;
+  ring.on_solver_iteration({.solver = "OMP", .step = 0, .selected = 1,
+                            .max_correlation = 2.0, .residual_norm = 0.5,
+                            .active_count = 1});
+
+  JsonValue results = JsonValue::object();
+  results.set("answer", 42);
+  const JsonValue doc = build_report("unit_test", std::move(results), &ring);
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema_version")->as_int(), kReportSchemaVersion);
+  EXPECT_EQ(doc.find("tool")->as_string(), "unit_test");
+  EXPECT_GT(doc.find("generated_unix_ms")->as_int(), 0);
+
+  const JsonValue* tracing = doc.find("tracing");
+  ASSERT_NE(tracing, nullptr);
+  EXPECT_EQ(tracing->find("compiled")->as_bool(), kTracingCompiled);
+  EXPECT_EQ(tracing->find("enabled")->as_bool(), tracing_enabled());
+
+  const JsonValue* spans = doc.find("spans");
+  ASSERT_NE(spans, nullptr);
+  if (kTracingCompiled) {
+    bool found_span = false;
+    for (const auto& child : spans->find("children")->items())
+      found_span |= child.find("name")->as_string() == "report_test.work";
+    EXPECT_TRUE(found_span);
+  }
+
+  const JsonValue* m = doc.find("metrics");
+  ASSERT_NE(m, nullptr);
+  EXPECT_GE(m->find("counters")->size(), 1u);
+  EXPECT_GE(m->find("gauges")->size(), 1u);
+  EXPECT_GE(m->find("histograms")->size(), 1u);
+
+  const JsonValue* telemetry = doc.find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_EQ(telemetry->find("records")->size(), 1u);
+  EXPECT_EQ(telemetry->find("dropped")->as_int(), 0);
+
+  EXPECT_EQ(doc.find("results")->find("answer")->as_int(), 42);
+}
+
+TEST_F(ReportTest, NullTelemetrySerializesAsNull) {
+  const JsonValue doc =
+      build_report("unit_test", JsonValue::object(), nullptr);
+  ASSERT_NE(doc.find("telemetry"), nullptr);
+  EXPECT_EQ(doc.find("telemetry")->kind(), JsonValue::Kind::kNull);
+}
+
+TEST_F(ReportTest, SpanNodeSerializesAllStatistics) {
+  {
+    RSM_TRACE_SPAN("outer_span");
+    RSM_TRACE_SPAN("inner_span");
+  }
+  const JsonValue node = span_to_json(trace_snapshot());
+  for (const char* key : {"name", "count", "total_seconds", "min_seconds",
+                          "max_seconds", "cpu_seconds", "children"}) {
+    EXPECT_NE(node.find(key), nullptr) << key;
+  }
+}
+
+TEST_F(ReportTest, WriteReportCreatesParseableFile) {
+  const std::string path = ::testing::TempDir() + "/rsm_report_test.json";
+  JsonValue results = JsonValue::object();
+  results.set("ok", true);
+  ASSERT_TRUE(write_report(path, "unit_test", std::move(results)));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  EXPECT_NE(content.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(content.find("\"tool\": \"unit_test\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ReportTest, WriteReportFailsGracefullyOnBadPath) {
+  EXPECT_FALSE(write_report("/nonexistent-dir/x/report.json", "unit_test",
+                            JsonValue::object()));
+}
+
+}  // namespace
+}  // namespace rsm::obs

@@ -1,0 +1,140 @@
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rsm::obs {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_telemetry_sink(nullptr); }
+};
+
+TEST_F(TelemetryTest, DisabledByDefaultAndEnabledBySink) {
+  set_telemetry_sink(nullptr);
+  EXPECT_FALSE(telemetry_enabled());
+  const auto ring = std::make_shared<RingBufferSink>();
+  set_telemetry_sink(ring);
+  EXPECT_TRUE(telemetry_enabled());
+  set_telemetry_sink(nullptr);
+  EXPECT_FALSE(telemetry_enabled());
+}
+
+TEST_F(TelemetryTest, SetSinkReturnsPrevious) {
+  const auto first = std::make_shared<RingBufferSink>();
+  const auto second = std::make_shared<RingBufferSink>();
+  set_telemetry_sink(first);
+  const std::shared_ptr<TelemetrySink> previous = set_telemetry_sink(second);
+  EXPECT_EQ(previous.get(), first.get());
+}
+
+TEST_F(TelemetryTest, EmitWithoutSinkIsANoOp) {
+  set_telemetry_sink(nullptr);
+  EXPECT_NO_THROW(emit(SolverIterationEvent{.solver = "OMP"}));
+  EXPECT_NO_THROW(emit(CvFoldEvent{.solver = "LAR"}));
+  EXPECT_NO_THROW(emit(CampaignSampleEvent{.sample = 0}));
+}
+
+TEST_F(TelemetryTest, RingBufferKeepsAllRecordKinds) {
+  const auto ring = std::make_shared<RingBufferSink>();
+  set_telemetry_sink(ring);
+  emit(SolverIterationEvent{.solver = "OMP",
+                            .step = 2,
+                            .selected = 17,
+                            .max_correlation = 0.5,
+                            .residual_norm = 0.25,
+                            .active_count = 3});
+  emit(CvFoldEvent{.solver = "OMP", .fold = 1, .path_steps = 10,
+                   .best_lambda = 4, .best_rmse = 0.03, .skipped = false});
+  emit(CampaignSampleEvent{.sample = 9, .attempts = 2, .succeeded = true,
+                           .recovered = true, .code = ErrorCode::kOk});
+  const std::vector<TelemetryRecord> records = ring->records();
+  ASSERT_EQ(records.size(), 3u);
+  const auto* it = std::get_if<SolverIterationEvent>(&records[0]);
+  ASSERT_NE(it, nullptr);
+  EXPECT_EQ(it->selected, 17);
+  EXPECT_DOUBLE_EQ(it->residual_norm, 0.25);
+  const auto* cv = std::get_if<CvFoldEvent>(&records[1]);
+  ASSERT_NE(cv, nullptr);
+  EXPECT_EQ(cv->best_lambda, 4);
+  const auto* cs = std::get_if<CampaignSampleEvent>(&records[2]);
+  ASSERT_NE(cs, nullptr);
+  EXPECT_TRUE(cs->recovered);
+}
+
+TEST_F(TelemetryTest, RingBufferEvictsOldestAndCountsDropped) {
+  const auto ring = std::make_shared<RingBufferSink>(3);
+  set_telemetry_sink(ring);
+  for (int i = 0; i < 5; ++i)
+    emit(SolverIterationEvent{.solver = "OMP", .step = i});
+  const std::vector<TelemetryRecord> records = ring->records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(ring->dropped(), 2u);
+  // Oldest-first: steps 2, 3, 4 survive.
+  for (int i = 0; i < 3; ++i) {
+    const auto* it = std::get_if<SolverIterationEvent>(&records[i]);
+    ASSERT_NE(it, nullptr);
+    EXPECT_EQ(it->step, i + 2);
+  }
+  ring->clear();
+  EXPECT_TRUE(ring->records().empty());
+  EXPECT_EQ(ring->dropped(), 0u);
+}
+
+TEST_F(TelemetryTest, RecordJsonCarriesTypeDiscriminator) {
+  const std::string solver_json =
+      telemetry_record_json(SolverIterationEvent{.solver = "LAR", .step = 1});
+  EXPECT_NE(solver_json.find("\"type\":\"solver_iteration\""),
+            std::string::npos);
+  EXPECT_NE(solver_json.find("\"solver\":\"LAR\""), std::string::npos);
+  const std::string campaign_json = telemetry_record_json(
+      CampaignSampleEvent{.sample = 3, .code = ErrorCode::kSingularMatrix});
+  EXPECT_NE(campaign_json.find("\"type\":\"campaign_sample\""),
+            std::string::npos);
+  EXPECT_NE(campaign_json.find(
+                "\"error_code\":\"" +
+                std::string(error_code_name(ErrorCode::kSingularMatrix)) +
+                "\""),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonlSinkRoundTripsRecords) {
+  const std::string path =
+      ::testing::TempDir() + "/rsm_telemetry_roundtrip.jsonl";
+  const SolverIterationEvent ev1{.solver = "OMP", .step = 0, .selected = 5,
+                                 .max_correlation = 1.5,
+                                 .residual_norm = 0.75, .active_count = 1};
+  const CvFoldEvent ev2{.solver = "OMP", .fold = 2, .path_steps = 8,
+                        .best_lambda = 3, .best_rmse = 0.125,
+                        .skipped = false};
+  {
+    const auto jsonl = std::make_shared<JsonlFileSink>(path);
+    set_telemetry_sink(jsonl);
+    emit(ev1);
+    emit(ev2);
+    set_telemetry_sink(nullptr);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  // The serializer is deterministic, so a file line must equal the record's
+  // canonical JSON — a byte-exact round trip.
+  EXPECT_EQ(lines[0], telemetry_record_json(ev1));
+  EXPECT_EQ(lines[1], telemetry_record_json(ev2));
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, JsonlSinkThrowsOnUnwritablePath) {
+  EXPECT_THROW(JsonlFileSink("/nonexistent-dir/x/y/z.jsonl"), Error);
+}
+
+}  // namespace
+}  // namespace rsm::obs

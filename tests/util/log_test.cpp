@@ -2,12 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
 namespace rsm {
 namespace {
 
 class LogTest : public ::testing::Test {
  protected:
-  void TearDown() override { set_log_level(LogLevel::kInfo); }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kInfo);
+  }
 };
 
 TEST_F(LogTest, LevelRoundTrip) {
@@ -37,6 +45,73 @@ TEST_F(LogTest, EmitDoesNotThrow) {
   EXPECT_NO_THROW(RSM_INFO("info"));
   EXPECT_NO_THROW(RSM_WARN("warn " << 2.5));
   EXPECT_NO_THROW(RSM_ERROR("error"));
+}
+
+TEST_F(LogTest, SinkCapturesLevelAndRawMessage) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+  RSM_INFO("hello " << 42);
+  RSM_WARN("careful");
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].second, "hello 42");  // no timestamp/tag prefix
+  EXPECT_EQ(captured[1].first, LogLevel::kWarn);
+  EXPECT_EQ(captured[1].second, "careful");
+}
+
+TEST_F(LogTest, SinkRespectsLevelThreshold) {
+  int emissions = 0;
+  set_log_sink([&](LogLevel, const std::string&) { ++emissions; });
+  set_log_level(LogLevel::kError);
+  RSM_DEBUG("dropped");
+  RSM_INFO("dropped");
+  RSM_WARN("dropped");
+  RSM_ERROR("kept");
+  EXPECT_EQ(emissions, 1);
+}
+
+TEST_F(LogTest, NullSinkRestoresStderrWithoutCapturing) {
+  int emissions = 0;
+  set_log_sink([&](LogLevel, const std::string&) { ++emissions; });
+  RSM_INFO("captured");
+  set_log_sink(nullptr);
+  RSM_INFO("to stderr");
+  EXPECT_EQ(emissions, 1);
+}
+
+TEST_F(LogTest, FormatLinePrefixesTimestampAndTag) {
+  EXPECT_EQ(detail::format_log_line(LogLevel::kInfo, 12.3456, "msg"),
+            "[   12.346 INFO ] msg");
+  EXPECT_EQ(detail::format_log_line(LogLevel::kWarn, 0.0, "x"),
+            "[    0.000 WARN ] x");
+  EXPECT_EQ(detail::format_log_line(LogLevel::kDebug, 1.0, "d"),
+            "[    1.000 DEBUG] d");
+  EXPECT_EQ(detail::format_log_line(LogLevel::kError, 2.5, "e"),
+            "[    2.500 ERROR] e");
+}
+
+TEST_F(LogTest, UptimeIsMonotonicNonDecreasing) {
+  const double a = detail::log_uptime_seconds();
+  const double b = detail::log_uptime_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST_F(LogTest, ConcurrentEmissionIsSerialized) {
+  int emissions = 0;  // mutated only under the log mutex, via the sink
+  set_log_sink([&](LogLevel, const std::string&) { ++emissions; });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) RSM_INFO("line " << i);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(emissions, kThreads * kPerThread);
 }
 
 }  // namespace

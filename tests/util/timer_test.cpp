@@ -1,0 +1,85 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace rsm {
+namespace {
+
+TEST(WallTimerTest, SecondsIsMonotonic) {
+  WallTimer timer;
+  const double a = timer.seconds();
+  const double b = timer.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  // millis() is a later clock read, so it dominates the earlier seconds().
+  EXPECT_GE(timer.millis(), b * 1e3);
+}
+
+TEST(WallTimerTest, LapResetsLapOriginButNotTotal) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double lap1 = timer.lap();
+  EXPECT_GE(lap1, 0.009);
+  // The lap origin moved to "now", so an immediate lap is near zero...
+  const double lap2 = timer.lap();
+  EXPECT_LT(lap2, lap1);
+  // ...while the overall origin kept accumulating.
+  EXPECT_GE(timer.seconds(), lap1);
+}
+
+TEST(WallTimerTest, LapsSumToTotal) {
+  WallTimer timer;
+  double laps = 0;
+  for (int i = 0; i < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    laps += timer.lap();
+  }
+  // Total >= sum of laps (the final lap() left a still-open lap interval).
+  EXPECT_GE(timer.seconds() + 1e-9, laps);
+  EXPECT_GE(laps, 0.005);
+}
+
+TEST(WallTimerTest, RestartResetsBothOrigins) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.restart();
+  EXPECT_LT(timer.seconds(), 0.005);
+  EXPECT_LT(timer.lap(), 0.005);
+}
+
+TEST(ThreadCpuTimerTest, MeasuresCpuBurn) {
+  ThreadCpuTimer timer;
+  volatile double x = 1.0;
+  for (int i = 0; i < 2000000; ++i) x = x * 1.0000001 + 1e-12;
+  EXPECT_GT(timer.seconds(), 0.0);
+}
+
+TEST(ThreadCpuTimerTest, SleepBurnsLittleCpu) {
+  ThreadCpuTimer cpu;
+  WallTimer wall;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Wall time advanced ~50ms; thread CPU time should be far less.
+  EXPECT_GE(wall.seconds(), 0.045);
+  EXPECT_LT(cpu.seconds(), 0.030);
+}
+
+TEST(ThreadCpuTimerTest, RestartResetsOrigin) {
+  ThreadCpuTimer timer;
+  volatile double x = 1.0;
+  for (int i = 0; i < 1000000; ++i) x = x * 1.0000001 + 1e-12;
+  const double before = timer.seconds();
+  timer.restart();
+  EXPECT_LT(timer.seconds(), before);
+}
+
+TEST(ThreadCpuTimerTest, NowIsMonotonicNonDecreasing) {
+  const double a = ThreadCpuTimer::now();
+  const double b = ThreadCpuTimer::now();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace rsm
