@@ -21,6 +21,7 @@
 #include "spice/dc.hpp"
 #include "stats/lhs.hpp"
 #include "util/cli.hpp"
+#include "util/signals.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -46,6 +47,11 @@ int main(int argc, char** argv) {
   }
   const Index num_samples = args.get_int("samples");
   const Real fault_rate = args.get_double("fault-rate");
+
+  // Ctrl-C drains the in-flight campaign gracefully (the report destructor
+  // still writes BENCH_*.json); a second signal exits immediately.
+  CancellationSource cancel_source;
+  install_signal_cancellation(&cancel_source);
 
   print_header("Campaign-layer overhead",
                "fault-free bookkeeping cost and faulted retry cost, OpAmp "
@@ -83,8 +89,10 @@ int main(int argc, char** argv) {
                             3)});
 
   // Campaign layer, nothing failing.
+  CampaignOptions clean_opt;
+  clean_opt.cancel = cancel_source.token();
   const auto t1 = Clock::now();
-  const CampaignResult clean = run_campaign(samples, evaluate);
+  const CampaignResult clean = run_campaign(samples, evaluate, clean_opt);
   const double with_campaign = seconds_since(t1);
   table.add_row(
       {"campaign", std::to_string(clean.report.succeeded),
@@ -96,6 +104,7 @@ int main(int argc, char** argv) {
 
   // Campaign layer under injected faults.
   CampaignOptions faulted_opt;
+  faulted_opt.cancel = cancel_source.token();
   faulted_opt.max_attempts = 3;
   faulted_opt.fault_injector =
       FaultInjector({.fault_rate = fault_rate, .persistent_fraction = 0.5,
@@ -124,5 +133,5 @@ int main(int argc, char** argv) {
                              with_campaign / direct - 1.0);
   bench_report.results().set("clean_report", clean.report.to_json());
   bench_report.results().set("faulted_report", faulted.report.to_json());
-  return 0;
+  return signal_exit_status();
 }

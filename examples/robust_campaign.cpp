@@ -19,9 +19,15 @@
 #include "spice/dc.hpp"
 #include "stats/lhs.hpp"
 #include "stats/rng.hpp"
+#include "util/signals.hpp"
 
 int main() {
   using namespace rsm;
+
+  // Ctrl-C / SIGTERM drains the in-flight campaign at its next check site
+  // and the binary exits 128+signo; a second signal exits immediately.
+  CancellationSource cancel_source;
+  install_signal_cancellation(&cancel_source);
 
   // A reduced-variable OpAmp bench keeps this example fast: 38 variables
   // covers the global + per-device mismatch factors (no parasitic tail).
@@ -46,18 +52,26 @@ int main() {
   };
 
   // Clean reference campaign.
-  const CampaignResult clean = run_campaign(samples, evaluate);
+  CampaignOptions clean_opt;
+  clean_opt.cancel = cancel_source.token();
+  const CampaignResult clean = run_campaign(samples, evaluate, clean_opt);
   std::printf("clean run:\n%s\n\n", clean.report.summary().c_str());
 
   // Faulted campaign: deterministic injector plants singular solves and
   // Newton stalls at hash-chosen sample indices.
   CampaignOptions opt;
+  opt.cancel = cancel_source.token();
   opt.max_attempts = 3;
   opt.min_success_fraction = 0.8;
   opt.fault_injector = FaultInjector(
       {.fault_rate = 0.08, .persistent_fraction = 0.5, .seed = 1234});
   const CampaignResult faulted = run_campaign(samples, evaluate, opt);
   std::printf("faulted run:\n%s\n\n", faulted.report.summary().c_str());
+
+  if (clean.report.truncated || faulted.report.truncated) {
+    std::printf("campaign interrupted; partial results above\n");
+    return signal_exit_status();
+  }
 
   // Fit both survivor sets (the gate throws if too much was quarantined).
   auto dict = std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
@@ -81,5 +95,5 @@ int main() {
       validate_model(faulted_fit.model, clean.samples, clean.values);
   std::printf("faulted model scored on clean data: %.2f%% error\n",
               100.0 * cross_err);
-  return 0;
+  return signal_exit_status();
 }

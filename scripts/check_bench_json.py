@@ -11,7 +11,12 @@ Checks (stdlib only, exit status 0 = all files valid):
   * per-solver residual norms in solver_iteration records are monotonically
     non-increasing in step order;
   * when results.methods.OMP.fit_seconds is present, the "omp.fit" span
-    subtree accounts for >= 90% of it (the ISSUE acceptance criterion).
+    subtree accounts for >= 90% of it (the ISSUE acceptance criterion);
+  * every embedded campaign report (an object carrying "attempted" and
+    "failed_attempts_by_code", wherever it sits under results) is
+    internally consistent: durability fields present and typed, error
+    histogram covers the full taxonomy (including "deadline-exceeded" and
+    "io-error"), quarantine reasons bounded to 256 bytes, counts add up.
 
 Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
 """
@@ -43,6 +48,16 @@ RECORD_FIELDS = {
         "recovered": bool, "error_code": str,
     },
 }
+
+
+ERROR_CODE_NAMES = (
+    "ok", "singular-matrix", "no-convergence", "numerical-domain",
+    "unclassified", "deadline-exceeded", "io-error",
+)
+MAX_QUARANTINE_REASON = 256
+CAMPAIGN_CHECKPOINT_COUNTERS = (
+    "records", "flushes", "rewrites", "resumed_samples",
+)
 
 
 class ValidationError(Exception):
@@ -186,6 +201,81 @@ def check_omp_fit_coverage(doc_path, doc):
     return ratio
 
 
+def is_campaign_report(node):
+    return (isinstance(node, dict) and "attempted" in node
+            and "failed_attempts_by_code" in node)
+
+
+def check_campaign_report(doc_path, where, report):
+    def bad(message):
+        fail(doc_path, f"campaign report at {where}: {message}")
+
+    for key in ("attempted", "succeeded", "recovered", "total_retries"):
+        if not isinstance(report.get(key), int) or report[key] < 0:
+            bad(f"'{key}' must be a non-negative integer")
+    for key in ("fit_allowed", "truncated"):
+        if not isinstance(report.get(key), bool):
+            bad(f"'{key}' must be a boolean")
+    for key in ("success_fraction", "min_success_fraction"):
+        if not isinstance(report.get(key), (int, float)):
+            bad(f"'{key}' must be a number")
+    if report["succeeded"] > report["attempted"]:
+        bad(f"succeeded {report['succeeded']} > attempted "
+            f"{report['attempted']}")
+
+    checkpoint = report.get("checkpoint")
+    if not isinstance(checkpoint, dict):
+        bad("'checkpoint' must be an object")
+    for key in CAMPAIGN_CHECKPOINT_COUNTERS:
+        if not isinstance(checkpoint.get(key), int) or checkpoint[key] < 0:
+            bad(f"checkpoint.{key} must be a non-negative integer")
+    if not isinstance(checkpoint.get("failed"), bool):
+        bad("checkpoint.failed must be a boolean")
+
+    histogram = report.get("failed_attempts_by_code")
+    if not isinstance(histogram, dict):
+        bad("'failed_attempts_by_code' must be an object")
+    for name in ERROR_CODE_NAMES:
+        if not isinstance(histogram.get(name), int) or histogram[name] < 0:
+            bad(f"failed_attempts_by_code missing/invalid '{name}'")
+    for name in histogram:
+        if name not in ERROR_CODE_NAMES:
+            bad(f"failed_attempts_by_code has unknown code '{name}'")
+
+    quarantined = report.get("quarantined")
+    if not isinstance(quarantined, list):
+        bad("'quarantined' must be an array")
+    if len(quarantined) > report["attempted"]:
+        bad(f"{len(quarantined)} quarantined > {report['attempted']} "
+            "attempted")
+    for i, entry in enumerate(quarantined):
+        if not isinstance(entry.get("sample"), int) or entry["sample"] < 0:
+            bad(f"quarantined[{i}].sample must be a non-negative integer")
+        if entry.get("code") not in ERROR_CODE_NAMES or entry["code"] == "ok":
+            bad(f"quarantined[{i}].code is {entry.get('code')!r}")
+        reason = entry.get("reason")
+        if not isinstance(reason, str):
+            bad(f"quarantined[{i}].reason must be a string")
+        if len(reason.encode("utf-8")) > MAX_QUARANTINE_REASON:
+            bad(f"quarantined[{i}].reason exceeds {MAX_QUARANTINE_REASON} "
+                "bytes")
+
+
+def find_campaign_reports(node, where="results"):
+    """Campaign reports may be embedded anywhere under results (e.g.
+    clean_report / faulted_report in campaign_overhead, results.campaign in
+    durable_campaign); walk the whole value."""
+    if is_campaign_report(node):
+        yield where, node
+        return
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from find_campaign_reports(value, f"{where}.{key}")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from find_campaign_reports(value, f"{where}[{i}]")
+
+
 def check_file(doc_path):
     with open(doc_path, "r", encoding="utf-8") as handle:
         doc = json.load(handle)
@@ -211,10 +301,15 @@ def check_file(doc_path):
     records = check_telemetry(doc_path, doc["telemetry"])
     check_residual_monotonicity(doc_path, records)
     ratio = check_omp_fit_coverage(doc_path, doc)
+    campaign_reports = list(find_campaign_reports(doc["results"]))
+    for where, report in campaign_reports:
+        check_campaign_report(doc_path, where, report)
 
     detail = f"{len(records)} telemetry records"
     if ratio is not None:
         detail += f", omp.fit covers {ratio:.1%} of OMP fit_seconds"
+    if campaign_reports:
+        detail += f", {len(campaign_reports)} campaign report(s)"
     print(f"OK {doc_path}: tool={doc['tool']}, {detail}")
 
 

@@ -10,6 +10,256 @@
 #include "util/log.hpp"
 
 namespace rsm {
+namespace {
+
+std::string bounded_reason(std::string reason) {
+  if (reason.size() > kMaxQuarantineReasonLength)
+    reason.resize(kMaxQuarantineReasonLength);
+  return reason;
+}
+
+io::CheckpointHeader make_header(const Matrix& samples,
+                                 const CampaignOptions& options) {
+  io::CheckpointHeader header;
+  header.sample_matrix_hash = io::matrix_fingerprint(samples);
+  header.config_hash = io::fault_plan_fingerprint(options.fault_injector,
+                                                  options.max_attempts);
+  header.total_rows = static_cast<std::uint64_t>(samples.rows());
+  return header;
+}
+
+/// Replays durable checkpoint rows into the report/survivor state, exactly
+/// as the original run recorded them.
+void replay_records(const std::vector<io::CheckpointRecord>& records,
+                    CampaignReport& report, std::vector<Real>& values,
+                    std::vector<Index>& survivors) {
+  for (const io::CheckpointRecord& record : records) {
+    ++report.attempted;
+    report.total_retries += record.attempts - 1;
+    if (record.type == io::CheckpointRecord::Type::kSample) {
+      ++report.succeeded;
+      if (record.attempts > 1) ++report.recovered;
+      values.push_back(record.value);
+      survivors.push_back(record.sample);
+    } else {
+      // The per-attempt codes of the original failed attempts are not
+      // logged; attribute all of them to the final classification.
+      report.error_histogram[static_cast<std::size_t>(record.code)] +=
+          record.attempts;
+      report.quarantined.push_back(
+          {record.sample, record.code, record.reason});
+    }
+  }
+  report.resumed_samples = static_cast<Index>(records.size());
+}
+
+/// The shared engine behind run_campaign (resumed == nullptr) and
+/// resume_campaign (resumed == the loaded, verified checkpoint).
+CampaignResult run_rows(const Matrix& samples, const SampleEvaluator& evaluate,
+                        const CampaignOptions& options,
+                        const io::CheckpointData* resumed) {
+  RSM_TRACE_SPAN("campaign.run");
+  RSM_CHECK_MSG(samples.rows() > 0, "campaign needs at least one sample");
+  RSM_CHECK_MSG(options.max_attempts >= 1,
+                "campaign needs a positive attempt budget");
+  RSM_CHECK(static_cast<bool>(evaluate));
+
+  const Index num_samples = samples.rows();
+  CampaignResult result;
+  CampaignReport& report = result.report;
+  report.min_success_fraction = options.min_success_fraction;
+
+  std::vector<Real> values;
+  std::vector<Index> survivors;
+  values.reserve(static_cast<std::size_t>(num_samples));
+  survivors.reserve(static_cast<std::size_t>(num_samples));
+
+  Index start_row = 0;
+  if (resumed != nullptr) {
+    replay_records(resumed->records, report, values, survivors);
+    start_row = static_cast<Index>(resumed->records.size());
+    obs::metrics().counter("campaign.samples.resumed")
+        .increment(report.resumed_samples);
+  }
+
+  // Durable log. Construction rewrites the file atomically (fresh runs get
+  // an empty log, resumes a clean base without the torn tail); a failure
+  // here — or an append failure the writer cannot self-heal — records an
+  // I/O error and the campaign continues without durability.
+  std::unique_ptr<io::CheckpointWriter> writer;
+  auto sync_checkpoint_counters = [&] {
+    if (writer == nullptr) return;
+    report.checkpoint_records = writer->records_appended();
+    report.checkpoint_flushes = writer->flushes();
+    report.checkpoint_rewrites = writer->rewrites();
+  };
+  auto on_checkpoint_failure = [&](const IoError& e) {
+    RSM_WARN("campaign: checkpointing disabled after I/O failure: "
+             << e.what());
+    ++report.error_histogram[static_cast<std::size_t>(ErrorCode::kIoError)];
+    report.checkpoint_failed = true;
+    sync_checkpoint_counters();
+    writer.reset();
+    obs::metrics().counter("campaign.checkpoint.failures").increment();
+  };
+  if (options.checkpoint.enabled()) {
+    try {
+      writer = std::make_unique<io::CheckpointWriter>(
+          options.checkpoint, make_header(samples, options),
+          resumed != nullptr ? resumed->records
+                             : std::vector<io::CheckpointRecord>{});
+    } catch (const IoError& e) {
+      on_checkpoint_failure(e);
+    }
+  }
+  auto checkpoint_append = [&](const io::CheckpointRecord& record) {
+    if (writer == nullptr) return;
+    try {
+      writer->append(record);
+    } catch (const IoError& e) {
+      on_checkpoint_failure(e);
+    }
+  };
+
+  const Deadline global_deadline =
+      options.time_budget_seconds > 0
+          ? Deadline::after_seconds(options.time_budget_seconds)
+          : Deadline::unlimited();
+  auto globally_stopped = [&] {
+    return options.cancel.cancelled() || global_deadline.expired();
+  };
+
+  for (Index k = start_row; k < num_samples; ++k) {
+    if (globally_stopped()) {
+      report.truncated = true;
+      break;
+    }
+    ErrorCode last_code = ErrorCode::kUnclassified;
+    std::string last_reason;
+    bool ok = false;
+    bool interrupted = false;
+    int attempts_used = 0;
+    Real value = 0;
+    for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+      if (attempt > 0) ++report.total_retries;
+      attempts_used = attempt + 1;
+      // Each attempt runs under its own watchdog; the effective deadline is
+      // the sooner of the watchdog and the global budget, and cooperative
+      // check sites (DC Newton, transient stepper, greedy solver loops)
+      // observe it ambiently without evaluator plumbing.
+      const Deadline attempt_deadline = Deadline::sooner(
+          options.sample_deadline_seconds > 0
+              ? Deadline::after_seconds(options.sample_deadline_seconds)
+              : Deadline::unlimited(),
+          global_deadline);
+      ScopedRunControl scope({options.cancel, attempt_deadline});
+      try {
+        options.fault_injector.throw_if_faulted(k, attempt);
+        value = evaluate(samples.row(k), attempt);
+        if (!std::isfinite(value)) {
+          throw NumericalDomainError("evaluator returned a non-finite value",
+                                     "campaign", k);
+        }
+        ok = true;
+        break;
+      } catch (const std::exception& e) {
+        last_code = classify_error(e);
+        last_reason = e.what();
+        if (globally_stopped()) {
+          // The stop was the campaign's, not the sample's: leave the row
+          // unevaluated (a resume will redo it) instead of quarantining.
+          if (attempt > 0) --report.total_retries;
+          interrupted = true;
+          break;
+        }
+        ++report.error_histogram[static_cast<std::size_t>(last_code)];
+        if (last_code == ErrorCode::kDeadlineExceeded) {
+          obs::metrics().counter("campaign.deadline_trips").increment();
+        }
+        RSM_DEBUG("campaign: sample " << k << " attempt " << attempt
+                                      << " failed: " << e.what());
+      }
+    }
+    if (interrupted) {
+      report.truncated = true;
+      break;
+    }
+    ++report.attempted;
+    if (ok) {
+      ++report.succeeded;
+      if (attempts_used > 1) ++report.recovered;
+      values.push_back(value);
+      survivors.push_back(k);
+      io::CheckpointRecord record;
+      record.type = io::CheckpointRecord::Type::kSample;
+      record.sample = k;
+      record.attempts = attempts_used;
+      record.value = value;
+      checkpoint_append(record);
+    } else {
+      RSM_WARN("campaign: quarantining sample "
+               << k << " after " << options.max_attempts << " attempts ["
+               << error_code_name(last_code) << "]");
+      last_reason = bounded_reason(std::move(last_reason));
+      report.quarantined.push_back({k, last_code, last_reason});
+      io::CheckpointRecord record;
+      record.type = io::CheckpointRecord::Type::kQuarantine;
+      record.sample = k;
+      record.attempts = attempts_used;
+      record.code = last_code;
+      record.reason = std::move(last_reason);
+      checkpoint_append(record);
+    }
+    if (obs::telemetry_enabled()) {
+      obs::emit(obs::CampaignSampleEvent{
+          .sample = k,
+          .attempts = attempts_used,
+          .succeeded = ok,
+          .recovered = ok && attempts_used > 1,
+          .code = ok ? ErrorCode::kOk : last_code});
+    }
+  }
+
+  // Graceful shutdown: everything evaluated so far becomes durable now,
+  // whatever the flush cadence was.
+  if (writer != nullptr) {
+    try {
+      writer->flush();
+    } catch (const IoError& e) {
+      on_checkpoint_failure(e);
+    }
+  }
+  sync_checkpoint_counters();
+  if (report.truncated) {
+    obs::metrics().counter("campaign.truncated_runs").increment();
+    RSM_WARN("campaign: truncated after "
+             << report.attempted << '/' << num_samples << " samples ("
+             << (options.cancel.cancelled() ? "cancellation requested"
+                                            : "time budget exhausted")
+             << "); survivors are durable and fit-worthy");
+  }
+
+  obs::metrics().counter("campaign.samples.attempted")
+      .increment(report.attempted);
+  obs::metrics().counter("campaign.samples.succeeded")
+      .increment(report.succeeded);
+  obs::metrics().counter("campaign.samples.quarantined")
+      .increment(static_cast<std::int64_t>(report.quarantined.size()));
+  obs::metrics().counter("campaign.retries").increment(report.total_retries);
+
+  result.samples = Matrix(static_cast<Index>(survivors.size()),
+                          samples.cols());
+  for (std::size_t r = 0; r < survivors.size(); ++r) {
+    const std::span<const Real> src = samples.row(survivors[r]);
+    std::copy(src.begin(), src.end(),
+              result.samples.row(static_cast<Index>(r)).begin());
+  }
+  result.values = std::move(values);
+  result.sample_indices = std::move(survivors);
+  return result;
+}
+
+}  // namespace
 
 Real CampaignReport::success_fraction() const {
   if (attempted == 0) return 0;
@@ -32,6 +282,14 @@ std::string CampaignReport::summary() const {
      << " retries; success fraction "
      << (attempted > 0 ? success_fraction() : Real{0}) << " (threshold "
      << min_success_fraction << ")";
+  if (truncated) os << "\nrun TRUNCATED (time budget or cancellation)";
+  if (resumed_samples > 0)
+    os << "\nresumed " << resumed_samples << " samples from checkpoint";
+  if (checkpoint_records > 0 || checkpoint_failed) {
+    os << "\ncheckpoint: " << checkpoint_records << " records, "
+       << checkpoint_flushes << " flushes, " << checkpoint_rewrites
+       << " rewrites" << (checkpoint_failed ? " (FAILED, disabled)" : "");
+  }
   bool any_errors = false;
   for (Index count : error_histogram) any_errors = any_errors || count > 0;
   if (any_errors) {
@@ -59,6 +317,15 @@ obs::JsonValue CampaignReport::to_json() const {
   doc.set("success_fraction", static_cast<double>(success_fraction()));
   doc.set("min_success_fraction", static_cast<double>(min_success_fraction));
   doc.set("fit_allowed", fit_allowed());
+  doc.set("truncated", truncated);
+  obs::JsonValue checkpoint = obs::JsonValue::object();
+  checkpoint.set("records", static_cast<std::int64_t>(checkpoint_records));
+  checkpoint.set("flushes", static_cast<std::int64_t>(checkpoint_flushes));
+  checkpoint.set("rewrites", static_cast<std::int64_t>(checkpoint_rewrites));
+  checkpoint.set("resumed_samples",
+                 static_cast<std::int64_t>(resumed_samples));
+  checkpoint.set("failed", checkpoint_failed);
+  doc.set("checkpoint", std::move(checkpoint));
   obs::JsonValue errors = obs::JsonValue::object();
   for (int c = 0; c < kNumErrorCodes; ++c) {
     errors.set(error_code_name(static_cast<ErrorCode>(c)),
@@ -81,85 +348,55 @@ obs::JsonValue CampaignReport::to_json() const {
 CampaignResult run_campaign(const Matrix& samples,
                             const SampleEvaluator& evaluate,
                             const CampaignOptions& options) {
-  RSM_TRACE_SPAN("campaign.run");
-  RSM_CHECK_MSG(samples.rows() > 0, "campaign needs at least one sample");
-  RSM_CHECK_MSG(options.max_attempts >= 1,
-                "campaign needs a positive attempt budget");
-  RSM_CHECK(static_cast<bool>(evaluate));
+  return run_rows(samples, evaluate, options, nullptr);
+}
 
-  const Index num_samples = samples.rows();
-  CampaignResult result;
-  CampaignReport& report = result.report;
-  report.attempted = num_samples;
-  report.min_success_fraction = options.min_success_fraction;
+CampaignResult resume_campaign(const Matrix& samples,
+                               const SampleEvaluator& evaluate,
+                               const CampaignOptions& options) {
+  RSM_CHECK_MSG(options.checkpoint.enabled(),
+                "resume_campaign needs CheckpointOptions.path");
+  RSM_TRACE_SPAN("campaign.resume");
+  // The torn trailing record an interrupted append leaves behind is the
+  // expected crash artifact; anything else invalid is a hard reject.
+  const io::CheckpointData data =
+      io::load_checkpoint(options.checkpoint.path, io::LoadMode::kRecoverTail);
 
-  std::vector<Real> values;
-  std::vector<Index> survivors;
-  values.reserve(static_cast<std::size_t>(num_samples));
-  survivors.reserve(static_cast<std::size_t>(num_samples));
-
-  for (Index k = 0; k < num_samples; ++k) {
-    ErrorCode last_code = ErrorCode::kUnclassified;
-    std::string last_reason;
-    bool ok = false;
-    int attempts_used = 0;
-    for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
-      if (attempt > 0) ++report.total_retries;
-      attempts_used = attempt + 1;
-      try {
-        options.fault_injector.throw_if_faulted(k, attempt);
-        const Real value = evaluate(samples.row(k), attempt);
-        if (!std::isfinite(value)) {
-          throw NumericalDomainError("evaluator returned a non-finite value",
-                                     "campaign", k);
-        }
-        ok = true;
-        ++report.succeeded;
-        if (attempt > 0) ++report.recovered;
-        values.push_back(value);
-        survivors.push_back(k);
-        break;
-      } catch (const std::exception& e) {
-        last_code = classify_error(e);
-        last_reason = e.what();
-        ++report.error_histogram[static_cast<std::size_t>(last_code)];
-        RSM_DEBUG("campaign: sample " << k << " attempt " << attempt
-                                      << " failed: " << e.what());
-      }
-    }
-    if (!ok) {
-      RSM_WARN("campaign: quarantining sample "
-               << k << " after " << options.max_attempts << " attempts ["
-               << error_code_name(last_code) << "]");
-      report.quarantined.push_back({k, last_code, std::move(last_reason)});
-    }
-    if (obs::telemetry_enabled()) {
-      obs::emit(obs::CampaignSampleEvent{
-          .sample = k,
-          .attempts = attempts_used,
-          .succeeded = ok,
-          .recovered = ok && attempts_used > 1,
-          .code = ok ? ErrorCode::kOk : last_code});
+  const io::CheckpointHeader expected = make_header(samples, options);
+  if (data.header.sample_matrix_hash != expected.sample_matrix_hash ||
+      data.header.total_rows != expected.total_rows) {
+    throw IoError(
+        "checkpoint '" + options.checkpoint.path +
+            "' belongs to a different sample matrix; refusing to resume "
+            "(resumed runs must be bit-identical to uninterrupted ones)",
+        "checkpoint");
+  }
+  if (data.header.config_hash != expected.config_hash) {
+    throw IoError(
+        "checkpoint '" + options.checkpoint.path +
+            "' was written under a different campaign configuration "
+            "(attempt budget / fault plan); refusing to resume",
+        "checkpoint");
+  }
+  if (data.records.size() > static_cast<std::size_t>(samples.rows())) {
+    throw IoError("checkpoint '" + options.checkpoint.path +
+                      "' holds more records than the campaign has rows",
+                  "checkpoint");
+  }
+  // run_campaign writes exactly one record per row, in row order; anything
+  // else means the log was tampered with or mixed between runs.
+  for (std::size_t r = 0; r < data.records.size(); ++r) {
+    if (data.records[r].sample != static_cast<Index>(r)) {
+      throw IoError("checkpoint '" + options.checkpoint.path +
+                        "' records are not in row order; refusing to resume",
+                    "checkpoint");
     }
   }
-
-  obs::metrics().counter("campaign.samples.attempted").increment(num_samples);
-  obs::metrics().counter("campaign.samples.succeeded")
-      .increment(report.succeeded);
-  obs::metrics().counter("campaign.samples.quarantined")
-      .increment(static_cast<std::int64_t>(report.quarantined.size()));
-  obs::metrics().counter("campaign.retries").increment(report.total_retries);
-
-  result.samples = Matrix(static_cast<Index>(survivors.size()),
-                          samples.cols());
-  for (std::size_t r = 0; r < survivors.size(); ++r) {
-    const std::span<const Real> src = samples.row(survivors[r]);
-    std::copy(src.begin(), src.end(),
-              result.samples.row(static_cast<Index>(r)).begin());
-  }
-  result.values = std::move(values);
-  result.sample_indices = std::move(survivors);
-  return result;
+  RSM_INFO("campaign: resuming from checkpoint '"
+           << options.checkpoint.path << "' with " << data.records.size()
+           << " durable rows" << (data.truncated_tail ? " (torn tail dropped)"
+                                                      : ""));
+  return run_rows(samples, evaluate, options, &data);
 }
 
 BuildReport fit_campaign(const CampaignResult& result,

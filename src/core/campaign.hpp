@@ -1,4 +1,4 @@
-// Fault-tolerant simulation campaign runner.
+// Fault-tolerant, durable simulation campaign runner.
 //
 // The paper fits sparse models from a small, expensive set of K
 // transistor-level simulations — so a production flow can afford neither to
@@ -18,10 +18,32 @@
 //   * fitting proceeds only when the success fraction clears a configurable
 //     threshold, otherwise fit_campaign fails fast with the report.
 //
+// On top of the per-sample layer sits process-level durability
+// (io/checkpoint.hpp + util/cancellation.hpp):
+//
+//   * with CheckpointOptions set, every completed or quarantined row is
+//     appended to a CRC-guarded log the moment it finishes, and
+//     resume_campaign replays that log — after verifying the sample-matrix
+//     and fault-plan fingerprints — and continues from the first
+//     unevaluated row. A resumed run is bit-identical to an uninterrupted
+//     one in samples, values, sample_indices, and therefore in every model
+//     fitted from them;
+//   * a per-sample wall-clock watchdog and a global campaign time budget
+//     are enforced cooperatively: each attempt runs under a ScopedRunControl
+//     that the DC Newton loop, the transient stepper, and the greedy solver
+//     iterations poll. A watchdog trip quarantines the sample as
+//     kDeadlineExceeded; an exhausted global budget (or a cancellation
+//     request, e.g. SIGINT via util/signals.hpp) flushes the checkpoint and
+//     returns best-so-far with report.truncated set;
+//   * checkpoint I/O failures never abort the campaign: the writer first
+//     recovers by rewriting the log atomically, and if storage stays broken
+//     the failure is recorded (kIoError + checkpoint_failed) and the run
+//     continues without durability.
+//
 // A deterministic FaultInjector (util/fault_injection.hpp) can be planted
 // in the options to force singular solves / Newton stalls at hash-chosen
-// sample indices, making the retry and quarantine machinery testable
-// end-to-end in CI.
+// sample indices — and an FsFaultInjector under the checkpoint writers —
+// making every recovery path testable end-to-end in CI.
 #pragma once
 
 #include <array>
@@ -32,8 +54,10 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "io/checkpoint.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/json.hpp"
+#include "util/cancellation.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
 
@@ -42,7 +66,9 @@ namespace rsm {
 /// Evaluates one variation sample (a row of the sample matrix) to a scalar
 /// performance. `escalation` is the 0-based attempt index; implementations
 /// map it to progressively hardened solver options. Failures are reported
-/// by throwing (ideally a StructuredError subclass).
+/// by throwing (ideally a StructuredError subclass). Evaluators are run
+/// under an ambient ScopedRunControl, so any cooperative check site inside
+/// them (spice solvers, greedy fits) honors the campaign's deadlines.
 using SampleEvaluator =
     std::function<Real(std::span<const Real> sample, int escalation)>;
 
@@ -55,16 +81,37 @@ struct CampaignOptions {
 
   /// Deterministic fault injection (default-constructed = disabled).
   FaultInjector fault_injector;
+
+  /// Durable per-row checkpointing (disabled while `path` is empty).
+  io::CheckpointOptions checkpoint;
+
+  /// External cancellation (default token is never cancelled). Checked
+  /// between samples and inside every cooperative solver loop.
+  CancellationToken cancel;
+
+  /// Wall-clock watchdog per attempt [s]; 0 disables. A sample whose every
+  /// attempt trips it is quarantined as kDeadlineExceeded.
+  double sample_deadline_seconds = 0;
+
+  /// Global campaign time budget [s]; 0 disables. On expiry the campaign
+  /// flushes its checkpoint and returns best-so-far, report.truncated set.
+  double time_budget_seconds = 0;
 };
+
+/// Longest quarantine reason retained in reports and checkpoints, so a
+/// pathological campaign cannot grow either without limit.
+inline constexpr std::size_t kMaxQuarantineReasonLength = io::kMaxReasonLength;
 
 /// One permanently failed sample with its final classification.
 struct QuarantinedSample {
   Index sample = -1;
   ErrorCode code = ErrorCode::kUnclassified;
-  std::string reason;
+  std::string reason;  // clamped to kMaxQuarantineReasonLength
 };
 
 struct CampaignReport {
+  /// Rows actually evaluated (replayed rows included). Equals the sample
+  /// count on a complete run; fewer when the run was truncated.
   Index attempted = 0;
   Index succeeded = 0;
 
@@ -77,10 +124,27 @@ struct CampaignReport {
   std::vector<QuarantinedSample> quarantined;
 
   /// Failed attempts by ErrorCode (indexed by static_cast<int>(code)).
+  /// Checkpoint I/O failures are recorded here under kIoError.
   std::array<Index, kNumErrorCodes> error_histogram{};
 
   /// Threshold copied from CampaignOptions for the fit gate.
   Real min_success_fraction = 0;
+
+  /// The run stopped before its last row: global time budget exhausted or
+  /// cancellation requested. The surviving prefix is still fit-worthy.
+  bool truncated = false;
+
+  /// Rows replayed from a checkpoint by resume_campaign.
+  Index resumed_samples = 0;
+
+  /// Durability counters (all zero when checkpointing is disabled).
+  Index checkpoint_records = 0;  // records appended this run
+  Index checkpoint_flushes = 0;  // fsync batches
+  Index checkpoint_rewrites = 0; // atomic self-heals after a faulted append
+
+  /// Checkpointing was disabled mid-run after unrecoverable I/O failures;
+  /// already-durable records were preserved, later rows are not logged.
+  bool checkpoint_failed = false;
 
   [[nodiscard]] Real success_fraction() const;
   [[nodiscard]] Index error_count(ErrorCode code) const;
@@ -106,11 +170,22 @@ struct CampaignResult {
 };
 
 /// Runs every row of `samples` through `evaluate` with retry, escalation,
-/// and quarantine. Never throws on per-sample failures; only on misuse
-/// (empty sample set, non-positive attempt budget).
+/// quarantine, and (when configured) durable checkpointing and deadline
+/// enforcement. Never throws on per-sample or checkpoint-I/O failures; only
+/// on misuse (empty sample set, non-positive attempt budget).
 [[nodiscard]] CampaignResult run_campaign(const Matrix& samples,
                                           const SampleEvaluator& evaluate,
                                           const CampaignOptions& options = {});
+
+/// Resumes an interrupted campaign from options.checkpoint.path: loads the
+/// log (tolerating a torn trailing record — the expected crash artifact),
+/// verifies the sample-matrix and configuration fingerprints, rewrites the
+/// log to a clean base, replays the durable rows, and continues from the
+/// first unevaluated one. Throws IoError when the checkpoint is missing,
+/// corrupt (bad CRC / version / magic), or belongs to a different campaign.
+[[nodiscard]] CampaignResult resume_campaign(const Matrix& samples,
+                                             const SampleEvaluator& evaluate,
+                                             const CampaignOptions& options);
 
 /// The fit gate: builds a sparse model from the campaign survivors when the
 /// success fraction clears the report's threshold, and throws an Error

@@ -74,6 +74,15 @@ CrossValidationResult CrossValidator::run(const PathSolver& solver,
     try {
       path = solver.fit_path(g_train, f_train, max_lambda);
     } catch (const Error& e) {
+      // Only *numerical* failures are a property of the fold; a deadline or
+      // cancellation unwind is a property of the run and must propagate —
+      // treating it as a degenerate fold would silently bias the curve.
+      if (const auto* s = dynamic_cast<const StructuredError*>(&e)) {
+        if (s->code() == ErrorCode::kDeadlineExceeded ||
+            s->code() == ErrorCode::kIoError) {
+          throw;
+        }
+      }
       RSM_WARN("cross-validation: skipping degenerate fold " << fold << ": "
                                                              << e.what());
       ++result.skipped_folds;

@@ -9,6 +9,7 @@
 #include "linalg/vector_ops.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "util/cancellation.hpp"
 
 namespace rsm {
 namespace {
@@ -127,6 +128,7 @@ SolverPath LarSolver::fit_path(const Matrix& g, std::span<const Real> f,
   // Each loop iteration performs one LAR event (add or drop) plus a move.
   for (Index event = 0; event < 4 * max_steps + 8; ++event) {
     RSM_TRACE_SPAN("lar.step");
+    check_cooperative_stop("lar.step");
     if (static_cast<Index>(active.size()) >= max_steps && !just_dropped) break;
 
     gemv_transposed(x, residual, c);

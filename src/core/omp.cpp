@@ -8,6 +8,7 @@
 #include "linalg/vector_ops.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "util/cancellation.hpp"
 
 namespace rsm {
 
@@ -40,6 +41,7 @@ SolverPath OmpSolver::fit_path(const ColumnSource& source,
 
   for (Index step = 0; step < max_steps; ++step) {
     RSM_TRACE_SPAN("omp.iteration");
+    check_cooperative_stop("omp.iteration");
     // Step 3: xi_m = G_m' * Res for all m (the paper's 1/K factor is a
     // monotone scaling that does not affect the argmax).
     source.correlate(residual, correlations);

@@ -7,6 +7,7 @@
 #include "linalg/vector_ops.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "util/cancellation.hpp"
 
 namespace rsm {
 
@@ -27,6 +28,7 @@ SolverPath StarSolver::fit_path(const Matrix& g, std::span<const Real> f,
 
   for (Index step = 0; step < max_steps; ++step) {
     RSM_TRACE_SPAN("star.iteration");
+    check_cooperative_stop("star.iteration");
     gemv_transposed(g, residual, correlations);
     const Index best = argmax_abs(correlations);
     if (best < 0) break;

@@ -1,0 +1,303 @@
+#include "io/checkpoint.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "io/atomic_file.hpp"
+#include "io/crc32.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace rsm::io {
+namespace {
+
+// ---- little-endian wire helpers -------------------------------------------
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_real(std::string& out, Real v) {
+  static_assert(sizeof(Real) == 8, "checkpoint format assumes 64-bit Real");
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Bounds-checked cursor over a loaded byte buffer.
+struct Reader {
+  const unsigned char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  [[nodiscard]] std::size_t remaining() const { return size - pos; }
+
+  std::uint8_t u8() { return data[pos++]; }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+    return v;
+  }
+
+  Real real() {
+    const std::uint64_t bits = u64();
+    Real v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+[[noreturn]] void reject(const std::string& path, const std::string& why) {
+  throw IoError("checkpoint '" + path + "' rejected: " + why, "checkpoint");
+}
+
+// header = magic(8) + version(4) + matrix_hash(8) + config_hash(8)
+//          + total_rows(8) + crc(4)
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8 + 8 + 4;
+
+// record framing = type(1) + payload_len(4) + payload + crc(4)
+constexpr std::size_t kRecordOverhead = 1 + 4 + 4;
+
+/// Largest legal payload: a quarantine record with a maximal reason. Caps
+/// what a corrupt length field can make the loader trust.
+constexpr std::size_t kMaxPayload = 8 + 4 + 4 + 4 + kMaxReasonLength;
+
+std::string bounded_reason(const std::string& reason) {
+  if (reason.size() <= kMaxReasonLength) return reason;
+  return reason.substr(0, kMaxReasonLength);
+}
+
+}  // namespace
+
+std::string serialize_header(const CheckpointHeader& header) {
+  std::string out;
+  out.reserve(kHeaderSize);
+  out.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  put_u32(out, header.version);
+  put_u64(out, header.sample_matrix_hash);
+  put_u64(out, header.config_hash);
+  put_u64(out, header.total_rows);
+  put_u32(out, crc32(out));
+  return out;
+}
+
+std::string serialize_record(const CheckpointRecord& record) {
+  std::string payload;
+  put_u64(payload, static_cast<std::uint64_t>(record.sample));
+  if (record.type == CheckpointRecord::Type::kSample) {
+    put_real(payload, record.value);
+    put_u32(payload, static_cast<std::uint32_t>(record.attempts));
+  } else {
+    const std::string reason = bounded_reason(record.reason);
+    put_u32(payload, static_cast<std::uint32_t>(record.code));
+    put_u32(payload, static_cast<std::uint32_t>(record.attempts));
+    put_u32(payload, static_cast<std::uint32_t>(reason.size()));
+    payload.append(reason);
+  }
+  std::string out;
+  out.reserve(kRecordOverhead + payload.size());
+  put_u8(out, static_cast<std::uint8_t>(record.type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  put_u32(out, crc32(out));
+  return out;
+}
+
+CheckpointData load_checkpoint(const std::string& path, LoadMode mode) {
+  const std::string bytes = read_file_bytes(path);
+  Reader in{reinterpret_cast<const unsigned char*>(bytes.data()),
+            bytes.size()};
+
+  if (in.remaining() < kHeaderSize) reject(path, "truncated header");
+  if (std::memcmp(bytes.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+      0) {
+    reject(path, "bad magic (not a checkpoint file)");
+  }
+  const std::uint32_t header_crc = crc32(bytes.data(), kHeaderSize - 4);
+  CheckpointData data;
+  in.pos = sizeof(kCheckpointMagic);
+  data.header.version = in.u32();
+  data.header.sample_matrix_hash = in.u64();
+  data.header.config_hash = in.u64();
+  data.header.total_rows = in.u64();
+  if (in.u32() != header_crc) reject(path, "header CRC mismatch");
+  if (data.header.version != kCheckpointVersion) {
+    std::ostringstream os;
+    os << "unsupported version " << data.header.version << " (expected "
+       << kCheckpointVersion << ')';
+    reject(path, os.str());
+  }
+
+  while (in.remaining() > 0) {
+    // A record shorter than its framing, or than its declared payload, is a
+    // torn tail: recoverable only in kRecoverTail mode and only because
+    // nothing can follow it.
+    bool torn = in.remaining() < kRecordOverhead;
+    std::size_t payload_len = 0;
+    if (!torn) {
+      const std::size_t record_start = in.pos;
+      in.pos = record_start + 1;  // skip type for the length peek
+      payload_len = in.u32();
+      in.pos = record_start;
+      torn = payload_len > kMaxPayload ||
+             in.remaining() < kRecordOverhead + payload_len;
+      // An oversized length field on a *complete* remainder is corruption,
+      // not truncation; but we cannot distinguish the two without trusting
+      // the corrupt length, so treat > kMaxPayload as torn only at EOF
+      // proximity — i.e. when the remainder could not hold a legal record
+      // anyway — and corruption otherwise.
+      if (payload_len > kMaxPayload &&
+          in.remaining() >= kRecordOverhead + kMaxPayload) {
+        reject(path, "record payload length field corrupt");
+      }
+    }
+    if (torn) {
+      if (mode == LoadMode::kStrict) {
+        reject(path, "truncated trailing record (torn write?)");
+      }
+      data.truncated_tail = true;
+      RSM_WARN("checkpoint '" << path << "': dropping " << in.remaining()
+                              << "-byte torn tail after "
+                              << data.records.size() << " valid records");
+      break;
+    }
+
+    const std::size_t record_start = in.pos;
+    const std::uint32_t expected_crc =
+        crc32(bytes.data() + record_start, 1 + 4 + payload_len);
+    const std::uint8_t type = in.u8();
+    (void)in.u32();  // payload_len, already read
+
+    CheckpointRecord record;
+    const std::size_t payload_end = in.pos + payload_len;
+    if (type == static_cast<std::uint8_t>(CheckpointRecord::Type::kSample)) {
+      if (payload_len != 8 + 8 + 4) reject(path, "sample record malformed");
+      record.type = CheckpointRecord::Type::kSample;
+      record.sample = static_cast<Index>(in.u64());
+      record.value = in.real();
+      record.attempts = static_cast<int>(in.u32());
+    } else if (type ==
+               static_cast<std::uint8_t>(CheckpointRecord::Type::kQuarantine)) {
+      if (payload_len < 8 + 4 + 4 + 4) {
+        reject(path, "quarantine record malformed");
+      }
+      record.type = CheckpointRecord::Type::kQuarantine;
+      record.sample = static_cast<Index>(in.u64());
+      const std::uint32_t code = in.u32();
+      if (code >= static_cast<std::uint32_t>(kNumErrorCodes)) {
+        reject(path, "quarantine record carries an unknown error code");
+      }
+      record.code = static_cast<ErrorCode>(code);
+      record.attempts = static_cast<int>(in.u32());
+      const std::uint32_t reason_len = in.u32();
+      if (reason_len > kMaxReasonLength ||
+          in.pos + reason_len != payload_end) {
+        reject(path, "quarantine reason length inconsistent");
+      }
+      record.reason.assign(bytes.data() + in.pos, reason_len);
+      in.pos += reason_len;
+    } else {
+      reject(path, "unknown record type");
+    }
+    if (in.pos != payload_end) reject(path, "record payload size mismatch");
+    if (in.u32() != expected_crc) {
+      reject(path, "record CRC mismatch (bit flip?)");
+    }
+    data.records.push_back(std::move(record));
+  }
+  return data;
+}
+
+CheckpointWriter::CheckpointWriter(const CheckpointOptions& options,
+                                   CheckpointHeader header,
+                                   std::vector<CheckpointRecord> existing)
+    : options_(options), header_(header), mirror_(std::move(existing)) {
+  RSM_CHECK_MSG(options_.enabled(), "CheckpointOptions.path must be set");
+  RSM_CHECK_MSG(options_.flush_every >= 1, "flush_every must be >= 1");
+  rewrite_and_reopen();
+  // The base rewrite is not a recovery; do not count it.
+  rewrites_ = 0;
+}
+
+CheckpointWriter::~CheckpointWriter() = default;
+
+void CheckpointWriter::rewrite_and_reopen() {
+  std::string full = serialize_header(header_);
+  for (const CheckpointRecord& record : mirror_)
+    full.append(serialize_record(record));
+  file_.reset();
+  atomic_write_file(options_.path, full, &options_.fs_faults);
+  file_ = std::make_unique<DurableFile>(
+      options_.path, DurableFile::Mode::kAppend, &options_.fs_faults);
+  unsynced_ = 0;
+  ++rewrites_;
+}
+
+void CheckpointWriter::append(CheckpointRecord record) {
+  record.reason = bounded_reason(record.reason);
+  mirror_.push_back(record);
+  const std::string wire = serialize_record(record);
+  try {
+    // A previous failed recovery leaves no open file; retry the rewrite
+    // (which now includes this record) instead of dereferencing nothing.
+    if (file_ == nullptr) throw IoError("checkpoint file not open", "fs");
+    file_->write(wire);
+  } catch (const IoError& e) {
+    // The file now ends in a torn/short record (or the write vanished).
+    // Recover by rewriting the whole log atomically from the mirror — the
+    // readers' contract (old-or-new, never a prefix) makes this safe even
+    // if we crash mid-recovery. One attempt; a second failure propagates.
+    RSM_WARN("checkpoint append faulted (" << e.what()
+                                           << "); rewriting atomically");
+    rewrite_and_reopen();
+  }
+  ++records_appended_;
+  obs::metrics().counter("io.checkpoint.appends").increment();
+  if (++unsynced_ >= options_.flush_every) flush();
+}
+
+void CheckpointWriter::flush() {
+  if (file_ == nullptr) return;
+  file_->sync();
+  unsynced_ = 0;
+  ++flushes_;
+  obs::metrics().counter("io.checkpoint.flushes").increment();
+}
+
+std::uint64_t matrix_fingerprint(const Matrix& m) {
+  const Index dims[2] = {m.rows(), m.cols()};
+  std::uint64_t hash = fnv1a64(dims, sizeof(dims));
+  return fnv1a64(m.data(),
+                 static_cast<std::size_t>(m.size()) * sizeof(Real), hash);
+}
+
+std::uint64_t fault_plan_fingerprint(const FaultInjector& injector,
+                                     int max_attempts) {
+  const FaultInjector::Options& o = injector.options();
+  std::uint64_t hash = fnv1a64(&max_attempts, sizeof(max_attempts));
+  hash = fnv1a64(&o.fault_rate, sizeof(o.fault_rate), hash);
+  hash = fnv1a64(&o.persistent_fraction, sizeof(o.persistent_fraction), hash);
+  hash = fnv1a64(&o.seed, sizeof(o.seed), hash);
+  return hash;
+}
+
+}  // namespace rsm::io

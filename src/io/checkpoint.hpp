@@ -1,0 +1,160 @@
+// Versioned, CRC-guarded binary checkpoint format for campaign resume.
+//
+// The paper's premise is that the K transistor-level simulations are the
+// expensive resource; a checkpoint makes them durable, so a SIGKILL at
+// sample 980 of 1000 costs one sample, not one thousand. The format is an
+// append-only log:
+//
+//   header  : magic "RSMCKPT\n" | u32 version | u64 sample_matrix_hash
+//             | u64 config_hash | u64 total_rows | u32 crc32(header)
+//   record* : u8 type | u32 payload_len | payload | u32 crc32(type|len|payload)
+//
+// all integers little-endian, Reals as IEEE-754 bit patterns. One record is
+// appended per campaign row in row order — kSample {row, value bits,
+// attempts} for survivors, kQuarantine {row, code, attempts, reason} for
+// permanently failed rows — and fsync'd every `flush_every` records, so the
+// log is a durable prefix of the campaign at all times.
+//
+// The two u64 hashes bind a checkpoint to the exact campaign that wrote it:
+// sample_matrix_hash fingerprints the sample matrix bytes, config_hash the
+// determinism-relevant options (attempt budget + fault plan). resume refuses
+// to continue a different campaign — a resumed run must be bit-identical to
+// an uninterrupted one, and that only holds when inputs match.
+//
+// Loaders never return silently corrupt data: bad magic, wrong version, a
+// failed CRC, or a record that stops short of its declared length raise a
+// structured IoError. The one sanctioned relaxation is LoadMode::kRecoverTail
+// for crash recovery: an *incomplete trailing* record (the torn write an
+// interrupted append leaves behind) is dropped and reported via
+// `truncated_tail` — a CRC mismatch on a complete record is still fatal,
+// which is what distinguishes a torn tail from a bit flip.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/common.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+
+namespace rsm::io {
+
+inline constexpr char kCheckpointMagic[8] = {'R', 'S', 'M', 'C',
+                                             'K', 'P', 'T', '\n'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Quarantine reasons are clamped to this many bytes on write, so a
+/// pathological campaign cannot grow checkpoints (or reports) without limit.
+inline constexpr std::size_t kMaxReasonLength = 256;
+
+struct CheckpointHeader {
+  std::uint32_t version = kCheckpointVersion;
+  std::uint64_t sample_matrix_hash = 0;
+  std::uint64_t config_hash = 0;
+  std::uint64_t total_rows = 0;
+};
+
+/// One durable campaign-row outcome.
+struct CheckpointRecord {
+  enum class Type : std::uint8_t {
+    kSample = 1,      // row evaluated successfully
+    kQuarantine = 2,  // row permanently failed
+  };
+
+  Type type = Type::kSample;
+  Index sample = -1;  // row index in the original sample matrix
+  int attempts = 1;   // attempts consumed (reconstructs retry counters)
+
+  Real value = 0;  // kSample only
+
+  ErrorCode code = ErrorCode::kUnclassified;  // kQuarantine only
+  std::string reason;                         // kQuarantine only, bounded
+};
+
+struct CheckpointData {
+  CheckpointHeader header;
+  std::vector<CheckpointRecord> records;
+
+  /// kRecoverTail only: an incomplete trailing record was dropped.
+  bool truncated_tail = false;
+};
+
+enum class LoadMode {
+  kStrict,       // any damage, including a torn tail, raises IoError
+  kRecoverTail,  // a short *trailing* record is dropped; all else fatal
+};
+
+/// Parses and verifies a checkpoint file. See LoadMode for the torn-tail
+/// contract; everything else invalid raises IoError.
+[[nodiscard]] CheckpointData load_checkpoint(const std::string& path,
+                                             LoadMode mode = LoadMode::kStrict);
+
+/// Checkpointing configuration carried inside CampaignOptions.
+struct CheckpointOptions {
+  /// Target file; empty disables checkpointing entirely.
+  std::string path;
+
+  /// fsync cadence in records (1 = every record is durable the moment its
+  /// append returns; larger trades durability lag for fewer syncs).
+  int flush_every = 1;
+
+  /// Deterministic filesystem fault injection planted under the writers
+  /// (default-constructed = disabled).
+  FsFaultInjector fs_faults;
+
+  [[nodiscard]] bool enabled() const { return !path.empty(); }
+};
+
+/// Append-side of the log. The writer keeps an in-memory mirror of every
+/// record it owns, which buys self-healing: when an append's physical write
+/// faults (torn/short/ENOSPC), the writer rewrites the whole file atomically
+/// from the mirror and reopens for append — one recovery attempt per append;
+/// if the rewrite also fails, the IoError propagates and the caller decides
+/// (the campaign layer then disables checkpointing rather than abort).
+class CheckpointWriter {
+ public:
+  /// Creates (or atomically replaces) `options.path` holding `header` plus
+  /// `existing` records — resume passes the loaded records so the file is
+  /// rewritten to a clean base before new appends. Throws IoError.
+  CheckpointWriter(const CheckpointOptions& options, CheckpointHeader header,
+                   std::vector<CheckpointRecord> existing = {});
+  ~CheckpointWriter();
+
+  /// Durably appends one record (fsync per `flush_every`). Throws IoError
+  /// only after the internal rewrite recovery also failed.
+  void append(CheckpointRecord record);
+
+  /// Forces an fsync of everything appended so far.
+  void flush();
+
+  [[nodiscard]] Index records_appended() const { return records_appended_; }
+  [[nodiscard]] Index flushes() const { return flushes_; }
+  [[nodiscard]] Index rewrites() const { return rewrites_; }
+
+ private:
+  void rewrite_and_reopen();
+
+  CheckpointOptions options_;
+  CheckpointHeader header_;
+  std::vector<CheckpointRecord> mirror_;
+  std::unique_ptr<class DurableFile> file_;
+  int unsynced_ = 0;
+  Index records_appended_ = 0;
+  Index flushes_ = 0;
+  Index rewrites_ = 0;
+};
+
+/// Fingerprints for the header's binding hashes.
+[[nodiscard]] std::uint64_t matrix_fingerprint(const Matrix& m);
+[[nodiscard]] std::uint64_t fault_plan_fingerprint(
+    const FaultInjector& injector, int max_attempts);
+
+/// Serialization used by the writer (exposed for tests that hand-craft
+/// corrupt files).
+[[nodiscard]] std::string serialize_header(const CheckpointHeader& header);
+[[nodiscard]] std::string serialize_record(const CheckpointRecord& record);
+
+}  // namespace rsm::io

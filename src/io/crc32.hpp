@@ -1,0 +1,34 @@
+// Checksums for the durable-I/O layer.
+//
+// CRC32 (the IEEE 802.3 / zlib polynomial, reflected, table-driven) guards
+// every checkpoint header and record against bit flips and torn writes;
+// FNV-1a 64 fingerprints in-memory configuration (sample matrices, fault
+// plans) so a resume can prove it is continuing the *same* campaign. Both
+// are tiny, dependency-free, and byte-order independent on the inputs they
+// are fed (the io layer serializes little-endian explicitly).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rsm::io {
+
+/// CRC32 of `size` bytes, continuing from `seed` (pass the previous return
+/// value to checksum a message in pieces; 0 starts a fresh checksum).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes,
+                                         std::uint32_t seed = 0) {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+/// FNV-1a 64-bit over raw bytes, continuing from `seed` (pass the previous
+/// return value to hash a message in pieces).
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t size,
+                                    std::uint64_t seed = kFnvOffsetBasis);
+
+}  // namespace rsm::io

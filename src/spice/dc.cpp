@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "spice/mna.hpp"
+#include "util/cancellation.hpp"
 #include "util/log.hpp"
 
 namespace rsm::spice {
@@ -35,6 +36,10 @@ bool newton_run(const Netlist& netlist, const DcOptions& opt,
   const Index num_voltage_unknowns = netlist.num_nodes() - 1;
   fail = RunFail::kMaxIterations;
   for (int it = 0; it < opt.max_iterations; ++it) {
+    // A hung operating point must not outlive its watchdog: this is the
+    // innermost loop a pathological sample spins in, so the campaign's
+    // deadline/cancellation is polled here (no-op without an active scope).
+    check_cooperative_stop("dc.newton");
     RealStamp stamp(n);
     stamp_dc(netlist, x, cfg.gmin, stamp, cfg.source_scale);
     if (cfg.anchor != nullptr && cfg.g_anchor > 0) {

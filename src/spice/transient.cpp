@@ -5,6 +5,7 @@
 
 #include "linalg/lu.hpp"
 #include "spice/mna.hpp"
+#include "util/cancellation.hpp"
 
 namespace rsm::spice {
 namespace {
@@ -91,6 +92,9 @@ TransientResult run_transient(Netlist& netlist,
   std::vector<Real> x_prev = x;
   Real t = 0;
   while (t < options.stop_time) {
+    // Transient runs are the longest single-sample computations in the
+    // system; honor campaign watchdogs between time points.
+    check_cooperative_stop("spice.transient");
     t += options.timestep;
     if (options.update_sources) options.update_sources(t, netlist);
     // Warm start from the previous point; x_prev feeds the companions.

@@ -24,6 +24,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kNoConvergence: return "no-convergence";
     case ErrorCode::kNumericalDomain: return "numerical-domain";
     case ErrorCode::kUnclassified: return "unclassified";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kIoError: return "io-error";
   }
   return "?";
 }

@@ -16,16 +16,19 @@
 
 namespace rsm {
 
-/// Machine-readable failure classes. Order is stable (reports index by it).
+/// Machine-readable failure classes. Order is stable (reports index by it);
+/// new codes are appended so persisted histograms stay comparable.
 enum class ErrorCode {
   kOk = 0,
-  kSingularMatrix,   // factorization hit a zero pivot / rank deficiency
-  kNoConvergence,    // iteration budget exhausted without meeting tolerance
-  kNumericalDomain,  // NaN/inf iterate, servo out of range, log of <= 0, ...
-  kUnclassified,     // legacy rsm::Error or foreign std::exception
+  kSingularMatrix,    // factorization hit a zero pivot / rank deficiency
+  kNoConvergence,     // iteration budget exhausted without meeting tolerance
+  kNumericalDomain,   // NaN/inf iterate, servo out of range, log of <= 0, ...
+  kUnclassified,      // legacy rsm::Error or foreign std::exception
+  kDeadlineExceeded,  // cooperative deadline expired / cancellation requested
+  kIoError,           // durable-storage failure (checkpoint, report, fsync)
 };
 
-inline constexpr int kNumErrorCodes = 5;
+inline constexpr int kNumErrorCodes = 7;
 
 /// Short stable name for reports and logs ("singular-matrix", ...).
 [[nodiscard]] const char* error_code_name(ErrorCode code);
@@ -80,6 +83,29 @@ class NumericalDomainError : public StructuredError {
                                 std::string strategy = {}, Index sample = -1)
       : StructuredError(ErrorCode::kNumericalDomain, message,
                         std::move(strategy), sample) {}
+};
+
+/// A cooperative deadline expired or cancellation was requested while a
+/// solver loop was still running (util/cancellation.hpp check sites). The
+/// campaign layer routes the per-sample form to quarantine and the global
+/// form to graceful truncation.
+class DeadlineExceededError : public StructuredError {
+ public:
+  explicit DeadlineExceededError(const std::string& message,
+                                 std::string strategy = {}, Index sample = -1)
+      : StructuredError(ErrorCode::kDeadlineExceeded, message,
+                        std::move(strategy), sample) {}
+};
+
+/// A durable-storage operation failed: short or torn write, ENOSPC, rename
+/// failure, or a load that met a truncated / bit-flipped / wrong-version
+/// file. Raised by the src/io layer; loaders never return corrupt data.
+class IoError : public StructuredError {
+ public:
+  explicit IoError(const std::string& message, std::string strategy = {},
+                   Index sample = -1)
+      : StructuredError(ErrorCode::kIoError, message, std::move(strategy),
+                        sample) {}
 };
 
 /// Maps any in-flight exception to its taxonomy code: StructuredError

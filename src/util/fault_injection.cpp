@@ -61,4 +61,29 @@ void FaultInjector::throw_if_faulted(Index sample, int attempt) const {
   }
 }
 
+const char* fs_fault_kind_name(FsFaultKind kind) {
+  switch (kind) {
+    case FsFaultKind::kNone: return "none";
+    case FsFaultKind::kTornWrite: return "torn-write";
+    case FsFaultKind::kShortWrite: return "short-write";
+    case FsFaultKind::kNoSpace: return "no-space";
+  }
+  return "?";
+}
+
+FsFaultInjector::FsFaultInjector(const Options& options) : options_(options) {
+  RSM_CHECK_MSG(options.fault_rate >= 0 && options.fault_rate <= 1,
+                "fault_rate must be in [0, 1]");
+}
+
+FsFaultKind FsFaultInjector::kind(std::uint64_t op) const {
+  if (!enabled()) return FsFaultKind::kNone;
+  if (uniform(options_.seed, op, 0) >= options_.fault_rate)
+    return FsFaultKind::kNone;
+  const Real mode = uniform(options_.seed, op, 1);
+  if (mode < Real{1} / 3) return FsFaultKind::kTornWrite;
+  if (mode < Real{2} / 3) return FsFaultKind::kShortWrite;
+  return FsFaultKind::kNoSpace;
+}
+
 }  // namespace rsm

@@ -61,6 +61,54 @@ class FaultInjector {
   /// no-op otherwise.
   void throw_if_faulted(Index sample, int attempt) const;
 
+  /// The configuration (checkpoint headers hash it to bind a resume to the
+  /// fault plan of the interrupted run).
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// Filesystem failure modes the src/io writers can be made to exhibit.
+enum class FsFaultKind {
+  kNone = 0,
+  kTornWrite,   // a prefix of the buffer reaches the file, then the write
+                // fails — the crash-consistency hazard checkpoints must
+                // survive (partial record on disk)
+  kShortWrite,  // the write persists all but the final byte and the writer
+                // detects the count mismatch — tail corruption
+  kNoSpace,     // nothing is written; the operation fails like ENOSPC
+};
+
+[[nodiscard]] const char* fs_fault_kind_name(FsFaultKind kind);
+
+/// Deterministic injector for the durable-I/O layer (src/io). Like
+/// FaultInjector, the decision is a pure hash of (seed, operation index) so
+/// a test can predict exactly which physical write faults and with which
+/// mode; the io writers count their own write operations and consult
+/// kind(op) before each one. Faults are transient per operation: the next
+/// write (e.g. an atomic rewrite during recovery) rolls a fresh op index.
+class FsFaultInjector {
+ public:
+  struct Options {
+    /// Expected fraction of write operations that fault (0 disables).
+    Real fault_rate = 0;
+
+    /// Hash seed, so one seed reproduces an entire failure schedule.
+    std::uint64_t seed = 0x6a09e667f3bcc909ull;
+  };
+
+  FsFaultInjector() = default;
+  explicit FsFaultInjector(const Options& options);
+
+  [[nodiscard]] bool enabled() const { return options_.fault_rate > 0; }
+
+  /// Fault mode assigned to write operation `op` (kNone when unfaulted);
+  /// faulted ops split evenly between the three modes.
+  [[nodiscard]] FsFaultKind kind(std::uint64_t op) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
  private:
   Options options_;
 };

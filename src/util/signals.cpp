@@ -1,0 +1,38 @@
+#include "util/signals.hpp"
+
+#include <csignal>
+#include <cstdlib>
+
+namespace rsm {
+namespace {
+
+// All state a handler touches is lock-free and pre-allocated. The source
+// pointer is published before handlers are installed; the handler only ever
+// loads it and performs one relaxed store through it.
+std::atomic<CancellationSource*> g_signal_source{nullptr};
+volatile std::sig_atomic_t g_signal_count = 0;
+volatile std::sig_atomic_t g_first_signal = 0;
+
+extern "C" void rsm_signal_handler(int signo) {
+  if (g_signal_count == 0) g_first_signal = signo;
+  g_signal_count = g_signal_count + 1;
+  if (g_signal_count >= 2) std::_Exit(128 + signo);
+  CancellationSource* source = g_signal_source.load(std::memory_order_acquire);
+  if (source != nullptr) source->request_cancel();
+}
+
+}  // namespace
+
+void install_signal_cancellation(CancellationSource* source) {
+  g_signal_source.store(source, std::memory_order_release);
+  std::signal(SIGINT, rsm_signal_handler);
+  std::signal(SIGTERM, rsm_signal_handler);
+}
+
+bool signal_cancellation_requested() { return g_signal_count > 0; }
+
+int signal_exit_status() {
+  return g_signal_count > 0 ? 128 + static_cast<int>(g_first_signal) : 0;
+}
+
+}  // namespace rsm

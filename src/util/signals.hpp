@@ -1,0 +1,29 @@
+// Graceful SIGINT/SIGTERM handling for campaign binaries.
+//
+// First signal: request cooperative cancellation on the registered source —
+// the campaign drains at its next check site, flushes its checkpoint and a
+// partial report, and the binary exits nonzero. Second signal: the operator
+// means it; exit immediately with the conventional 128+signo status.
+//
+// The handler body is async-signal-safe: one relaxed atomic store on a
+// pre-registered CancellationSource plus a sig_atomic_t counter. Handlers
+// stay installed for the process lifetime; re-registering replaces the
+// source a signal will cancel.
+#pragma once
+
+#include "util/cancellation.hpp"
+
+namespace rsm {
+
+/// Installs SIGINT/SIGTERM handlers wired to `source` (which must outlive
+/// signal delivery). Safe to call more than once.
+void install_signal_cancellation(CancellationSource* source);
+
+/// True once a first signal arrived (for choosing a nonzero exit status).
+[[nodiscard]] bool signal_cancellation_requested();
+
+/// Exit status a signal-cancelled binary should return (128 + signo of the
+/// first signal received; 0 when none arrived).
+[[nodiscard]] int signal_exit_status();
+
+}  // namespace rsm

@@ -1,0 +1,164 @@
+// Durable-I/O primitives: append/atomic-write semantics, structured IoError
+// on every failure, and the deterministic filesystem fault injector leaving
+// exactly the on-disk states (torn / short / empty) a crash would.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/atomic_file.hpp"
+#include "io/crc32.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+
+namespace rsm::io {
+namespace {
+
+std::string test_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "rsm_io_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Finds an all-faulting injector whose very first op carries `want`, so a
+/// test can trigger a specific fault mode deterministically.
+FsFaultInjector injector_with_first_kind(FsFaultKind want) {
+  for (std::uint64_t seed = 1; seed < 4096; ++seed) {
+    FsFaultInjector injector({.fault_rate = 1.0, .seed = seed});
+    if (injector.kind(0) == want) return injector;
+  }
+  ADD_FAILURE() << "no seed produced first-op kind "
+                << fs_fault_kind_name(want);
+  return FsFaultInjector{};
+}
+
+TEST(Crc32Test, MatchesKnownAnswer) {
+  // The canonical CRC-32 check value ("123456789" -> 0xcbf43926).
+  const char data[] = "123456789";
+  EXPECT_EQ(crc32(data, 9), 0xcbf43926u);
+}
+
+TEST(Crc32Test, ChainedEqualsWhole) {
+  const std::string data = "durable checkpoint bytes";
+  const std::uint32_t whole = crc32(data.data(), data.size());
+  const std::uint32_t head = crc32(data.data(), 7);
+  EXPECT_EQ(crc32(data.data() + 7, data.size() - 7, head), whole);
+}
+
+TEST(Fnv1a64Test, EmptyIsOffsetBasis) {
+  EXPECT_EQ(fnv1a64(nullptr, 0), kFnvOffsetBasis);
+}
+
+TEST(DurableFileTest, WritesAndAppends) {
+  const std::string path = test_path("append.bin");
+  {
+    DurableFile file(path, DurableFile::Mode::kTruncate);
+    file.write("hello ");
+    file.sync();
+  }
+  {
+    DurableFile file(path, DurableFile::Mode::kAppend);
+    file.write("world");
+    file.sync();
+    EXPECT_EQ(file.write_ops(), 1u);
+  }
+  EXPECT_EQ(read_file_bytes(path), "hello world");
+}
+
+TEST(DurableFileTest, TruncateModeDiscardsOldContent) {
+  const std::string path = test_path("truncate.bin");
+  { DurableFile(path, DurableFile::Mode::kTruncate).write("old old old"); }
+  { DurableFile(path, DurableFile::Mode::kTruncate).write("new"); }
+  EXPECT_EQ(read_file_bytes(path), "new");
+}
+
+TEST(DurableFileTest, MissingDirectoryThrowsIoError) {
+  try {
+    DurableFile file("/nonexistent-dir-rsm/x.bin", DurableFile::Mode::kAppend);
+    FAIL() << "open should have thrown";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+  }
+}
+
+TEST(DurableFileTest, TornWritePersistsHalf) {
+  const std::string path = test_path("torn.bin");
+  const FsFaultInjector faults =
+      injector_with_first_kind(FsFaultKind::kTornWrite);
+  DurableFile file(path, DurableFile::Mode::kTruncate, &faults);
+  EXPECT_THROW(file.write("0123456789"), IoError);
+  EXPECT_EQ(read_file_bytes(path), "01234");  // exactly half
+}
+
+TEST(DurableFileTest, ShortWritePersistsAllButOneByte) {
+  const std::string path = test_path("short.bin");
+  const FsFaultInjector faults =
+      injector_with_first_kind(FsFaultKind::kShortWrite);
+  DurableFile file(path, DurableFile::Mode::kTruncate, &faults);
+  EXPECT_THROW(file.write("0123456789"), IoError);
+  EXPECT_EQ(read_file_bytes(path), "012345678");
+}
+
+TEST(DurableFileTest, NoSpacePersistsNothing) {
+  const std::string path = test_path("nospace.bin");
+  const FsFaultInjector faults =
+      injector_with_first_kind(FsFaultKind::kNoSpace);
+  DurableFile file(path, DurableFile::Mode::kTruncate, &faults);
+  EXPECT_THROW(file.write("0123456789"), IoError);
+  EXPECT_EQ(read_file_bytes(path), "");
+}
+
+TEST(AtomicWriteTest, ReplacesWholeFileAndRemovesTemp) {
+  const std::string path = test_path("atomic.bin");
+  atomic_write_file(path, "first version");
+  EXPECT_EQ(read_file_bytes(path), "first version");
+  atomic_write_file(path, "second, longer version of the content");
+  EXPECT_EQ(read_file_bytes(path), "second, longer version of the content");
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST(AtomicWriteTest, FaultedWriteLeavesTargetUntouched) {
+  const std::string path = test_path("atomic_fault.bin");
+  atomic_write_file(path, "precious old content");
+  const FsFaultInjector faults =
+      injector_with_first_kind(FsFaultKind::kTornWrite);
+  EXPECT_THROW(atomic_write_file(path, "replacement that tears", &faults),
+               IoError);
+  // Old content intact (the tear hit the temp file), temp cleaned up.
+  EXPECT_EQ(read_file_bytes(path), "precious old content");
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST(ReadFileBytesTest, MissingFileThrowsIoError) {
+  try {
+    (void)read_file_bytes(test_path("does_not_exist.bin"));
+    FAIL() << "read should have thrown";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+  }
+}
+
+TEST(FileExistsTest, ReflectsFilesystem) {
+  const std::string path = test_path("exists.bin");
+  EXPECT_FALSE(file_exists(path));
+  atomic_write_file(path, "x");
+  EXPECT_TRUE(file_exists(path));
+}
+
+TEST(FsFaultInjectorTest, DeterministicAndSplitsModes) {
+  FsFaultInjector injector({.fault_rate = 1.0, .seed = 42});
+  bool saw[4] = {};
+  for (std::uint64_t op = 0; op < 64; ++op) {
+    const FsFaultKind kind = injector.kind(op);
+    EXPECT_NE(kind, FsFaultKind::kNone) << "rate 1.0 must always fault";
+    EXPECT_EQ(kind, injector.kind(op)) << "kind must be a pure hash";
+    saw[static_cast<int>(kind)] = true;
+  }
+  EXPECT_TRUE(saw[static_cast<int>(FsFaultKind::kTornWrite)]);
+  EXPECT_TRUE(saw[static_cast<int>(FsFaultKind::kShortWrite)]);
+  EXPECT_TRUE(saw[static_cast<int>(FsFaultKind::kNoSpace)]);
+  EXPECT_FALSE(FsFaultInjector{}.enabled());
+}
+
+}  // namespace
+}  // namespace rsm::io

@@ -1,0 +1,302 @@
+// Checkpoint format: roundtrip fidelity, every corruption class rejected
+// with a structured IoError (truncation, bit flips, version/magic
+// mismatches), the sanctioned torn-tail recovery, and the writer's atomic
+// self-heal after an injected append fault.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/atomic_file.hpp"
+#include "io/checkpoint.hpp"
+#include "io/crc32.hpp"
+#include "util/errors.hpp"
+
+namespace rsm::io {
+namespace {
+
+std::string test_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "rsm_ckpt_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+CheckpointHeader test_header() {
+  CheckpointHeader header;
+  header.sample_matrix_hash = 0x1122334455667788ull;
+  header.config_hash = 0x99aabbccddeeff00ull;
+  header.total_rows = 5;
+  return header;
+}
+
+std::vector<CheckpointRecord> test_records() {
+  std::vector<CheckpointRecord> records(3);
+  records[0].type = CheckpointRecord::Type::kSample;
+  records[0].sample = 0;
+  records[0].attempts = 1;
+  records[0].value = 3.141592653589793;
+  records[1].type = CheckpointRecord::Type::kQuarantine;
+  records[1].sample = 1;
+  records[1].attempts = 3;
+  records[1].code = ErrorCode::kSingularMatrix;
+  records[1].reason = "MNA matrix singular at escalation 2";
+  records[2].type = CheckpointRecord::Type::kSample;
+  records[2].sample = 2;
+  records[2].attempts = 2;
+  records[2].value = -0.0;  // sign bit must survive the roundtrip
+  return records;
+}
+
+std::string serialize_all(const CheckpointHeader& header,
+                          const std::vector<CheckpointRecord>& records) {
+  std::string bytes = serialize_header(header);
+  for (const CheckpointRecord& record : records)
+    bytes.append(serialize_record(record));
+  return bytes;
+}
+
+void expect_reject(const std::string& path, LoadMode mode,
+                   const std::string& why_substring) {
+  try {
+    (void)load_checkpoint(path, mode);
+    FAIL() << "load should have rejected (" << why_substring << ")";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    EXPECT_NE(std::string(e.what()).find(why_substring), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(CheckpointFormatTest, WriterRoundtrip) {
+  const std::string path = test_path("roundtrip.ckpt");
+  const CheckpointHeader header = test_header();
+  const std::vector<CheckpointRecord> records = test_records();
+  {
+    CheckpointWriter writer({.path = path}, header);
+    for (const CheckpointRecord& record : records) writer.append(record);
+    EXPECT_EQ(writer.records_appended(), 3);
+    EXPECT_EQ(writer.rewrites(), 0);
+  }
+  const CheckpointData data = load_checkpoint(path, LoadMode::kStrict);
+  EXPECT_EQ(data.header.version, kCheckpointVersion);
+  EXPECT_EQ(data.header.sample_matrix_hash, header.sample_matrix_hash);
+  EXPECT_EQ(data.header.config_hash, header.config_hash);
+  EXPECT_EQ(data.header.total_rows, header.total_rows);
+  EXPECT_FALSE(data.truncated_tail);
+  ASSERT_EQ(data.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(data.records[i].type, records[i].type);
+    EXPECT_EQ(data.records[i].sample, records[i].sample);
+    EXPECT_EQ(data.records[i].attempts, records[i].attempts);
+    EXPECT_EQ(data.records[i].code, records[i].code);
+    EXPECT_EQ(data.records[i].reason, records[i].reason);
+    // Bit-exact, including -0.0.
+    EXPECT_EQ(std::signbit(data.records[i].value),
+              std::signbit(records[i].value));
+    EXPECT_EQ(data.records[i].value, records[i].value);
+  }
+}
+
+TEST(CheckpointFormatTest, TruncatedHeaderRejected) {
+  const std::string path = test_path("short_header.ckpt");
+  const std::string bytes = serialize_header(test_header());
+  atomic_write_file(path, bytes.substr(0, bytes.size() - 7));
+  expect_reject(path, LoadMode::kStrict, "truncated header");
+  expect_reject(path, LoadMode::kRecoverTail, "truncated header");
+}
+
+TEST(CheckpointFormatTest, BadMagicRejected) {
+  const std::string path = test_path("bad_magic.ckpt");
+  std::string bytes = serialize_all(test_header(), test_records());
+  bytes[0] = 'X';
+  atomic_write_file(path, bytes);
+  expect_reject(path, LoadMode::kRecoverTail, "bad magic");
+}
+
+TEST(CheckpointFormatTest, HeaderBitFlipRejected) {
+  const std::string path = test_path("header_flip.ckpt");
+  std::string bytes = serialize_all(test_header(), test_records());
+  bytes[14] = static_cast<char>(bytes[14] ^ 0x10);  // inside the hash fields
+  atomic_write_file(path, bytes);
+  expect_reject(path, LoadMode::kRecoverTail, "header CRC mismatch");
+}
+
+TEST(CheckpointFormatTest, VersionMismatchRejected) {
+  const std::string path = test_path("version.ckpt");
+  CheckpointHeader header = test_header();
+  header.version = kCheckpointVersion + 1;
+  atomic_write_file(path, serialize_header(header));
+  expect_reject(path, LoadMode::kRecoverTail, "unsupported version");
+}
+
+TEST(CheckpointFormatTest, RecordBitFlipRejectedInBothModes) {
+  const std::string path = test_path("record_flip.ckpt");
+  const CheckpointHeader header = test_header();
+  const std::vector<CheckpointRecord> records = test_records();
+  std::string bytes = serialize_header(header);
+  const std::size_t first_record_at = bytes.size();
+  for (const CheckpointRecord& record : records)
+    bytes.append(serialize_record(record));
+  // Flip one bit inside the *first* record's payload: a complete record with
+  // a failing CRC is corruption, never a recoverable tail — even in
+  // kRecoverTail mode.
+  bytes[first_record_at + 8] = static_cast<char>(bytes[first_record_at + 8] ^ 1);
+  atomic_write_file(path, bytes);
+  expect_reject(path, LoadMode::kStrict, "record CRC mismatch");
+  expect_reject(path, LoadMode::kRecoverTail, "record CRC mismatch");
+}
+
+TEST(CheckpointFormatTest, TornTailStrictRejectsRecoverDrops) {
+  const std::string path = test_path("torn_tail.ckpt");
+  const std::vector<CheckpointRecord> records = test_records();
+  std::string bytes = serialize_all(test_header(), records);
+  // Drop the final 3 bytes: the last record is now shorter than its declared
+  // length — exactly what an interrupted append leaves behind.
+  bytes.resize(bytes.size() - 3);
+  atomic_write_file(path, bytes);
+  expect_reject(path, LoadMode::kStrict, "torn");
+  const CheckpointData data = load_checkpoint(path, LoadMode::kRecoverTail);
+  EXPECT_TRUE(data.truncated_tail);
+  ASSERT_EQ(data.records.size(), records.size() - 1);
+  EXPECT_EQ(data.records.back().sample, records[records.size() - 2].sample);
+}
+
+TEST(CheckpointFormatTest, TinyTornTailRecovered) {
+  const std::string path = test_path("tiny_tail.ckpt");
+  std::string bytes = serialize_all(test_header(), test_records());
+  bytes.append("\x01\x07", 2);  // shorter than any record framing
+  atomic_write_file(path, bytes);
+  expect_reject(path, LoadMode::kStrict, "torn");
+  const CheckpointData data = load_checkpoint(path, LoadMode::kRecoverTail);
+  EXPECT_TRUE(data.truncated_tail);
+  EXPECT_EQ(data.records.size(), test_records().size());
+}
+
+TEST(CheckpointFormatTest, UnknownRecordTypeRejected) {
+  const std::string path = test_path("unknown_type.ckpt");
+  std::string bytes = serialize_header(test_header());
+  // Hand-craft a record with type 7 and an otherwise valid frame + CRC.
+  std::string frame;
+  frame.push_back(static_cast<char>(7));
+  for (int i = 0; i < 4; ++i) frame.push_back('\0');  // payload_len = 0
+  const std::uint32_t crc = crc32(frame.data(), frame.size());
+  for (int i = 0; i < 4; ++i)
+    frame.push_back(static_cast<char>((crc >> (8 * i)) & 0xffu));
+  bytes.append(frame);
+  atomic_write_file(path, bytes);
+  expect_reject(path, LoadMode::kRecoverTail, "unknown record type");
+}
+
+TEST(CheckpointFormatTest, CorruptLengthFieldRejected) {
+  const std::string path = test_path("bad_length.ckpt");
+  std::string bytes = serialize_header(test_header());
+  // A record claiming a payload far beyond kMaxPayload, with plenty of file
+  // after it: corruption, not truncation.
+  std::string frame;
+  frame.push_back(static_cast<char>(1));
+  const std::uint32_t huge = 0x7fffffffu;
+  for (int i = 0; i < 4; ++i)
+    frame.push_back(static_cast<char>((huge >> (8 * i)) & 0xffu));
+  frame.append(2048, 'z');
+  bytes.append(frame);
+  atomic_write_file(path, bytes);
+  expect_reject(path, LoadMode::kRecoverTail, "length field corrupt");
+}
+
+TEST(CheckpointFormatTest, QuarantineReasonBoundedOnWrite) {
+  const std::string path = test_path("long_reason.ckpt");
+  CheckpointRecord record;
+  record.type = CheckpointRecord::Type::kQuarantine;
+  record.sample = 0;
+  record.attempts = 1;
+  record.code = ErrorCode::kNoConvergence;
+  record.reason.assign(4 * kMaxReasonLength, 'r');
+  {
+    CheckpointWriter writer({.path = path}, test_header());
+    writer.append(record);
+  }
+  const CheckpointData data = load_checkpoint(path, LoadMode::kStrict);
+  ASSERT_EQ(data.records.size(), 1u);
+  EXPECT_EQ(data.records[0].reason.size(), kMaxReasonLength);
+}
+
+TEST(CheckpointWriterTest, ResumeBaseRewritesExistingRecords) {
+  const std::string path = test_path("resume_base.ckpt");
+  const std::vector<CheckpointRecord> existing = test_records();
+  {
+    CheckpointWriter writer({.path = path}, test_header(), existing);
+    CheckpointRecord next;
+    next.type = CheckpointRecord::Type::kSample;
+    next.sample = 3;
+    next.value = 2.5;
+    writer.append(next);
+  }
+  const CheckpointData data = load_checkpoint(path, LoadMode::kStrict);
+  ASSERT_EQ(data.records.size(), existing.size() + 1);
+  EXPECT_EQ(data.records.back().sample, 3);
+}
+
+TEST(CheckpointWriterTest, SelfHealsFaultedAppendAtomically) {
+  const std::string path = test_path("self_heal.ckpt");
+  // Find a schedule whose first faulted op lands on append #1..#3 (op 0
+  // clean, so the ctor's base rewrite and recovery rewrites succeed).
+  CheckpointOptions options;
+  options.path = path;
+  std::uint64_t first_fault = 0;
+  for (std::uint64_t seed = 1; seed < 65536 && first_fault == 0; ++seed) {
+    FsFaultInjector candidate({.fault_rate = 0.25, .seed = seed});
+    for (std::uint64_t op = 0; op < 4; ++op) {
+      if (candidate.kind(op) != FsFaultKind::kNone) {
+        if (op >= 1) {
+          options.fs_faults = candidate;
+          first_fault = op;
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_GE(first_fault, 1u) << "no usable fault schedule found";
+
+  CheckpointWriter writer(options, test_header());
+  const Index total = static_cast<Index>(first_fault) + 2;
+  for (Index i = 0; i < total; ++i) {
+    CheckpointRecord record;
+    record.type = CheckpointRecord::Type::kSample;
+    record.sample = i;
+    record.value = static_cast<Real>(i) * 0.5;
+    writer.append(record);  // append #first_fault faults and self-heals
+  }
+  EXPECT_GE(writer.rewrites(), 1);
+  writer.flush();
+  // Despite the injected tear mid-stream the file is clean and complete.
+  const CheckpointData data = load_checkpoint(path, LoadMode::kStrict);
+  ASSERT_EQ(data.records.size(), static_cast<std::size_t>(total));
+  for (Index i = 0; i < total; ++i) {
+    EXPECT_EQ(data.records[static_cast<std::size_t>(i)].sample, i);
+    EXPECT_EQ(data.records[static_cast<std::size_t>(i)].value,
+              static_cast<Real>(i) * 0.5);
+  }
+}
+
+TEST(CheckpointFingerprintTest, SensitiveToEveryInput) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  Matrix b = a;
+  b(1, 1) = 4.0000000001;
+  EXPECT_NE(matrix_fingerprint(a), matrix_fingerprint(b));
+  EXPECT_EQ(matrix_fingerprint(a), matrix_fingerprint(a));
+
+  FaultInjector plan_a({.fault_rate = 0.1, .seed = 7});
+  FaultInjector plan_b({.fault_rate = 0.2, .seed = 7});
+  EXPECT_NE(fault_plan_fingerprint(plan_a, 3),
+            fault_plan_fingerprint(plan_b, 3));
+  EXPECT_NE(fault_plan_fingerprint(plan_a, 3),
+            fault_plan_fingerprint(plan_a, 4));
+  EXPECT_EQ(fault_plan_fingerprint(plan_a, 3),
+            fault_plan_fingerprint(plan_a, 3));
+}
+
+}  // namespace
+}  // namespace rsm::io
