@@ -1,10 +1,10 @@
 // Durable campaign driver: crash-safe checkpoint/resume, graceful
 // SIGINT/SIGTERM, cooperative deadlines, and a machine-readable report.
 //
-//   build/examples/durable_campaign --checkpoint /tmp/opamp.ckpt \
+//   build/examples/durable_campaign --checkpoint /tmp/opamp.ckpt
 //       --report /tmp/CAMPAIGN_report.json
 //   # ... SIGKILL it mid-run, then:
-//   build/examples/durable_campaign --checkpoint /tmp/opamp.ckpt \
+//   build/examples/durable_campaign --checkpoint /tmp/opamp.ckpt
 //       --report /tmp/CAMPAIGN_report.json --resume
 //
 // The binary runs an OpAmp Monte Carlo campaign with per-row durable

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over compile_commands.json and diff against a baseline.
+
+CI (and local users) should fail only on *new* findings, not on the
+pre-existing set that is being burned down — so findings are normalized to
+(file, check, message) triples (line numbers go stale on every edit and are
+deliberately excluded), compared against the committed baseline
+`.clang-tidy-baseline.json`, and only the difference fails the run.
+
+Exit status:
+  0  no new findings (stale baseline entries are reported informationally)
+  1  new findings not present in the baseline
+  2  usage / environment error
+  0  clang-tidy not installed (warn only); use --require-clang-tidy to make
+     that case fail with status 2 instead (the CI lint job does).
+
+Typical use:
+  scripts/run_clang_tidy.py                        # uses ./compile_commands.json
+  scripts/run_clang_tidy.py -p build               # explicit build dir
+  scripts/run_clang_tidy.py --update-baseline      # rewrite the baseline
+  scripts/run_clang_tidy.py --filter src/          # lint a subtree only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import re
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / ".clang-tidy-baseline.json"
+
+# clang-tidy diagnostic line: <file>:<line>:<col>: warning: <msg> [<check>]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\n]+):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+(?P<message>.*?)\s+\[(?P<check>[\w.,-]+)\]\s*$",
+    re.MULTILINE)
+
+
+def normalize(path_str):
+    """Repo-relative posix path (so the baseline is machine-independent)."""
+    try:
+        return Path(path_str).resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return Path(path_str).as_posix()
+
+
+def finding_key(file, check, message):
+    return f"{file} :: {check} :: {message}"
+
+
+def load_compdb(build_path):
+    compdb = build_path / "compile_commands.json"
+    if not compdb.exists():
+        print(f"run-clang-tidy: {compdb} not found — configure with cmake "
+              f"first (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)",
+              file=sys.stderr)
+        sys.exit(2)
+    return json.loads(compdb.read_text(encoding="utf-8")), compdb
+
+
+def run_one(tidy, compdb_dir, source):
+    proc = subprocess.run(
+        [tidy, "-p", str(compdb_dir), "--quiet", str(source)],
+        capture_output=True, text=True, check=False)
+    findings = set()
+    for m in DIAG_RE.finditer(proc.stdout):
+        file = normalize(m.group("file"))
+        # Only report findings inside the repo (not system/third-party
+        # headers dragged in by a TU).
+        if file.startswith(".."):
+            continue
+        findings.add(finding_key(file, m.group("check"), m.group("message")))
+    return source, findings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-p", "--build-path", default=None,
+                        help="directory containing compile_commands.json "
+                             "(default: repo root, then build/)")
+    parser.add_argument("--filter", default="src/",
+                        help="only lint TUs whose repo-relative path starts "
+                             "with this prefix (default: src/; '' = all)")
+    parser.add_argument("--baseline", default=str(BASELINE_PATH))
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with the current findings")
+    parser.add_argument("--require-clang-tidy", action="store_true",
+                        help="fail (exit 2) when clang-tidy is missing "
+                             "instead of warning")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=multiprocessing.cpu_count())
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary to use")
+    args = parser.parse_args(argv)
+
+    tidy = args.clang_tidy or shutil.which("clang-tidy")
+    if tidy is None or shutil.which(tidy) is None and not Path(tidy).exists():
+        msg = "run-clang-tidy: clang-tidy not found on PATH"
+        if args.require_clang_tidy:
+            print(msg, file=sys.stderr)
+            return 2
+        print(f"{msg}; skipping (install clang-tidy or pass --clang-tidy)")
+        return 0
+
+    if args.build_path:
+        build_path = Path(args.build_path)
+    elif (REPO_ROOT / "compile_commands.json").exists():
+        build_path = REPO_ROOT
+    else:
+        build_path = REPO_ROOT / "build"
+    entries, compdb = load_compdb(build_path)
+
+    sources = []
+    for entry in entries:
+        rel = normalize(entry["file"])
+        if args.filter and not rel.startswith(args.filter):
+            continue
+        sources.append(entry["file"])
+    sources = sorted(set(sources))
+    if not sources:
+        print(f"run-clang-tidy: no TUs match filter '{args.filter}' in "
+              f"{compdb}", file=sys.stderr)
+        return 2
+
+    print(f"run-clang-tidy: {len(sources)} TUs, -j{args.jobs}, "
+          f"baseline {Path(args.baseline).name}")
+    current = set()
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for source, findings in pool.map(
+                lambda s: run_one(tidy, compdb.parent, s), sources):
+            current |= findings
+
+    baseline_file = Path(args.baseline)
+    if args.update_baseline:
+        baseline_file.write_text(
+            json.dumps({"findings": sorted(current)}, indent=2) + "\n",
+            encoding="utf-8")
+        print(f"run-clang-tidy: baseline updated with "
+              f"{len(current)} finding(s)")
+        return 0
+
+    baseline = set()
+    if baseline_file.exists():
+        baseline = set(
+            json.loads(baseline_file.read_text(encoding="utf-8"))
+            .get("findings", []))
+
+    new = sorted(current - baseline)
+    fixed = sorted(baseline - current)
+    if fixed:
+        print(f"run-clang-tidy: {len(fixed)} baseline finding(s) no longer "
+              f"fire — run --update-baseline to shrink the baseline:")
+        for f in fixed:
+            print(f"  stale: {f}")
+    if new:
+        print(f"run-clang-tidy: {len(new)} NEW finding(s) not in baseline:",
+              file=sys.stderr)
+        for f in new:
+            print(f"  new: {f}", file=sys.stderr)
+        print("fix them (preferred) or run --update-baseline and justify "
+              "the additions in review", file=sys.stderr)
+        return 1
+    print(f"run-clang-tidy: clean ({len(current)} finding(s), all baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

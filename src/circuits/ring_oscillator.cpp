@@ -42,8 +42,11 @@ Real RingOscillatorWorkload::evaluate(std::span<const Real> dy) const {
 
   // Ring of NMOS common-source inverters: stage i drives node i+1 (mod S).
   std::vector<spice::NodeId> nodes;
-  for (Index s = 0; s < config_.num_stages; ++s)
-    nodes.push_back(n.node("s" + std::to_string(s)));
+  for (Index s = 0; s < config_.num_stages; ++s) {
+    std::string name("s");
+    name += std::to_string(s);
+    nodes.push_back(n.node(name));
+  }
 
   for (Index s = 0; s < config_.num_stages; ++s) {
     spice::MosfetParams dev;

@@ -249,7 +249,9 @@ Netlist parse_netlist(std::istream& in) {
         throw Error("netlist line " + std::to_string(line_no) +
                     ": continuation with no previous card");
       }
-      logical.back().second += " " + trimmed.substr(1);
+      std::string& card = logical.back().second;
+      card += ' ';
+      card.append(trimmed, 1, std::string::npos);
     } else {
       logical.emplace_back(line_no, trimmed);
     }

@@ -8,15 +8,25 @@ namespace {
 
 // All state a handler touches is lock-free and pre-allocated. The source
 // pointer is published before handlers are installed; the handler only ever
-// loads it and performs one relaxed store through it.
+// loads it and stores through it. Lock-free std::atomic (asserted below) is
+// async-signal-safe and, unlike volatile sig_atomic_t, also safe to read
+// from other threads (campaign workers poll these flags while a signal
+// lands on whichever thread the kernel picked).
 std::atomic<CancellationSource*> g_signal_source{nullptr};
-volatile std::sig_atomic_t g_signal_count = 0;
-volatile std::sig_atomic_t g_first_signal = 0;
+std::atomic<int> g_signal_count{0};
+std::atomic<int> g_first_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires lock-free atomics");
 
 extern "C" void rsm_signal_handler(int signo) {
-  if (g_signal_count == 0) g_first_signal = signo;
-  g_signal_count = g_signal_count + 1;
-  if (g_signal_count >= 2) std::_Exit(128 + signo);
+  // Publish the signo before the count: a reader that observes count > 0
+  // (acquire) is guaranteed to see which signal arrived first.
+  int expected = 0;
+  g_first_signal.compare_exchange_strong(expected, signo,
+                                         std::memory_order_relaxed);
+  const int count =
+      g_signal_count.fetch_add(1, std::memory_order_release) + 1;
+  if (count >= 2) std::_Exit(128 + signo);
   CancellationSource* source = g_signal_source.load(std::memory_order_acquire);
   if (source != nullptr) source->request_cancel();
 }
@@ -29,10 +39,13 @@ void install_signal_cancellation(CancellationSource* source) {
   std::signal(SIGTERM, rsm_signal_handler);
 }
 
-bool signal_cancellation_requested() { return g_signal_count > 0; }
+bool signal_cancellation_requested() {
+  return g_signal_count.load(std::memory_order_acquire) > 0;
+}
 
 int signal_exit_status() {
-  return g_signal_count > 0 ? 128 + static_cast<int>(g_first_signal) : 0;
+  if (g_signal_count.load(std::memory_order_acquire) == 0) return 0;
+  return 128 + g_first_signal.load(std::memory_order_relaxed);
 }
 
 }  // namespace rsm

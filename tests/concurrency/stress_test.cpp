@@ -1,0 +1,235 @@
+// Multi-threaded stress for the observability and control-plane state that
+// campaign scaling (sharding, batching, async) will lean on: the metrics
+// registry, telemetry sink swapping under emission, trace spans across
+// thread exits, cancellation tokens, and the signal flags. Run under
+// -DRSM_SANITIZE=thread this is the repo's race detector; the assertions
+// themselves are deliberately coarse — the point is the interleavings.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "util/cancellation.hpp"
+#include "util/errors.hpp"
+#include "util/signals.hpp"
+
+namespace rsm {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIterations = 2000;
+
+TEST(ConcurrencyStress, MetricsRegistryHammer) {
+  obs::metrics().reset();
+  std::atomic<bool> stop{false};
+
+  // A reader thread snapshots (and occasionally resets) while writers both
+  // register new metrics and update cached ones.
+  std::thread reader([&stop] {
+    int rounds = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+      if (++rounds % 64 == 0 && !snap.counters.empty())
+        obs::metrics().reset();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      obs::Counter& cached =
+          obs::metrics().counter("stress.cached." + std::to_string(t % 3));
+      obs::Histogram& hist = obs::metrics().histogram(
+          "stress.latency", {1e-6, 1e-4, 1e-2, 1.0});
+      for (int i = 0; i < kIterations; ++i) {
+        cached.increment();
+        obs::metrics()
+            .counter("stress.reregistered." + std::to_string(i % 5))
+            .increment();
+        obs::metrics().gauge("stress.gauge").set(static_cast<double>(i));
+        hist.observe(static_cast<double>(i % 7) * 1e-3);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Registrations survive resets; the registry stayed structurally sound.
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  EXPECT_GE(snap.counters.size(), 8u);  // 3 cached + 5 reregistered
+  obs::metrics().reset();
+}
+
+TEST(ConcurrencyStress, TelemetrySinkSwapUnderEmission) {
+  const std::string jsonl_path =
+      ::testing::TempDir() + "rsm_stress_telemetry.jsonl";
+  std::remove(jsonl_path.c_str());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([t, &stop] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        if (!obs::telemetry_enabled()) {
+          std::this_thread::yield();
+          continue;
+        }
+        obs::SolverIterationEvent ev;
+        ev.solver = "STRESS";
+        ev.step = i;
+        ev.selected = t;
+        obs::emit(ev);
+        obs::CvFoldEvent fold;
+        fold.solver = "STRESS";
+        fold.fold = t;
+        obs::emit(fold);
+        obs::CampaignSampleEvent sample;
+        sample.sample = i;
+        sample.succeeded = true;
+        obs::emit(sample);
+      }
+    });
+  }
+
+  // Swap between a ring buffer, a JSONL file sink, and disabled while the
+  // emitters run: sink installation must never tear an in-flight emit.
+  auto ring = std::make_shared<obs::RingBufferSink>(1024);
+  for (int round = 0; round < 50; ++round) {
+    obs::set_telemetry_sink(ring);
+    std::this_thread::yield();
+    obs::set_telemetry_sink(
+        std::make_shared<obs::JsonlFileSink>(jsonl_path));
+    std::this_thread::yield();
+    obs::set_telemetry_sink(nullptr);
+  }
+  obs::set_telemetry_sink(ring);
+  obs::CvFoldEvent final_event;
+  final_event.solver = "STRESS-FINAL";
+  obs::emit(final_event);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& e : emitters) e.join();
+  obs::set_telemetry_sink(nullptr);
+
+  EXPECT_FALSE(ring->records().empty());
+  std::remove(jsonl_path.c_str());
+}
+
+TEST(ConcurrencyStress, TraceSpansAcrossThreadExit) {
+  if (!obs::kTracingCompiled) GTEST_SKIP() << "built with RSM_TRACING=OFF";
+  obs::set_tracing_enabled(true);
+  obs::reset_tracing();
+
+  std::atomic<bool> stop{false};
+  // Snapshot continuously while waves of short-lived threads record spans
+  // and exit (each exit merges its tree into the retired accumulator).
+  std::thread snapshotter([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::SpanStats snap = obs::trace_snapshot();
+      static_cast<void>(snap);
+      std::this_thread::yield();
+    }
+  });
+
+  for (int wave = 0; wave < 20; ++wave) {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([] {
+        for (int i = 0; i < 50; ++i) {
+          RSM_TRACE_SPAN("stress.outer");
+          RSM_TRACE_SPAN("stress.inner");
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  const obs::SpanStats snap = obs::trace_snapshot();
+  const obs::SpanStats* outer = snap.child("stress.outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count,
+            static_cast<std::uint64_t>(20 * kThreads * 50));
+  obs::reset_tracing();
+}
+
+TEST(ConcurrencyStress, CancellationFansOutToEveryWorker) {
+  CancellationSource source;
+  std::atomic<int> unwound{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&source, &unwound] {
+      RunControl control;
+      control.cancel = source.token();
+      control.deadline = Deadline::after_seconds(30.0);  // cancel wins
+      const ScopedRunControl scope(control);
+      try {
+        for (;;) check_cooperative_stop("stress.loop");
+      } catch (const DeadlineExceededError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+        unwound.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  source.request_cancel();
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(unwound.load(), kThreads);
+}
+
+TEST(ConcurrencyStress, SignalFlagsReadableFromAllThreads) {
+  // The handler performs the stores on whichever thread raise() runs on;
+  // every other thread must be able to poll the flags racelessly. One raise
+  // only — a second would _Exit(128+signo) by design.
+  CancellationSource source;
+  install_signal_cancellation(&source);
+  ASSERT_FALSE(signal_cancellation_requested());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> observed_cancel{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      bool counted = false;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (signal_cancellation_requested() && !counted) {
+          EXPECT_EQ(signal_exit_status(), 128 + SIGTERM);
+          observed_cancel.fetch_add(1, std::memory_order_relaxed);
+          counted = true;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::raise(SIGTERM);
+  // Wait (bounded) until every reader has observed the flag, so a starved
+  // thread on a loaded CI box cannot flake the assertion below.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (observed_cancel.load(std::memory_order_relaxed) < kThreads &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_TRUE(signal_cancellation_requested());
+  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_EQ(observed_cancel.load(), kThreads);
+}
+
+}  // namespace
+}  // namespace rsm

@@ -1,0 +1,98 @@
+// Belt to rsm-lint's suspenders (rule error-code-coverage): every ErrorCode
+// has a distinct, stable report name, and every code round-trips through
+// the campaign JSON report — so a taxonomy extension that forgets a mapping
+// fails here even on machines that never run the linter.
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "obs/json.hpp"
+#include "util/errors.hpp"
+
+namespace rsm {
+namespace {
+
+TEST(ErrorCodeExhaustiveness, EveryCodeHasADistinctStableName) {
+  std::set<std::string> names;
+  for (int c = 0; c < kNumErrorCodes; ++c) {
+    const std::string name = error_code_name(static_cast<ErrorCode>(c));
+    EXPECT_NE(name, "?") << "ErrorCode " << c
+                         << " missing from error_code_name()";
+    EXPECT_FALSE(name.empty());
+    // Report names are dashed-lowercase (docs/observability.md).
+    for (const char ch : name)
+      EXPECT_TRUE((ch >= 'a' && ch <= 'z') || ch == '-') << name;
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumErrorCodes))
+      << "two ErrorCodes share a report name";
+  // Out-of-range values (a corrupted checkpoint, a stale report) must map
+  // to the sentinel rather than crash.
+  EXPECT_STREQ(error_code_name(static_cast<ErrorCode>(kNumErrorCodes)), "?");
+}
+
+TEST(ErrorCodeExhaustiveness, ClassifyErrorCoversTheTaxonomy) {
+  EXPECT_EQ(classify_error(SingularMatrixError("x")),
+            ErrorCode::kSingularMatrix);
+  EXPECT_EQ(classify_error(ConvergenceError("x", 3)),
+            ErrorCode::kNoConvergence);
+  EXPECT_EQ(classify_error(NumericalDomainError("x")),
+            ErrorCode::kNumericalDomain);
+  EXPECT_EQ(classify_error(DeadlineExceededError("x")),
+            ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(classify_error(IoError("x")), ErrorCode::kIoError);
+  EXPECT_EQ(classify_error(Error("plain")), ErrorCode::kUnclassified);
+  EXPECT_EQ(classify_error(std::runtime_error("foreign")),
+            ErrorCode::kUnclassified);
+}
+
+TEST(ErrorCodeRoundTrip, EveryCodeSurvivesTheCampaignJsonReport) {
+  // Give each code a distinct histogram count, push one quarantined sample
+  // per failure code, and verify the JSON carries every (name, count) pair
+  // back out unchanged.
+  CampaignReport report;
+  report.attempted = 100;
+  report.succeeded = 90;
+  for (int c = 0; c < kNumErrorCodes; ++c) {
+    const auto code = static_cast<ErrorCode>(c);
+    report.error_histogram[static_cast<std::size_t>(c)] = 10 + c;
+    if (code != ErrorCode::kOk) {
+      report.quarantined.push_back(
+          {c, code, std::string("reason-") + error_code_name(code)});
+    }
+  }
+
+  const obs::JsonValue doc = report.to_json();
+  const obs::JsonValue* histogram = doc.find("failed_attempts_by_code");
+  ASSERT_NE(histogram, nullptr);
+  ASSERT_TRUE(histogram->is_object());
+  EXPECT_EQ(histogram->size(), static_cast<std::size_t>(kNumErrorCodes))
+      << "histogram must carry every code, including zero-count ones";
+  for (int c = 0; c < kNumErrorCodes; ++c) {
+    const char* name = error_code_name(static_cast<ErrorCode>(c));
+    const obs::JsonValue* count = histogram->find(name);
+    ASSERT_NE(count, nullptr) << "code " << name << " absent from report";
+    EXPECT_EQ(count->as_int(), 10 + c) << name;
+  }
+
+  const obs::JsonValue* quarantined = doc.find("quarantined");
+  ASSERT_NE(quarantined, nullptr);
+  ASSERT_TRUE(quarantined->is_array());
+  ASSERT_EQ(quarantined->size(),
+            static_cast<std::size_t>(kNumErrorCodes - 1));
+  std::set<std::string> seen;
+  for (const obs::JsonValue& entry : quarantined->items()) {
+    const obs::JsonValue* code_name = entry.find("code");
+    ASSERT_NE(code_name, nullptr);
+    seen.insert(code_name->as_string());
+  }
+  for (int c = 1; c < kNumErrorCodes; ++c) {
+    EXPECT_TRUE(seen.count(error_code_name(static_cast<ErrorCode>(c))))
+        << "quarantine entry for code " << c << " lost its name";
+  }
+}
+
+}  // namespace
+}  // namespace rsm

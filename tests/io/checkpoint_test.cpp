@@ -17,6 +17,12 @@
 namespace rsm::io {
 namespace {
 
+CheckpointOptions options_for(const std::string& path) {
+  CheckpointOptions options;
+  options.path = path;
+  return options;
+}
+
 std::string test_path(const std::string& name) {
   const std::string path = ::testing::TempDir() + "rsm_ckpt_" + name;
   std::remove(path.c_str());
@@ -74,7 +80,7 @@ TEST(CheckpointFormatTest, WriterRoundtrip) {
   const CheckpointHeader header = test_header();
   const std::vector<CheckpointRecord> records = test_records();
   {
-    CheckpointWriter writer({.path = path}, header);
+    CheckpointWriter writer(options_for(path), header);
     for (const CheckpointRecord& record : records) writer.append(record);
     EXPECT_EQ(writer.records_appended(), 3);
     EXPECT_EQ(writer.rewrites(), 0);
@@ -214,7 +220,7 @@ TEST(CheckpointFormatTest, QuarantineReasonBoundedOnWrite) {
   record.code = ErrorCode::kNoConvergence;
   record.reason.assign(4 * kMaxReasonLength, 'r');
   {
-    CheckpointWriter writer({.path = path}, test_header());
+    CheckpointWriter writer(options_for(path), test_header());
     writer.append(record);
   }
   const CheckpointData data = load_checkpoint(path, LoadMode::kStrict);
@@ -226,7 +232,7 @@ TEST(CheckpointWriterTest, ResumeBaseRewritesExistingRecords) {
   const std::string path = test_path("resume_base.ckpt");
   const std::vector<CheckpointRecord> existing = test_records();
   {
-    CheckpointWriter writer({.path = path}, test_header(), existing);
+    CheckpointWriter writer(options_for(path), test_header(), existing);
     CheckpointRecord next;
     next.type = CheckpointRecord::Type::kSample;
     next.sample = 3;

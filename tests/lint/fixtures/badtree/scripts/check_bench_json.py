@@ -1,0 +1,6 @@
+#!/usr/bin/env python3
+"""Fixture: schema mirror that lags the C++ taxonomy by one code name."""
+
+ERROR_CODE_NAMES = (
+    "ok",
+)

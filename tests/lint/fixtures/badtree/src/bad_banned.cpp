@@ -1,0 +1,10 @@
+// Fixture: banned unbounded/unchecked C functions.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+int bad_banned(char* dst, const char* src) {
+  strcpy(dst, src);          // banned-functions
+  sprintf(dst, "%s", src);   // banned-functions
+  return atoi(src);          // banned-functions
+}

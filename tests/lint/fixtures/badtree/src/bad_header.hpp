@@ -1,0 +1,5 @@
+// Fixture: src/ header without #pragma once.
+
+namespace rsm {
+inline int bad_header() { return 1; }
+}  // namespace rsm

@@ -1,0 +1,2 @@
+// Fixture: including an implementation file.
+#include "bad_rng.cpp"

@@ -1,0 +1,15 @@
+// Fixture: side-effecting RSM_DCHECK / RSM_TRACE_SPAN arguments and a
+// dynamic span name — each one a release-build behavior divergence.
+#include <string>
+#include <vector>
+
+#define RSM_DCHECK(expr) static_cast<void>(sizeof((expr) ? 1 : 0))
+#define RSM_TRACE_SPAN(name) static_cast<void>(name)
+
+void bad_macros(std::vector<int>& v, std::string& name) {
+  int i = 0;
+  RSM_DCHECK(++i < 10);             // increment
+  RSM_DCHECK(i = 3);                // assignment
+  RSM_DCHECK(v.push_back(1), true); // mutating call
+  RSM_TRACE_SPAN(name.c_str());     // dynamic span name
+}

@@ -1,0 +1,8 @@
+// Fixture: nondeterministic RNG sources outside the seeded factories.
+#include <cstdlib>
+#include <random>
+
+unsigned bad_rng() {
+  std::random_device rd;        // unseeded-rng
+  return rd() + static_cast<unsigned>(rand());  // unseeded-rng
+}

@@ -1,0 +1,7 @@
+// Fixture: throws that bypass the rsm error taxonomy.
+#include <stdexcept>
+
+void bad_throw(bool which) {
+  if (which) throw std::runtime_error("outside the taxonomy");
+  throw 42;
+}

@@ -1,0 +1,14 @@
+// Fixture: the switch is missing ErrorCode::kGhostCode.
+#include "util/errors.hpp"
+
+namespace rsm {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kSingularMatrix: return "singular-matrix";
+  }
+  return "?";
+}
+
+}  // namespace rsm

@@ -1,0 +1,16 @@
+// Fixture: ErrorCode taxonomy with three deliberate coverage bugs —
+// kGhostCode has no error_code_name() case, kNumErrorCodes is stale, and
+// "ghost-code" is absent from the report schema's ERROR_CODE_NAMES.
+#pragma once
+
+namespace rsm {
+
+enum class ErrorCode {
+  kOk = 0,
+  kSingularMatrix,
+  kGhostCode,
+};
+
+inline constexpr int kNumErrorCodes = 2;
+
+}  // namespace rsm

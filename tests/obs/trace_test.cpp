@@ -152,7 +152,8 @@ TEST_F(TraceTest, TwoExitedThreadsAccumulateCounts) {
     });
     worker.join();
   }
-  const SpanStats* node = trace_snapshot().child("pooled.op");
+  const SpanStats root = trace_snapshot();
+  const SpanStats* node = root.child("pooled.op");
   ASSERT_NE(node, nullptr);
   EXPECT_EQ(node->count, 6u);
 }

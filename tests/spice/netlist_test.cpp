@@ -45,7 +45,7 @@ TEST(Netlist, BranchIndices) {
   EXPECT_EQ(n.vsource_branch_index(0), 1);
   EXPECT_EQ(n.vsource_branch_index(1), 2);
   EXPECT_EQ(n.vcvs_branch_index(0), 3);
-  EXPECT_THROW(n.vsource_branch_index(2), Error);
+  EXPECT_THROW(static_cast<void>(n.vsource_branch_index(2)), Error);
 }
 
 TEST(Netlist, ElementHandlesAllowMutation) {

@@ -1,6 +1,7 @@
 // Analog building-block sanity on the MNA engine: topologies with known
 // small-signal answers, checked against the simulator's DC + AC results.
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -21,15 +22,10 @@ MosfetParams nmos(Real w, Real l) {
   return p;
 }
 
-MosfetParams pmos(Real w, Real l) {
-  MosfetParams p;
-  p.type = MosType::kPmos;
-  p.vt0 = 0.45;
-  p.kp = 80e-6;
-  p.lambda = 0.15;
-  p.w = w;
-  p.l = l;
-  return p;
+std::string ladder_node(int i) {
+  std::string name("n");
+  name += std::to_string(i);
+  return name;
 }
 
 TEST(Topologies, SourceFollowerGainJustBelowUnity) {
@@ -152,14 +148,14 @@ TEST(Topologies, RcLadderDcIsLossless) {
   NodeId prev = n.node("in");
   n.add_vsource(prev, kGround, 0.8);
   for (int i = 0; i < 6; ++i) {
-    const NodeId next = n.node("n" + std::to_string(i));
+    const NodeId next = n.node(ladder_node(i));
     n.add_resistor(prev, next, 1e3);
     n.add_capacitor(next, kGround, 10e-15);
     prev = next;
   }
   const DcSolution sol = solve_dc(n);
   for (int i = 0; i < 6; ++i)
-    EXPECT_NEAR(sol.voltage(n.node("n" + std::to_string(i))), 0.8, 1e-4);
+    EXPECT_NEAR(sol.voltage(n.node(ladder_node(i))), 0.8, 1e-4);
 }
 
 TEST(Topologies, RcLadderRollsOffMonotonically) {
@@ -168,7 +164,7 @@ TEST(Topologies, RcLadderRollsOffMonotonically) {
   n.add_vsource(prev, kGround, 0.0, 1.0);
   NodeId last = prev;
   for (int i = 0; i < 4; ++i) {
-    const NodeId next = n.node("n" + std::to_string(i));
+    const NodeId next = n.node(ladder_node(i));
     n.add_resistor(prev, next, 1e3);
     n.add_capacitor(next, kGround, 1e-12);
     prev = last = next;

@@ -64,7 +64,7 @@ TEST(Cli, FlagWithValueThrows) {
 TEST(Cli, NonIntegerThrows) {
   CliArgs args = standard_args();
   parse(args, {"--samples", "abc"});
-  EXPECT_THROW(args.get_int("samples"), Error);
+  EXPECT_THROW(static_cast<void>(args.get_int("samples")), Error);
 }
 
 TEST(Cli, HelpRequested) {
@@ -86,7 +86,7 @@ TEST(Cli, DuplicateDeclarationThrows) {
 TEST(Cli, UndeclaredGetThrows) {
   CliArgs args = standard_args();
   parse(args, {});
-  EXPECT_THROW(args.get("nope"), Error);
+  EXPECT_THROW(static_cast<void>(args.get("nope")), Error);
 }
 
 }  // namespace
