@@ -15,10 +15,12 @@
 // crash leaves) and continues from the first unevaluated row — the resumed
 // run is bit-identical to an uninterrupted one. This is the binary CI's
 // kill-and-resume smoke job drives.
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <span>
 #include <string>
+#include <thread>
 
 #include "basis/dictionary.hpp"
 #include "circuits/opamp.hpp"
@@ -56,6 +58,11 @@ int main(int argc, char** argv) {
   args.add_option("slow-ms", "0",
                   "artificial per-sample cost in milliseconds (lets the CI "
                   "smoke job kill the run mid-campaign deterministically)");
+  args.add_option("threads", "0",
+                  "campaign worker threads; 0 consults RSM_THREADS and "
+                  "defaults to serial. A parallel run checkpoints into "
+                  "per-worker shards that --resume merges, so the killed "
+                  "run may be resumed with any thread count");
   try {
     args.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -87,11 +94,16 @@ int main(int argc, char** argv) {
   const SampleEvaluator evaluate = [&](std::span<const Real> dy,
                                        int escalation) {
     if (slow_ms > 0) {
-      // Cooperative stall: burn wall-clock but honor cancellation and
-      // deadlines at the same cadence the instrumented solvers do.
+      // Cooperative stall: sleep in short chunks (not a spin) so parallel
+      // workers overlap their waits on any core count, while honoring
+      // cancellation and deadlines at the same cadence the instrumented
+      // solvers do.
       const Deadline nap = Deadline::after_seconds(
           static_cast<double>(slow_ms) / 1000.0);
-      while (!nap.expired()) check_cooperative_stop("example.slow");
+      while (!nap.expired()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        check_cooperative_stop("example.slow");
+      }
     }
     const spice::DcOptions dc = spice::escalated(base_dc, escalation);
     return static_cast<Real>(workload.evaluate(dy, dc).offset_v);
@@ -106,6 +118,7 @@ int main(int argc, char** argv) {
   options.checkpoint.path = args.get("checkpoint");
   options.checkpoint.flush_every =
       static_cast<int>(args.get_int("flush-every"));
+  options.num_workers = static_cast<int>(args.get_int("threads"));
   const double fault_rate = args.get_double("fault-rate");
   if (fault_rate > 0) {
     options.fault_injector = FaultInjector(

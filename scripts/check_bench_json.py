@@ -16,7 +16,11 @@ Checks (stdlib only, exit status 0 = all files valid):
     "failed_attempts_by_code", wherever it sits under results) is
     internally consistent: durability fields present and typed, error
     histogram covers the full taxonomy (including "deadline-exceeded" and
-    "io-error"), quarantine reasons bounded to 256 bytes, counts add up.
+    "io-error"), quarantine reasons bounded to 256 bytes, counts add up;
+  * the parallel-executor "execution" object (when present): workers >= 1,
+    scheduling counters non-negative, and workers_quarantined < workers
+    (the pool never retires its last worker); likewise the optional
+    checkpoint shard-merge counters.
 
 Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
 """
@@ -231,6 +235,27 @@ def check_campaign_report(doc_path, where, report):
             bad(f"checkpoint.{key} must be a non-negative integer")
     if not isinstance(checkpoint.get("failed"), bool):
         bad("checkpoint.failed must be a boolean")
+    # Shard-merge counters (emitted since the parallel executor landed);
+    # optional so pre-shard reports stay valid.
+    for key in ("shards_merged", "shards_recovered", "shard_duplicate_rows"):
+        if key in checkpoint and (not isinstance(checkpoint[key], int)
+                                  or checkpoint[key] < 0):
+            bad(f"checkpoint.{key} must be a non-negative integer")
+
+    execution = report.get("execution")
+    if execution is not None:
+        if not isinstance(execution, dict):
+            bad("'execution' must be an object")
+        if not isinstance(execution.get("workers"), int) or \
+                execution["workers"] < 1:
+            bad("execution.workers must be an integer >= 1")
+        for key in ("workers_quarantined", "worker_infra_failures",
+                    "tasks_stolen"):
+            if not isinstance(execution.get(key), int) or execution[key] < 0:
+                bad(f"execution.{key} must be a non-negative integer")
+        if execution["workers_quarantined"] >= execution["workers"]:
+            bad("execution.workers_quarantined must leave at least one "
+                "active worker (the pool never retires the last one)")
 
     histogram = report.get("failed_attempts_by_code")
     if not isinstance(histogram, dict):

@@ -31,6 +31,12 @@ linter enforces them mechanically (stdlib only, no libclang):
   span-name-literal     RSM_TRACE_SPAN takes a string literal: the span
                         tree stores the char* and compares by pointer, so
                         a dynamic name is a lifetime bug (trace.hpp).
+  no-raw-thread         no std::thread/std::jthread/std::async outside
+                        src/util/ — all parallelism goes through
+                        rsm::ThreadPool so worker retirement, exception
+                        backstops, queue draining, and cooperative
+                        shutdown hold everywhere (std::this_thread is
+                        fine: sleeping/yielding is not spawning).
 
 Usage:
   rsm_lint.py                          # lint the whole tree, exit 0/1
@@ -327,6 +333,30 @@ def rule_span_name_literal(files, _root):
     return findings
 
 
+# `\s*` around :: keeps `std :: thread` honest; `std::this_thread` cannot
+# match because the token after :: must be thread/jthread/async itself.
+RAW_THREAD_RE = re.compile(r"\bstd\s*::\s*(thread|jthread|async)\b")
+THREAD_HOME_PREFIX = "src/util/"
+
+
+def rule_no_raw_thread(files, _root):
+    findings = []
+    for f in files:
+        if not f.rel.startswith("src/") or \
+                f.rel.startswith(THREAD_HOME_PREFIX):
+            continue
+        for i, line in enumerate(f.code_lines, 1):
+            m = RAW_THREAD_RE.search(line)
+            if m and not f.allowed(i, "no-raw-thread"):
+                findings.append(Finding(
+                    "no-raw-thread", f.rel, i,
+                    f"raw std::{m.group(1)} outside src/util/; route "
+                    f"parallelism through rsm::ThreadPool "
+                    f"(util/thread_pool.hpp) so retirement, exception "
+                    f"backstops, and cooperative shutdown apply"))
+    return findings
+
+
 PRAGMA_ONCE_RE = re.compile(r"^#\s*pragma\s+once", re.MULTILINE)
 
 
@@ -408,6 +438,7 @@ RULES = {
     "header-hygiene": rule_header_hygiene,
     "banned-functions": rule_banned_functions,
     "span-name-literal": rule_span_name_literal,
+    "no-raw-thread": rule_no_raw_thread,
 }
 
 

@@ -1,13 +1,19 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <functional>
+#include <memory>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rsm {
 namespace {
@@ -18,6 +24,9 @@ std::string bounded_reason(std::string reason) {
   return reason;
 }
 
+/// num_workers and worker_faults are deliberately excluded: neither changes
+/// any row's outcome, so a crashed 8-worker run may resume serially (and
+/// vice versa) without tripping the config-hash check.
 io::CheckpointHeader make_header(const Matrix& samples,
                                  const CampaignOptions& options) {
   io::CheckpointHeader header;
@@ -28,99 +37,186 @@ io::CheckpointHeader make_header(const Matrix& samples,
   return header;
 }
 
-/// Replays durable checkpoint rows into the report/survivor state, exactly
-/// as the original run recorded them.
-void replay_records(const std::vector<io::CheckpointRecord>& records,
-                    CampaignReport& report, std::vector<Real>& values,
-                    std::vector<Index>& survivors) {
-  for (const io::CheckpointRecord& record : records) {
-    ++report.attempted;
-    report.total_retries += record.attempts - 1;
-    if (record.type == io::CheckpointRecord::Type::kSample) {
-      ++report.succeeded;
-      if (record.attempts > 1) ++report.recovered;
-      values.push_back(record.value);
-      survivors.push_back(record.sample);
-    } else {
-      // The per-attempt codes of the original failed attempts are not
-      // logged; attribute all of them to the final classification.
-      report.error_histogram[static_cast<std::size_t>(record.code)] +=
-          record.attempts;
-      report.quarantined.push_back(
-          {record.sample, record.code, record.reason});
+/// Everything one row's evaluation (or its checkpoint replay) produced.
+/// Rows land in a per-row slot in whatever order workers finish them; the
+/// fold below runs in row order, which is what makes the report independent
+/// of scheduling.
+struct RowOutcome {
+  bool done = false;       // slot filled: the row at least started evaluating
+  bool evaluated = false;  // reached a verdict (success or quarantine)
+  bool replayed = false;   // came from a checkpoint, not a fresh evaluation
+  bool ok = false;
+  int attempts = 0;
+  int retries = 0;  // retries charged to the report (an interrupt un-charges)
+  Real value = 0;
+  ErrorCode code = ErrorCode::kUnclassified;
+  std::string reason;
+  std::vector<ErrorCode> failed_codes;  // failed attempts, in attempt order
+};
+
+RowOutcome outcome_from_record(const io::CheckpointRecord& record) {
+  RowOutcome out;
+  out.done = true;
+  out.evaluated = true;
+  out.replayed = true;
+  out.ok = record.type == io::CheckpointRecord::Type::kSample;
+  out.attempts = record.attempts;
+  out.retries = record.attempts - 1;
+  out.value = record.value;
+  out.code = record.code;
+  out.reason = record.reason;
+  out.failed_codes = record.failed_codes;
+  return out;
+}
+
+io::CheckpointRecord record_from_outcome(Index k, const RowOutcome& out) {
+  io::CheckpointRecord record;
+  record.type = out.ok ? io::CheckpointRecord::Type::kSample
+                       : io::CheckpointRecord::Type::kQuarantine;
+  record.sample = k;
+  record.attempts = out.attempts;
+  record.value = out.value;
+  record.code = out.code;
+  record.reason = out.reason;
+  record.failed_codes = out.failed_codes;
+  return record;
+}
+
+/// One row's full retry/escalation ladder. A pure function of the row index
+/// — fault injection, escalation, and classification never see worker
+/// identity — so serial and parallel runs produce identical outcomes.
+RowOutcome evaluate_row(const Matrix& samples, Index k,
+                        const SampleEvaluator& evaluate,
+                        const CampaignOptions& options,
+                        const Deadline& global_deadline) {
+  RSM_TRACE_SPAN("campaign.row");
+  RowOutcome out;
+  out.done = true;
+  auto globally_stopped = [&] {
+    return options.cancel.cancelled() || global_deadline.expired();
+  };
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    if (attempt > 0) ++out.retries;
+    out.attempts = attempt + 1;
+    // Each attempt runs under its own watchdog; the effective deadline is
+    // the sooner of the watchdog and the global budget, and cooperative
+    // check sites (DC Newton, transient stepper, greedy solver loops)
+    // observe it ambiently without evaluator plumbing.
+    const Deadline attempt_deadline = Deadline::sooner(
+        options.sample_deadline_seconds > 0
+            ? Deadline::after_seconds(options.sample_deadline_seconds)
+            : Deadline::unlimited(),
+        global_deadline);
+    ScopedRunControl scope({options.cancel, attempt_deadline});
+    try {
+      options.fault_injector.throw_if_faulted(k, attempt);
+      out.value = evaluate(samples.row(k), attempt);
+      if (!std::isfinite(out.value)) {
+        throw NumericalDomainError("evaluator returned a non-finite value",
+                                   "campaign", k);
+      }
+      out.ok = true;
+      break;
+    } catch (const std::exception& e) {
+      out.code = classify_error(e);
+      out.reason = e.what();
+      if (globally_stopped()) {
+        // The stop was the campaign's, not the sample's: leave the row
+        // unevaluated (a resume will redo it) and un-charge the attempt.
+        if (attempt > 0) --out.retries;
+        return out;
+      }
+      out.failed_codes.push_back(out.code);
+      if (out.code == ErrorCode::kDeadlineExceeded) {
+        obs::metrics().counter("campaign.deadline_trips").increment();
+      }
+      RSM_DEBUG("campaign: sample " << k << " attempt " << attempt
+                                    << " failed: " << e.what());
     }
   }
-  report.resumed_samples = static_cast<Index>(records.size());
+  out.evaluated = true;
+  if (!out.ok) {
+    out.reason = bounded_reason(std::move(out.reason));
+    RSM_WARN("campaign: quarantining sample "
+             << k << " after " << options.max_attempts << " attempts ["
+             << error_code_name(out.code) << "]");
+  }
+  return out;
+}
+
+/// Accumulates one finished slot into the report — always called in row
+/// order from a single thread. Interrupted rows contribute only their
+/// partial attempt accounting (exactly as the serial engine always did);
+/// replayed rows count fully but re-emit no telemetry.
+void fold_outcome(Index k, const RowOutcome& out, CampaignReport& report,
+                  std::vector<Real>& values, std::vector<Index>& survivors) {
+  report.total_retries += out.retries;
+  for (const ErrorCode code : out.failed_codes)
+    ++report.error_histogram[static_cast<std::size_t>(code)];
+  if (!out.evaluated) return;
+  ++report.attempted;
+  if (out.ok) {
+    ++report.succeeded;
+    if (out.attempts > 1) ++report.recovered;
+    values.push_back(out.value);
+    survivors.push_back(k);
+  } else {
+    report.quarantined.push_back({k, out.code, out.reason});
+  }
+  if (!out.replayed && obs::telemetry_enabled()) {
+    obs::emit(obs::CampaignSampleEvent{.sample = k,
+                                       .attempts = out.attempts,
+                                       .succeeded = out.ok,
+                                       .recovered = out.ok && out.attempts > 1,
+                                       .code = out.ok ? ErrorCode::kOk
+                                                      : out.code});
+  }
 }
 
 /// The shared engine behind run_campaign (resumed == nullptr) and
-/// resume_campaign (resumed == the loaded, verified checkpoint).
+/// resume_campaign (resumed == the loaded, verified checkpoint). Dispatches
+/// to the historical serial streaming path or the sharded parallel executor
+/// depending on the resolved worker count; both paths fill the same
+/// outcome-slot array, so everything from the fold down is common.
 CampaignResult run_rows(const Matrix& samples, const SampleEvaluator& evaluate,
                         const CampaignOptions& options,
-                        const io::CheckpointData* resumed) {
+                        const io::CheckpointData* resumed,
+                        const io::ShardMergeOutcome* merge) {
   RSM_TRACE_SPAN("campaign.run");
   RSM_CHECK_MSG(samples.rows() > 0, "campaign needs at least one sample");
   RSM_CHECK_MSG(options.max_attempts >= 1,
                 "campaign needs a positive attempt budget");
+  RSM_CHECK_MSG(options.worker_quarantine_threshold >= 1,
+                "worker quarantine threshold must be positive");
   RSM_CHECK(static_cast<bool>(evaluate));
 
   const Index num_samples = samples.rows();
+  const int workers = resolve_num_workers(options.num_workers, 1);
   CampaignResult result;
   CampaignReport& report = result.report;
   report.min_success_fraction = options.min_success_fraction;
+  report.workers = workers;
+  if (merge != nullptr) {
+    report.shards_merged = merge->shards_merged;
+    report.shards_recovered = merge->torn_tails + merge->corrupt_salvaged;
+    report.shard_duplicate_rows = merge->duplicate_rows;
+  }
 
-  std::vector<Real> values;
-  std::vector<Index> survivors;
-  values.reserve(static_cast<std::size_t>(num_samples));
-  survivors.reserve(static_cast<std::size_t>(num_samples));
-
-  Index start_row = 0;
+  std::vector<RowOutcome> outcomes(static_cast<std::size_t>(num_samples));
   if (resumed != nullptr) {
-    replay_records(resumed->records, report, values, survivors);
-    start_row = static_cast<Index>(resumed->records.size());
+    for (const io::CheckpointRecord& record : resumed->records)
+      outcomes[static_cast<std::size_t>(record.sample)] =
+          outcome_from_record(record);
+    report.resumed_samples = static_cast<Index>(resumed->records.size());
     obs::metrics().counter("campaign.samples.resumed")
         .increment(report.resumed_samples);
   }
+  std::vector<Index> pending;
+  pending.reserve(static_cast<std::size_t>(num_samples));
+  for (Index k = 0; k < num_samples; ++k)
+    if (!outcomes[static_cast<std::size_t>(k)].done) pending.push_back(k);
 
-  // Durable log. Construction rewrites the file atomically (fresh runs get
-  // an empty log, resumes a clean base without the torn tail); a failure
-  // here — or an append failure the writer cannot self-heal — records an
-  // I/O error and the campaign continues without durability.
-  std::unique_ptr<io::CheckpointWriter> writer;
-  auto sync_checkpoint_counters = [&] {
-    if (writer == nullptr) return;
-    report.checkpoint_records = writer->records_appended();
-    report.checkpoint_flushes = writer->flushes();
-    report.checkpoint_rewrites = writer->rewrites();
-  };
-  auto on_checkpoint_failure = [&](const IoError& e) {
-    RSM_WARN("campaign: checkpointing disabled after I/O failure: "
-             << e.what());
-    ++report.error_histogram[static_cast<std::size_t>(ErrorCode::kIoError)];
-    report.checkpoint_failed = true;
-    sync_checkpoint_counters();
-    writer.reset();
-    obs::metrics().counter("campaign.checkpoint.failures").increment();
-  };
-  if (options.checkpoint.enabled()) {
-    try {
-      writer = std::make_unique<io::CheckpointWriter>(
-          options.checkpoint, make_header(samples, options),
-          resumed != nullptr ? resumed->records
-                             : std::vector<io::CheckpointRecord>{});
-    } catch (const IoError& e) {
-      on_checkpoint_failure(e);
-    }
-  }
-  auto checkpoint_append = [&](const io::CheckpointRecord& record) {
-    if (writer == nullptr) return;
-    try {
-      writer->append(record);
-    } catch (const IoError& e) {
-      on_checkpoint_failure(e);
-    }
-  };
-
+  const io::CheckpointHeader header = make_header(samples, options);
   const Deadline global_deadline =
       options.time_budget_seconds > 0
           ? Deadline::after_seconds(options.time_budget_seconds)
@@ -129,108 +225,247 @@ CampaignResult run_rows(const Matrix& samples, const SampleEvaluator& evaluate,
     return options.cancel.cancelled() || global_deadline.expired();
   };
 
-  for (Index k = start_row; k < num_samples; ++k) {
-    if (globally_stopped()) {
-      report.truncated = true;
-      break;
-    }
-    ErrorCode last_code = ErrorCode::kUnclassified;
-    std::string last_reason;
-    bool ok = false;
-    bool interrupted = false;
-    int attempts_used = 0;
-    Real value = 0;
-    for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
-      if (attempt > 0) ++report.total_retries;
-      attempts_used = attempt + 1;
-      // Each attempt runs under its own watchdog; the effective deadline is
-      // the sooner of the watchdog and the global budget, and cooperative
-      // check sites (DC Newton, transient stepper, greedy solver loops)
-      // observe it ambiently without evaluator plumbing.
-      const Deadline attempt_deadline = Deadline::sooner(
-          options.sample_deadline_seconds > 0
-              ? Deadline::after_seconds(options.sample_deadline_seconds)
-              : Deadline::unlimited(),
-          global_deadline);
-      ScopedRunControl scope({options.cancel, attempt_deadline});
+  if (workers <= 1 || pending.empty()) {
+    // Serial streaming path: one log, one durable append the moment each
+    // row finishes — unchanged from the original engine. Construction
+    // rewrites the file atomically (fresh runs get an empty log, resumes a
+    // clean row-sorted base without the torn tail); a failure here — or an
+    // append failure the writer cannot self-heal — records an I/O error and
+    // the campaign continues without durability.
+    std::unique_ptr<io::CheckpointWriter> writer;
+    auto sync_checkpoint_counters = [&] {
+      if (writer == nullptr) return;
+      report.checkpoint_records = writer->records_appended();
+      report.checkpoint_flushes = writer->flushes();
+      report.checkpoint_rewrites = writer->rewrites();
+    };
+    auto on_checkpoint_failure = [&](const IoError& e) {
+      RSM_WARN("campaign: checkpointing disabled after I/O failure: "
+               << e.what());
+      ++report.error_histogram[static_cast<std::size_t>(ErrorCode::kIoError)];
+      report.checkpoint_failed = true;
+      sync_checkpoint_counters();
+      writer.reset();
+      obs::metrics().counter("campaign.checkpoint.failures").increment();
+    };
+    if (options.checkpoint.enabled()) {
       try {
-        options.fault_injector.throw_if_faulted(k, attempt);
-        value = evaluate(samples.row(k), attempt);
-        if (!std::isfinite(value)) {
-          throw NumericalDomainError("evaluator returned a non-finite value",
-                                     "campaign", k);
-        }
-        ok = true;
-        break;
-      } catch (const std::exception& e) {
-        last_code = classify_error(e);
-        last_reason = e.what();
-        if (globally_stopped()) {
-          // The stop was the campaign's, not the sample's: leave the row
-          // unevaluated (a resume will redo it) instead of quarantining.
-          if (attempt > 0) --report.total_retries;
-          interrupted = true;
-          break;
-        }
-        ++report.error_histogram[static_cast<std::size_t>(last_code)];
-        if (last_code == ErrorCode::kDeadlineExceeded) {
-          obs::metrics().counter("campaign.deadline_trips").increment();
-        }
-        RSM_DEBUG("campaign: sample " << k << " attempt " << attempt
-                                      << " failed: " << e.what());
+        writer = std::make_unique<io::CheckpointWriter>(
+            options.checkpoint, header,
+            resumed != nullptr ? resumed->records
+                               : std::vector<io::CheckpointRecord>{});
+        // The base just became the single source of truth; shards a
+        // previous (crashed parallel) run left behind are now redundant.
+        io::remove_shard_files(options.checkpoint.path);
+      } catch (const IoError& e) {
+        on_checkpoint_failure(e);
       }
     }
-    if (interrupted) {
-      report.truncated = true;
-      break;
+    for (const Index k : pending) {
+      if (globally_stopped()) break;
+      RowOutcome out =
+          evaluate_row(samples, k, evaluate, options, global_deadline);
+      const bool interrupted = !out.evaluated;
+      if (out.evaluated && writer != nullptr) {
+        try {
+          writer->append(record_from_outcome(k, out));
+        } catch (const IoError& e) {
+          on_checkpoint_failure(e);
+        }
+      }
+      outcomes[static_cast<std::size_t>(k)] = std::move(out);
+      if (interrupted) break;
     }
-    ++report.attempted;
-    if (ok) {
-      ++report.succeeded;
-      if (attempts_used > 1) ++report.recovered;
-      values.push_back(value);
-      survivors.push_back(k);
-      io::CheckpointRecord record;
-      record.type = io::CheckpointRecord::Type::kSample;
-      record.sample = k;
-      record.attempts = attempts_used;
-      record.value = value;
-      checkpoint_append(record);
-    } else {
-      RSM_WARN("campaign: quarantining sample "
-               << k << " after " << options.max_attempts << " attempts ["
-               << error_code_name(last_code) << "]");
-      last_reason = bounded_reason(std::move(last_reason));
-      report.quarantined.push_back({k, last_code, last_reason});
-      io::CheckpointRecord record;
-      record.type = io::CheckpointRecord::Type::kQuarantine;
-      record.sample = k;
-      record.attempts = attempts_used;
-      record.code = last_code;
-      record.reason = std::move(last_reason);
-      checkpoint_append(record);
+    // Graceful shutdown: everything evaluated so far becomes durable now,
+    // whatever the flush cadence was.
+    if (writer != nullptr) {
+      try {
+        writer->flush();
+      } catch (const IoError& e) {
+        on_checkpoint_failure(e);
+      }
     }
-    if (obs::telemetry_enabled()) {
-      obs::emit(obs::CampaignSampleEvent{
-          .sample = k,
-          .attempts = attempts_used,
-          .succeeded = ok,
-          .recovered = ok && attempts_used > 1,
-          .code = ok ? ErrorCode::kOk : last_code});
+    sync_checkpoint_counters();
+  } else {
+    // Sharded parallel executor: rows fan out across a work-stealing pool;
+    // worker k appends to its own checkpoint shard, and the shards are
+    // compacted back into the single row-sorted base on the way out. Only a
+    // hard kill leaves shards behind for load_sharded_checkpoint.
+    RSM_TRACE_SPAN("campaign.parallel");
+    std::atomic<bool> checkpoint_failed{false};
+    std::atomic<Index> checkpoint_io_errors{0};
+    auto record_checkpoint_failure = [&](const IoError& e, const char* what) {
+      RSM_WARN("campaign: " << what << ": " << e.what());
+      checkpoint_failed.store(true, std::memory_order_relaxed);
+      checkpoint_io_errors.fetch_add(1, std::memory_order_relaxed);
+      obs::metrics().counter("campaign.checkpoint.failures").increment();
+    };
+    const bool checkpointing = options.checkpoint.enabled();
+    if (checkpointing) {
+      try {
+        // Construction alone rewrites the base atomically (replayed records
+        // on resume, empty otherwise); the writer is discarded — workers
+        // append to their own shards, never to the base.
+        io::CheckpointWriter base(options.checkpoint, header,
+                                  resumed != nullptr
+                                      ? resumed->records
+                                      : std::vector<io::CheckpointRecord>{});
+        io::remove_shard_files(options.checkpoint.path);
+      } catch (const IoError& e) {
+        record_checkpoint_failure(e, "base checkpoint rewrite failed");
+      }
     }
+
+    // Per-worker lanes: each slot is touched only by the worker with that
+    // index (and by this thread again once the pool has joined).
+    struct Shard {
+      std::unique_ptr<io::CheckpointWriter> writer;
+      bool failed = false;  // this worker's durability is gone
+      Index rows = 0;       // rows this worker completed
+      Index infra_faults = 0;
+    };
+    std::vector<Shard> shards(static_cast<std::size_t>(workers));
+    std::vector<std::atomic<bool>> infra_fired(
+        static_cast<std::size_t>(num_samples));
+    std::atomic<int> workers_quarantined{0};
+    std::atomic<Index> infra_failures{0};
+    {
+      ThreadPool::Options pool_options;
+      pool_options.num_threads = workers;
+      // Sized so every submit — including a worker requeueing a faulted row
+      // from inside a task — finds queue space without blocking.
+      pool_options.queue_capacity =
+          2 * pending.size() / static_cast<std::size_t>(workers) + 16;
+      std::function<void(Index)> run_one;
+      ThreadPool pool(pool_options);
+      run_one = [&](Index k) {
+        if (globally_stopped()) return;  // slot stays empty -> truncated
+        const int w = pool.current_worker_index();
+        RSM_CHECK(w >= 0 && w < workers);
+        Shard& shard = shards[static_cast<std::size_t>(w)];
+        if (options.worker_faults.should_fault(k) &&
+            !infra_fired[static_cast<std::size_t>(k)].exchange(true)) {
+          // Infrastructure death, not a sample failure: charge the worker
+          // that happened to claim the row, requeue the row (its outcome is
+          // unaffected), and let the pool's exception backstop absorb the
+          // corpse. Workers that absorb too many are retired — never the
+          // last one, so the queue always drains.
+          infra_failures.fetch_add(1, std::memory_order_relaxed);
+          ++shard.infra_faults;
+          obs::metrics().counter("campaign.worker.infra_faults").increment();
+          if (shard.infra_faults >=
+                  static_cast<Index>(options.worker_quarantine_threshold) &&
+              pool.retire_current_worker()) {
+            workers_quarantined.fetch_add(1, std::memory_order_relaxed);
+            obs::metrics().counter("campaign.worker.quarantined").increment();
+            RSM_WARN("campaign: worker " << w << " retired after "
+                                         << shard.infra_faults
+                                         << " infrastructure fault(s)");
+          }
+          pool.submit([&run_one, k] { run_one(k); });
+          throw Error("injected worker infrastructure fault");
+        }
+        RowOutcome out =
+            evaluate_row(samples, k, evaluate, options, global_deadline);
+        if (out.evaluated && checkpointing && !shard.failed) {
+          try {
+            if (shard.writer == nullptr) {
+              io::CheckpointOptions shard_options = options.checkpoint;
+              shard_options.path = io::shard_path(options.checkpoint.path, w);
+              shard.writer = std::make_unique<io::CheckpointWriter>(
+                  shard_options, header);
+            }
+            shard.writer->append(record_from_outcome(k, out));
+          } catch (const IoError& e) {
+            // This worker's durability is gone; its rows stay in memory and
+            // still reach the base log at compaction.
+            shard.failed = true;
+            shard.writer.reset();
+            record_checkpoint_failure(e, "shard checkpoint append failed");
+          }
+        }
+        if (out.evaluated) ++shard.rows;
+        outcomes[static_cast<std::size_t>(k)] = std::move(out);
+        obs::metrics().gauge("campaign.pool.queue_depth")
+            .set(static_cast<double>(pool.queue_depth()));
+      };
+      for (const Index k : pending)
+        pool.submit([&run_one, k] { run_one(k); });
+      pool.wait_idle();
+      const ThreadPool::Stats pool_stats = pool.stats();
+      report.tasks_stolen = static_cast<Index>(pool_stats.stolen);
+      obs::metrics().counter("campaign.pool.steals")
+          .increment(static_cast<std::int64_t>(pool_stats.stolen));
+      obs::metrics().gauge("campaign.pool.queue_depth").set(0);
+    }  // joins the pool: every worker-side write is visible below
+
+    for (std::size_t w = 0; w < shards.size(); ++w) {
+      Shard& shard = shards[w];
+      obs::metrics()
+          .histogram("campaign.pool.rows_per_worker",
+                     {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+          .observe(static_cast<double>(shard.rows));
+      if (shard.writer == nullptr) continue;
+      try {
+        shard.writer->flush();
+      } catch (const IoError& e) {
+        shard.failed = true;
+        record_checkpoint_failure(e, "shard checkpoint flush failed");
+      }
+      report.checkpoint_records += shard.writer->records_appended();
+      report.checkpoint_flushes += shard.writer->flushes();
+      report.checkpoint_rewrites += shard.writer->rewrites();
+      shard.writer.reset();  // close before compaction deletes the shards
+    }
+
+    // Compact: the complete in-memory outcome set becomes the single
+    // row-sorted base log — byte-identical to a serial run's — and the
+    // shards disappear. This runs on success AND on graceful truncation;
+    // only a hard kill skips it.
+    if (checkpointing) {
+      std::vector<io::CheckpointRecord> records;
+      for (Index k = 0; k < num_samples; ++k) {
+        const RowOutcome& out = outcomes[static_cast<std::size_t>(k)];
+        if (out.done && out.evaluated)
+          records.push_back(record_from_outcome(k, out));
+      }
+      try {
+        io::CheckpointWriter base(options.checkpoint, header,
+                                  std::move(records));
+        io::remove_shard_files(options.checkpoint.path);
+        obs::metrics().counter("campaign.checkpoint.compactions").increment();
+      } catch (const IoError& e) {
+        record_checkpoint_failure(e,
+                                  "checkpoint compaction failed; shards kept");
+      }
+    }
+    report.workers_quarantined =
+        workers_quarantined.load(std::memory_order_relaxed);
+    report.worker_infra_failures =
+        infra_failures.load(std::memory_order_relaxed);
+    report.checkpoint_failed = checkpoint_failed.load(std::memory_order_relaxed);
+    report.error_histogram[static_cast<std::size_t>(ErrorCode::kIoError)] +=
+        checkpoint_io_errors.load(std::memory_order_relaxed);
   }
 
-  // Graceful shutdown: everything evaluated so far becomes durable now,
-  // whatever the flush cadence was.
-  if (writer != nullptr) {
-    try {
-      writer->flush();
-    } catch (const IoError& e) {
-      on_checkpoint_failure(e);
+  // Fold in row order: the report, survivors, and values come out identical
+  // for every execution order (serial, parallel, resumed).
+  std::vector<Real> values;
+  std::vector<Index> survivors;
+  values.reserve(static_cast<std::size_t>(num_samples));
+  survivors.reserve(static_cast<std::size_t>(num_samples));
+  bool all_evaluated = true;
+  for (Index k = 0; k < num_samples; ++k) {
+    const RowOutcome& out = outcomes[static_cast<std::size_t>(k)];
+    if (!out.done) {
+      all_evaluated = false;
+      continue;
     }
+    if (!out.evaluated) all_evaluated = false;
+    fold_outcome(k, out, report, values, survivors);
   }
-  sync_checkpoint_counters();
-  if (report.truncated) {
+  if (!all_evaluated) {
+    report.truncated = true;
     obs::metrics().counter("campaign.truncated_runs").increment();
     RSM_WARN("campaign: truncated after "
              << report.attempted << '/' << num_samples << " samples ("
@@ -285,6 +520,21 @@ std::string CampaignReport::summary() const {
   if (truncated) os << "\nrun TRUNCATED (time budget or cancellation)";
   if (resumed_samples > 0)
     os << "\nresumed " << resumed_samples << " samples from checkpoint";
+  if (workers > 1 || workers_quarantined > 0 || worker_infra_failures > 0) {
+    os << "\nexecution: " << workers << " workers";
+    if (tasks_stolen > 0) os << ", " << tasks_stolen << " tasks stolen";
+    if (worker_infra_failures > 0)
+      os << ", " << worker_infra_failures << " infra fault(s) absorbed";
+    if (workers_quarantined > 0)
+      os << ", " << workers_quarantined << " worker(s) retired";
+  }
+  if (shards_merged > 0) {
+    os << "\nshards: " << shards_merged << " merged";
+    if (shards_recovered > 0) os << ", " << shards_recovered << " recovered";
+    if (shard_duplicate_rows > 0)
+      os << ", " << shard_duplicate_rows
+         << " duplicate row(s), last write won";
+  }
   if (checkpoint_records > 0 || checkpoint_failed) {
     os << "\ncheckpoint: " << checkpoint_records << " records, "
        << checkpoint_flushes << " flushes, " << checkpoint_rewrites
@@ -325,7 +575,20 @@ obs::JsonValue CampaignReport::to_json() const {
   checkpoint.set("resumed_samples",
                  static_cast<std::int64_t>(resumed_samples));
   checkpoint.set("failed", checkpoint_failed);
+  checkpoint.set("shards_merged", static_cast<std::int64_t>(shards_merged));
+  checkpoint.set("shards_recovered",
+                 static_cast<std::int64_t>(shards_recovered));
+  checkpoint.set("shard_duplicate_rows",
+                 static_cast<std::int64_t>(shard_duplicate_rows));
   doc.set("checkpoint", std::move(checkpoint));
+  obs::JsonValue execution = obs::JsonValue::object();
+  execution.set("workers", static_cast<std::int64_t>(workers));
+  execution.set("workers_quarantined",
+                static_cast<std::int64_t>(workers_quarantined));
+  execution.set("worker_infra_failures",
+                static_cast<std::int64_t>(worker_infra_failures));
+  execution.set("tasks_stolen", static_cast<std::int64_t>(tasks_stolen));
+  doc.set("execution", std::move(execution));
   obs::JsonValue errors = obs::JsonValue::object();
   for (int c = 0; c < kNumErrorCodes; ++c) {
     errors.set(error_code_name(static_cast<ErrorCode>(c)),
@@ -348,7 +611,7 @@ obs::JsonValue CampaignReport::to_json() const {
 CampaignResult run_campaign(const Matrix& samples,
                             const SampleEvaluator& evaluate,
                             const CampaignOptions& options) {
-  return run_rows(samples, evaluate, options, nullptr);
+  return run_rows(samples, evaluate, options, nullptr, nullptr);
 }
 
 CampaignResult resume_campaign(const Matrix& samples,
@@ -357,10 +620,13 @@ CampaignResult resume_campaign(const Matrix& samples,
   RSM_CHECK_MSG(options.checkpoint.enabled(),
                 "resume_campaign needs CheckpointOptions.path");
   RSM_TRACE_SPAN("campaign.resume");
-  // The torn trailing record an interrupted append leaves behind is the
-  // expected crash artifact; anything else invalid is a hard reject.
+  // Merge the base log with any shards a crashed parallel run left behind.
+  // Torn trailing records are the expected crash artifact everywhere;
+  // mid-stream damage is salvaged in shards and fatal in the base (which is
+  // only ever written atomically).
+  io::ShardMergeOutcome merge;
   const io::CheckpointData data =
-      io::load_checkpoint(options.checkpoint.path, io::LoadMode::kRecoverTail);
+      io::load_sharded_checkpoint(options.checkpoint.path, &merge);
 
   const io::CheckpointHeader expected = make_header(samples, options);
   if (data.header.sample_matrix_hash != expected.sample_matrix_hash ||
@@ -383,20 +649,13 @@ CampaignResult resume_campaign(const Matrix& samples,
                       "' holds more records than the campaign has rows",
                   "checkpoint");
   }
-  // run_campaign writes exactly one record per row, in row order; anything
-  // else means the log was tampered with or mixed between runs.
-  for (std::size_t r = 0; r < data.records.size(); ++r) {
-    if (data.records[r].sample != static_cast<Index>(r)) {
-      throw IoError("checkpoint '" + options.checkpoint.path +
-                        "' records are not in row order; refusing to resume",
-                    "checkpoint");
-    }
-  }
   RSM_INFO("campaign: resuming from checkpoint '"
            << options.checkpoint.path << "' with " << data.records.size()
-           << " durable rows" << (data.truncated_tail ? " (torn tail dropped)"
-                                                      : ""));
-  return run_rows(samples, evaluate, options, &data);
+           << " durable rows (" << merge.shards_merged << " shard(s) merged"
+           << (data.truncated_tail ? ", torn tail dropped" : "")
+           << (data.salvaged_corruption ? ", corruption salvaged" : "")
+           << ')');
+  return run_rows(samples, evaluate, options, &data, &merge);
 }
 
 BuildReport fit_campaign(const CampaignResult& result,

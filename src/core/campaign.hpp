@@ -40,6 +40,23 @@
 //     the failure is recorded (kIoError + checkpoint_failed) and the run
 //     continues without durability.
 //
+// With num_workers > 1 (or RSM_THREADS set) the rows fan out across a
+// work-stealing ThreadPool (util/thread_pool.hpp) while every contract
+// above holds. Each row's retry ladder is a pure function of the row index
+// — fault injection, escalation, and classification never depend on worker
+// identity or interleaving — and results land in per-row outcome slots
+// that are folded in row order afterwards, so the report, survivors, and
+// values are bit-identical for any worker count. Durability shards: worker
+// k appends to `<checkpoint>.shard<k>.log`, and on completion (or graceful
+// truncation) the shards are compacted back into the single row-sorted
+// base log — byte-identical to what a serial run writes. A SIGKILL leaves
+// base + shards behind; resume_campaign merges them (salvaging damaged
+// shards per io/checkpoint.hpp) and re-evaluates only the lost rows.
+// Worker-level infrastructure faults (WorkerFaultInjector) requeue the
+// row, are charged to the executing worker, and retire workers that absorb
+// too many — the pool degrades gracefully to fewer workers, never past the
+// last one.
+//
 // A deterministic FaultInjector (util/fault_injection.hpp) can be planted
 // in the options to force singular solves / Newton stalls at hash-chosen
 // sample indices — and an FsFaultInjector under the checkpoint writers —
@@ -96,6 +113,23 @@ struct CampaignOptions {
   /// Global campaign time budget [s]; 0 disables. On expiry the campaign
   /// flushes its checkpoint and returns best-so-far, report.truncated set.
   double time_budget_seconds = 0;
+
+  /// Worker count for the parallel executor. >= 1 is taken literally; 0
+  /// consults the RSM_THREADS environment variable and defaults to 1
+  /// (serial) when unset. Results are bit-identical for any value; the
+  /// count is therefore excluded from the checkpoint config hash, so a
+  /// crashed 8-worker run may be resumed serially and vice versa.
+  int num_workers = 0;
+
+  /// Worker-level infrastructure fault injection (parallel executor only;
+  /// default-constructed = disabled). Also excluded from the config hash:
+  /// infrastructure faults never change row outcomes.
+  WorkerFaultInjector worker_faults;
+
+  /// A worker that absorbs this many injected infrastructure faults is
+  /// retired (graceful degradation); the pool never retires its last
+  /// active worker.
+  int worker_quarantine_threshold = 1;
 };
 
 /// Longest quarantine reason retained in reports and checkpoints, so a
@@ -146,6 +180,19 @@ struct CampaignReport {
   /// already-durable records were preserved, later rows are not logged.
   bool checkpoint_failed = false;
 
+  /// Execution-side accounting (never part of the scientific result — the
+  /// byte-identical-resume contract covers every field above this block;
+  /// these describe how the work was scheduled, not what it computed).
+  int workers = 1;                  // resolved worker count this run
+  int workers_quarantined = 0;      // retired after infrastructure faults
+  Index worker_infra_failures = 0;  // injected worker faults absorbed
+  Index tasks_stolen = 0;           // pool work-stealing events
+
+  /// Shard-merge accounting from resume (zero on fresh runs).
+  int shards_merged = 0;        // shard files whose records were absorbed
+  int shards_recovered = 0;     // torn tails cut + mid-stream salvages
+  Index shard_duplicate_rows = 0;  // duplicate row records; last write won
+
   [[nodiscard]] Real success_fraction() const;
   [[nodiscard]] Index error_count(ErrorCode code) const;
   [[nodiscard]] bool fit_allowed() const;
@@ -177,12 +224,14 @@ struct CampaignResult {
                                           const SampleEvaluator& evaluate,
                                           const CampaignOptions& options = {});
 
-/// Resumes an interrupted campaign from options.checkpoint.path: loads the
-/// log (tolerating a torn trailing record — the expected crash artifact),
-/// verifies the sample-matrix and configuration fingerprints, rewrites the
-/// log to a clean base, replays the durable rows, and continues from the
-/// first unevaluated one. Throws IoError when the checkpoint is missing,
-/// corrupt (bad CRC / version / magic), or belongs to a different campaign.
+/// Resumes an interrupted campaign from options.checkpoint.path: merges the
+/// base log and any checkpoint shards a crashed (possibly parallel) run
+/// left behind (tolerating torn trailing records and salvaging damaged
+/// shards), verifies the sample-matrix and configuration fingerprints,
+/// rewrites the log to a clean row-sorted base, replays the durable rows,
+/// and evaluates only the missing ones. Throws IoError when no usable
+/// checkpoint exists, the base log is corrupt, or the checkpoint belongs to
+/// a different campaign.
 [[nodiscard]] CampaignResult resume_campaign(const Matrix& samples,
                                              const SampleEvaluator& evaluate,
                                              const CampaignOptions& options);

@@ -1,7 +1,13 @@
 #include "io/checkpoint.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cstring>
+#include <filesystem>
+#include <map>
 #include <sstream>
+#include <string_view>
+#include <utility>
 
 #include "io/atomic_file.hpp"
 #include "io/crc32.hpp"
@@ -77,9 +83,11 @@ constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8 + 8 + 4;
 // record framing = type(1) + payload_len(4) + payload + crc(4)
 constexpr std::size_t kRecordOverhead = 1 + 4 + 4;
 
-/// Largest legal payload: a quarantine record with a maximal reason. Caps
-/// what a corrupt length field can make the loader trust.
-constexpr std::size_t kMaxPayload = 8 + 4 + 4 + 4 + kMaxReasonLength;
+/// Largest legal payload: a quarantine record with a maximal failed-code
+/// list and a maximal reason. Caps what a corrupt length field can make the
+/// loader trust.
+constexpr std::size_t kMaxPayload =
+    8 + 4 + 4 + 4 + 4 * kMaxFailedAttemptCodes + 4 + kMaxReasonLength;
 
 std::string bounded_reason(const std::string& reason) {
   if (reason.size() <= kMaxReasonLength) return reason;
@@ -103,13 +111,21 @@ std::string serialize_header(const CheckpointHeader& header) {
 std::string serialize_record(const CheckpointRecord& record) {
   std::string payload;
   put_u64(payload, static_cast<std::uint64_t>(record.sample));
+  const std::size_t n_codes =
+      std::min(record.failed_codes.size(), kMaxFailedAttemptCodes);
   if (record.type == CheckpointRecord::Type::kSample) {
     put_real(payload, record.value);
     put_u32(payload, static_cast<std::uint32_t>(record.attempts));
+    put_u32(payload, static_cast<std::uint32_t>(n_codes));
+    for (std::size_t i = 0; i < n_codes; ++i)
+      put_u32(payload, static_cast<std::uint32_t>(record.failed_codes[i]));
   } else {
     const std::string reason = bounded_reason(record.reason);
     put_u32(payload, static_cast<std::uint32_t>(record.code));
     put_u32(payload, static_cast<std::uint32_t>(record.attempts));
+    put_u32(payload, static_cast<std::uint32_t>(n_codes));
+    for (std::size_t i = 0; i < n_codes; ++i)
+      put_u32(payload, static_cast<std::uint32_t>(record.failed_codes[i]));
     put_u32(payload, static_cast<std::uint32_t>(reason.size()));
     payload.append(reason);
   }
@@ -149,9 +165,10 @@ CheckpointData load_checkpoint(const std::string& path, LoadMode mode) {
 
   while (in.remaining() > 0) {
     // A record shorter than its framing, or than its declared payload, is a
-    // torn tail: recoverable only in kRecoverTail mode and only because
+    // torn tail: recoverable in kRecoverTail/kSalvage mode and only because
     // nothing can follow it.
     bool torn = in.remaining() < kRecordOverhead;
+    bool corrupt_length = false;
     std::size_t payload_len = 0;
     if (!torn) {
       const std::size_t record_start = in.pos;
@@ -165,12 +182,10 @@ CheckpointData load_checkpoint(const std::string& path, LoadMode mode) {
       // the corrupt length, so treat > kMaxPayload as torn only at EOF
       // proximity — i.e. when the remainder could not hold a legal record
       // anyway — and corruption otherwise.
-      if (payload_len > kMaxPayload &&
-          in.remaining() >= kRecordOverhead + kMaxPayload) {
-        reject(path, "record payload length field corrupt");
-      }
+      corrupt_length = payload_len > kMaxPayload &&
+                       in.remaining() >= kRecordOverhead + kMaxPayload;
     }
-    if (torn) {
+    if (torn && !corrupt_length) {
       if (mode == LoadMode::kStrict) {
         reject(path, "truncated trailing record (torn write?)");
       }
@@ -181,50 +196,253 @@ CheckpointData load_checkpoint(const std::string& path, LoadMode mode) {
       break;
     }
 
-    const std::size_t record_start = in.pos;
-    const std::uint32_t expected_crc =
-        crc32(bytes.data() + record_start, 1 + 4 + payload_len);
-    const std::uint8_t type = in.u8();
-    (void)in.u32();  // payload_len, already read
+    // Everything from here on is structural damage to a *complete* record:
+    // fatal in kStrict/kRecoverTail, prefix-salvaged in kSalvage (the
+    // dropped rows are simply re-evaluated; corrupt data is never trusted).
+    try {
+      if (corrupt_length) reject(path, "record payload length field corrupt");
 
-    CheckpointRecord record;
-    const std::size_t payload_end = in.pos + payload_len;
-    if (type == static_cast<std::uint8_t>(CheckpointRecord::Type::kSample)) {
-      if (payload_len != 8 + 8 + 4) reject(path, "sample record malformed");
-      record.type = CheckpointRecord::Type::kSample;
-      record.sample = static_cast<Index>(in.u64());
-      record.value = in.real();
-      record.attempts = static_cast<int>(in.u32());
-    } else if (type ==
-               static_cast<std::uint8_t>(CheckpointRecord::Type::kQuarantine)) {
-      if (payload_len < 8 + 4 + 4 + 4) {
-        reject(path, "quarantine record malformed");
+      const std::size_t record_start = in.pos;
+      const std::uint32_t expected_crc =
+          crc32(bytes.data() + record_start, 1 + 4 + payload_len);
+      const std::uint8_t type = in.u8();
+      (void)in.u32();  // payload_len, already read
+
+      CheckpointRecord record;
+      const std::size_t payload_end = in.pos + payload_len;
+      if (type == static_cast<std::uint8_t>(CheckpointRecord::Type::kSample)) {
+        if (payload_len < 8 + 8 + 4 + 4) {
+          reject(path, "sample record malformed");
+        }
+        record.type = CheckpointRecord::Type::kSample;
+        record.sample = static_cast<Index>(in.u64());
+        record.value = in.real();
+        record.attempts = static_cast<int>(in.u32());
+        const std::uint32_t n_codes = in.u32();
+        if (n_codes > kMaxFailedAttemptCodes ||
+            payload_len != 8 + 8 + 4 + 4 + 4 * std::size_t{n_codes}) {
+          reject(path, "sample record malformed");
+        }
+        record.failed_codes.reserve(n_codes);
+        for (std::uint32_t i = 0; i < n_codes; ++i) {
+          const std::uint32_t code = in.u32();
+          if (code >= static_cast<std::uint32_t>(kNumErrorCodes)) {
+            reject(path, "record carries an unknown error code");
+          }
+          record.failed_codes.push_back(static_cast<ErrorCode>(code));
+        }
+      } else if (type == static_cast<std::uint8_t>(
+                             CheckpointRecord::Type::kQuarantine)) {
+        if (payload_len < 8 + 4 + 4 + 4 + 4) {
+          reject(path, "quarantine record malformed");
+        }
+        record.type = CheckpointRecord::Type::kQuarantine;
+        record.sample = static_cast<Index>(in.u64());
+        const std::uint32_t code = in.u32();
+        if (code >= static_cast<std::uint32_t>(kNumErrorCodes)) {
+          reject(path, "quarantine record carries an unknown error code");
+        }
+        record.code = static_cast<ErrorCode>(code);
+        record.attempts = static_cast<int>(in.u32());
+        const std::uint32_t n_codes = in.u32();
+        if (n_codes > kMaxFailedAttemptCodes ||
+            in.pos + 4 * std::size_t{n_codes} + 4 > payload_end) {
+          reject(path, "quarantine record malformed");
+        }
+        record.failed_codes.reserve(n_codes);
+        for (std::uint32_t i = 0; i < n_codes; ++i) {
+          const std::uint32_t failed = in.u32();
+          if (failed >= static_cast<std::uint32_t>(kNumErrorCodes)) {
+            reject(path, "record carries an unknown error code");
+          }
+          record.failed_codes.push_back(static_cast<ErrorCode>(failed));
+        }
+        const std::uint32_t reason_len = in.u32();
+        if (reason_len > kMaxReasonLength ||
+            in.pos + reason_len != payload_end) {
+          reject(path, "quarantine reason length inconsistent");
+        }
+        record.reason.assign(bytes.data() + in.pos, reason_len);
+        in.pos += reason_len;
+      } else {
+        reject(path, "unknown record type");
       }
-      record.type = CheckpointRecord::Type::kQuarantine;
-      record.sample = static_cast<Index>(in.u64());
-      const std::uint32_t code = in.u32();
-      if (code >= static_cast<std::uint32_t>(kNumErrorCodes)) {
-        reject(path, "quarantine record carries an unknown error code");
+      if (in.pos != payload_end) reject(path, "record payload size mismatch");
+      if (in.u32() != expected_crc) {
+        reject(path, "record CRC mismatch (bit flip?)");
       }
-      record.code = static_cast<ErrorCode>(code);
-      record.attempts = static_cast<int>(in.u32());
-      const std::uint32_t reason_len = in.u32();
-      if (reason_len > kMaxReasonLength ||
-          in.pos + reason_len != payload_end) {
-        reject(path, "quarantine reason length inconsistent");
-      }
-      record.reason.assign(bytes.data() + in.pos, reason_len);
-      in.pos += reason_len;
-    } else {
-      reject(path, "unknown record type");
+      data.records.push_back(std::move(record));
+    } catch (const IoError& e) {
+      if (mode != LoadMode::kSalvage) throw;
+      data.salvaged_corruption = true;
+      RSM_WARN("checkpoint '" << path << "': salvaging "
+                              << data.records.size()
+                              << " records before mid-stream corruption ("
+                              << e.what() << ')');
+      break;
     }
-    if (in.pos != payload_end) reject(path, "record payload size mismatch");
-    if (in.u32() != expected_crc) {
-      reject(path, "record CRC mismatch (bit flip?)");
-    }
-    data.records.push_back(std::move(record));
   }
   return data;
+}
+
+std::string shard_path(const std::string& base, int shard) {
+  RSM_CHECK_MSG(shard >= 0, "shard index must be >= 0");
+  return base + ".shard" + std::to_string(shard) + ".log";
+}
+
+std::vector<std::string> find_shard_paths(const std::string& base) {
+  namespace fs = std::filesystem;
+  const fs::path base_path(base);
+  fs::path dir = base_path.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = base_path.filename().string() + ".shard";
+  constexpr std::string_view suffix = ".log";
+
+  std::vector<std::pair<int, std::string>> found;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const char* digits = name.data() + prefix.size();
+    const char* digits_end = name.data() + name.size() - suffix.size();
+    int index = -1;
+    const auto [ptr, parse_ec] = std::from_chars(digits, digits_end, index);
+    if (parse_ec != std::errc{} || ptr != digits_end || index < 0) continue;
+    found.emplace_back(index, (base_path.parent_path() /
+                               entry.path().filename()).string());
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [index, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+int remove_shard_files(const std::string& base) {
+  namespace fs = std::filesystem;
+  int removed = 0;
+  for (const std::string& path : find_shard_paths(base)) {
+    std::error_code ec;
+    if (fs::remove(path, ec) && !ec) {
+      ++removed;
+    } else {
+      RSM_WARN("checkpoint: could not remove shard '"
+               << path << "' (" << ec.message()
+               << "); a later merge will deduplicate it");
+    }
+  }
+  return removed;
+}
+
+CheckpointData load_sharded_checkpoint(const std::string& base,
+                                       ShardMergeOutcome* outcome) {
+  ShardMergeOutcome merge;
+  const std::vector<std::string> shards = find_shard_paths(base);
+  merge.shards_found = static_cast<int>(shards.size());
+
+  // The base log is written atomically (old-or-new, never a prefix), so
+  // anything beyond the recoverable torn tail of an interrupted *serial*
+  // append stream means the storage broke its contract: refuse loudly.
+  CheckpointData merged;
+  bool have_header = false;
+  if (file_exists(base)) {
+    CheckpointData base_data = load_checkpoint(base, LoadMode::kRecoverTail);
+    merged.header = base_data.header;
+    merged.truncated_tail = base_data.truncated_tail;
+    if (base_data.truncated_tail) ++merge.torn_tails;
+    merged.records = std::move(base_data.records);
+    merge.base_loaded = true;
+    have_header = true;
+  } else if (shards.empty()) {
+    throw IoError("checkpoint '" + base +
+                      "' missing: no base log and no shards to merge",
+                  "checkpoint");
+  }
+
+  std::map<Index, CheckpointRecord> by_row;
+  for (CheckpointRecord& record : merged.records)
+    by_row.insert_or_assign(record.sample, std::move(record));
+
+  for (const std::string& path : shards) {
+    CheckpointData shard;
+    try {
+      shard = load_checkpoint(path, LoadMode::kSalvage);
+    } catch (const IoError& e) {
+      // A shard whose header cannot be verified contributes nothing; the
+      // rows it held are re-evaluated. Never fatal — that is the point of
+      // per-worker isolation.
+      ++merge.shards_unreadable;
+      RSM_WARN("checkpoint: dropping unreadable shard '" << path << "': "
+                                                         << e.what());
+      continue;
+    }
+    if (have_header &&
+        (shard.header.sample_matrix_hash != merged.header.sample_matrix_hash ||
+         shard.header.config_hash != merged.header.config_hash ||
+         shard.header.total_rows != merged.header.total_rows)) {
+      ++merge.shards_unreadable;
+      RSM_WARN("checkpoint: dropping shard '"
+               << path << "': header belongs to a different campaign");
+      continue;
+    }
+    if (!have_header) {
+      merged.header = shard.header;
+      have_header = true;
+    }
+    if (shard.truncated_tail) {
+      merged.truncated_tail = true;
+      ++merge.torn_tails;
+    }
+    if (shard.salvaged_corruption) {
+      merged.salvaged_corruption = true;
+      ++merge.corrupt_salvaged;
+    }
+    for (CheckpointRecord& record : shard.records) {
+      const auto [it, inserted] =
+          by_row.insert_or_assign(record.sample, std::move(record));
+      if (!inserted) {
+        ++merge.duplicate_rows;
+        RSM_WARN("checkpoint: duplicate record for row "
+                 << it->first << " in shard '" << path
+                 << "'; keeping the later write");
+      }
+    }
+    ++merge.shards_merged;
+  }
+  if (!have_header) {
+    throw IoError("checkpoint '" + base +
+                      "': no readable base log or shard header",
+                  "checkpoint");
+  }
+
+  merged.records.clear();
+  merged.records.reserve(by_row.size());
+  for (auto& [row, record] : by_row) {
+    if (row < 0 || static_cast<std::uint64_t>(row) >=
+                       merged.header.total_rows) {
+      throw IoError("checkpoint '" + base +
+                        "' holds a record outside the campaign's rows",
+                    "checkpoint");
+    }
+    merged.records.push_back(std::move(record));
+  }
+
+  obs::metrics().counter("io.shard_merge.duplicate_rows")
+      .increment(merge.duplicate_rows);
+  obs::metrics().counter("io.shard_merge.torn_tails")
+      .increment(merge.torn_tails);
+  obs::metrics().counter("io.shard_merge.corrupt_salvaged")
+      .increment(merge.corrupt_salvaged);
+  obs::metrics().counter("io.shard_merge.unreadable_shards")
+      .increment(merge.shards_unreadable);
+  if (outcome != nullptr) *outcome = merge;
+  return merged;
 }
 
 CheckpointWriter::CheckpointWriter(const CheckpointOptions& options,

@@ -10,10 +10,21 @@
 //   record* : u8 type | u32 payload_len | payload | u32 crc32(type|len|payload)
 //
 // all integers little-endian, Reals as IEEE-754 bit patterns. One record is
-// appended per campaign row in row order — kSample {row, value bits,
-// attempts} for survivors, kQuarantine {row, code, attempts, reason} for
-// permanently failed rows — and fsync'd every `flush_every` records, so the
-// log is a durable prefix of the campaign at all times.
+// appended per campaign row — kSample {row, value bits, attempts, failed
+// attempt codes} for survivors, kQuarantine {row, code, attempts, failed
+// attempt codes, reason} for permanently failed rows — and fsync'd every
+// `flush_every` records, so the log is a durable prefix of the campaign at
+// all times. Version 2 added the per-attempt failure codes: replaying a
+// record reconstructs the campaign's error histogram exactly, which is what
+// lets a resumed report be byte-identical to an uninterrupted one.
+//
+// A serial campaign appends to one log in row order. A parallel campaign
+// gives worker k its own shard — `<base>.shard<k>.log`, same format, same
+// header — and rewrites the single base log from the merged, row-sorted
+// record set on completion, so a finished parallel run leaves the same
+// bytes a serial run would. Only a crash leaves shards behind;
+// load_sharded_checkpoint() merges them back (tolerating per-shard damage)
+// for resume.
 //
 // The two u64 hashes bind a checkpoint to the exact campaign that wrote it:
 // sample_matrix_hash fingerprints the sample matrix bytes, config_hash the
@@ -23,11 +34,14 @@
 //
 // Loaders never return silently corrupt data: bad magic, wrong version, a
 // failed CRC, or a record that stops short of its declared length raise a
-// structured IoError. The one sanctioned relaxation is LoadMode::kRecoverTail
-// for crash recovery: an *incomplete trailing* record (the torn write an
-// interrupted append leaves behind) is dropped and reported via
-// `truncated_tail` — a CRC mismatch on a complete record is still fatal,
-// which is what distinguishes a torn tail from a bit flip.
+// structured IoError. The sanctioned relaxations: LoadMode::kRecoverTail for
+// crash recovery drops an *incomplete trailing* record (the torn write an
+// interrupted append leaves behind) and reports it via `truncated_tail` — a
+// CRC mismatch on a complete record is still fatal, which is what
+// distinguishes a torn tail from a bit flip. LoadMode::kSalvage (shards
+// only) additionally keeps the valid record prefix when a *complete* record
+// mid-stream fails its checks, reporting it via `salvaged_corruption`; the
+// dropped rows are simply re-evaluated, so no corrupt data is ever trusted.
 #pragma once
 
 #include <cstdint>
@@ -44,11 +58,15 @@ namespace rsm::io {
 
 inline constexpr char kCheckpointMagic[8] = {'R', 'S', 'M', 'C',
                                              'K', 'P', 'T', '\n'};
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Quarantine reasons are clamped to this many bytes on write, so a
 /// pathological campaign cannot grow checkpoints (or reports) without limit.
 inline constexpr std::size_t kMaxReasonLength = 256;
+
+/// Per-attempt failure codes retained per record (clamped on write); bounds
+/// what a corrupt count field can make the loader trust.
+inline constexpr std::size_t kMaxFailedAttemptCodes = 256;
 
 struct CheckpointHeader {
   std::uint32_t version = kCheckpointVersion;
@@ -72,25 +90,75 @@ struct CheckpointRecord {
 
   ErrorCode code = ErrorCode::kUnclassified;  // kQuarantine only
   std::string reason;                         // kQuarantine only, bounded
+
+  /// ErrorCode of every *failed* attempt, in attempt order (clamped to
+  /// kMaxFailedAttemptCodes); replay rebuilds the error histogram exactly.
+  std::vector<ErrorCode> failed_codes;
 };
 
 struct CheckpointData {
   CheckpointHeader header;
   std::vector<CheckpointRecord> records;
 
-  /// kRecoverTail only: an incomplete trailing record was dropped.
+  /// kRecoverTail/kSalvage only: an incomplete trailing record was dropped.
   bool truncated_tail = false;
+
+  /// kSalvage only: a complete record mid-stream failed its CRC or
+  /// structural checks; the valid prefix was kept, the rest dropped.
+  bool salvaged_corruption = false;
 };
 
 enum class LoadMode {
   kStrict,       // any damage, including a torn tail, raises IoError
   kRecoverTail,  // a short *trailing* record is dropped; all else fatal
+  kSalvage,      // shards: keep the valid record prefix past any damage
 };
 
 /// Parses and verifies a checkpoint file. See LoadMode for the torn-tail
-/// contract; everything else invalid raises IoError.
+/// and salvage contracts; everything else invalid raises IoError.
 [[nodiscard]] CheckpointData load_checkpoint(const std::string& path,
                                              LoadMode mode = LoadMode::kStrict);
+
+// ---- sharded checkpoints (parallel campaigns) -----------------------------
+
+/// The checkpoint shard worker `k` of a parallel campaign appends to:
+/// `<base>.shard<k>.log`, next to the base log at `<base>`.
+[[nodiscard]] std::string shard_path(const std::string& base, int shard);
+
+/// Existing shard files beside `base`, ordered by shard index. Missing
+/// indices are fine (a worker that never completed a row writes no shard).
+[[nodiscard]] std::vector<std::string> find_shard_paths(
+    const std::string& base);
+
+/// Deletes every shard file beside `base` (after a successful compaction,
+/// or before a fresh run overwrites the base). Returns how many were
+/// removed; removal failures are logged and counted, never thrown.
+int remove_shard_files(const std::string& base);
+
+/// What the shard merge met and how it coped — surfaced in CampaignReport
+/// and as io.shard_merge.* metrics.
+struct ShardMergeOutcome {
+  int shards_found = 0;       // shard files present on disk
+  int shards_merged = 0;      // shards whose records were absorbed
+  int shards_unreadable = 0;  // dropped whole: unreadable/mismatched header
+  int torn_tails = 0;         // sources whose torn trailing record was cut
+  int corrupt_salvaged = 0;   // shards salvaged past mid-stream corruption
+  Index duplicate_rows = 0;   // same row in >1 record; last write won
+  bool base_loaded = false;   // the single base log contributed records
+};
+
+/// Loads the base log and every shard a (possibly crashed, possibly
+/// parallel) campaign left at `base`, merges them into one row-sorted,
+/// duplicate-free record set under the base's verified header, and reports
+/// what it met. The base is held to the serial contract (torn tail
+/// recoverable, anything else fatal — it is written atomically, so
+/// mid-file damage means the storage itself lied); shards are crash
+/// artifacts and are salvaged per LoadMode::kSalvage, dropped whole only
+/// when their header is unreadable or belongs to a different campaign.
+/// Throws IoError when neither the base nor any shard yields a verified
+/// header, or when a record's row index exceeds the header's total_rows.
+[[nodiscard]] CheckpointData load_sharded_checkpoint(
+    const std::string& base, ShardMergeOutcome* outcome = nullptr);
 
 /// Checkpointing configuration carried inside CampaignOptions.
 struct CheckpointOptions {

@@ -61,6 +61,18 @@ void FaultInjector::throw_if_faulted(Index sample, int attempt) const {
   }
 }
 
+WorkerFaultInjector::WorkerFaultInjector(const Options& options)
+    : options_(options) {
+  RSM_CHECK_MSG(options.fault_rate >= 0 && options.fault_rate <= 1,
+                "fault_rate must be in [0, 1]");
+}
+
+bool WorkerFaultInjector::should_fault(Index row) const {
+  if (!enabled()) return false;
+  const auto r = static_cast<std::uint64_t>(row);
+  return uniform(options_.seed, r, 3) < options_.fault_rate;
+}
+
 const char* fs_fault_kind_name(FsFaultKind kind) {
   switch (kind) {
     case FsFaultKind::kNone: return "none";

@@ -69,6 +69,40 @@ class FaultInjector {
   Options options_;
 };
 
+/// Worker-level (infrastructure) fault injection for the parallel campaign
+/// executor: decides — from a pure hash of (seed, row), never from worker
+/// identity — whether the *first* execution of a row dies in the task
+/// wrapper, outside the evaluator (a crashed worker process, an OOM kill,
+/// a lost RPC). Keying by row keeps the injected schedule identical
+/// regardless of worker count or interleaving; the executor charges the
+/// fault to whichever worker happened to claim the row, requeues the row
+/// (the retry succeeds: the fault is infrastructural, not the sample's),
+/// and retires workers that absorb too many.
+class WorkerFaultInjector {
+ public:
+  struct Options {
+    /// Expected fraction of rows whose first execution dies (0 disables).
+    Real fault_rate = 0;
+
+    /// Hash seed, so one seed reproduces the whole infrastructure-failure
+    /// schedule.
+    std::uint64_t seed = 0xa0761d6478bd642full;
+  };
+
+  WorkerFaultInjector() = default;
+  explicit WorkerFaultInjector(const Options& options);
+
+  [[nodiscard]] bool enabled() const { return options_.fault_rate > 0; }
+
+  /// True when the first execution of `row` should die in the task wrapper.
+  [[nodiscard]] bool should_fault(Index row) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
 /// Filesystem failure modes the src/io writers can be made to exhibit.
 enum class FsFaultKind {
   kNone = 0,

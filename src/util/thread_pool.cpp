@@ -1,0 +1,229 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace rsm {
+namespace {
+
+/// Which pool (if any) owns the calling thread, and its worker index.
+/// Plain thread_locals: a worker belongs to exactly one pool for its whole
+/// life, so no synchronization is needed.
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local int t_worker = -1;
+
+/// Workers re-check their predicates on this cadence even without a
+/// notification — a belt-and-braces bound on any missed-wakeup bug turning
+/// into a hang rather than a stall.
+constexpr std::chrono::milliseconds kWakePollInterval{50};
+
+}  // namespace
+
+int resolve_num_workers(int requested, int fallback) {
+  RSM_CHECK_MSG(requested >= 0, "worker count must be >= 0");
+  RSM_CHECK_MSG(fallback >= 1, "worker-count fallback must be >= 1");
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("RSM_THREADS")) {
+    int value = 0;
+    const char* end = env + std::strlen(env);
+    const auto [ptr, ec] = std::from_chars(env, end, value);
+    if (ec == std::errc{} && ptr == end && value >= 1) return value;
+    RSM_WARN("RSM_THREADS='" << env
+                             << "' is not a positive integer; ignoring");
+  }
+  return fallback;
+}
+
+ThreadPool::ThreadPool() : ThreadPool(Options{}) {}
+
+ThreadPool::ThreadPool(const Options& options) : options_(options) {
+  const int fallback =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int n = resolve_num_workers(options_.num_threads, fallback);
+  RSM_CHECK_MSG(options_.queue_capacity >= 1, "queue_capacity must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  active_.store(n, std::memory_order_relaxed);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(coord_);
+    stop_.store(true, std::memory_order_relaxed);
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  for (std::thread& thread : threads_) thread.join();
+}
+
+int ThreadPool::num_workers() const {
+  return static_cast<int>(workers_.size());
+}
+
+int ThreadPool::active_workers() const {
+  return active_.load(std::memory_order_relaxed);
+}
+
+int ThreadPool::current_worker_index() const {
+  return t_pool == this ? t_worker : -1;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  const std::int64_t depth = queued_.load(std::memory_order_relaxed);
+  return depth > 0 ? static_cast<std::size_t>(depth) : 0;
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  stats.stolen = stolen_.load(std::memory_order_relaxed);
+  stats.task_exceptions = task_exceptions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+bool ThreadPool::try_push(int worker, Task& task) {
+  Worker& target = *workers_[static_cast<std::size_t>(worker)];
+  if (target.retired.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(target.mutex);
+  if (target.queue.size() >= options_.queue_capacity) return false;
+  target.queue.push_back(std::move(task));
+  return true;
+}
+
+void ThreadPool::submit(Task task) {
+  RSM_CHECK_MSG(static_cast<bool>(task), "submit() needs a callable task");
+  RSM_CHECK_MSG(!stop_.load(std::memory_order_relaxed),
+                "submit() after shutdown began");
+  // Count the task as pending *before* it becomes visible to workers, so
+  // wait_idle() can never observe a spurious zero between push and count.
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const int n = num_workers();
+  for (;;) {
+    const std::uint64_t start =
+        next_queue_.fetch_add(1, std::memory_order_relaxed);
+    for (int i = 0; i < n; ++i) {
+      const int target = static_cast<int>((start + static_cast<std::uint64_t>(
+                                                       i)) %
+                                          static_cast<std::uint64_t>(n));
+      if (!try_push(target, task)) continue;
+      queued_.fetch_add(1, std::memory_order_acq_rel);
+      std::lock_guard<std::mutex> lock(coord_);
+      work_cv_.notify_one();
+      return;
+    }
+    // Every live queue is full: backpressure. Timed wait so a burst of
+    // completions that raced the notify cannot strand this producer.
+    std::unique_lock<std::mutex> lock(coord_);
+    space_cv_.wait_for(lock, kWakePollInterval);
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(coord_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool ThreadPool::retire_current_worker() {
+  const int index = current_worker_index();
+  if (index < 0) return false;
+  int active = active_.load(std::memory_order_relaxed);
+  do {
+    if (active <= 1) return false;  // someone must drain the queues
+  } while (!active_.compare_exchange_weak(active, active - 1,
+                                          std::memory_order_acq_rel));
+  workers_[static_cast<std::size_t>(index)]->retired.store(
+      true, std::memory_order_relaxed);
+  // Siblings must wake to steal whatever this worker still has queued.
+  std::lock_guard<std::mutex> lock(coord_);
+  work_cv_.notify_all();
+  return true;
+}
+
+ThreadPool::Task ThreadPool::try_pop_own(Worker& self) {
+  std::lock_guard<std::mutex> lock(self.mutex);
+  if (self.queue.empty()) return nullptr;
+  Task task = std::move(self.queue.front());
+  self.queue.pop_front();
+  return task;
+}
+
+ThreadPool::Task ThreadPool::try_steal(int thief) {
+  const int n = num_workers();
+  for (int i = 1; i < n; ++i) {
+    // Victims include retired workers: their queues must still drain.
+    const int victim = (thief + i) % n;
+    Worker& target = *workers_[static_cast<std::size_t>(victim)];
+    std::lock_guard<std::mutex> lock(target.mutex);
+    if (target.queue.empty()) continue;
+    Task task = std::move(target.queue.back());
+    target.queue.pop_back();
+    return task;
+  }
+  return nullptr;
+}
+
+void ThreadPool::worker_loop(int index) {
+  t_pool = this;
+  t_worker = index;
+  Worker& self = *workers_[static_cast<std::size_t>(index)];
+  for (;;) {
+    Task task;
+    bool stole = false;
+    if (!self.retired.load(std::memory_order_relaxed)) {
+      task = try_pop_own(self);
+      if (task == nullptr) {
+        task = try_steal(index);
+        stole = task != nullptr;
+      }
+    }
+    if (task != nullptr) {
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> lock(coord_);
+        space_cv_.notify_one();
+      }
+      if (stole) stolen_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        task();
+      } catch (...) {
+        // Infrastructure backstop only: campaign tasks classify and record
+        // their own failures; anything escaping to here is a task bug, not
+        // a reason to take the pool down.
+        task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+        RSM_WARN("thread_pool: task on worker " << index
+                                                << " threw; swallowed");
+      }
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(coord_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    if (self.retired.load(std::memory_order_relaxed)) return;
+    std::unique_lock<std::mutex> lock(coord_);
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;  // cooperative shutdown: every queued task has been drained
+    }
+    work_cv_.wait_for(lock, kWakePollInterval, [this, &self] {
+      return stop_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_acquire) > 0 ||
+             self.retired.load(std::memory_order_relaxed);
+    });
+  }
+}
+
+}  // namespace rsm

@@ -1,0 +1,144 @@
+// Work-stealing thread pool: the one sanctioned concurrency primitive.
+//
+// The paper's cost model makes sample rows embarrassingly parallel — each
+// is an independent transistor-level simulation — but the campaign layer's
+// guarantees (deterministic retry/quarantine accounting, durable
+// checkpoints, bit-identical resume) must survive whatever interleaving N
+// workers produce. Concentrating every thread the project spawns behind
+// this pool keeps those properties auditable: rsm-lint forbids raw
+// std::thread/std::async outside src/util/, and the pool itself is
+// exercised under TSan in CI.
+//
+// Design:
+//   * one bounded deque per worker; submit() round-robins across workers
+//     and blocks (backpressure) while every live queue is full;
+//   * a worker pops its own queue front-first and, when empty, steals from
+//     the back of a victim's queue — classic work stealing, so a stalled
+//     or retired worker cannot strand queued tasks;
+//   * shutdown is cooperative: the destructor stops intake, drains every
+//     queued task, then joins. Tasks are expected to poll the campaign's
+//     cancellation token; the pool never kills a thread;
+//   * retire_current_worker() lets a task permanently quarantine the
+//     worker it runs on (the campaign's graceful-degradation path for
+//     repeated infrastructure faults). The last active worker refuses to
+//     retire so queues always drain;
+//   * a task that throws is counted (task_exceptions) and swallowed — the
+//     pool is infrastructure; error *classification* belongs to the
+//     campaign layer, which catches per-row exceptions itself.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace rsm {
+
+/// Shared worker-count resolution: `requested >= 1` is taken literally;
+/// `requested == 0` means "auto" — the RSM_THREADS environment variable
+/// when it holds a positive integer, otherwise `fallback`. The campaign
+/// layer passes fallback = 1 (serial stays the default), the pool passes
+/// the hardware concurrency.
+[[nodiscard]] int resolve_num_workers(int requested, int fallback);
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  struct Options {
+    /// Worker threads; 0 = resolve_num_workers(0, hardware_concurrency).
+    int num_threads = 0;
+
+    /// Per-worker queue bound; submit() blocks while every live queue is
+    /// full, so an unbounded producer cannot exhaust memory.
+    std::size_t queue_capacity = 256;
+  };
+
+  /// Lifetime counters (monotonic; racy reads are fine for reporting).
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;           // executed via steal, not own queue
+    std::uint64_t task_exceptions = 0;  // tasks that threw (swallowed)
+  };
+
+  ThreadPool();  // default Options
+  explicit ThreadPool(const Options& options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task; blocks for backpressure while all live queues are
+  /// full. Safe to call from inside a task (workers submitting follow-up
+  /// work), but not after the destructor has begun.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] int num_workers() const;
+
+  /// Workers that have not been retired.
+  [[nodiscard]] int active_workers() const;
+
+  /// 0-based index of the pool worker executing the calling task, or -1
+  /// when called from a thread this pool does not own.
+  [[nodiscard]] int current_worker_index() const;
+
+  /// Permanently retires the calling worker: it finishes the current task,
+  /// stops claiming new ones, and its queued tasks are stolen by siblings.
+  /// Returns false — and retires nothing — when the caller is not a pool
+  /// worker or when it is the last active worker (someone must drain the
+  /// queues). This is the campaign's graceful-degradation hook.
+  bool retire_current_worker();
+
+  /// Tasks currently sitting in queues (not yet claimed).
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> queue;
+    std::atomic<bool> retired{false};
+  };
+
+  void worker_loop(int index);
+  bool try_push(int worker, Task& task);
+  Task try_pop_own(Worker& self);
+  Task try_steal(int thief);
+
+  Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_{0};
+  std::atomic<std::int64_t> pending_{0};  // submitted, not yet finished
+  std::atomic<std::int64_t> queued_{0};   // sitting in queues
+  std::atomic<std::uint64_t> next_queue_{0};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> task_exceptions_{0};
+
+  // One coordination mutex for all sleeping/waking; per-worker mutexes only
+  // guard their deques. Notifying under the lock closes the classic
+  // check-then-wait race without per-queue condition variables.
+  mutable std::mutex coord_;
+  std::condition_variable work_cv_;   // queued task may be available
+  std::condition_variable idle_cv_;   // pending_ may have reached zero
+  std::condition_variable space_cv_;  // queue space may have opened up
+};
+
+}  // namespace rsm

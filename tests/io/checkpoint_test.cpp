@@ -286,6 +286,255 @@ TEST(CheckpointWriterTest, SelfHealsFaultedAppendAtomically) {
   }
 }
 
+TEST(CheckpointFormatTest, FailedAttemptCodesRoundtrip) {
+  const std::string path = test_path("failed_codes.ckpt");
+  std::vector<CheckpointRecord> records(2);
+  records[0].type = CheckpointRecord::Type::kSample;
+  records[0].sample = 0;
+  records[0].attempts = 3;
+  records[0].value = 1.5;
+  records[0].failed_codes = {ErrorCode::kSingularMatrix,
+                             ErrorCode::kNoConvergence};
+  records[1].type = CheckpointRecord::Type::kQuarantine;
+  records[1].sample = 1;
+  records[1].attempts = 2;
+  records[1].code = ErrorCode::kDeadlineExceeded;
+  records[1].reason = "watchdog";
+  records[1].failed_codes = {ErrorCode::kNoConvergence,
+                             ErrorCode::kDeadlineExceeded};
+  {
+    CheckpointWriter writer(options_for(path), test_header());
+    for (const CheckpointRecord& record : records) writer.append(record);
+  }
+  const CheckpointData data = load_checkpoint(path, LoadMode::kStrict);
+  ASSERT_EQ(data.records.size(), 2u);
+  EXPECT_EQ(data.records[0].failed_codes, records[0].failed_codes);
+  EXPECT_EQ(data.records[1].failed_codes, records[1].failed_codes);
+  EXPECT_EQ(data.records[1].code, ErrorCode::kDeadlineExceeded);
+}
+
+TEST(CheckpointFormatTest, SalvageKeepsPrefixPastMidStreamBitFlip) {
+  const std::string path = test_path("salvage_flip.ckpt");
+  const CheckpointHeader header = test_header();
+  const std::vector<CheckpointRecord> records = test_records();
+  std::string bytes = serialize_header(header);
+  std::size_t second_record_at = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i == 1) second_record_at = bytes.size();
+    bytes.append(serialize_record(records[i]));
+  }
+  bytes[second_record_at + 8] =
+      static_cast<char>(bytes[second_record_at + 8] ^ 1);
+  atomic_write_file(path, bytes);
+  // Strict and recover-tail refuse a mid-stream flip; salvage keeps the
+  // valid prefix and flags what it did.
+  expect_reject(path, LoadMode::kStrict, "record CRC mismatch");
+  expect_reject(path, LoadMode::kRecoverTail, "record CRC mismatch");
+  const CheckpointData data = load_checkpoint(path, LoadMode::kSalvage);
+  EXPECT_TRUE(data.salvaged_corruption);
+  EXPECT_FALSE(data.truncated_tail);
+  ASSERT_EQ(data.records.size(), 1u);
+  EXPECT_EQ(data.records[0].sample, records[0].sample);
+}
+
+// ---- sharded checkpoints --------------------------------------------------
+
+void write_shard(const std::string& base, int shard,
+                 const std::vector<CheckpointRecord>& records,
+                 const CheckpointHeader& header) {
+  CheckpointWriter writer(options_for(shard_path(base, shard)), header);
+  for (const CheckpointRecord& record : records) writer.append(record);
+}
+
+CheckpointRecord sample_record(Index row, Real value) {
+  CheckpointRecord record;
+  record.type = CheckpointRecord::Type::kSample;
+  record.sample = row;
+  record.attempts = 1;
+  record.value = value;
+  return record;
+}
+
+/// Fresh base path with no stale shards from a previous test-binary run.
+std::string shard_test_path(const std::string& name) {
+  const std::string base = test_path(name);
+  (void)remove_shard_files(base);
+  return base;
+}
+
+TEST(CheckpointShardTest, ShardPathDiscoveryAndRemoval) {
+  const std::string base = shard_test_path("discovery.ckpt");
+  EXPECT_EQ(shard_path(base, 3), base + ".shard3.log");
+  EXPECT_TRUE(find_shard_paths(base).empty());
+
+  const CheckpointHeader header = test_header();
+  write_shard(base, 2, {sample_record(0, 1.0)}, header);
+  write_shard(base, 0, {sample_record(1, 2.0)}, header);
+  write_shard(base, 10, {sample_record(2, 3.0)}, header);
+  const std::vector<std::string> found = find_shard_paths(base);
+  ASSERT_EQ(found.size(), 3u);  // ordered by shard index, missing ones fine
+  EXPECT_EQ(found[0], shard_path(base, 0));
+  EXPECT_EQ(found[1], shard_path(base, 2));
+  EXPECT_EQ(found[2], shard_path(base, 10));
+
+  EXPECT_EQ(remove_shard_files(base), 3);
+  EXPECT_TRUE(find_shard_paths(base).empty());
+}
+
+TEST(CheckpointShardTest, MergeCombinesBaseAndShardsRowSorted) {
+  const std::string base = shard_test_path("merge.ckpt");
+  const CheckpointHeader header = test_header();
+  {
+    CheckpointWriter writer(options_for(base), header);
+    writer.append(sample_record(0, 0.5));
+  }
+  write_shard(base, 0, {sample_record(4, 4.5), sample_record(1, 1.5)}, header);
+  write_shard(base, 1, {sample_record(3, 3.5)}, header);
+
+  ShardMergeOutcome outcome;
+  const CheckpointData data = load_sharded_checkpoint(base, &outcome);
+  EXPECT_TRUE(outcome.base_loaded);
+  EXPECT_EQ(outcome.shards_found, 2);
+  EXPECT_EQ(outcome.shards_merged, 2);
+  EXPECT_EQ(outcome.shards_unreadable, 0);
+  EXPECT_EQ(outcome.duplicate_rows, 0);
+  ASSERT_EQ(data.records.size(), 4u);
+  // Row-sorted regardless of append order across sources; row 2 is a hole.
+  const Index expected_rows[] = {0, 1, 3, 4};
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(data.records[i].sample, expected_rows[i]);
+  (void)remove_shard_files(base);
+}
+
+TEST(CheckpointShardTest, MergeSalvagesTornShardTail) {
+  const std::string base = shard_test_path("torn_shard.ckpt");
+  const CheckpointHeader header = test_header();
+  {
+    CheckpointWriter writer(options_for(base), header);
+    writer.append(sample_record(0, 0.5));
+  }
+  // Shard with a torn trailing record — the classic SIGKILL artifact.
+  std::string bytes = serialize_header(header);
+  bytes.append(serialize_record(sample_record(1, 1.5)));
+  bytes.append(serialize_record(sample_record(2, 2.5)));
+  bytes.resize(bytes.size() - 3);
+  atomic_write_file(shard_path(base, 1), bytes);
+
+  ShardMergeOutcome outcome;
+  const CheckpointData data = load_sharded_checkpoint(base, &outcome);
+  EXPECT_EQ(outcome.shards_merged, 1);
+  EXPECT_EQ(outcome.torn_tails, 1);
+  EXPECT_TRUE(data.truncated_tail);
+  ASSERT_EQ(data.records.size(), 2u);  // rows 0 and 1; the torn row 2 redone
+  EXPECT_EQ(data.records[1].sample, 1);
+  (void)remove_shard_files(base);
+}
+
+TEST(CheckpointShardTest, MergeSalvagesBitFlippedShardKeepsPrefix) {
+  const std::string base = shard_test_path("flipped_shard.ckpt");
+  const CheckpointHeader header = test_header();
+  {
+    CheckpointWriter writer(options_for(base), header);
+    writer.append(sample_record(0, 0.5));
+  }
+  std::string bytes = serialize_header(header);
+  bytes.append(serialize_record(sample_record(1, 1.5)));
+  const std::size_t second_at = bytes.size();
+  bytes.append(serialize_record(sample_record(2, 2.5)));
+  bytes[second_at + 8] = static_cast<char>(bytes[second_at + 8] ^ 0x20);
+  atomic_write_file(shard_path(base, 0), bytes);
+
+  ShardMergeOutcome outcome;
+  const CheckpointData data = load_sharded_checkpoint(base, &outcome);
+  EXPECT_EQ(outcome.shards_merged, 1);
+  EXPECT_EQ(outcome.corrupt_salvaged, 1);
+  EXPECT_TRUE(data.salvaged_corruption);
+  ASSERT_EQ(data.records.size(), 2u);  // base row 0 + shard's valid row 1
+  EXPECT_EQ(data.records[0].sample, 0);
+  EXPECT_EQ(data.records[1].sample, 1);
+  (void)remove_shard_files(base);
+}
+
+TEST(CheckpointShardTest, MergeDropsMismatchedShardWhole) {
+  const std::string base = shard_test_path("mismatch_shard.ckpt");
+  const CheckpointHeader header = test_header();
+  {
+    CheckpointWriter writer(options_for(base), header);
+    writer.append(sample_record(0, 0.5));
+  }
+  CheckpointHeader other = header;
+  other.config_hash ^= 0xdeadbeefull;  // a different campaign's shard
+  write_shard(base, 0, {sample_record(1, 1.5)}, other);
+  // And a shard that is not a checkpoint file at all.
+  atomic_write_file(shard_path(base, 1), "not a checkpoint");
+
+  ShardMergeOutcome outcome;
+  const CheckpointData data = load_sharded_checkpoint(base, &outcome);
+  EXPECT_EQ(outcome.shards_found, 2);
+  EXPECT_EQ(outcome.shards_merged, 0);
+  EXPECT_EQ(outcome.shards_unreadable, 2);
+  ASSERT_EQ(data.records.size(), 1u);
+  EXPECT_EQ(data.records[0].sample, 0);
+  (void)remove_shard_files(base);
+}
+
+TEST(CheckpointShardTest, MergeDuplicateRowLastWriteWins) {
+  const std::string base = shard_test_path("dup_shard.ckpt");
+  const CheckpointHeader header = test_header();
+  {
+    CheckpointWriter writer(options_for(base), header);
+    writer.append(sample_record(1, 1.0));
+  }
+  write_shard(base, 0, {sample_record(1, 2.0)}, header);   // duplicates base
+  write_shard(base, 1, {sample_record(1, 3.0)}, header);   // and shard 0
+
+  ShardMergeOutcome outcome;
+  const CheckpointData data = load_sharded_checkpoint(base, &outcome);
+  EXPECT_EQ(outcome.duplicate_rows, 2);
+  ASSERT_EQ(data.records.size(), 1u);
+  EXPECT_EQ(data.records[0].sample, 1);
+  EXPECT_EQ(data.records[0].value, 3.0);  // highest-indexed shard wrote last
+  (void)remove_shard_files(base);
+}
+
+TEST(CheckpointShardTest, MergeWithoutBaseUsesShardHeader) {
+  const std::string base = shard_test_path("no_base.ckpt");
+  const CheckpointHeader header = test_header();
+  write_shard(base, 3, {sample_record(2, 2.5)}, header);
+
+  ShardMergeOutcome outcome;
+  const CheckpointData data = load_sharded_checkpoint(base, &outcome);
+  EXPECT_FALSE(outcome.base_loaded);
+  EXPECT_EQ(outcome.shards_merged, 1);
+  EXPECT_EQ(data.header.config_hash, header.config_hash);
+  ASSERT_EQ(data.records.size(), 1u);
+  EXPECT_EQ(data.records[0].sample, 2);
+  (void)remove_shard_files(base);
+}
+
+TEST(CheckpointShardTest, MergeMissingEverythingRejected) {
+  const std::string base = shard_test_path("nothing.ckpt");
+  try {
+    (void)load_sharded_checkpoint(base);
+    FAIL() << "merge should reject when nothing exists";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+  }
+}
+
+TEST(CheckpointShardTest, MergeRejectsRowBeyondTotalRows) {
+  const std::string base = shard_test_path("overflow_row.ckpt");
+  const CheckpointHeader header = test_header();  // total_rows = 5
+  write_shard(base, 0, {sample_record(9, 9.5)}, header);
+  try {
+    (void)load_sharded_checkpoint(base);
+    FAIL() << "merge should reject an out-of-range row";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("outside"), std::string::npos);
+  }
+  (void)remove_shard_files(base);
+}
+
 TEST(CheckpointFingerprintTest, SensitiveToEveryInput) {
   Matrix a(2, 2);
   a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;

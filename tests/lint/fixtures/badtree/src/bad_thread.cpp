@@ -1,0 +1,20 @@
+// Fixture for the no-raw-thread rule: exactly two findings (the bare
+// std::thread and the std::async). std::this_thread and the suppressed
+// jthread must NOT fire.
+#include <future>
+#include <thread>
+
+void bad_spawn() {
+  std::thread worker([] {});  // finding 1: raw thread outside src/util/
+  worker.join();
+  auto f = std::async([] { return 1; });  // finding 2: raw async
+  (void)f.get();
+}
+
+void fine_sleep() {
+  std::this_thread::yield();  // not a finding: sleeping is not spawning
+}
+
+void suppressed_spawn() {
+  std::jthread w([] {});  // rsm-lint-allow(no-raw-thread)
+}

@@ -28,6 +28,7 @@ EXPECTED_RULE_FINDINGS = {
     "header-hygiene": 1,
     "banned-functions": 3,     # strcpy, sprintf, atoi
     "span-name-literal": 1,
+    "no-raw-thread": 2,        # std::thread, std::async (exact; see below)
 }
 
 failures = []
@@ -74,6 +75,13 @@ def main():
                          for r in EXPECTED_RULE_FINDINGS if r != rule)
         check(only_code == 1 and only_hits >= minimum and other_hits == 0,
               f"--only {rule} isolates the rule")
+
+    # 3b. no-raw-thread is exact on its fixture: the std::this_thread use
+    #     and the rsm-lint-allow'd jthread must not fire, so the count is
+    #     exactly 2, not >= 2.
+    hits = full_out.count("[no-raw-thread]")
+    check(hits == 2,
+          f"no-raw-thread fires exactly twice on the fixture (got {hits})")
 
     # 4. Disabling every rule yields a clean exit on the fixture tree.
     code, _ = run_lint("--root", str(BADTREE), "--include-fixtures",
