@@ -5,6 +5,7 @@
 #include "obs/env.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "stats/lhs.hpp"
 #include "util/timer.hpp"
 
@@ -98,6 +99,9 @@ BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
 
 BenchReport::~BenchReport() {
   obs::write_report(path(), name_, std::move(results_), ring_.get());
+  // RSM_TRACE_EXPORT=<path>: the span trees this run accumulated also go
+  // out as a Chrome-trace profile (open in https://ui.perfetto.dev).
+  obs::export_trace_if_configured("bench." + name_);
   if (ring_ != nullptr) obs::set_telemetry_sink(std::move(previous_));
 }
 

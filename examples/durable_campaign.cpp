@@ -27,7 +27,9 @@
 #include "core/campaign.hpp"
 #include "core/pipeline.hpp"
 #include "io/atomic_file.hpp"
+#include "obs/env.hpp"
 #include "obs/report.hpp"
+#include "obs/trace_export.hpp"
 #include "spice/dc.hpp"
 #include "stats/lhs.hpp"
 #include "stats/rng.hpp"
@@ -63,6 +65,12 @@ int main(int argc, char** argv) {
                   "defaults to serial. A parallel run checkpoints into "
                   "per-worker shards that --resume merges, so the killed "
                   "run may be resumed with any thread count");
+  args.add_option("progress", "",
+                  "append live JSONL heartbeats (rows done, rows/sec, ETA, "
+                  "worker utilization) to this path; tail -f it from "
+                  "another terminal. Empty disables");
+  args.add_option("progress-interval", "1",
+                  "seconds between progress heartbeats");
   try {
     args.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -74,6 +82,14 @@ int main(int argc, char** argv) {
     std::printf("%s", args.usage("durable_campaign").c_str());
     return 0;
   }
+
+  // Announce the ambient observability configuration so a log capture of
+  // this run states how it was instrumented.
+  std::printf("observability: RSM_OBS_LEVEL=%d RSM_TRACE_EXPORT=%s\n",
+              obs::obs_level(),
+              obs::trace_export_path().empty()
+                  ? "(unset)"
+                  : obs::trace_export_path().c_str());
 
   // First signal: cooperative cancellation -> drain, flush, partial report,
   // exit 128+signo. Second signal: immediate exit.
@@ -119,6 +135,8 @@ int main(int argc, char** argv) {
   options.checkpoint.flush_every =
       static_cast<int>(args.get_int("flush-every"));
   options.num_workers = static_cast<int>(args.get_int("threads"));
+  options.progress_path = args.get("progress");
+  options.progress_interval_seconds = args.get_double("progress-interval");
   const double fault_rate = args.get_double("fault-rate");
   if (fault_rate > 0) {
     options.fault_injector = FaultInjector(
@@ -170,6 +188,10 @@ int main(int argc, char** argv) {
     obs::write_report(report_path, "durable_campaign", std::move(results));
     std::printf("report written to %s\n", report_path.c_str());
   }
+
+  // RSM_TRACE_EXPORT=<path>: dump the run's span trees as a Chrome-trace
+  // profile on the way out.
+  obs::export_trace_if_configured("durable_campaign");
 
   // Signal-cancelled runs exit nonzero (128+signo) so supervisors can tell
   // a drained interruption from a completed campaign.

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json reports (or a history directory) and flag
+regressions — the bench-regression gate.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [options]
+  bench_compare.py --history DIR CURRENT.json [options]
+
+With --history, DIR is scanned for *.json reports whose "tool" matches
+CURRENT's; the newest (by modification time) becomes the baseline, so a
+directory of dated reports works as a rolling trajectory.
+
+What is compared — every numeric/boolean leaf under the reports' "results"
+subtree (dotted paths, e.g. results.methods.OMP.test_error), which is the
+deterministic, tool-specific science. Scheduling noise is excluded: paths
+through ".execution." or ".checkpoint." are skipped outright.
+
+Metric classes and their gates:
+  * integers and booleans — exact match (counts are deterministic);
+  * floats — relative tolerance --rel-tol (default 1e-6; the benches are
+    seeded, so identical code must reproduce identical numbers);
+  * time-like metrics (name contains "seconds"/"_ms"/"_us"/"time", a rate
+    or speedup key like "per_second"/"speedup"/"throughput", or a
+    paper-cost key) — informational by default because wall-clock is not
+    comparable across machines; --gate-times turns them into a gate that
+    fails when current/baseline exceeds --time-tol (default 1.5; faster is
+    never a failure).
+
+Per-metric overrides: --tol results.methods.OMP.test_error=0.1 (repeatable;
+the value is a relative tolerance for that one metric, and also applies to
+time-like metrics when gated).
+
+A metric present in the baseline but missing from current fails the gate
+(silently dropping a number is how regressions hide); new metrics are
+reported but pass. Exit status: 0 = pass, 1 = regression/missing metric,
+2 = usage or unreadable input.
+"""
+
+import argparse
+import json
+import math
+import os
+import re
+import sys
+
+SKIP_PATH_RE = re.compile(r"\.(execution|checkpoint)(\.|\[|$)")
+# Machine-dependent performance metrics: durations plus anything derived
+# from them (rates, speedups). Informational unless --gate-times.
+TIME_KEY_RE = re.compile(
+    r"(seconds|_ms\b|_us\b|time|per_second\b|speedup|throughput|"
+    r"cost_hours|sim_hours)", re.IGNORECASE)
+
+
+def flatten(node, path, out):
+    """results subtree -> {dotted path: scalar} for numeric/bool leaves."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            flatten(value, f"{path}.{key}", out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            flatten(value, f"{path}[{i}]", out)
+    elif isinstance(node, bool) or isinstance(node, (int, float)):
+        if not SKIP_PATH_RE.search(path):
+            out[path] = node
+    # strings / nulls are not comparable metrics
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if "results" not in doc or "tool" not in doc:
+        raise ValueError(f"{path}: not a BENCH report (no tool/results)")
+    metrics = {}
+    flatten(doc["results"], "results", metrics)
+    return doc["tool"], metrics
+
+
+def pick_history_baseline(directory, tool):
+    candidates = []
+    for name in os.listdir(directory):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if doc.get("tool") == tool:
+            candidates.append((os.path.getmtime(path), path))
+    if not candidates:
+        raise ValueError(
+            f"{directory}: no baseline report for tool '{tool}'")
+    return max(candidates)[1]
+
+
+def is_time_metric(path):
+    return TIME_KEY_RE.search(path) is not None
+
+
+def classify(baseline, current, path, args, overrides):
+    """-> (status, detail). status in OK / INFO / REGRESSED."""
+    tol = overrides.get(path)
+    if is_time_metric(path):
+        if not args.gate_times and tol is None:
+            ratio = (current / baseline) if baseline else math.inf
+            return "INFO", f"x{ratio:.2f} (time metric, not gated)"
+        limit = 1.0 + tol if tol is not None else args.time_tol
+        if baseline <= 0:
+            return "OK", "baseline <= 0, skipped"
+        ratio = current / baseline
+        if ratio > limit:
+            return "REGRESSED", f"x{ratio:.2f} > limit x{limit:.2f}"
+        return "OK", f"x{ratio:.2f} <= limit x{limit:.2f}"
+    if isinstance(baseline, bool) or isinstance(current, bool):
+        if bool(baseline) != bool(current):
+            return "REGRESSED", f"{baseline} -> {current}"
+        return "OK", "equal"
+    if isinstance(baseline, int) and isinstance(current, int) and tol is None:
+        if baseline != current:
+            return "REGRESSED", f"{baseline} -> {current} (exact int metric)"
+        return "OK", "equal"
+    rel = tol if tol is not None else args.rel_tol
+    scale = max(abs(baseline), abs(current), 1e-300)
+    err = abs(current - baseline) / scale
+    if err > rel:
+        return "REGRESSED", f"rel diff {err:.3g} > tol {rel:.3g}"
+    return "OK", f"rel diff {err:.3g} <= tol {rel:.3g}"
+
+
+def compare(baseline_metrics, current_metrics, args, overrides):
+    rows = []          # (status, path, detail)
+    regressions = 0
+    for path in sorted(set(baseline_metrics) | set(current_metrics)):
+        if path not in current_metrics:
+            rows.append(("MISSING", path, "present in baseline only"))
+            regressions += 1
+            continue
+        if path not in baseline_metrics:
+            rows.append(("NEW", path, "present in current only"))
+            continue
+        status, detail = classify(baseline_metrics[path],
+                                  current_metrics[path], path, args,
+                                  overrides)
+        if status == "REGRESSED":
+            regressions += 1
+        rows.append((status, path, detail))
+    return rows, regressions
+
+
+def parse_overrides(items):
+    overrides = {}
+    for item in items:
+        if "=" not in item:
+            raise ValueError(f"--tol wants key=value, got {item!r}")
+        key, value = item.split("=", 1)
+        overrides[key] = float(value)
+    return overrides
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json reports and flag regressions.")
+    parser.add_argument("baseline",
+                        help="baseline report, or (with --history) ignored")
+    parser.add_argument("current", help="current report to gate")
+    parser.add_argument("--history", metavar="DIR",
+                        help="pick the newest matching report in DIR as the "
+                             "baseline instead of the positional one")
+    parser.add_argument("--rel-tol", type=float, default=1e-6,
+                        help="relative tolerance for float metrics "
+                             "(default %(default)s)")
+    parser.add_argument("--time-tol", type=float, default=1.5,
+                        help="current/baseline ratio limit for time metrics "
+                             "under --gate-times (default %(default)s)")
+    parser.add_argument("--gate-times", action="store_true",
+                        help="gate time-like metrics too (same-machine "
+                             "comparisons only)")
+    parser.add_argument("--tol", action="append", default=[],
+                        metavar="PATH=REL",
+                        help="per-metric relative tolerance override "
+                             "(repeatable)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only non-OK rows and the verdict")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        overrides = parse_overrides(args.tol)
+        current_tool, current_metrics = load_report(args.current)
+        baseline_path = args.baseline
+        if args.history:
+            baseline_path = pick_history_baseline(args.history, current_tool)
+        baseline_tool, baseline_metrics = load_report(baseline_path)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"bench_compare: {error}", file=sys.stderr)
+        return 2
+    if baseline_tool != current_tool:
+        print(f"bench_compare: tool mismatch: baseline '{baseline_tool}' "
+              f"vs current '{current_tool}'", file=sys.stderr)
+        return 2
+
+    rows, regressions = compare(baseline_metrics, current_metrics, args,
+                                overrides)
+    width = max((len(path) for _, path, _ in rows), default=0)
+    for status, path, detail in rows:
+        if args.quiet and status == "OK":
+            continue
+        print(f"{status:9s} {path:{width}s}  {detail}")
+    verdict = "FAIL" if regressions else "PASS"
+    print(f"{verdict}: {current_tool}: {len(rows)} metric(s) compared "
+          f"against {baseline_path}, {regressions} regression(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

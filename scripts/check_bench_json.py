@@ -2,7 +2,9 @@
 """Validate BENCH_<name>.json reports emitted by the bench binaries.
 
 Checks (stdlib only, exit status 0 = all files valid):
-  * schema_version == 1 and every top-level key of the v1 schema present;
+  * schema_version in {1, 2} and every top-level key of that version
+    present (v2 adds the "resources" block — older v1 reports, e.g. the
+    committed BENCH_campaign_parallel.json baseline, stay valid);
   * the span tree is well-formed (recursive field/type checks, min <= max,
     children are trees);
   * metrics arrays carry the expected sample shapes;
@@ -20,7 +22,9 @@ Checks (stdlib only, exit status 0 = all files valid):
   * the parallel-executor "execution" object (when present): workers >= 1,
     scheduling counters non-negative, and workers_quarantined < workers
     (the pool never retires its last worker); likewise the optional
-    checkpoint shard-merge counters.
+    checkpoint shard-merge counters, the pool-telemetry fields
+    (pool_queue_highwater, pool_backpressure_stalls, busy/idle seconds,
+    progress_heartbeats), and the nested resource-usage block.
 
 Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
 """
@@ -28,11 +32,17 @@ Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 TOP_LEVEL_KEYS = (
     "schema_version", "tool", "generated_unix_ms", "tracing", "spans",
     "metrics", "telemetry", "results",
 )
+V2_TOP_LEVEL_KEYS = TOP_LEVEL_KEYS + ("resources",)
+RESOURCE_INT_KEYS = (
+    "max_rss_kb", "current_rss_kb", "minor_faults", "major_faults",
+    "voluntary_ctx_switches", "involuntary_ctx_switches",
+)
+RESOURCE_FLOAT_KEYS = ("user_cpu_seconds", "system_cpu_seconds")
 SPAN_KEYS = (
     "name", "count", "total_seconds", "min_seconds", "max_seconds",
     "cpu_seconds", "children",
@@ -205,6 +215,30 @@ def check_omp_fit_coverage(doc_path, doc):
     return ratio
 
 
+def check_resources(doc_path, where, resources):
+    """Validates a resource-usage block (schema v2; obs/resource.hpp).
+    Used both for the top-level "resources" sample and for the delta nested
+    in a campaign report's execution object."""
+    def bad(message):
+        fail(doc_path, f"resources at {where}: {message}")
+
+    if not isinstance(resources, dict):
+        bad("must be an object")
+    if not isinstance(resources.get("valid"), bool):
+        bad("'valid' must be a boolean")
+    for key in RESOURCE_INT_KEYS:
+        value = resources.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            bad(f"'{key}' must be a non-negative integer, got {value!r}")
+    for key in RESOURCE_FLOAT_KEYS:
+        value = resources.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value < 0:
+            bad(f"'{key}' must be a non-negative number, got {value!r}")
+    # No current_rss <= max_rss cross-check: ru_maxrss is updated lazily by
+    # the kernel and can trail /proc/self/statm by a page or two.
+
+
 def is_campaign_report(node):
     return (isinstance(node, dict) and "attempted" in node
             and "failed_attempts_by_code" in node)
@@ -256,6 +290,22 @@ def check_campaign_report(doc_path, where, report):
         if execution["workers_quarantined"] >= execution["workers"]:
             bad("execution.workers_quarantined must leave at least one "
                 "active worker (the pool never retires the last one)")
+        # Pool-telemetry and heartbeat fields (emitted since schema v2);
+        # optional so v1-era reports stay valid.
+        for key in ("pool_queue_highwater", "pool_backpressure_stalls",
+                    "progress_heartbeats"):
+            if key in execution and (not isinstance(execution[key], int)
+                                     or execution[key] < 0):
+                bad(f"execution.{key} must be a non-negative integer")
+        for key in ("pool_busy_seconds", "pool_idle_seconds"):
+            if key in execution and (
+                    not isinstance(execution[key], (int, float))
+                    or isinstance(execution[key], bool)
+                    or execution[key] < 0):
+                bad(f"execution.{key} must be a non-negative number")
+        if "resources" in execution:
+            check_resources(doc_path, f"{where}.execution.resources",
+                            execution["resources"])
 
     histogram = report.get("failed_attempts_by_code")
     if not isinstance(histogram, dict):
@@ -304,12 +354,15 @@ def find_campaign_reports(node, where="results"):
 def check_file(doc_path):
     with open(doc_path, "r", encoding="utf-8") as handle:
         doc = json.load(handle)
-    for key in TOP_LEVEL_KEYS:
+    if doc.get("schema_version") not in SUPPORTED_SCHEMA_VERSIONS:
+        fail(doc_path,
+             f"schema_version {doc.get('schema_version')!r} not in "
+             f"{SUPPORTED_SCHEMA_VERSIONS}")
+    required = (V2_TOP_LEVEL_KEYS if doc["schema_version"] >= 2
+                else TOP_LEVEL_KEYS)
+    for key in required:
         if key not in doc:
             fail(doc_path, f"missing top-level key '{key}'")
-    if doc["schema_version"] != SCHEMA_VERSION:
-        fail(doc_path,
-             f"schema_version {doc['schema_version']!r} != {SCHEMA_VERSION}")
     if not isinstance(doc["tool"], str) or not doc["tool"]:
         fail(doc_path, "'tool' must be a non-empty string")
     if not isinstance(doc["generated_unix_ms"], int) or doc["generated_unix_ms"] <= 0:
@@ -322,6 +375,8 @@ def check_file(doc_path):
         fail(doc_path, "'results' must be an object")
 
     check_span(doc_path, doc["spans"])
+    if doc["schema_version"] >= 2:
+        check_resources(doc_path, "top-level", doc["resources"])
     check_metrics(doc_path, doc["metrics"])
     records = check_telemetry(doc_path, doc["telemetry"])
     check_residual_monotonicity(doc_path, records)

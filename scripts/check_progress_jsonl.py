@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate a campaign progress-heartbeat stream (JSONL from --progress).
+
+Structural checks (stdlib only, exit 0 = all files valid):
+  * every line parses as a JSON object carrying the full heartbeat schema
+    (event/source/elapsed_seconds/total_rows/rows_done/rows_succeeded/
+    rows_quarantined/rows_per_second/eta_seconds/workers/active_workers/
+    worker_utilization);
+  * "event" is "progress" or "summary", and the stream ends with the
+    unconditional "summary" the campaign emits after its fold;
+  * counts are consistent on every line: rows_done = rows_succeeded +
+    rows_quarantined, 0 <= rows_done <= total_rows, and rows_done never
+    decreases along the stream;
+  * eta_seconds and worker_utilization are numbers or null (unknown);
+  * with --expect-rows N, the final summary's rows_done equals N; with
+    --expect-source NAME, every line's source equals NAME.
+
+Usage: check_progress_jsonl.py progress.jsonl [...] [--expect-rows N]
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = (
+    "event", "source", "elapsed_seconds", "total_rows", "rows_done",
+    "rows_succeeded", "rows_quarantined", "rows_per_second", "eta_seconds",
+    "workers", "active_workers", "worker_utilization",
+)
+INT_KEYS = ("total_rows", "rows_done", "rows_succeeded", "rows_quarantined",
+            "workers", "active_workers")
+NULLABLE_KEYS = ("eta_seconds", "worker_utilization")
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(where, message):
+    raise ValidationError(f"{where}: {message}")
+
+
+def check_line(where, event):
+    if not isinstance(event, dict):
+        fail(where, f"line must be a JSON object, got {event!r}")
+    for key in REQUIRED_KEYS:
+        if key not in event:
+            fail(where, f"missing key '{key}'")
+    if event["event"] not in ("progress", "summary"):
+        fail(where, f"unknown event {event['event']!r}")
+    for key in INT_KEYS:
+        value = event[key]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(where, f"'{key}' must be a non-negative integer, "
+                        f"got {value!r}")
+    for key in ("elapsed_seconds", "rows_per_second"):
+        value = event[key]
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value < 0:
+            fail(where, f"'{key}' must be a non-negative number, "
+                        f"got {value!r}")
+    for key in NULLABLE_KEYS:
+        value = event[key]
+        if value is not None and (not isinstance(value, (int, float))
+                                  or isinstance(value, bool)):
+            fail(where, f"'{key}' must be a number or null, got {value!r}")
+    if event["rows_done"] != event["rows_succeeded"] + \
+            event["rows_quarantined"]:
+        fail(where, f"rows_done {event['rows_done']} != succeeded "
+                    f"{event['rows_succeeded']} + quarantined "
+                    f"{event['rows_quarantined']}")
+    if event["rows_done"] > event["total_rows"]:
+        fail(where, f"rows_done {event['rows_done']} > total_rows "
+                    f"{event['total_rows']}")
+
+
+def check_file(path, args):
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for i, line in enumerate(handle, 1):
+            if not line.strip():
+                fail(f"{path}:{i}", "blank line in JSONL stream")
+            events.append(json.loads(line))
+            check_line(f"{path}:{i}", events[-1])
+    if not events:
+        fail(path, "empty stream (the first maybe_emit always writes)")
+    done = [e["rows_done"] for e in events]
+    if done != sorted(done):
+        fail(path, f"rows_done is not monotone: {done}")
+    last = events[-1]
+    if last["event"] != "summary":
+        fail(path, f"stream must end with the summary event, "
+                   f"got {last['event']!r}")
+    if args.expect_rows is not None and last["rows_done"] != args.expect_rows:
+        fail(path, f"summary rows_done {last['rows_done']} != expected "
+                   f"{args.expect_rows}")
+    if args.expect_source is not None:
+        for i, event in enumerate(events, 1):
+            if event["source"] != args.expect_source:
+                fail(f"{path}:{i}", f"source {event['source']!r} != "
+                                    f"{args.expect_source!r}")
+    print(f"OK {path}: {len(events)} event(s), final rows_done "
+          f"{last['rows_done']}/{last['total_rows']}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate campaign progress-heartbeat JSONL streams.")
+    parser.add_argument("files", nargs="+", help="JSONL streams to validate")
+    parser.add_argument("--expect-rows", type=int, default=None,
+                        help="require the final summary's rows_done to equal "
+                             "this")
+    parser.add_argument("--expect-source", default=None,
+                        help="require every event's source field to equal "
+                             "this")
+    args = parser.parse_args(argv[1:])
+    status = 0
+    for path in args.files:
+        try:
+            check_file(path, args)
+        except (ValidationError, OSError, json.JSONDecodeError, KeyError,
+                TypeError) as error:
+            print(f"FAIL {path}: {error}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

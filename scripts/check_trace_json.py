@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate Chrome-trace JSON exported via RSM_TRACE_EXPORT.
+
+Structural checks (stdlib only, exit 0 = all files valid):
+  * the document loads and carries displayTimeUnit / otherData /
+    traceEvents, with traceEvents a list;
+  * every event is a complete ("X") or metadata ("M") event — the exporter
+    never emits unmatched B/E pairs;
+  * X events carry name/cat/pid/tid, numeric non-negative ts/dur, and args
+    with a non-negative integer count plus numeric min_ms/max_ms/cpu_ms;
+  * every X event's tid has a matching thread_name metadata event, and a
+    process_name metadata event exists;
+  * per tid, events form a valid nesting: sorted by ts, each event lies
+    within [ts, ts+dur] of every enclosing event (the exporter lays spans
+    out synthetically, so overlap without containment is a bug);
+  * with --expect-span NAME (repeatable), an X event of that name exists —
+    CI asserts the campaign spans made it into the artifact.
+
+Usage: check_trace_json.py trace.json [more.json ...] [--expect-span NAME]
+"""
+
+import argparse
+import json
+import sys
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(path, message):
+    raise ValidationError(f"{path}: {message}")
+
+
+def check_number(path, event, key, minimum=None):
+    value = event.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(path, f"event {event.get('name')!r}: '{key}' must be a number, "
+                   f"got {value!r}")
+    if minimum is not None and value < minimum:
+        fail(path, f"event {event.get('name')!r}: '{key}' = {value} < "
+                   f"{minimum}")
+    return value
+
+
+def check_x_event(path, event):
+    for key in ("name", "cat"):
+        if not isinstance(event.get(key), str) or not event[key]:
+            fail(path, f"X event missing string '{key}': {event!r}")
+    for key in ("pid", "tid"):
+        if not isinstance(event.get(key), int):
+            fail(path, f"X event {event['name']!r}: '{key}' must be an int")
+    check_number(path, event, "ts", minimum=0)
+    check_number(path, event, "dur", minimum=0)
+    args = event.get("args")
+    if not isinstance(args, dict):
+        fail(path, f"X event {event['name']!r}: 'args' must be an object")
+    count = args.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        fail(path, f"X event {event['name']!r}: args.count must be a "
+                   f"non-negative integer")
+    for key in ("min_ms", "max_ms", "cpu_ms"):
+        check_number(path, args, key)
+
+
+def check_nesting(path, tid, events):
+    """Synthetic timelines must nest: sort by (ts, -dur); every event must
+    lie inside the still-open enclosing events."""
+    stack = []  # (ts, end)
+    slack = 1e-3  # µs; double rounding across depth
+    for event in sorted(events, key=lambda e: (e["ts"], -e["dur"])):
+        start, end = event["ts"], event["ts"] + event["dur"]
+        while stack and start >= stack[-1][1] - slack:
+            stack.pop()
+        if stack and end > stack[-1][1] + slack:
+            fail(path,
+                 f"tid {tid}: event {event['name']!r} [{start}, {end}] "
+                 f"overlaps its enclosing span without nesting "
+                 f"(encloser ends at {stack[-1][1]})")
+        stack.append((start, end))
+
+
+def check_file(path, expected_spans):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    for key in ("displayTimeUnit", "otherData", "traceEvents"):
+        if key not in doc:
+            fail(path, f"missing top-level key '{key}'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(path, "'traceEvents' must be an array")
+
+    named_threads = set()
+    has_process_name = False
+    by_tid = {}
+    x_names = set()
+    for event in events:
+        if not isinstance(event, dict):
+            fail(path, f"event must be an object, got {event!r}")
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") == "process_name":
+                has_process_name = True
+            elif event.get("name") == "thread_name":
+                named_threads.add(event.get("tid"))
+        elif phase == "X":
+            check_x_event(path, event)
+            by_tid.setdefault(event["tid"], []).append(event)
+            x_names.add(event["name"])
+        else:
+            fail(path, f"unexpected phase {phase!r} (exporter emits only "
+                       f"complete X and metadata M events)")
+    if not has_process_name:
+        fail(path, "no process_name metadata event")
+    for tid, tid_events in by_tid.items():
+        if tid not in named_threads:
+            fail(path, f"tid {tid} has X events but no thread_name metadata")
+        check_nesting(path, tid, tid_events)
+    for name in expected_spans:
+        if name not in x_names:
+            fail(path, f"expected span {name!r} not present "
+                       f"(have: {sorted(x_names)})")
+    print(f"OK {path}: {sum(len(v) for v in by_tid.values())} span event(s) "
+          f"across {len(by_tid)} thread(s)")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate RSM_TRACE_EXPORT Chrome-trace JSON.")
+    parser.add_argument("files", nargs="+", help="trace files to validate")
+    parser.add_argument("--expect-span", action="append", default=[],
+                        metavar="NAME",
+                        help="require an X event with this name (repeatable)")
+    args = parser.parse_args(argv[1:])
+    status = 0
+    for path in args.files:
+        try:
+            check_file(path, args.expect_span)
+        except (ValidationError, OSError, json.JSONDecodeError, KeyError,
+                TypeError) as error:
+            print(f"FAIL {path}: {error}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

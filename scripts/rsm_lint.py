@@ -31,6 +31,12 @@ linter enforces them mechanically (stdlib only, no libclang):
   span-name-literal     RSM_TRACE_SPAN takes a string literal: the span
                         tree stores the char* and compares by pointer, so
                         a dynamic name is a lifetime bug (trace.hpp).
+  metric-name-literal   metrics().counter/gauge/histogram names must start
+                        with a string literal: dashboards, check_bench_json
+                        and bench_compare.py key on stable metric names, so
+                        a fully dynamic name silently drops out of every
+                        comparison (suffix concatenation onto a literal
+                        prefix is fine).
   no-raw-thread         no std::thread/std::jthread/std::async outside
                         src/util/ — all parallelism goes through
                         rsm::ThreadPool so worker retirement, exception
@@ -333,6 +339,33 @@ def rule_span_name_literal(files, _root):
     return findings
 
 
+METRIC_CALL_RE = re.compile(r"\.\s*(counter|gauge|histogram)\s*\(")
+
+
+def rule_metric_name_literal(files, _root):
+    # The stripped view preserves offsets and quote characters, so the
+    # first argument's leading `"` is visible without consulting raw text.
+    findings = []
+    for f in files:
+        code = "\n".join(f.code_lines)
+        for m in METRIC_CALL_RE.finditer(code):
+            line_start = code.rfind("\n", 0, m.start()) + 1
+            if code[line_start:m.start()].lstrip().startswith("#"):
+                continue
+            if re.match(r'\s*"', code[m.end():m.end() + 160]):
+                continue
+            line_no = code.count("\n", 0, m.start()) + 1
+            if f.allowed(line_no, "metric-name-literal"):
+                continue
+            findings.append(Finding(
+                "metric-name-literal", f.rel, line_no,
+                f"metrics().{m.group(1)}() name should start with a string "
+                f"literal so dashboards and bench_compare.py see stable "
+                f"keys; hoist intentionally dynamic names behind "
+                f"rsm-lint-allow(metric-name-literal)"))
+    return findings
+
+
 # `\s*` around :: keeps `std :: thread` honest; `std::this_thread` cannot
 # match because the token after :: must be thread/jthread/async itself.
 RAW_THREAD_RE = re.compile(r"\bstd\s*::\s*(thread|jthread|async)\b")
@@ -438,6 +471,7 @@ RULES = {
     "header-hygiene": rule_header_hygiene,
     "banned-functions": rule_banned_functions,
     "span-name-literal": rule_span_name_literal,
+    "metric-name-literal": rule_metric_name_literal,
     "no-raw-thread": rule_no_raw_thread,
 }
 

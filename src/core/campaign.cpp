@@ -5,11 +5,14 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "io/progress_sink.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -192,6 +195,7 @@ CampaignResult run_rows(const Matrix& samples, const SampleEvaluator& evaluate,
 
   const Index num_samples = samples.rows();
   const int workers = resolve_num_workers(options.num_workers, 1);
+  const obs::ResourceUsage resource_start = obs::sample_resource_usage();
   CampaignResult result;
   CampaignReport& report = result.report;
   report.min_success_fraction = options.min_success_fraction;
@@ -223,6 +227,61 @@ CampaignResult run_rows(const Matrix& samples, const SampleEvaluator& evaluate,
           : Deadline::unlimited();
   auto globally_stopped = [&] {
     return options.cancel.cancelled() || global_deadline.expired();
+  };
+
+  // Live heartbeats (no-op while progress_path is empty). Row counters are
+  // bumped by whichever thread finishes a row; the reporter rate-limits, so
+  // calling after every row is cheap. Replayed rows count as already done.
+  std::unique_ptr<io::ProgressSink> progress_sink;
+  std::unique_ptr<obs::ProgressReporter> progress;
+  std::atomic<std::int64_t> rows_done{0};
+  std::atomic<std::int64_t> rows_succeeded{0};
+  std::atomic<std::int64_t> rows_quarantined{0};
+  for (const RowOutcome& out : outcomes) {
+    if (!out.done || !out.evaluated) continue;
+    rows_done.fetch_add(1, std::memory_order_relaxed);
+    (out.ok ? rows_succeeded : rows_quarantined)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!options.progress_path.empty()) {
+    progress_sink = std::make_unique<io::ProgressSink>(options.progress_path);
+    obs::ProgressReporter::Options progress_options;
+    progress_options.source = "campaign";
+    progress_options.interval_seconds = options.progress_interval_seconds;
+    progress = std::make_unique<obs::ProgressReporter>(
+        progress_options, progress_sink->as_line_sink());
+  }
+  // Serializes count-update + snapshot + emit so every heartbeat line is
+  // internally consistent (rows_done == succeeded + quarantined) and
+  // rows_done is monotone along the stream — scripts/check_progress_jsonl.py
+  // asserts both. One uncontended lock per row is noise next to the
+  // simulation the row just ran.
+  std::mutex progress_mutex;
+  auto note_row = [&](const RowOutcome& out, ThreadPool* pool) {
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    if (out.evaluated) {
+      rows_done.fetch_add(1, std::memory_order_relaxed);
+      (out.ok ? rows_succeeded : rows_quarantined)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    if (progress == nullptr) return;
+    obs::ProgressSnapshot snap;
+    snap.total_rows = static_cast<std::int64_t>(num_samples);
+    snap.rows_done = rows_done.load(std::memory_order_relaxed);
+    snap.rows_succeeded = rows_succeeded.load(std::memory_order_relaxed);
+    snap.rows_quarantined = rows_quarantined.load(std::memory_order_relaxed);
+    if (pool != nullptr) {
+      snap.workers = pool->num_workers();
+      snap.active_workers = pool->active_workers();
+      for (const ThreadPool::WorkerStats& ws : pool->worker_stats()) {
+        snap.busy_seconds += ws.busy_seconds;
+        snap.idle_seconds += ws.idle_seconds;
+      }
+    } else {
+      snap.workers = 1;
+      snap.active_workers = 1;
+    }
+    progress->maybe_emit(snap);
   };
 
   if (workers <= 1 || pending.empty()) {
@@ -273,6 +332,7 @@ CampaignResult run_rows(const Matrix& samples, const SampleEvaluator& evaluate,
           on_checkpoint_failure(e);
         }
       }
+      note_row(out, nullptr);
       outcomes[static_cast<std::size_t>(k)] = std::move(out);
       if (interrupted) break;
     }
@@ -385,6 +445,7 @@ CampaignResult run_rows(const Matrix& samples, const SampleEvaluator& evaluate,
           }
         }
         if (out.evaluated) ++shard.rows;
+        note_row(out, &pool);
         outcomes[static_cast<std::size_t>(k)] = std::move(out);
         obs::metrics().gauge("campaign.pool.queue_depth")
             .set(static_cast<double>(pool.queue_depth()));
@@ -394,8 +455,24 @@ CampaignResult run_rows(const Matrix& samples, const SampleEvaluator& evaluate,
       pool.wait_idle();
       const ThreadPool::Stats pool_stats = pool.stats();
       report.tasks_stolen = static_cast<Index>(pool_stats.stolen);
+      report.pool_queue_highwater =
+          static_cast<Index>(pool_stats.queue_highwater);
+      report.pool_backpressure_stalls =
+          static_cast<Index>(pool_stats.backpressure_stalls);
+      for (const ThreadPool::WorkerStats& ws : pool.worker_stats()) {
+        report.pool_busy_seconds += ws.busy_seconds;
+        report.pool_idle_seconds += ws.idle_seconds;
+      }
       obs::metrics().counter("campaign.pool.steals")
           .increment(static_cast<std::int64_t>(pool_stats.stolen));
+      obs::metrics().counter("campaign.pool.backpressure_stalls")
+          .increment(static_cast<std::int64_t>(pool_stats.backpressure_stalls));
+      obs::metrics().gauge("campaign.pool.queue_highwater")
+          .set(static_cast<double>(pool_stats.queue_highwater));
+      obs::metrics().gauge("campaign.pool.busy_seconds")
+          .set(report.pool_busy_seconds);
+      obs::metrics().gauge("campaign.pool.idle_seconds")
+          .set(report.pool_idle_seconds);
       obs::metrics().gauge("campaign.pool.queue_depth").set(0);
     }  // joins the pool: every worker-side write is visible below
 
@@ -482,6 +559,29 @@ CampaignResult run_rows(const Matrix& samples, const SampleEvaluator& evaluate,
       .increment(static_cast<std::int64_t>(report.quarantined.size()));
   obs::metrics().counter("campaign.retries").increment(report.total_retries);
 
+  report.resources =
+      obs::resource_delta(obs::sample_resource_usage(), resource_start);
+  obs::record_resource_metrics(report.resources);
+  if (progress != nullptr) {
+    // The stream always ends with the folded truth, whatever the heartbeat
+    // cadence caught mid-run.
+    obs::ProgressSnapshot final_snap;
+    final_snap.total_rows = static_cast<std::int64_t>(num_samples);
+    final_snap.rows_done = static_cast<std::int64_t>(report.attempted);
+    final_snap.rows_succeeded = static_cast<std::int64_t>(report.succeeded);
+    final_snap.rows_quarantined =
+        static_cast<std::int64_t>(report.quarantined.size());
+    final_snap.workers = report.workers;
+    final_snap.active_workers = report.workers - report.workers_quarantined;
+    final_snap.busy_seconds = report.pool_busy_seconds;
+    final_snap.idle_seconds = report.pool_idle_seconds;
+    progress->emit_final(final_snap);
+    report.progress_heartbeats =
+        static_cast<Index>(progress->events_emitted());
+    obs::metrics().counter("campaign.progress.heartbeats")
+        .increment(report.progress_heartbeats);
+  }
+
   result.samples = Matrix(static_cast<Index>(survivors.size()),
                           samples.cols());
   for (std::size_t r = 0; r < survivors.size(); ++r) {
@@ -527,6 +627,13 @@ std::string CampaignReport::summary() const {
       os << ", " << worker_infra_failures << " infra fault(s) absorbed";
     if (workers_quarantined > 0)
       os << ", " << workers_quarantined << " worker(s) retired";
+  }
+  if (resources.valid) {
+    os << "\nresources: max RSS " << resources.max_rss_kb << " KiB, "
+       << resources.minor_faults << '/' << resources.major_faults
+       << " minor/major faults, " << resources.voluntary_ctx_switches << '/'
+       << resources.involuntary_ctx_switches
+       << " voluntary/involuntary switches";
   }
   if (shards_merged > 0) {
     os << "\nshards: " << shards_merged << " merged";
@@ -588,6 +695,15 @@ obs::JsonValue CampaignReport::to_json() const {
   execution.set("worker_infra_failures",
                 static_cast<std::int64_t>(worker_infra_failures));
   execution.set("tasks_stolen", static_cast<std::int64_t>(tasks_stolen));
+  execution.set("pool_queue_highwater",
+                static_cast<std::int64_t>(pool_queue_highwater));
+  execution.set("pool_backpressure_stalls",
+                static_cast<std::int64_t>(pool_backpressure_stalls));
+  execution.set("pool_busy_seconds", pool_busy_seconds);
+  execution.set("pool_idle_seconds", pool_idle_seconds);
+  execution.set("progress_heartbeats",
+                static_cast<std::int64_t>(progress_heartbeats));
+  execution.set("resources", obs::resource_json(resources));
   doc.set("execution", std::move(execution));
   obs::JsonValue errors = obs::JsonValue::object();
   for (int c = 0; c < kNumErrorCodes; ++c) {

@@ -74,6 +74,7 @@
 #include "io/checkpoint.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/json.hpp"
+#include "obs/resource.hpp"
 #include "util/cancellation.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
@@ -130,6 +131,16 @@ struct CampaignOptions {
   /// retired (graceful degradation); the pool never retires its last
   /// active worker.
   int worker_quarantine_threshold = 1;
+
+  /// Live progress heartbeats: while non-empty, JSONL events
+  /// (obs/progress.hpp) are appended to this path roughly every
+  /// progress_interval_seconds, plus one final summary event. Heartbeat
+  /// I/O failures never abort the campaign. Disabled while empty.
+  std::string progress_path;
+
+  /// Minimum spacing between heartbeats [s]; <= 0 emits after every row
+  /// (tests only — keep >= 0.1 on real campaigns).
+  double progress_interval_seconds = 1.0;
 };
 
 /// Longest quarantine reason retained in reports and checkpoints, so a
@@ -187,6 +198,19 @@ struct CampaignReport {
   int workers_quarantined = 0;      // retired after infrastructure faults
   Index worker_infra_failures = 0;  // injected worker faults absorbed
   Index tasks_stolen = 0;           // pool work-stealing events
+
+  /// Pool telemetry (zeros on serial runs).
+  Index pool_queue_highwater = 0;       // max tasks simultaneously queued
+  Index pool_backpressure_stalls = 0;   // submit() sleeps on full queues
+  double pool_busy_seconds = 0;         // inside tasks, summed over workers
+  double pool_idle_seconds = 0;         // between tasks, summed over workers
+
+  /// Heartbeats written this run (0 while progress_path is empty).
+  Index progress_heartbeats = 0;
+
+  /// Process resource usage over this run (counters are deltas, RSS fields
+  /// end-of-run values — see obs/resource.hpp).
+  obs::ResourceUsage resources;
 
   /// Shard-merge accounting from resume (zero on fresh runs).
   int shards_merged = 0;        // shard files whose records were absorbed

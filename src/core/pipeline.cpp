@@ -106,9 +106,10 @@ BuildReport build_model_from_design(
   report.training_error = relative_rms_error(pred, values);
 
   obs::metrics().counter("pipeline.models_built").increment();
+  const std::string per_method_counter =
+      std::string("pipeline.models_built.") + method_name(options.method);
   obs::metrics()
-      .counter(std::string("pipeline.models_built.") +
-               method_name(options.method))
+      .counter(per_method_counter)  // rsm-lint-allow(metric-name-literal)
       .increment();
   obs::metrics()
       .histogram("pipeline.fit_seconds",

@@ -1,0 +1,39 @@
+#include "io/progress_sink.hpp"
+
+#include <utility>
+
+#include "util/errors.hpp"
+#include "util/log.hpp"
+
+namespace rsm::io {
+
+ProgressSink::ProgressSink(std::string path) {
+  try {
+    file_ = std::make_unique<DurableFile>(std::move(path),
+                                          DurableFile::Mode::kAppend);
+  } catch (const IoError& e) {
+    RSM_WARN("progress sink: cannot open heartbeat file: " << e.what());
+    failed_ = true;
+  }
+}
+
+void ProgressSink::write_line(const std::string& line) noexcept {
+  if (failed_ || file_ == nullptr) return;
+  try {
+    file_->write(line);
+    file_->write("\n");
+    file_->sync();
+    ++lines_;
+  } catch (const IoError& e) {
+    RSM_WARN("progress sink: heartbeat write failed, disabling: "
+             << e.what());
+    failed_ = true;
+    file_.reset();
+  }
+}
+
+std::function<void(const std::string&)> ProgressSink::as_line_sink() {
+  return [this](const std::string& line) { write_line(line); };
+}
+
+}  // namespace rsm::io

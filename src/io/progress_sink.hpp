@@ -1,0 +1,45 @@
+// Durable JSONL line sink for progress heartbeats.
+//
+// The heartbeat *formatter* lives in obs/progress.hpp (obs cannot link io);
+// this is the file end of the pipe: append-open the path, write each line
+// plus '\n', fsync — so `tail -f progress.jsonl` on another terminal (or a
+// dashboard scraping it) always sees complete lines, and the last heartbeat
+// survives a SIGKILL.
+//
+// A sink must never take down the campaign it narrates: every I/O failure
+// is logged once, the sink disables itself, and later lines are dropped
+// silently (`failed()` reports it for the final accounting).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "io/atomic_file.hpp"
+
+namespace rsm::io {
+
+class ProgressSink {
+ public:
+  /// Append-opens `path`. Open failures do not throw: the sink starts in
+  /// the failed state and drops everything.
+  explicit ProgressSink(std::string path);
+
+  /// Writes `line` + '\n' and fsyncs. Never throws; first failure flips
+  /// the sink to failed and is logged.
+  void write_line(const std::string& line) noexcept;
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] std::int64_t lines_written() const { return lines_; }
+
+  /// Adapter for obs::ProgressReporter's LineSink. The returned function
+  /// references this sink, which must outlive it.
+  [[nodiscard]] std::function<void(const std::string&)> as_line_sink();
+
+ private:
+  std::unique_ptr<DurableFile> file_;
+  bool failed_ = false;
+  std::int64_t lines_ = 0;
+};
+
+}  // namespace rsm::io

@@ -1,0 +1,79 @@
+#include "obs/progress.hpp"
+
+#include <utility>
+
+#include "obs/json.hpp"
+#include "util/common.hpp"
+
+namespace rsm::obs {
+
+ProgressReporter::ProgressReporter(Options options, LineSink sink)
+    : options_(std::move(options)), sink_(std::move(sink)) {
+  RSM_CHECK_MSG(static_cast<bool>(sink_),
+                "ProgressReporter needs a line sink");
+  start_ = std::chrono::steady_clock::now();
+  last_emit_ = start_;
+}
+
+bool ProgressReporter::maybe_emit(const ProgressSnapshot& snapshot) {
+  const auto now = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double since_last =
+      std::chrono::duration<double>(now - last_emit_).count();
+  if (emitted_any_ && since_last < options_.interval_seconds) return false;
+  last_emit_ = now;
+  emitted_any_ = true;
+  emit_locked(snapshot, "progress",
+              std::chrono::duration<double>(now - start_).count());
+  return true;
+}
+
+void ProgressReporter::emit_final(const ProgressSnapshot& snapshot) {
+  const auto now = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  last_emit_ = now;
+  emitted_any_ = true;
+  emit_locked(snapshot, "summary",
+              std::chrono::duration<double>(now - start_).count());
+}
+
+std::int64_t ProgressReporter::events_emitted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void ProgressReporter::emit_locked(const ProgressSnapshot& snapshot,
+                                   const char* event,
+                                   double elapsed_seconds) {
+  JsonValue line = JsonValue::object();
+  line.set("event", event);
+  line.set("source", options_.source);
+  line.set("elapsed_seconds", elapsed_seconds);
+  line.set("total_rows", snapshot.total_rows);
+  line.set("rows_done", snapshot.rows_done);
+  line.set("rows_succeeded", snapshot.rows_succeeded);
+  line.set("rows_quarantined", snapshot.rows_quarantined);
+  const double rate = elapsed_seconds > 0
+                          ? static_cast<double>(snapshot.rows_done) /
+                                elapsed_seconds
+                          : 0;
+  line.set("rows_per_second", rate);
+  const std::int64_t remaining = snapshot.total_rows - snapshot.rows_done;
+  if (rate > 0 && remaining >= 0) {
+    line.set("eta_seconds", static_cast<double>(remaining) / rate);
+  } else {
+    line.set("eta_seconds", JsonValue());  // unknown -> null
+  }
+  line.set("workers", snapshot.workers);
+  line.set("active_workers", snapshot.active_workers);
+  const double accounted = snapshot.busy_seconds + snapshot.idle_seconds;
+  if (accounted > 0) {
+    line.set("worker_utilization", snapshot.busy_seconds / accounted);
+  } else {
+    line.set("worker_utilization", JsonValue());
+  }
+  ++events_;
+  sink_(line.dump());
+}
+
+}  // namespace rsm::obs

@@ -1,0 +1,78 @@
+// Live progress heartbeats: periodic JSONL events from a running campaign.
+//
+// A million-row campaign is opaque between its start banner and its final
+// report; this reporter turns the coordinator's row accounting into a
+// machine-tailable stream:
+//
+//   {"event":"progress","source":"campaign","elapsed_seconds":2.0,
+//    "total_rows":100000,"rows_done":3112,"rows_succeeded":3080,
+//    "rows_quarantined":32,"rows_per_second":1556.0,
+//    "eta_seconds":62.3,"workers":8,"active_workers":8,
+//    "worker_utilization":0.93}
+//
+// The reporter only *formats and rate-limits*; where lines go is the
+// caller's business via the LineSink function (obs cannot depend on io —
+// io links obs). The campaign layer wires in a durable append sink
+// (io/progress_sink.hpp); tests wire in a capturing lambda and an interval
+// of zero. maybe_emit is thread-safe and cheap when not due (one mutex
+// acquisition), so parallel campaign workers call it after every row.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace rsm::obs {
+
+/// One point-in-time view of campaign progress, provided by the caller
+/// (the reporter never aggregates — it has no idea what a "row" is).
+struct ProgressSnapshot {
+  std::int64_t total_rows = 0;
+  std::int64_t rows_done = 0;  ///< evaluated: succeeded + quarantined
+  std::int64_t rows_succeeded = 0;
+  std::int64_t rows_quarantined = 0;
+  int workers = 0;
+  int active_workers = 0;
+  double busy_seconds = 0;  ///< summed over workers; both 0 = unknown
+  double idle_seconds = 0;
+};
+
+/// Rate-limited JSONL heartbeat formatter. Thread-safe.
+class ProgressReporter {
+ public:
+  using LineSink = std::function<void(const std::string& line)>;
+
+  struct Options {
+    std::string source = "campaign";  ///< "source" field of every event
+    double interval_seconds = 1.0;    ///< min spacing; <= 0 emits every call
+  };
+
+  ProgressReporter(Options options, LineSink sink);
+
+  /// Emits a heartbeat when at least interval_seconds have elapsed since
+  /// the previous one (the first call always emits). Returns whether a
+  /// line was written.
+  bool maybe_emit(const ProgressSnapshot& snapshot);
+
+  /// Unconditional final event (event: "summary") — campaigns call this
+  /// once after the fold so the stream always ends with the true totals.
+  void emit_final(const ProgressSnapshot& snapshot);
+
+  [[nodiscard]] std::int64_t events_emitted() const;
+
+ private:
+  void emit_locked(const ProgressSnapshot& snapshot, const char* event,
+                   double elapsed_seconds);
+
+  Options options_;
+  LineSink sink_;
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_emit_;
+  bool emitted_any_ = false;
+  std::int64_t events_ = 0;
+};
+
+}  // namespace rsm::obs

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/resource.hpp"
 #include "util/log.hpp"
 
 namespace rsm::obs {
@@ -80,6 +81,13 @@ JsonValue build_report(const std::string& tool, JsonValue results,
   report.set("tracing", std::move(tracing));
 
   report.set("spans", span_to_json(trace_snapshot()));
+
+  // Sampled (and published as resource.* gauges) before the metrics
+  // snapshot below, so the registry view includes the same sample.
+  const ResourceUsage usage = sample_resource_usage();
+  record_resource_metrics(usage);
+  report.set("resources", resource_json(usage));
+
   report.set("metrics", metrics_to_json(metrics().snapshot()));
 
   if (telemetry != nullptr) {

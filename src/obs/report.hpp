@@ -6,11 +6,12 @@
 // timings) into a single JSON document:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "tool": "table1_linear_cost",
 //     "generated_unix_ms": 1754500000000,
 //     "tracing": {"compiled": true, "enabled": true},
 //     "spans":   {"name": "", "count": 0, ..., "children": [...]},
+//     "resources": {"valid": true, "max_rss_kb": 51200, ...},
 //     "metrics": {"counters": [...], "gauges": [...], "histograms": [...]},
 //     "telemetry": {"records": [...], "dropped": 0},
 //     "results": { ... tool specific ... }
@@ -18,7 +19,8 @@
 //
 // The schema is documented field-by-field in docs/observability.md and
 // validated in CI by scripts/check_bench_json.py. Bump kReportSchemaVersion
-// on any incompatible change.
+// on any incompatible change. Version history: 1 = original layout; 2 adds
+// the "resources" block (obs/resource.hpp) and its resource.* gauges.
 #pragma once
 
 #include <string>
@@ -30,7 +32,7 @@
 
 namespace rsm::obs {
 
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
 
 /// Span tree -> JSON node: {"name", "count", "total_seconds",
 /// "min_seconds", "max_seconds", "cpu_seconds", "children": [...]}.

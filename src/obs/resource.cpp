@@ -1,0 +1,112 @@
+#include "obs/resource.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define RSM_HAS_GETRUSAGE 1
+#else
+#define RSM_HAS_GETRUSAGE 0
+#endif
+
+namespace rsm::obs {
+namespace {
+
+/// Resident pages from /proc/self/statm (field 2), in KiB; 0 when /proc is
+/// unavailable (non-Linux) — ru_maxrss still covers the peak there.
+std::int64_t current_rss_kb_from_proc() {
+#if defined(__linux__)
+  std::FILE* file = std::fopen("/proc/self/statm", "r");
+  if (file == nullptr) return 0;
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  const int parsed =
+      std::fscanf(file, "%lld %lld", &total_pages, &resident_pages);
+  std::fclose(file);
+  if (parsed != 2) return 0;
+  const long page_bytes = sysconf(_SC_PAGESIZE);
+  if (page_bytes <= 0) return 0;
+  return static_cast<std::int64_t>(resident_pages) * (page_bytes / 1024);
+#else
+  return 0;
+#endif
+}
+
+double timeval_seconds(long sec, long usec) {
+  return static_cast<double>(sec) + static_cast<double>(usec) * 1e-6;
+}
+
+}  // namespace
+
+ResourceUsage sample_resource_usage() {
+  ResourceUsage usage;
+#if RSM_HAS_GETRUSAGE
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return usage;
+  usage.valid = true;
+#if defined(__APPLE__)
+  usage.max_rss_kb = static_cast<std::int64_t>(ru.ru_maxrss) / 1024;  // bytes
+#else
+  usage.max_rss_kb = static_cast<std::int64_t>(ru.ru_maxrss);  // KiB
+#endif
+  usage.minor_faults = static_cast<std::int64_t>(ru.ru_minflt);
+  usage.major_faults = static_cast<std::int64_t>(ru.ru_majflt);
+  usage.voluntary_ctx_switches = static_cast<std::int64_t>(ru.ru_nvcsw);
+  usage.involuntary_ctx_switches = static_cast<std::int64_t>(ru.ru_nivcsw);
+  usage.user_cpu_seconds =
+      timeval_seconds(ru.ru_utime.tv_sec, ru.ru_utime.tv_usec);
+  usage.system_cpu_seconds =
+      timeval_seconds(ru.ru_stime.tv_sec, ru.ru_stime.tv_usec);
+  usage.current_rss_kb = current_rss_kb_from_proc();
+#endif
+  return usage;
+}
+
+ResourceUsage resource_delta(const ResourceUsage& end,
+                             const ResourceUsage& start) {
+  ResourceUsage delta = end;  // keeps valid + high-water/point fields
+  delta.minor_faults -= start.minor_faults;
+  delta.major_faults -= start.major_faults;
+  delta.voluntary_ctx_switches -= start.voluntary_ctx_switches;
+  delta.involuntary_ctx_switches -= start.involuntary_ctx_switches;
+  delta.user_cpu_seconds -= start.user_cpu_seconds;
+  delta.system_cpu_seconds -= start.system_cpu_seconds;
+  return delta;
+}
+
+void record_resource_metrics(const ResourceUsage& usage) {
+  MetricsRegistry& registry = metrics();
+  registry.gauge("resource.max_rss_kb")
+      .set(static_cast<double>(usage.max_rss_kb));
+  registry.gauge("resource.current_rss_kb")
+      .set(static_cast<double>(usage.current_rss_kb));
+  registry.gauge("resource.minor_faults")
+      .set(static_cast<double>(usage.minor_faults));
+  registry.gauge("resource.major_faults")
+      .set(static_cast<double>(usage.major_faults));
+  registry.gauge("resource.voluntary_ctx_switches")
+      .set(static_cast<double>(usage.voluntary_ctx_switches));
+  registry.gauge("resource.involuntary_ctx_switches")
+      .set(static_cast<double>(usage.involuntary_ctx_switches));
+  registry.gauge("resource.user_cpu_seconds").set(usage.user_cpu_seconds);
+  registry.gauge("resource.system_cpu_seconds").set(usage.system_cpu_seconds);
+}
+
+JsonValue resource_json(const ResourceUsage& usage) {
+  JsonValue out = JsonValue::object();
+  out.set("valid", usage.valid);
+  out.set("max_rss_kb", usage.max_rss_kb);
+  out.set("current_rss_kb", usage.current_rss_kb);
+  out.set("minor_faults", usage.minor_faults);
+  out.set("major_faults", usage.major_faults);
+  out.set("voluntary_ctx_switches", usage.voluntary_ctx_switches);
+  out.set("involuntary_ctx_switches", usage.involuntary_ctx_switches);
+  out.set("user_cpu_seconds", usage.user_cpu_seconds);
+  out.set("system_cpu_seconds", usage.system_cpu_seconds);
+  return out;
+}
+
+}  // namespace rsm::obs

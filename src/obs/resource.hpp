@@ -1,0 +1,60 @@
+// Process resource sampler: RSS, page faults, context switches, CPU time.
+//
+// Wraps getrusage(RUSAGE_SELF) plus /proc/self/statm into a plain value
+// type so reports can answer "how much memory did this campaign take" and
+// "was the pool preempted" next to the wall-clock numbers:
+//
+//   const auto start = obs::sample_resource_usage();
+//   ... work ...
+//   const auto usage = obs::resource_delta(obs::sample_resource_usage(),
+//                                          start);
+//   report.set("resources", obs::resource_json(usage));
+//
+// Cumulative kernel counters (faults, context switches, CPU seconds) are
+// monotone over a process's life; resource_delta subtracts them so a report
+// covers only its own phase. High-water marks (max_rss_kb) and point
+// samples (current_rss_kb) are not subtractable — the delta keeps the end
+// values. Sampling is a syscall plus one small /proc read (~µs); nothing
+// here belongs on a per-row hot path. On platforms without getrusage or
+// /proc the unavailable fields stay zero and `valid` is false.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/json.hpp"
+
+namespace rsm::obs {
+
+/// One sample of process-wide resource usage. Counter fields are cumulative
+/// since process start (until run through resource_delta).
+struct ResourceUsage {
+  bool valid = false;                     ///< getrusage succeeded
+  std::int64_t max_rss_kb = 0;            ///< peak resident set, KiB
+  std::int64_t current_rss_kb = 0;        ///< resident set now, KiB (0 if no /proc)
+  std::int64_t minor_faults = 0;          ///< page reclaims (no I/O)
+  std::int64_t major_faults = 0;          ///< page faults requiring I/O
+  std::int64_t voluntary_ctx_switches = 0;
+  std::int64_t involuntary_ctx_switches = 0;
+  double user_cpu_seconds = 0;
+  double system_cpu_seconds = 0;
+};
+
+/// Samples the calling process. Never throws; on failure returns a
+/// zero-filled sample with valid == false.
+[[nodiscard]] ResourceUsage sample_resource_usage();
+
+/// end - start for the cumulative counters; high-water/point fields
+/// (max_rss_kb, current_rss_kb) are taken from `end` unchanged.
+[[nodiscard]] ResourceUsage resource_delta(const ResourceUsage& end,
+                                           const ResourceUsage& start);
+
+/// Publishes the sample as gauges in the process metrics registry
+/// (resource.max_rss_kb, resource.minor_faults, ... — see
+/// docs/observability.md for the full key list).
+void record_resource_metrics(const ResourceUsage& usage);
+
+/// Serializes the sample as an ordered JSON object with the same keys as
+/// the registry gauges minus the "resource." prefix.
+[[nodiscard]] JsonValue resource_json(const ResourceUsage& usage);
+
+}  // namespace rsm::obs

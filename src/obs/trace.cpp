@@ -102,11 +102,12 @@ void zero_node(SpanNode& node) {
   for (auto& child : node.children) zero_node(*child);
 }
 
-/// Span statistics of threads that have already exited, merged at thread
-/// teardown so trace_snapshot() keeps their data.
+/// Span statistics of threads that have already exited, kept per-thread
+/// (keyed by ordinal) so trace_snapshot() can merge them and
+/// trace_snapshot_threads() can attribute spans to their recording thread.
 struct Retired {
   std::mutex mutex;
-  SpanStats tree;  // root name ""
+  std::vector<ThreadSpanStats> threads;  // ordered by retirement
 };
 
 Retired& retired() {
@@ -114,11 +115,17 @@ Retired& retired() {
   return r;
 }
 
+/// Small stable thread ids for exported traces; 0 is reserved for "never
+/// recorded a span".
+std::atomic<std::uint64_t> g_next_ordinal{1};
+
 /// Per-thread span tree. Recording touches only this — no locks on the hot
 /// path. The destructor folds the tree into the retired accumulator.
 struct ThreadTree {
   SpanNode root;
   SpanNode* current = &root;
+  std::uint64_t ordinal =
+      g_next_ordinal.fetch_add(1, std::memory_order_relaxed);
 
   ThreadTree() {
     (void)retired();  // force construction order: retired outlives us
@@ -129,7 +136,7 @@ struct ThreadTree {
     if (!snapshot_node(root, stats)) return;
     Retired& r = retired();
     const std::lock_guard<std::mutex> lock(r.mutex);
-    merge_stats(r.tree, stats);
+    r.threads.push_back({ordinal, std::move(stats)});
   }
 };
 
@@ -163,7 +170,8 @@ SpanStats trace_snapshot() {
   {
     Retired& r = retired();
     const std::lock_guard<std::mutex> lock(r.mutex);
-    merged = r.tree;
+    for (const ThreadSpanStats& thread : r.threads)
+      merge_stats(merged, thread.tree);
   }
   merged.name = "";
   SpanStats live;
@@ -171,11 +179,29 @@ SpanStats trace_snapshot() {
   return merged;
 }
 
+std::vector<ThreadSpanStats> trace_snapshot_threads() {
+  std::vector<ThreadSpanStats> threads;
+  {
+    Retired& r = retired();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    threads = r.threads;
+  }
+  ThreadTree& tree = thread_tree();
+  SpanStats live;
+  if (snapshot_node(tree.root, live))
+    threads.push_back({tree.ordinal, std::move(live)});
+  std::sort(threads.begin(), threads.end(),
+            [](const ThreadSpanStats& a, const ThreadSpanStats& b) {
+              return a.thread_ordinal < b.thread_ordinal;
+            });
+  return threads;
+}
+
 void reset_tracing() {
   {
     Retired& r = retired();
     const std::lock_guard<std::mutex> lock(r.mutex);
-    r.tree = SpanStats{};
+    r.threads.clear();
   }
   // Zero (rather than delete) the calling thread's nodes: ScopedSpans still
   // open on the stack hold pointers into this tree.

@@ -73,6 +73,20 @@ void set_tracing_enabled(bool enabled);
 /// this keeps span recording lock-free on the hot path.
 [[nodiscard]] SpanStats trace_snapshot();
 
+/// One thread's span tree, tagged with a small stable ordinal (1, 2, ...)
+/// assigned the first time the thread records a span. Ordinals — not OS
+/// thread ids — keep exported traces (obs/trace_export.hpp) deterministic
+/// across runs with the same span structure.
+struct ThreadSpanStats {
+  std::uint64_t thread_ordinal = 0;
+  SpanStats tree;  // synthetic root ""
+};
+
+/// Per-thread snapshot: the retired trees of exited threads plus the calling
+/// thread's live tree (when non-empty), ordered by ordinal. The same
+/// visibility caveat as trace_snapshot() applies to still-running threads.
+[[nodiscard]] std::vector<ThreadSpanStats> trace_snapshot_threads();
+
 /// Discards all accumulated span statistics (calling thread + retired).
 void reset_tracing();
 

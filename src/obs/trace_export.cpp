@@ -1,0 +1,132 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/log.hpp"
+
+namespace rsm::obs {
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+constexpr std::int64_t kPid = 1;  // single-process tool: constant pid
+
+JsonValue metadata_event(const char* name, std::int64_t tid,
+                         const std::string& value) {
+  JsonValue event = JsonValue::object();
+  event.set("name", name);
+  event.set("ph", "M");
+  event.set("pid", kPid);
+  event.set("tid", tid);
+  JsonValue args = JsonValue::object();
+  args.set("name", value);
+  event.set("args", std::move(args));
+  return event;
+}
+
+/// A node's laid-out duration: its own total, or the sum of its children
+/// when that is larger (a node pruned mid-span — reset while open — can
+/// carry completed children but no completed time of its own; the children
+/// must still fit inside it on the timeline).
+double layout_seconds(const SpanStats& node) {
+  double children = 0;
+  for (const SpanStats& child : node.children)
+    children += layout_seconds(child);
+  return std::max(node.total_seconds, children);
+}
+
+void emit_node(const SpanStats& node, std::int64_t tid, double start_us,
+               JsonValue& events) {
+  JsonValue event = JsonValue::object();
+  event.set("name", node.name);
+  event.set("cat", "span");
+  event.set("ph", "X");
+  event.set("pid", kPid);
+  event.set("tid", tid);
+  event.set("ts", start_us);
+  event.set("dur", layout_seconds(node) * kMicrosPerSecond);
+  JsonValue args = JsonValue::object();
+  args.set("count", static_cast<std::int64_t>(node.count));
+  args.set("min_ms", node.min_seconds * 1e3);
+  args.set("max_ms", node.max_seconds * 1e3);
+  args.set("cpu_ms", node.cpu_seconds * 1e3);
+  event.set("args", std::move(args));
+  events.push_back(std::move(event));
+
+  double child_start = start_us;
+  for (const SpanStats& child : node.children) {
+    emit_node(child, tid, child_start, events);
+    child_start += layout_seconds(child) * kMicrosPerSecond;
+  }
+}
+
+}  // namespace
+
+JsonValue chrome_trace_document(const std::vector<ThreadSpanStats>& threads,
+                                const std::string& process_name) {
+  JsonValue events = JsonValue::array();
+  events.push_back(metadata_event("process_name", 0, process_name));
+  for (const ThreadSpanStats& thread : threads) {
+    const auto tid = static_cast<std::int64_t>(thread.thread_ordinal);
+    events.push_back(metadata_event(
+        "thread_name", tid, "rsm-thread-" + std::to_string(tid)));
+  }
+  for (const ThreadSpanStats& thread : threads) {
+    const auto tid = static_cast<std::int64_t>(thread.thread_ordinal);
+    // The synthetic root ("") is layout only; its children are the real
+    // top-level spans, laid out back to back from t = 0.
+    double start_us = 0;
+    for (const SpanStats& top : thread.tree.children) {
+      emit_node(top, tid, start_us, events);
+      start_us += layout_seconds(top) * kMicrosPerSecond;
+    }
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc.set("displayTimeUnit", "ms");
+  JsonValue other = JsonValue::object();
+  other.set("process_name", process_name);
+  other.set("tracing_compiled", kTracingCompiled);
+  other.set("threads", static_cast<std::int64_t>(threads.size()));
+  other.set("timeline", "synthetic (aggregated span totals, not instances)");
+  doc.set("otherData", std::move(other));
+  doc.set("traceEvents", std::move(events));
+  return doc;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::string& process_name) {
+  const JsonValue doc =
+      chrome_trace_document(trace_snapshot_threads(), process_name);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    RSM_WARN("observability: cannot write chrome trace to '" << path << '\'');
+    return false;
+  }
+  const std::string text = doc.dump_pretty();
+  std::fputs(text.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  RSM_INFO("observability: wrote chrome trace " << path);
+  return true;
+}
+
+const std::string& trace_export_path() {
+  static std::string path;
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const char* raw = std::getenv("RSM_TRACE_EXPORT");
+    if (raw != nullptr) path = raw;
+  });
+  return path;
+}
+
+bool export_trace_if_configured(const std::string& process_name) {
+  const std::string& path = trace_export_path();
+  if (path.empty()) return false;
+  return write_chrome_trace(path, process_name);
+}
+
+}  // namespace rsm::obs

@@ -1,0 +1,56 @@
+// Chrome-trace / Perfetto export of the RSM_TRACE_SPAN trees.
+//
+// The span trees (obs/trace.hpp) aggregate per call site; this module lays
+// each thread's tree out as complete-duration "X" events on a synthetic
+// timeline — a node's event starts where its previous sibling ended and
+// spans the node's total wall seconds, with its children nested inside —
+// and serializes the result as the Trace Event Format JSON that
+// chrome://tracing, Perfetto UI, and speedscope all load:
+//
+//   RSM_TRACE_EXPORT=trace.json ./build/bench/campaign_parallel ...
+//   # then open trace.json in https://ui.perfetto.dev
+//
+// Every event carries the recording thread's stable ordinal as `tid`
+// (thread-name metadata events included), wall microseconds as ts/dur, and
+// the node's call count, min/max wall and thread-CPU milliseconds in
+// `args`. The export is a *profile* (aggregated, synthetic timestamps),
+// not a timeline of individual span instances — recording stays lock-free
+// and allocation-free on the hot path.
+//
+// Export is wired into every bench (bench::BenchReport writes the trace on
+// destruction when RSM_TRACE_EXPORT is set) and into the campaign examples;
+// scripts/check_trace_json.py validates the emitted structure in CI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace rsm::obs {
+
+/// Builds the Trace Event Format document for the given per-thread trees:
+/// {"displayTimeUnit": "ms", "otherData": {...}, "traceEvents": [...]}.
+/// The event array opens with process/thread-name metadata ("M" phase)
+/// followed by one complete ("X" phase) event per span node, depth-first
+/// per thread in ordinal order — deterministic for identical span trees.
+[[nodiscard]] JsonValue chrome_trace_document(
+    const std::vector<ThreadSpanStats>& threads,
+    const std::string& process_name);
+
+/// trace_snapshot_threads() -> chrome_trace_document -> pretty JSON at
+/// `path`. Returns false (after logging a warning) when the file cannot be
+/// written — trace export must never take down the tool it observes.
+bool write_chrome_trace(const std::string& path,
+                        const std::string& process_name);
+
+/// The RSM_TRACE_EXPORT environment value, read once per process; empty
+/// when unset.
+[[nodiscard]] const std::string& trace_export_path();
+
+/// write_chrome_trace(trace_export_path(), process_name) when the variable
+/// is set; returns false without side effects otherwise.
+bool export_trace_if_configured(const std::string& process_name);
+
+}  // namespace rsm::obs

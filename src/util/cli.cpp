@@ -61,6 +61,7 @@ std::string CliArgs::usage(const std::string& program) const {
     if (!s.is_flag) os << " <value> (default: " << s.default_value << ")";
     os << "\n      " << s.help << "\n";
   }
+  os << "  --help\n      print this usage (every option above) and exit\n";
   return os.str();
 }
 

@@ -22,6 +22,25 @@ thread_local int t_worker = -1;
 /// into a hang rather than a stall.
 constexpr std::chrono::milliseconds kWakePollInterval{50};
 
+/// Single-writer accumulate: only the owning worker stores, so a plain
+/// load-add-store is race-free (readers may see a slightly stale total).
+void add_seconds(std::atomic<double>& acc,
+                 std::chrono::steady_clock::duration d) {
+  acc.store(acc.load(std::memory_order_relaxed) +
+                std::chrono::duration<double>(d).count(),
+            std::memory_order_relaxed);
+}
+
+/// CAS-max for the queue-depth high-water mark.
+void raise_highwater(std::atomic<std::uint64_t>& highwater,
+                     std::uint64_t depth) {
+  std::uint64_t seen = highwater.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !highwater.compare_exchange_weak(seen, depth,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 int resolve_num_workers(int requested, int fallback) {
@@ -87,7 +106,25 @@ ThreadPool::Stats ThreadPool::stats() const {
   stats.executed = executed_.load(std::memory_order_relaxed);
   stats.stolen = stolen_.load(std::memory_order_relaxed);
   stats.task_exceptions = task_exceptions_.load(std::memory_order_relaxed);
+  stats.backpressure_stalls =
+      backpressure_stalls_.load(std::memory_order_relaxed);
+  stats.queue_highwater = queue_highwater_.load(std::memory_order_relaxed);
   return stats;
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    WorkerStats ws;
+    ws.executed = worker->executed.load(std::memory_order_relaxed);
+    ws.stolen = worker->stolen.load(std::memory_order_relaxed);
+    ws.retired = worker->retired.load(std::memory_order_relaxed);
+    ws.busy_seconds = worker->busy_seconds.load(std::memory_order_relaxed);
+    ws.idle_seconds = worker->idle_seconds.load(std::memory_order_relaxed);
+    out.push_back(ws);
+  }
+  return out;
 }
 
 bool ThreadPool::try_push(int worker, Task& task) {
@@ -116,13 +153,16 @@ void ThreadPool::submit(Task task) {
                                                        i)) %
                                           static_cast<std::uint64_t>(n));
       if (!try_push(target, task)) continue;
-      queued_.fetch_add(1, std::memory_order_acq_rel);
+      const std::int64_t depth =
+          queued_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      raise_highwater(queue_highwater_, static_cast<std::uint64_t>(depth));
       std::lock_guard<std::mutex> lock(coord_);
       work_cv_.notify_one();
       return;
     }
     // Every live queue is full: backpressure. Timed wait so a burst of
     // completions that raced the notify cannot strand this producer.
+    backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(coord_);
     space_cv_.wait_for(lock, kWakePollInterval);
   }
@@ -178,6 +218,9 @@ void ThreadPool::worker_loop(int index) {
   t_pool = this;
   t_worker = index;
   Worker& self = *workers_[static_cast<std::size_t>(index)];
+  // Busy/idle accounting: `mark` is the end of the previous task (or thread
+  // start); time up to the next task() call is idle, the call itself busy.
+  auto mark = std::chrono::steady_clock::now();
   for (;;) {
     Task task;
     bool stole = false;
@@ -194,7 +237,12 @@ void ThreadPool::worker_loop(int index) {
         std::lock_guard<std::mutex> lock(coord_);
         space_cv_.notify_one();
       }
-      if (stole) stolen_.fetch_add(1, std::memory_order_relaxed);
+      if (stole) {
+        stolen_.fetch_add(1, std::memory_order_relaxed);
+        self.stolen.fetch_add(1, std::memory_order_relaxed);
+      }
+      const auto start = std::chrono::steady_clock::now();
+      add_seconds(self.idle_seconds, start - mark);
       try {
         task();
       } catch (...) {
@@ -205,18 +253,26 @@ void ThreadPool::worker_loop(int index) {
         RSM_WARN("thread_pool: task on worker " << index
                                                 << " threw; swallowed");
       }
+      mark = std::chrono::steady_clock::now();
+      add_seconds(self.busy_seconds, mark - start);
       executed_.fetch_add(1, std::memory_order_relaxed);
+      self.executed.fetch_add(1, std::memory_order_relaxed);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(coord_);
         idle_cv_.notify_all();
       }
       continue;
     }
-    if (self.retired.load(std::memory_order_relaxed)) return;
+    if (self.retired.load(std::memory_order_relaxed)) {
+      add_seconds(self.idle_seconds, std::chrono::steady_clock::now() - mark);
+      return;
+    }
     std::unique_lock<std::mutex> lock(coord_);
     if (stop_.load(std::memory_order_relaxed) &&
         queued_.load(std::memory_order_acquire) == 0) {
-      return;  // cooperative shutdown: every queued task has been drained
+      // Cooperative shutdown: every queued task has been drained.
+      add_seconds(self.idle_seconds, std::chrono::steady_clock::now() - mark);
+      return;
     }
     work_cv_.wait_for(lock, kWakePollInterval, [this, &self] {
       return stop_.load(std::memory_order_relaxed) ||

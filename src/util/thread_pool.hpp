@@ -67,6 +67,19 @@ class ThreadPool {
     std::uint64_t executed = 0;
     std::uint64_t stolen = 0;           // executed via steal, not own queue
     std::uint64_t task_exceptions = 0;  // tasks that threw (swallowed)
+    std::uint64_t backpressure_stalls = 0;  // submit() sleeps on full queues
+    std::uint64_t queue_highwater = 0;  // max tasks simultaneously queued
+  };
+
+  /// Per-worker telemetry. Counters are exact; busy/idle seconds are
+  /// wall-clock accumulations written only by the owning worker (reads
+  /// while the pool runs may lag the current task boundary).
+  struct WorkerStats {
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;    // tasks this worker stole from a sibling
+    bool retired = false;
+    double busy_seconds = 0;     // inside task();
+    double idle_seconds = 0;     // between tasks (incl. sleeping)
   };
 
   ThreadPool();  // default Options
@@ -105,11 +118,22 @@ class ThreadPool {
 
   [[nodiscard]] Stats stats() const;
 
+  /// One entry per worker, indexed by worker id (stable for the pool's
+  /// life, retired workers included).
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+
  private:
   struct Worker {
     std::mutex mutex;
     std::deque<Task> queue;
     std::atomic<bool> retired{false};
+
+    // Telemetry. executed/stolen use relaxed fetch_add; the second pair is
+    // single-writer (only the owning worker stores) so plain load+store.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<double> busy_seconds{0};
+    std::atomic<double> idle_seconds{0};
   };
 
   void worker_loop(int index);
@@ -131,6 +155,8 @@ class ThreadPool {
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> stolen_{0};
   std::atomic<std::uint64_t> task_exceptions_{0};
+  std::atomic<std::uint64_t> backpressure_stalls_{0};
+  std::atomic<std::uint64_t> queue_highwater_{0};
 
   // One coordination mutex for all sleeping/waking; per-worker mutexes only
   // guard their deques. Notifying under the lock closes the classic

@@ -98,6 +98,12 @@ std::string science_json(CampaignReport report) {
   report.workers_quarantined = 0;
   report.worker_infra_failures = 0;
   report.tasks_stolen = 0;
+  report.pool_queue_highwater = 0;
+  report.pool_backpressure_stalls = 0;
+  report.pool_busy_seconds = 0;
+  report.pool_idle_seconds = 0;
+  report.progress_heartbeats = 0;
+  report.resources = {};
   report.shards_merged = 0;
   report.shards_recovered = 0;
   report.shard_duplicate_rows = 0;

@@ -1,0 +1,28 @@
+// Fixture for the metric-name-literal rule: fully dynamic metric names
+// defeat dashboards, check_bench_json.py, and bench_compare.py, which all
+// key on stable literal names. Exactly two lines below must fire.
+#include <string>
+
+namespace obs {
+struct Counter {
+  void increment() {}
+};
+struct Gauge {
+  void set(double) {}
+};
+struct Registry {
+  Counter& counter(const std::string&);
+  Gauge& gauge(const std::string&);
+};
+Registry& metrics();
+}  // namespace obs
+
+void bad_metric_names(const std::string& suffix) {
+  obs::metrics().counter(std::string("dyn.") + suffix).increment();  // fires
+  obs::metrics().gauge(suffix).set(1.0);                             // fires
+  obs::metrics().counter("ok.literal.name").increment();
+  obs::metrics().counter("ok.prefix." + suffix).increment();
+  obs::metrics()
+      .gauge(suffix)  // rsm-lint-allow(metric-name-literal)
+      .set(2.0);
+}

@@ -28,6 +28,8 @@ EXPECTED_RULE_FINDINGS = {
     "header-hygiene": 1,
     "banned-functions": 3,     # strcpy, sprintf, atoi
     "span-name-literal": 1,
+    "metric-name-literal": 2,  # dynamic counter + bare-variable gauge
+                               # (exact; see below)
     "no-raw-thread": 2,        # std::thread, std::async (exact; see below)
 }
 
@@ -82,6 +84,14 @@ def main():
     hits = full_out.count("[no-raw-thread]")
     check(hits == 2,
           f"no-raw-thread fires exactly twice on the fixture (got {hits})")
+
+    # 3c. metric-name-literal is exact too: the literal name, the
+    #     literal-prefix concatenation, and the rsm-lint-allow'd call in
+    #     bad_metrics.cpp must all stay silent.
+    hits = full_out.count("[metric-name-literal]")
+    check(hits == 2,
+          f"metric-name-literal fires exactly twice on the fixture "
+          f"(got {hits})")
 
     # 4. Disabling every rule yields a clean exit on the fixture tree.
     code, _ = run_lint("--root", str(BADTREE), "--include-fixtures",

@@ -1,0 +1,86 @@
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rsm::obs {
+namespace {
+
+ProgressSnapshot snapshot(std::int64_t done, std::int64_t total = 100) {
+  ProgressSnapshot snap;
+  snap.total_rows = total;
+  snap.rows_done = done;
+  snap.rows_succeeded = done - 1;
+  snap.rows_quarantined = 1;
+  snap.workers = 4;
+  snap.active_workers = 3;
+  snap.busy_seconds = 3.0;
+  snap.idle_seconds = 1.0;
+  return snap;
+}
+
+TEST(ProgressTest, ZeroIntervalEmitsEveryCallWithEveryField) {
+  std::vector<std::string> lines;
+  ProgressReporter reporter(
+      {.source = "unit", .interval_seconds = 0},
+      [&lines](const std::string& line) { lines.push_back(line); });
+
+  EXPECT_TRUE(reporter.maybe_emit(snapshot(10)));
+  EXPECT_TRUE(reporter.maybe_emit(snapshot(20)));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(reporter.events_emitted(), 2);
+
+  const std::string& line = lines[0];  // compact dump: no space after ':'
+  for (const char* field :
+       {"\"event\":\"progress\"", "\"source\":\"unit\"",
+        "\"elapsed_seconds\":", "\"total_rows\":100", "\"rows_done\":10",
+        "\"rows_succeeded\":9", "\"rows_quarantined\":1",
+        "\"rows_per_second\":", "\"eta_seconds\":", "\"workers\":4",
+        "\"active_workers\":3", "\"worker_utilization\":0.75"}) {
+    EXPECT_NE(line.find(field), std::string::npos) << field << "\n" << line;
+  }
+  // JSONL: exactly one line, no embedded newline.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(ProgressTest, LongIntervalRateLimitsAfterTheFirstEmit) {
+  int emitted = 0;
+  ProgressReporter reporter({.source = "unit", .interval_seconds = 3600},
+                            [&emitted](const std::string&) { ++emitted; });
+  EXPECT_TRUE(reporter.maybe_emit(snapshot(1)));  // first call always emits
+  for (int i = 2; i < 50; ++i) EXPECT_FALSE(reporter.maybe_emit(snapshot(i)));
+  EXPECT_EQ(emitted, 1);
+  EXPECT_EQ(reporter.events_emitted(), 1);
+}
+
+TEST(ProgressTest, FinalSummaryIsUnconditional) {
+  std::vector<std::string> lines;
+  ProgressReporter reporter(
+      {.source = "unit", .interval_seconds = 3600},
+      [&lines](const std::string& line) { lines.push_back(line); });
+  reporter.maybe_emit(snapshot(1));
+  reporter.emit_final(snapshot(100));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"event\":\"summary\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"rows_done\":100"), std::string::npos);
+  EXPECT_EQ(reporter.events_emitted(), 2);
+}
+
+TEST(ProgressTest, UnknownRatesAndUtilizationSerializeAsNull) {
+  std::vector<std::string> lines;
+  ProgressReporter reporter(
+      {.source = "unit", .interval_seconds = 0},
+      [&lines](const std::string& line) { lines.push_back(line); });
+  ProgressSnapshot nothing;  // zero rows done, zero busy/idle
+  nothing.total_rows = 10;
+  nothing.workers = 2;
+  reporter.maybe_emit(nothing);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"eta_seconds\":null"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"worker_utilization\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsm::obs

@@ -107,8 +107,9 @@ TEST_F(ReportTest, WriteReportCreatesParseableFile) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   const std::string content = buffer.str();
-  EXPECT_NE(content.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(content.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(content.find("\"tool\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(content.find("\"resources\""), std::string::npos);
   std::remove(path.c_str());
 }
 

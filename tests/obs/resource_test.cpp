@@ -1,0 +1,111 @@
+#include "obs/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace rsm::obs {
+namespace {
+
+TEST(ResourceTest, SampleIsValidAndPlausibleOnSupportedPlatforms) {
+  const ResourceUsage usage = sample_resource_usage();
+#if defined(__unix__) || defined(__APPLE__)
+  ASSERT_TRUE(usage.valid);
+  EXPECT_GT(usage.max_rss_kb, 0);
+  EXPECT_GE(usage.minor_faults, 0);
+  EXPECT_GE(usage.major_faults, 0);
+  EXPECT_GE(usage.user_cpu_seconds, 0.0);
+  EXPECT_GE(usage.system_cpu_seconds, 0.0);
+#else
+  EXPECT_FALSE(usage.valid);
+#endif
+}
+
+TEST(ResourceTest, CumulativeCountersAreMonotone) {
+  const ResourceUsage first = sample_resource_usage();
+  // Touch some memory so the second sample has work to show.
+  std::vector<char> ballast(1 << 20, 1);
+  volatile char sink = ballast[ballast.size() / 2];
+  (void)sink;
+  const ResourceUsage second = sample_resource_usage();
+  if (!first.valid || !second.valid) GTEST_SKIP() << "no getrusage here";
+  EXPECT_GE(second.minor_faults, first.minor_faults);
+  EXPECT_GE(second.major_faults, first.major_faults);
+  EXPECT_GE(second.voluntary_ctx_switches, first.voluntary_ctx_switches);
+  EXPECT_GE(second.involuntary_ctx_switches, first.involuntary_ctx_switches);
+  EXPECT_GE(second.user_cpu_seconds, first.user_cpu_seconds);
+  EXPECT_GE(second.system_cpu_seconds, first.system_cpu_seconds);
+  EXPECT_GE(second.max_rss_kb, first.max_rss_kb);
+}
+
+TEST(ResourceTest, DeltaSubtractsCountersButKeepsHighWaterMarks) {
+  ResourceUsage start;
+  start.valid = true;
+  start.max_rss_kb = 1000;
+  start.current_rss_kb = 900;
+  start.minor_faults = 50;
+  start.major_faults = 2;
+  start.voluntary_ctx_switches = 10;
+  start.involuntary_ctx_switches = 1;
+  start.user_cpu_seconds = 1.5;
+  start.system_cpu_seconds = 0.25;
+
+  ResourceUsage end = start;
+  end.max_rss_kb = 1400;
+  end.current_rss_kb = 1200;
+  end.minor_faults = 80;
+  end.major_faults = 5;
+  end.voluntary_ctx_switches = 25;
+  end.involuntary_ctx_switches = 4;
+  end.user_cpu_seconds = 3.0;
+  end.system_cpu_seconds = 1.0;
+
+  const ResourceUsage delta = resource_delta(end, start);
+  EXPECT_TRUE(delta.valid);
+  EXPECT_EQ(delta.max_rss_kb, 1400);      // high-water: end value, unchanged
+  EXPECT_EQ(delta.current_rss_kb, 1200);  // point sample: end value
+  EXPECT_EQ(delta.minor_faults, 30);
+  EXPECT_EQ(delta.major_faults, 3);
+  EXPECT_EQ(delta.voluntary_ctx_switches, 15);
+  EXPECT_EQ(delta.involuntary_ctx_switches, 3);
+  EXPECT_DOUBLE_EQ(delta.user_cpu_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(delta.system_cpu_seconds, 0.75);
+}
+
+TEST(ResourceTest, JsonCarriesEveryField) {
+  ResourceUsage usage;
+  usage.valid = true;
+  usage.max_rss_kb = 2048;
+  usage.minor_faults = 7;
+  usage.user_cpu_seconds = 0.5;
+  const JsonValue doc = resource_json(usage);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.find("valid")->as_bool());
+  EXPECT_EQ(doc.find("max_rss_kb")->as_int(), 2048);
+  EXPECT_EQ(doc.find("minor_faults")->as_int(), 7);
+  EXPECT_DOUBLE_EQ(doc.find("user_cpu_seconds")->as_double(), 0.5);
+  for (const char* key :
+       {"current_rss_kb", "major_faults", "voluntary_ctx_switches",
+        "involuntary_ctx_switches", "system_cpu_seconds"}) {
+    EXPECT_NE(doc.find(key), nullptr) << key;
+  }
+}
+
+TEST(ResourceTest, RecordPublishesGauges) {
+  metrics().reset();
+  ResourceUsage usage;
+  usage.valid = true;
+  usage.max_rss_kb = 4096;
+  usage.voluntary_ctx_switches = 12;
+  record_resource_metrics(usage);
+  EXPECT_DOUBLE_EQ(metrics().gauge("resource.max_rss_kb").value(), 4096.0);
+  EXPECT_DOUBLE_EQ(metrics().gauge("resource.voluntary_ctx_switches").value(),
+                   12.0);
+  metrics().reset();
+}
+
+}  // namespace
+}  // namespace rsm::obs

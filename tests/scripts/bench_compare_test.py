@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Tests for scripts/bench_compare.py (run by ctest as
+`scripts.bench_compare`).
+
+Covers the regression gate end to end: identical reports pass, an injected
+2x time regression is informational by default and fails under
+--gate-times, float/int/bool gates fire, missing metrics fail, new metrics
+and execution/checkpoint noise do not, per-metric --tol overrides apply,
+and tool mismatches exit 2.
+
+Usage: bench_compare_test.py <repo_root>
+"""
+
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else \
+    Path(__file__).resolve().parent.parent.parent
+COMPARE = REPO_ROOT / "scripts" / "bench_compare.py"
+
+BASELINE = {
+    "schema_version": 2,
+    "tool": "unit_bench",
+    "results": {
+        "methods": {
+            "OMP": {"test_error": 0.012345, "terms": 7,
+                    "fit_seconds": 2.0, "converged": True},
+        },
+        "sweep": [
+            {"workers": 1, "wall_seconds": 1.0, "speedup_vs_serial": 1.0},
+            {"workers": 4, "wall_seconds": 0.3, "speedup_vs_serial": 3.3},
+        ],
+        "campaign": {
+            "attempted": 48,
+            "checkpoint": {"flushes": 52},       # scheduling noise: skipped
+            "execution": {"tasks_stolen": 9},    # scheduling noise: skipped
+        },
+    },
+}
+
+failures = []
+
+
+def check(condition, label):
+    print(("ok   " if condition else "FAIL ") + label)
+    if not condition:
+        failures.append(label)
+
+
+def run_compare(tmp, baseline, current, *args):
+    base_path = Path(tmp) / "baseline.json"
+    cur_path = Path(tmp) / "current.json"
+    base_path.write_text(json.dumps(baseline), encoding="utf-8")
+    cur_path.write_text(json.dumps(current), encoding="utf-8")
+    proc = subprocess.run(
+        [sys.executable, str(COMPARE), str(base_path), str(cur_path), *args],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. Identical reports pass.
+        code, out = run_compare(tmp, BASELINE, BASELINE)
+        check(code == 0 and "PASS" in out, f"identical reports pass\n{out}")
+
+        # 2. The injected 2x time regression: informational by default,
+        #    a failure under --gate-times (time-tol defaults to 1.5).
+        slow = copy.deepcopy(BASELINE)
+        slow["results"]["methods"]["OMP"]["fit_seconds"] = 4.0  # 2x slower
+        code, out = run_compare(tmp, BASELINE, slow)
+        check(code == 0 and "INFO" in out and "x2.00" in out,
+              "2x time regression is informational without --gate-times")
+        code, out = run_compare(tmp, BASELINE, slow, "--gate-times")
+        check(code == 1 and "REGRESSED" in out and "fit_seconds" in out,
+              f"--gate-times flags the 2x regression\n{out}")
+
+        # 3. Getting 2x *faster* never fails, even gated.
+        fast = copy.deepcopy(BASELINE)
+        fast["results"]["methods"]["OMP"]["fit_seconds"] = 1.0
+        code, _ = run_compare(tmp, BASELINE, fast, "--gate-times")
+        check(code == 0, "a 2x speedup passes under --gate-times")
+
+        # 4. Science floats are gated tightly; ints and bools exactly.
+        drift = copy.deepcopy(BASELINE)
+        drift["results"]["methods"]["OMP"]["test_error"] = 0.012347
+        code, out = run_compare(tmp, BASELINE, drift)
+        check(code == 1 and "test_error" in out,
+              "a small float drift beyond rel-tol fails")
+        code, _ = run_compare(
+            tmp, BASELINE, drift, "--tol",
+            "results.methods.OMP.test_error=0.01")
+        check(code == 0, "--tol override admits the drift")
+        intdrift = copy.deepcopy(BASELINE)
+        intdrift["results"]["methods"]["OMP"]["terms"] = 8
+        code, out = run_compare(tmp, BASELINE, intdrift)
+        check(code == 1 and "terms" in out, "an int count change fails")
+        booldrift = copy.deepcopy(BASELINE)
+        booldrift["results"]["methods"]["OMP"]["converged"] = False
+        code, _ = run_compare(tmp, BASELINE, booldrift)
+        check(code == 1, "a bool flip fails")
+
+        # 5. Missing metric fails; new metric passes; scheduling noise in
+        #    execution/checkpoint subtrees never gates.
+        missing = copy.deepcopy(BASELINE)
+        del missing["results"]["methods"]["OMP"]["terms"]
+        code, out = run_compare(tmp, BASELINE, missing)
+        check(code == 1 and "MISSING" in out, "a dropped metric fails")
+        extra = copy.deepcopy(BASELINE)
+        extra["results"]["new_metric"] = 1.0
+        code, out = run_compare(tmp, BASELINE, extra)
+        check(code == 0 and "NEW" in out, "a new metric is reported, passes")
+        noisy = copy.deepcopy(BASELINE)
+        noisy["results"]["campaign"]["checkpoint"]["flushes"] = 99
+        noisy["results"]["campaign"]["execution"]["tasks_stolen"] = 0
+        code, _ = run_compare(tmp, BASELINE, noisy)
+        check(code == 0, "execution/checkpoint churn is not compared")
+
+        # 6. Speedup/throughput floats are machine-dependent: informational.
+        other_machine = copy.deepcopy(BASELINE)
+        other_machine["results"]["sweep"][1]["speedup_vs_serial"] = 2.1
+        code, _ = run_compare(tmp, BASELINE, other_machine)
+        check(code == 0, "speedup drift is informational by default")
+
+        # 7. Tool mismatch is a usage error, not a regression.
+        renamed = copy.deepcopy(BASELINE)
+        renamed["tool"] = "other_bench"
+        code, _ = run_compare(tmp, BASELINE, renamed)
+        check(code == 2, "tool mismatch exits 2")
+
+        # 8. --history picks the newest matching report in a directory.
+        history = Path(tmp) / "history"
+        history.mkdir()
+        (history / "other.json").write_text(json.dumps(renamed),
+                                            encoding="utf-8")
+        (history / "old.json").write_text(json.dumps(BASELINE),
+                                          encoding="utf-8")
+        cur_path = Path(tmp) / "hist_current.json"
+        cur_path.write_text(json.dumps(BASELINE), encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, str(COMPARE), "ignored", str(cur_path),
+             "--history", str(history)],
+            capture_output=True, text=True, check=False)
+        check(proc.returncode == 0 and "old.json" in proc.stdout,
+              f"--history resolves the matching baseline\n{proc.stdout}")
+
+    if failures:
+        print(f"\n{len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("\nall bench_compare self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

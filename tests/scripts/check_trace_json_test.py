@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Tests for scripts/check_trace_json.py (run by ctest as
+`scripts.check_trace_json`).
+
+Builds small Chrome-trace documents in a tempdir and verifies the
+validator accepts well-formed exports and rejects each structural defect
+it guards against: unexpected phases, missing thread metadata, negative
+durations, overlap-without-nesting, and absent --expect-span names.
+
+Usage: check_trace_json_test.py <repo_root>
+"""
+
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else \
+    Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO_ROOT / "scripts" / "check_trace_json.py"
+
+
+def x_event(name, tid, ts, dur):
+    return {"name": name, "cat": "span", "ph": "X", "pid": 1, "tid": tid,
+            "ts": ts, "dur": dur,
+            "args": {"count": 1, "min_ms": 0.1, "max_ms": 0.2, "cpu_ms": 0.1}}
+
+
+def meta(name, tid, value):
+    return {"name": name, "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": value}}
+
+
+GOOD = {
+    "displayTimeUnit": "ms",
+    "otherData": {"process_name": "unit", "threads": 1},
+    "traceEvents": [
+        meta("process_name", 0, "unit"),
+        meta("thread_name", 1, "rsm-thread-1"),
+        x_event("outer", 1, 0.0, 100.0),
+        x_event("inner", 1, 10.0, 50.0),   # nested inside outer
+        x_event("later", 1, 100.0, 20.0),  # sibling after outer
+    ],
+}
+
+failures = []
+
+
+def check(condition, label):
+    print(("ok   " if condition else "FAIL ") + label)
+    if not condition:
+        failures.append(label)
+
+
+def run_checker(tmp, doc, *args, name="trace.json"):
+    path = Path(tmp) / name
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER), str(path), *args],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        code, out = run_checker(tmp, GOOD)
+        check(code == 0 and "3 span event(s)" in out,
+              f"well-formed trace passes\n{out}")
+
+        code, _ = run_checker(tmp, GOOD, "--expect-span", "outer")
+        check(code == 0, "--expect-span finds a present span")
+        code, out = run_checker(tmp, GOOD, "--expect-span", "absent")
+        check(code == 1 and "absent" in out, "--expect-span flags a missing one")
+
+        bad = copy.deepcopy(GOOD)
+        bad["traceEvents"].append({"name": "b", "ph": "B", "pid": 1,
+                                   "tid": 1, "ts": 0})
+        code, out = run_checker(tmp, bad)
+        check(code == 1 and "phase" in out, "unmatched B/E phases rejected")
+
+        bad = copy.deepcopy(GOOD)
+        del bad["traceEvents"][1]  # thread_name for tid 1
+        code, out = run_checker(tmp, bad)
+        check(code == 1 and "thread_name" in out,
+              "X events without thread metadata rejected")
+
+        bad = copy.deepcopy(GOOD)
+        bad["traceEvents"][2]["dur"] = -1.0
+        code, _ = run_checker(tmp, bad)
+        check(code == 1, "negative duration rejected")
+
+        bad = copy.deepcopy(GOOD)
+        # Starts inside "outer" (ends at 100) but runs past its end.
+        bad["traceEvents"].append(x_event("straddle", 1, 50.0, 200.0))
+        code, out = run_checker(tmp, bad)
+        check(code == 1 and "nesting" in out,
+              "overlap without containment rejected")
+
+        bad = copy.deepcopy(GOOD)
+        del bad["traceEvents"][0]  # process_name
+        code, _ = run_checker(tmp, bad)
+        check(code == 1, "missing process_name rejected")
+
+        bad = copy.deepcopy(GOOD)
+        bad["traceEvents"][2]["args"]["count"] = -3
+        code, _ = run_checker(tmp, bad)
+        check(code == 1, "negative span count rejected")
+
+        code, _ = run_checker(tmp, {"traceEvents": []})
+        check(code == 1, "missing top-level keys rejected")
+
+    if failures:
+        print(f"\n{len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("\nall check_trace_json self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

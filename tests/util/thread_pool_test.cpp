@@ -139,6 +139,9 @@ TEST(ThreadPoolTest, RetiredWorkerStopsClaimingAndSiblingsDrain) {
   pool.wait_idle();
   EXPECT_EQ(executed.load(), 100);
   EXPECT_FALSE(retired_ran.load());
+  const std::vector<ThreadPool::WorkerStats> workers = pool.worker_stats();
+  ASSERT_EQ(workers.size(), 3u);
+  EXPECT_TRUE(workers[static_cast<std::size_t>(retired_index.load())].retired);
 }
 
 TEST(ThreadPoolTest, LastActiveWorkerRefusesToRetire) {
@@ -201,6 +204,83 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
     // No wait_idle(): shutdown itself must drain every queued task.
   }
   EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, TelemetryIsDeterministicWithOneWorker) {
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  ThreadPool pool(options);
+  // Gate the single worker inside a task so the queue depth behind it is
+  // fully deterministic.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.submit([&started, &release] {
+    started = true;
+    while (!release)
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  });
+  while (!started) std::this_thread::yield();
+  for (int i = 0; i < 8; ++i) pool.submit([] {});
+  release = true;
+  pool.wait_idle();
+
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 9u);
+  EXPECT_EQ(stats.executed, 9u);
+  EXPECT_EQ(stats.stolen, 0u);           // nobody to steal from
+  EXPECT_EQ(stats.queue_highwater, 8u);  // the 8 tasks parked behind the gate
+  EXPECT_EQ(stats.backpressure_stalls, 0u);
+
+  const std::vector<ThreadPool::WorkerStats> workers = pool.worker_stats();
+  ASSERT_EQ(workers.size(), 1u);
+  EXPECT_EQ(workers[0].executed, 9u);
+  EXPECT_EQ(workers[0].stolen, 0u);
+  EXPECT_FALSE(workers[0].retired);
+  EXPECT_GT(workers[0].busy_seconds, 0.0);  // the gated task slept in task()
+}
+
+TEST(ThreadPoolTest, PerWorkerTelemetrySumsToPoolTotals) {
+  ThreadPool::Options options;
+  options.num_threads = 4;
+  ThreadPool pool(options);
+  constexpr int kTasks = 400;
+  for (int i = 0; i < kTasks; ++i)
+    pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    });
+  pool.wait_idle();
+
+  const ThreadPool::Stats stats = pool.stats();
+  const std::vector<ThreadPool::WorkerStats> workers = pool.worker_stats();
+  ASSERT_EQ(workers.size(), 4u);
+  std::uint64_t executed = 0;
+  std::uint64_t stolen = 0;
+  for (const ThreadPool::WorkerStats& w : workers) {
+    executed += w.executed;
+    stolen += w.stolen;
+    EXPECT_GE(w.busy_seconds, 0.0);
+    EXPECT_GE(w.idle_seconds, 0.0);
+  }
+  EXPECT_EQ(executed, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(executed, stats.executed);
+  EXPECT_EQ(stolen, stats.stolen);
+  EXPECT_GE(stats.queue_highwater, 1u);
+}
+
+TEST(ThreadPoolTest, BackpressureStallsAreCounted) {
+  ThreadPool::Options options;
+  options.num_threads = 2;
+  options.queue_capacity = 1;
+  ThreadPool pool(options);
+  // Both workers sleep for a long time; with one queue slot each, the
+  // fifth submission must stall until a worker frees a slot.
+  for (int i = 0; i < 12; ++i)
+    pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    });
+  pool.wait_idle();
+  EXPECT_GE(pool.stats().backpressure_stalls, 1u);
+  EXPECT_EQ(pool.stats().executed, 12u);
 }
 
 TEST(ThreadPoolTest, WorkStealingKeepsManyWorkersBusy) {
