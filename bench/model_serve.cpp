@@ -1,0 +1,276 @@
+// Serving-layer benchmark: fit once offline, evaluate millions online.
+//
+//   build/bench/model_serve [--rows 32] [--cols 32] [--train-samples 500]
+//
+// Fits the Table-IV-scale SRAM read-delay model (32x32 array, 1086
+// variables, OMP at K = 500 like bench/table4_sram.cpp), pushes it through
+// the registry round trip (save -> load must reproduce predict() and
+// gradient() bit for bit), then measures the serving hot paths:
+//
+//   * scalar  — SparseModel::predict one point at a time (the eval RPC);
+//   * batched — SparseModel::predict_batch over a batch-size sweep (the
+//     eval_batch RPC), reported as throughput and speedup vs scalar;
+//   * protocol — deterministic frame round-trip / corruption counts for the
+//     wire layer (every corrupted frame must be rejected).
+//
+// The paper context for the headline number: one Spectre SRAM sample costs
+// 29.13 s; a fitted model served at >1e6 evals/s replaces simulation at a
+// >3e7x per-point ratio, which is what makes model-based yield/worst-case
+// sweeps (figs 4-6) interactive instead of cluster-scale.
+//
+// BENCH_model_serve.json: deterministic science (dimensions, lambda, test
+// error, round-trip bits, checksums, protocol counts) is exact-gated by
+// scripts/bench_compare.py; throughput keys are time-like and stay
+// informational. --min-evals-per-second / --min-batch-speedup turn the
+// acceptance thresholds into hard exit-status checks when generating an
+// official baseline.
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/model_codec.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "stats/lhs.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// Bit-level equality: distinguishes -0.0 from 0.0 and treats equal NaN
+/// patterns as equal, which is exactly the "same artifact" claim the
+/// registry makes.
+bool same_bits(rsm::Real a, rsm::Real b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rsm;
+  using namespace rsm::bench;
+  CliArgs args;
+  args.add_option("rows", "32", "SRAM rows");
+  args.add_option("cols", "32", "SRAM columns");
+  args.add_option("train-samples", "500", "OMP training samples");
+  args.add_option("scalar-evals", "1000000", "single-point predict calls");
+  args.add_option("batch-rows", "2097152", "total rows per batch-size sweep");
+  args.add_option("min-evals-per-second", "0",
+                  "fail unless scalar throughput reaches this (0 = report "
+                  "only)");
+  args.add_option("min-batch-speedup", "0",
+                  "fail unless batch-1024 speedup reaches this (0 = report "
+                  "only)");
+  args.parse(argc, argv);
+  if (args.help_requested()) {
+    std::printf("%s", args.usage("model_serve").c_str());
+    return 0;
+  }
+
+  sram::SramConfig cfg;
+  cfg.rows = args.get_int("rows");
+  cfg.cols = args.get_int("cols");
+  const sram::SramWorkload sram(cfg);
+  const Index n = sram.num_variables();
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
+
+  print_header("Model serving: registry round trip and evaluation throughput",
+               std::to_string(n) + " variables, OMP fit at K = " +
+                   args.get("train-samples"));
+
+  BenchReport bench_report("model_serve");
+  bench_report.results().set("variables", static_cast<std::int64_t>(n));
+  bench_report.results().set("coefficients",
+                             static_cast<std::int64_t>(dict->size()));
+
+  // ---- Fit offline (the Table IV OMP recipe). ----
+  Rng rng(44);
+  const Index k_train = args.get_int("train-samples");
+  const SramSamples train = simulate_sram(sram, k_train, rng);
+  const SramSamples test = simulate_sram(sram, 1000, rng);
+  BuildOptions opt;
+  opt.method = Method::kOmp;
+  opt.max_lambda = 80;
+  WallTimer fit_timer;
+  const BuildReport fit = build_model(dict, train.inputs, train.delays, opt);
+  const double fit_seconds = fit_timer.seconds();
+  const SparseModel& model = fit.model;
+  const Real test_error = validate_model(model, test.inputs, test.delays);
+  std::printf("fit: lambda=%ld, test error %.2f%%, %.1f s (paper-equiv "
+              "simulation for K=%ld: %s)\n",
+              static_cast<long>(fit.lambda), 100.0 * test_error, fit_seconds,
+              static_cast<long>(k_train),
+              format_seconds(static_cast<double>(k_train) *
+                             kSramSimSecondsPerSample)
+                  .c_str());
+  bench_report.results().set("training_samples",
+                             static_cast<std::int64_t>(k_train));
+  bench_report.results().set("lambda", static_cast<std::int64_t>(fit.lambda));
+  bench_report.results().set("test_error", static_cast<double>(test_error));
+  bench_report.results().set("fit_seconds", fit_seconds);
+
+  // ---- Registry round trip: save -> load must be the same function. ----
+  const std::filesystem::path reg_root =
+      std::filesystem::temp_directory_path() / "rsm_bench_model_serve";
+  std::filesystem::remove_all(reg_root);
+  serve::ModelRegistry registry(reg_root.string());
+  const std::uint32_t version = registry.save("sram_delay", model);
+  const SparseModel loaded = registry.load("sram_delay", version);
+
+  Rng probe_rng(7);
+  const Index kProbe = 1000;
+  const Matrix probes = monte_carlo_normal(kProbe, n, probe_rng);
+  bool predict_identical = true;
+  bool gradient_identical = true;
+  for (Index r = 0; r < kProbe; ++r) {
+    if (!same_bits(model.predict(probes.row(r)),
+                   loaded.predict(probes.row(r))))
+      predict_identical = false;
+    const std::vector<Real> ga = model.gradient(probes.row(r));
+    const std::vector<Real> gb = loaded.gradient(probes.row(r));
+    for (Index j = 0; j < n; ++j)
+      if (!same_bits(ga[static_cast<std::size_t>(j)],
+                     gb[static_cast<std::size_t>(j)]))
+        gradient_identical = false;
+  }
+  std::printf("registry round trip over %ld probes: predict %s, gradient "
+              "%s\n",
+              static_cast<long>(kProbe),
+              predict_identical ? "bit-identical" : "DIVERGED",
+              gradient_identical ? "bit-identical" : "DIVERGED");
+  obs::JsonValue round_trip = obs::JsonValue::object();
+  round_trip.set("probes", static_cast<std::int64_t>(kProbe));
+  round_trip.set("predict_identical", predict_identical);
+  round_trip.set("gradient_identical", gradient_identical);
+  round_trip.set("version", static_cast<std::int64_t>(version));
+  char fingerprint_hex[17];
+  std::snprintf(fingerprint_hex, sizeof fingerprint_hex, "%016llx",
+                static_cast<unsigned long long>(
+                    serve::dictionary_fingerprint(model.dictionary())));
+  round_trip.set("dictionary_fingerprint", fingerprint_hex);
+  bench_report.results().set("round_trip", std::move(round_trip));
+  std::filesystem::remove_all(reg_root);
+
+  // ---- Scalar throughput: the eval RPC hot path. ----
+  const Index scalar_evals = args.get_int("scalar-evals");
+  Real scalar_checksum = 0;
+  WallTimer scalar_timer;
+  for (Index i = 0; i < scalar_evals; ++i)
+    scalar_checksum += model.predict(probes.row(i % kProbe));
+  const double scalar_seconds = scalar_timer.seconds();
+  const double scalar_eps =
+      static_cast<double>(scalar_evals) / scalar_seconds;
+  std::printf("scalar: %ld evals in %.3f s = %.2fM evals/s\n",
+              static_cast<long>(scalar_evals), scalar_seconds,
+              scalar_eps / 1e6);
+  obs::JsonValue scalar_json = obs::JsonValue::object();
+  scalar_json.set("evals", static_cast<std::int64_t>(scalar_evals));
+  scalar_json.set("checksum", static_cast<double>(scalar_checksum));
+  scalar_json.set("seconds", scalar_seconds);
+  scalar_json.set("evals_per_second", scalar_eps);
+  bench_report.results().set("scalar", std::move(scalar_json));
+
+  // ---- Batch sweep: the eval_batch RPC hot path. ----
+  const Index batch_rows_total = args.get_int("batch-rows");
+  const Index kBatchSizes[] = {16, 64, 256, 1024, 4096};
+  Table table({"batch size", "rows", "Mevals/s", "speedup vs scalar"});
+  obs::JsonValue batch_json = obs::JsonValue::object();
+  double speedup_1024 = 0;
+  for (const Index batch : kBatchSizes) {
+    Matrix block(batch, n);
+    for (Index r = 0; r < batch; ++r)
+      std::copy(probes.row(r % kProbe).begin(), probes.row(r % kProbe).end(),
+                block.row(r).begin());
+    std::vector<Real> out(static_cast<std::size_t>(batch));
+    const Index reps = batch_rows_total / batch;
+    Real batch_checksum = 0;
+    WallTimer batch_timer;
+    for (Index rep = 0; rep < reps; ++rep) {
+      model.predict_batch(block, out);
+      batch_checksum += out[static_cast<std::size_t>(rep) %
+                            static_cast<std::size_t>(batch)];
+    }
+    const double seconds = batch_timer.seconds();
+    const double eps = static_cast<double>(reps * batch) / seconds;
+    const double speedup = eps / scalar_eps;
+    if (batch == 1024) speedup_1024 = speedup;
+    table.add_row({std::to_string(batch),
+                   std::to_string(reps * batch),
+                   format_sig(eps / 1e6, 3),
+                   format_sig(speedup, 3) + "x"});
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("rows", static_cast<std::int64_t>(reps * batch));
+    entry.set("checksum", static_cast<double>(batch_checksum));
+    entry.set("evals_per_second", eps);
+    entry.set("speedup_vs_scalar", speedup);
+    batch_json.set(std::to_string(batch), std::move(entry));
+  }
+  bench_report.results().set("batch", std::move(batch_json));
+  std::printf("\n%s\n", table.render().c_str());
+
+  // ---- Protocol layer: deterministic framing counts. ----
+  const Index kFrames = 256;
+  Index frames_round_tripped = 0;
+  Index corrupted_rejected = 0;
+  for (Index i = 0; i < kFrames; ++i) {
+    std::string payload(static_cast<std::size_t>(1 + i % 97), '\0');
+    for (std::size_t b = 0; b < payload.size(); ++b)
+      payload[b] = static_cast<char>((static_cast<Index>(b) * 31 + i) % 251);
+    std::string buffer = serve::encode_frame(
+        serve::MessageType::kEvalRequest, payload);
+    auto frame = serve::try_extract_frame(buffer);
+    if (frame && frame->payload == payload && buffer.empty())
+      ++frames_round_tripped;
+
+    std::string corrupt = serve::encode_frame(
+        serve::MessageType::kEvalRequest, payload);
+    corrupt[corrupt.size() - 1 - static_cast<std::size_t>(i) % 4] ^=
+        static_cast<char>(0x40);  // flip one CRC bit
+    try {
+      (void)serve::try_extract_frame(corrupt);
+    } catch (const ProtocolError&) {
+      ++corrupted_rejected;
+    }
+  }
+  std::printf("protocol: %ld/%ld frames round-tripped, %ld/%ld corrupted "
+              "frames rejected\n",
+              static_cast<long>(frames_round_tripped),
+              static_cast<long>(kFrames),
+              static_cast<long>(corrupted_rejected),
+              static_cast<long>(kFrames));
+  obs::JsonValue protocol_json = obs::JsonValue::object();
+  protocol_json.set("frames_round_tripped",
+                    static_cast<std::int64_t>(frames_round_tripped));
+  protocol_json.set("corrupted_frames_rejected",
+                    static_cast<std::int64_t>(corrupted_rejected));
+  protocol_json.set("frames_attempted", static_cast<std::int64_t>(kFrames));
+  bench_report.results().set("protocol", std::move(protocol_json));
+
+  print_paper_reference({
+      "One Spectre SRAM sample costs 29.13 s (Table IV); a served model at",
+      ">1e6 evals/s replaces it at a >3e7x per-point ratio, which is what",
+      "turns yield and worst-case sweeps (figs 4-6) interactive."});
+
+  bool ok = predict_identical && gradient_identical &&
+            frames_round_tripped == kFrames && corrupted_rejected == kFrames;
+  const double min_eps = args.get_double("min-evals-per-second");
+  if (min_eps > 0 && scalar_eps < min_eps) {
+    std::fprintf(stderr, "FAIL: scalar %.0f evals/s < required %.0f\n",
+                 scalar_eps, min_eps);
+    ok = false;
+  }
+  const double min_speedup = args.get_double("min-batch-speedup");
+  if (min_speedup > 0 && speedup_1024 < min_speedup) {
+    std::fprintf(stderr, "FAIL: batch-1024 speedup %.2fx < required %.2fx\n",
+                 speedup_1024, min_speedup);
+    ok = false;
+  }
+  if (!ok) std::fprintf(stderr, "model_serve: acceptance checks failed\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,182 @@
+// Model server: fitted models behind a local socket, fit offline /
+// serve online.
+//
+//   build/examples/model_server --socket /tmp/rsm.sock
+//       --registry /tmp/rsm_models --fit-demo
+//   # then from another terminal:
+//   python3 scripts/serve_client.py --socket /tmp/rsm.sock list_models
+//   python3 scripts/serve_client.py --socket /tmp/rsm.sock yield
+//       --model sram_delay --upper 3.0 --num-samples 100000
+//
+// The binary opens a ModelRegistry, optionally fits a demo SRAM read-delay
+// model into it (--fit-demo, skipped when the name already exists), binds
+// the AF_UNIX serving socket, and serves eval / eval_batch / yield /
+// worst_case / list_models until SIGINT/SIGTERM. The first signal triggers
+// the cooperative drain (answer every fully received frame, flush, close —
+// no in-flight response is lost) and the binary exits 128+signo; a second
+// signal exits immediately. This is the binary CI's serve-smoke job drives,
+// including its malformed-frame and drain-under-TSan cases.
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "basis/dictionary.hpp"
+#include "core/pipeline.hpp"
+#include "obs/env.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_export.hpp"
+#include "serve/model_codec.hpp"
+#include "serve/server.hpp"
+#include "sram/sram.hpp"
+#include "stats/lhs.hpp"
+#include "stats/rng.hpp"
+#include "util/cli.hpp"
+#include "util/signals.hpp"
+
+namespace {
+
+/// Fits the demo SRAM read-delay model and stores it as version 1. The
+/// geometry is intentionally small — the demo exists so a fresh checkout
+/// can exercise the serving path in seconds; bench/model_serve.cpp fits the
+/// Table-IV-scale model for throughput numbers.
+void fit_demo_model(rsm::serve::ModelRegistry& registry,
+                    const std::string& name, rsm::Index rows, rsm::Index cols,
+                    rsm::Index num_samples) {
+  using namespace rsm;
+  sram::SramConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  const sram::SramWorkload sram(config);
+  const Index n = sram.num_variables();
+
+  Rng rng(44);
+  const Matrix inputs = monte_carlo_normal(num_samples, n, rng);
+  std::vector<Real> delays;
+  delays.reserve(static_cast<std::size_t>(num_samples));
+  for (Index k = 0; k < num_samples; ++k)
+    delays.push_back(sram.evaluate(inputs.row(k)));
+
+  auto dict = std::make_shared<BasisDictionary>(BasisDictionary::linear(n));
+  BuildOptions options;
+  options.max_lambda = 40;
+  const BuildReport report = build_model(dict, inputs, delays, options);
+  const std::uint32_t version = registry.save(name, report.model);
+  std::printf("fitted demo model '%s' v%u: %ld variables, lambda=%ld, "
+              "training error %.2f%%, fingerprint %016llx\n",
+              name.c_str(), version, static_cast<long>(n),
+              static_cast<long>(report.lambda),
+              100.0 * report.training_error,
+              static_cast<unsigned long long>(
+                  serve::dictionary_fingerprint(report.model.dictionary())));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rsm;
+
+  CliArgs args;
+  args.add_option("socket", "model_server.sock",
+                  "AF_UNIX socket path to serve on");
+  args.add_option("registry", "model_registry",
+                  "model registry directory (created if missing)");
+  args.add_option("threads", "0",
+                  "batched-evaluation worker threads; 0 consults RSM_THREADS "
+                  "and defaults to the hardware concurrency");
+  args.add_option("batch-chunk", "2048",
+                  "rows per thread-pool task when splitting eval_batch "
+                  "requests");
+  args.add_flag("fit-demo",
+                "fit a small SRAM read-delay demo model into the registry "
+                "at startup when --demo-name is absent from it");
+  args.add_option("demo-name", "sram_delay", "registry name of the demo model");
+  args.add_option("demo-rows", "8", "demo SRAM array rows");
+  args.add_option("demo-cols", "8", "demo SRAM array columns");
+  args.add_option("demo-samples", "300", "demo training samples");
+  args.add_option("report", "",
+                  "write a BENCH-schema JSON report of serving stats here "
+                  "on shutdown");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(),
+                 args.usage("model_server").c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.usage("model_server").c_str());
+    return 0;
+  }
+  obs::apply_env_overrides();
+
+  // First signal: cooperative drain (finish buffered requests, flush,
+  // close), exit 128+signo. Second signal: immediate exit.
+  CancellationSource cancel_source;
+  install_signal_cancellation(&cancel_source);
+
+  serve::ServerOptions options;
+  options.socket_path = args.get("socket");
+  options.registry_root = args.get("registry");
+  options.num_threads = static_cast<int>(args.get_int("threads"));
+  options.batch_chunk = static_cast<Index>(args.get_int("batch-chunk"));
+  options.cancel = cancel_source.token();
+
+  try {
+    serve::ModelRegistry registry(options.registry_root);
+    const std::string demo_name = args.get("demo-name");
+    if (args.get_flag("fit-demo") && registry.latest_version(demo_name) == 0)
+      fit_demo_model(registry, demo_name,
+                     static_cast<Index>(args.get_int("demo-rows")),
+                     static_cast<Index>(args.get_int("demo-cols")),
+                     static_cast<Index>(args.get_int("demo-samples")));
+
+    serve::ModelServer server(std::move(options));
+    for (const serve::ModelRecord& record : server.registry().list())
+      std::printf("model %s v%u: %ld variables, %ld terms, %llu bytes\n",
+                  record.name.c_str(), record.version,
+                  static_cast<long>(record.num_variables),
+                  static_cast<long>(record.num_terms),
+                  static_cast<unsigned long long>(record.size_bytes));
+    std::printf("listening on %s\n", args.get("socket").c_str());
+    std::fflush(stdout);
+
+    server.run();
+
+    const serve::ServerStats& stats = server.stats();
+    std::printf("drained: %llu connections, %llu requests (%llu evals, "
+                "%llu batch rows), %llu protocol errors, %llu request "
+                "errors\n",
+                static_cast<unsigned long long>(stats.connections_accepted),
+                static_cast<unsigned long long>(stats.requests_served),
+                static_cast<unsigned long long>(stats.evals),
+                static_cast<unsigned long long>(stats.batch_rows),
+                static_cast<unsigned long long>(stats.protocol_errors),
+                static_cast<unsigned long long>(stats.request_errors));
+
+    const std::string report_path = args.get("report");
+    if (!report_path.empty()) {
+      obs::JsonValue results = obs::JsonValue::object();
+      results.set("connections",
+                  static_cast<std::int64_t>(stats.connections_accepted));
+      results.set("requests",
+                  static_cast<std::int64_t>(stats.requests_served));
+      results.set("evals", static_cast<std::int64_t>(stats.evals));
+      results.set("batch_rows", static_cast<std::int64_t>(stats.batch_rows));
+      results.set("protocol_errors",
+                  static_cast<std::int64_t>(stats.protocol_errors));
+      results.set("request_errors",
+                  static_cast<std::int64_t>(stats.request_errors));
+      results.set("signal_cancelled", signal_cancellation_requested());
+      obs::write_report(report_path, "model_server", std::move(results));
+      std::printf("report written to %s\n", report_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "model_server failed: %s\n", e.what());
+    return 1;
+  }
+
+  obs::export_trace_if_configured("model_server");
+  return signal_exit_status();
+}

@@ -24,7 +24,17 @@ Checks (stdlib only, exit status 0 = all files valid):
     (the pool never retires its last worker); likewise the optional
     checkpoint shard-merge counters, the pool-telemetry fields
     (pool_queue_highwater, pool_backpressure_stalls, busy/idle seconds,
-    progress_heartbeats), and the nested resource-usage block.
+    progress_heartbeats), and the nested resource-usage block;
+  * tool == "model_serve" reports (bench/model_serve.cpp): the registry
+    round-trip block must attest bit-identical predict AND gradient, the
+    scalar block must carry a positive throughput, the batch sweep must be
+    a non-empty map of positive-integer batch sizes each with rows /
+    checksum / evals_per_second / speedup_vs_scalar, and the protocol
+    counters must show every attempted frame round-tripped and every
+    corrupted frame rejected;
+  * tool == "model_server" reports (examples/model_server.cpp --report):
+    serving counters present, non-negative, and internally consistent
+    (evals <= requests served).
 
 Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
 """
@@ -66,7 +76,8 @@ RECORD_FIELDS = {
 
 ERROR_CODE_NAMES = (
     "ok", "singular-matrix", "no-convergence", "numerical-domain",
-    "unclassified", "deadline-exceeded", "io-error",
+    "unclassified", "deadline-exceeded", "io-error", "protocol-error",
+    "version-mismatch",
 )
 MAX_QUARANTINE_REASON = 256
 CAMPAIGN_CHECKPOINT_COUNTERS = (
@@ -336,6 +347,97 @@ def check_campaign_report(doc_path, where, report):
                 "bytes")
 
 
+def _require_int(doc_path, where, node, key, minimum=0):
+    value = node.get(key)
+    if not isinstance(value, int) or isinstance(value, bool) or \
+            value < minimum:
+        fail(doc_path, f"{where}: '{key}' must be an integer >= {minimum}, "
+                       f"got {value!r}")
+    return value
+
+
+def _require_number(doc_path, where, node, key, minimum=None):
+    value = node.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(doc_path, f"{where}: '{key}' must be a number, got {value!r}")
+    if minimum is not None and value < minimum:
+        fail(doc_path, f"{where}: '{key}' must be >= {minimum}, got {value!r}")
+    return value
+
+
+def check_model_serve_results(doc_path, results):
+    """Shape of bench/model_serve.cpp reports: fit provenance, the
+    bit-identical registry round trip, scalar/batched throughput, and the
+    wire-protocol robustness counters."""
+    for key in ("variables", "coefficients", "training_samples", "lambda"):
+        _require_int(doc_path, "results", results, key, minimum=1)
+    _require_number(doc_path, "results", results, "test_error", minimum=0)
+
+    round_trip = results.get("round_trip")
+    if not isinstance(round_trip, dict):
+        fail(doc_path, "results.round_trip must be an object")
+    _require_int(doc_path, "round_trip", round_trip, "probes", minimum=1)
+    _require_int(doc_path, "round_trip", round_trip, "version", minimum=1)
+    for key in ("predict_identical", "gradient_identical"):
+        if round_trip.get(key) is not True:
+            fail(doc_path,
+                 f"round_trip.{key} must be true: the registry must "
+                 "reproduce the fitted model bit for bit")
+    fingerprint = round_trip.get("dictionary_fingerprint")
+    if not isinstance(fingerprint, str) or len(fingerprint) != 16 or \
+            any(c not in "0123456789abcdef" for c in fingerprint):
+        fail(doc_path, "round_trip.dictionary_fingerprint must be 16 lowercase"
+                       f" hex digits, got {fingerprint!r}")
+
+    scalar = results.get("scalar")
+    if not isinstance(scalar, dict):
+        fail(doc_path, "results.scalar must be an object")
+    _require_int(doc_path, "scalar", scalar, "evals", minimum=1)
+    _require_number(doc_path, "scalar", scalar, "checksum")
+    _require_number(doc_path, "scalar", scalar, "seconds", minimum=0)
+    _require_number(doc_path, "scalar", scalar, "evals_per_second", minimum=0)
+
+    batch = results.get("batch")
+    if not isinstance(batch, dict) or not batch:
+        fail(doc_path, "results.batch must be a non-empty object keyed by "
+                       "batch size")
+    for size, entry in batch.items():
+        where = f"batch[{size}]"
+        if not size.isdigit() or int(size) < 1:
+            fail(doc_path, f"{where}: key must be a positive integer string")
+        if not isinstance(entry, dict):
+            fail(doc_path, f"{where}: must be an object")
+        _require_int(doc_path, where, entry, "rows", minimum=1)
+        _require_number(doc_path, where, entry, "checksum")
+        _require_number(doc_path, where, entry, "evals_per_second", minimum=0)
+        _require_number(doc_path, where, entry, "speedup_vs_scalar",
+                        minimum=0)
+
+    protocol = results.get("protocol")
+    if not isinstance(protocol, dict):
+        fail(doc_path, "results.protocol must be an object")
+    attempted = _require_int(doc_path, "protocol", protocol,
+                             "frames_attempted", minimum=1)
+    for key in ("frames_round_tripped", "corrupted_frames_rejected"):
+        if _require_int(doc_path, "protocol", protocol, key) != attempted:
+            fail(doc_path,
+                 f"protocol.{key} is {protocol[key]} but {attempted} frames "
+                 "were attempted: the wire layer must round-trip every good "
+                 "frame and reject every corrupted one")
+
+
+def check_model_server_results(doc_path, results):
+    """Shape of examples/model_server.cpp --report output."""
+    for key in ("connections", "requests", "evals", "batch_rows",
+                "protocol_errors", "request_errors"):
+        _require_int(doc_path, "results", results, key)
+    if not isinstance(results.get("signal_cancelled"), bool):
+        fail(doc_path, "results.signal_cancelled must be a boolean")
+    if results["evals"] > results["requests"]:
+        fail(doc_path, f"results.evals {results['evals']} > requests "
+                       f"{results['requests']}: every eval is one request")
+
+
 def find_campaign_reports(node, where="results"):
     """Campaign reports may be embedded anywhere under results (e.g.
     clean_report / faulted_report in campaign_overhead, results.campaign in
@@ -384,6 +486,10 @@ def check_file(doc_path):
     campaign_reports = list(find_campaign_reports(doc["results"]))
     for where, report in campaign_reports:
         check_campaign_report(doc_path, where, report)
+    if doc["tool"] == "model_serve":
+        check_model_serve_results(doc_path, doc["results"])
+    elif doc["tool"] == "model_server":
+        check_model_server_results(doc_path, doc["results"])
 
     detail = f"{len(records)} telemetry records"
     if ratio is not None:

@@ -242,6 +242,7 @@ def rule_unseeded_rng(files, _root):
 RSM_ERROR_TYPES = (
     "Error", "StructuredError", "SingularMatrixError", "ConvergenceError",
     "NumericalDomainError", "DeadlineExceededError", "IoError",
+    "ProtocolError", "VersionMismatchError",
 )
 THROW_RE = re.compile(r"\bthrow\b\s*([^;]*)")
 

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 namespace rsm {
 
@@ -23,6 +24,52 @@ SparseModel::SparseModel(std::shared_ptr<const BasisDictionary> dictionary,
                                       << dictionary_->size());
     if (t.coefficient != Real{0}) terms_.push_back(t);
   }
+  build_plan();
+}
+
+void SparseModel::build_plan() {
+  plan_vars_.clear();
+  plan_var_max_order_.clear();
+  plan_var_offset_.clear();
+  plan_table_size_ = 0;
+  plan_factors_.clear();
+  plan_term_begin_.clear();
+  if (terms_.empty()) return;
+
+  // Active variable set with per-variable max order: collect every factor
+  // occurrence, sort by variable, coalesce.
+  std::vector<std::pair<Index, int>> occurrences;
+  for (const ModelTerm& t : terms_)
+    for (const IndexTerm& f : dictionary().index(t.basis_index).terms())
+      occurrences.emplace_back(f.variable, f.order);
+  std::sort(occurrences.begin(), occurrences.end());
+  for (const auto& [variable, order] : occurrences) {
+    if (plan_vars_.empty() || plan_vars_.back() != variable) {
+      plan_vars_.push_back(variable);
+      plan_var_max_order_.push_back(order);
+    } else {
+      plan_var_max_order_.back() = std::max(plan_var_max_order_.back(), order);
+    }
+  }
+  plan_var_offset_.reserve(plan_vars_.size());
+  for (const int max_order : plan_var_max_order_) {
+    plan_var_offset_.push_back(plan_table_size_);
+    plan_table_size_ += static_cast<std::size_t>(max_order + 1);
+  }
+
+  // Flattened factor list, term-major, preserving each multi-index's own
+  // factor order (the scalar product order — bit-identity depends on it).
+  plan_term_begin_.reserve(terms_.size() + 1);
+  for (const ModelTerm& t : terms_) {
+    plan_term_begin_.push_back(plan_factors_.size());
+    for (const IndexTerm& f : dictionary().index(t.basis_index).terms()) {
+      const auto slot_it =
+          std::lower_bound(plan_vars_.begin(), plan_vars_.end(), f.variable);
+      plan_factors_.push_back(
+          {static_cast<std::uint32_t>(slot_it - plan_vars_.begin()), f.order});
+    }
+  }
+  plan_term_begin_.push_back(plan_factors_.size());
 }
 
 SparseModel SparseModel::from_dense(
@@ -44,10 +91,208 @@ const BasisDictionary& SparseModel::dictionary() const {
 }
 
 Real SparseModel::predict(std::span<const Real> sample) const {
+  if (terms_.empty()) return 0;
+  RSM_CHECK(static_cast<Index>(sample.size()) == dictionary().num_variables());
+  // Memoize g_0..g_max once per active variable (several terms usually share
+  // factors), then each term is a product of table lookups. The table rows
+  // come from hermite_normalized_all, which runs the identical recurrence
+  // hermite_normalized runs per call, so results are bit-identical to the
+  // former per-term evaluation.
+  thread_local std::vector<Real> table;
+  if (table.size() < plan_table_size_) table.resize(plan_table_size_);
+  for (std::size_t s = 0; s < plan_vars_.size(); ++s) {
+    const int max_order = plan_var_max_order_[s];
+    hermite_normalized_all(
+        max_order, sample[static_cast<std::size_t>(plan_vars_[s])],
+        std::span<Real>(table.data() + plan_var_offset_[s],
+                        static_cast<std::size_t>(max_order + 1)));
+  }
   Real sum = 0;
-  for (const ModelTerm& t : terms_)
-    sum += t.coefficient * dictionary().evaluate(t.basis_index, sample);
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    Real product = 1;
+    for (std::size_t f = plan_term_begin_[i]; f < plan_term_begin_[i + 1];
+         ++f) {
+      const PlanFactor& pf = plan_factors_[f];
+      product *=
+          table[plan_var_offset_[pf.slot] + static_cast<std::size_t>(pf.order)];
+    }
+    sum += terms_[i].coefficient * product;
+  }
   return sum;
+}
+
+namespace {
+
+/// Samples per batched-evaluation block: large enough to amortize the
+/// column fills and keep the per-term inner loops vectorizable, small
+/// enough that the whole order table stays cache-resident.
+constexpr std::size_t kEvalBlock = 64;
+
+}  // namespace
+
+void SparseModel::predict_batch(const Matrix& samples,
+                                std::span<Real> out) const {
+  RSM_CHECK(static_cast<Index>(out.size()) == samples.rows());
+  if (terms_.empty()) {
+    std::fill(out.begin(), out.end(), Real{0});
+    return;
+  }
+  RSM_CHECK(samples.cols() == dictionary().num_variables());
+  predict_batch(
+      std::span<const Real>(samples.data(),
+                            static_cast<std::size_t>(samples.size())),
+      samples.rows(), out);
+}
+
+void SparseModel::predict_batch(std::span<const Real> samples, Index rows,
+                                std::span<Real> out) const {
+  RSM_CHECK(static_cast<Index>(out.size()) == rows);
+  std::fill(out.begin(), out.end(), Real{0});
+  if (terms_.empty()) return;
+  const Index cols = dictionary().num_variables();
+  RSM_CHECK(static_cast<Index>(samples.size()) == rows * cols);
+  const Real* data = samples.data();
+
+  // Column layout: for active-variable slot s, orders 1..max_order occupy
+  // kEvalBlock-wide columns starting at (plan_var_offset_[s] - s). Order 0
+  // is never materialized — multi-index factors always have order >= 1 and
+  // the recurrence only needs the constant 1 at its first step.
+  const std::size_t num_slots = plan_vars_.size();
+  thread_local std::vector<Real> table;
+  const std::size_t needed = (plan_table_size_ - num_slots) * kEvalBlock;
+  if (table.size() < needed) table.resize(needed);
+  Real* tab = table.data();
+  const auto column = [&](const PlanFactor& pf) {
+    return tab + (plan_var_offset_[pf.slot] - pf.slot +
+                  static_cast<std::size_t>(pf.order - 1)) *
+                     kEvalBlock;
+  };
+
+  for (Index r0 = 0; r0 < rows; r0 += static_cast<Index>(kEvalBlock)) {
+    const std::size_t bsz = std::min(
+        kEvalBlock, static_cast<std::size_t>(rows - r0));
+    // Fill the order columns by the vector form of the same normalized
+    // recurrence hermite_normalized_all runs per sample — elementwise the
+    // arithmetic is identical, so every table entry is bit-identical to the
+    // scalar path's.
+    const Real* block = data + static_cast<std::size_t>(r0 * cols);
+    for (std::size_t s = 0; s < num_slots; ++s) {
+      const std::size_t v = static_cast<std::size_t>(plan_vars_[s]);
+      Real* g1 = tab + (plan_var_offset_[s] - s) * kEvalBlock;
+      for (std::size_t b = 0; b < bsz; ++b)
+        g1[b] = block[b * static_cast<std::size_t>(cols) + v];
+      for (int k = 1; k < plan_var_max_order_[s]; ++k) {
+        const Real sk = std::sqrt(static_cast<Real>(k));
+        const Real sk1 = std::sqrt(static_cast<Real>(k + 1));
+        Real* gk = g1 + static_cast<std::size_t>(k - 1) * kEvalBlock;
+        Real* gn = gk + kEvalBlock;
+        if (k == 1) {
+          for (std::size_t b = 0; b < bsz; ++b)
+            gn[b] = (g1[b] * gk[b] - sk * Real{1}) / sk1;
+        } else {
+          const Real* gp = gk - kEvalBlock;
+          for (std::size_t b = 0; b < bsz; ++b)
+            gn[b] = (g1[b] * gk[b] - sk * gp[b]) / sk1;
+        }
+      }
+    }
+    // Accumulate terms in declaration order with the scalar product order.
+    // The 0- and 1-factor fast paths are exact rewrites: c * 1 == c and
+    // 1 * g == g bit-exactly in IEEE arithmetic.
+    Real* acc = out.data() + r0;
+    Real prod[kEvalBlock];
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+      const Real c = terms_[i].coefficient;
+      const std::size_t f0 = plan_term_begin_[i];
+      const std::size_t f1 = plan_term_begin_[i + 1];
+      if (f1 == f0) {
+        for (std::size_t b = 0; b < bsz; ++b) acc[b] += c;
+      } else if (f1 == f0 + 1) {
+        const Real* g = column(plan_factors_[f0]);
+        for (std::size_t b = 0; b < bsz; ++b) acc[b] += c * g[b];
+      } else {
+        const Real* g = column(plan_factors_[f0]);
+        for (std::size_t b = 0; b < bsz; ++b) prod[b] = g[b];
+        for (std::size_t f = f0 + 1; f < f1; ++f) {
+          const Real* gf = column(plan_factors_[f]);
+          for (std::size_t b = 0; b < bsz; ++b) prod[b] *= gf[b];
+        }
+        for (std::size_t b = 0; b < bsz; ++b) acc[b] += c * prod[b];
+      }
+    }
+  }
+}
+
+Matrix SparseModel::gradient_batch(const Matrix& samples) const {
+  const Index n = dictionary().num_variables();
+  RSM_CHECK(samples.cols() == n);
+  Matrix grad(samples.rows(), n);
+  if (terms_.empty()) return grad;
+
+  const std::size_t num_slots = plan_vars_.size();
+  thread_local std::vector<Real> table;
+  const std::size_t needed = (plan_table_size_ - num_slots) * kEvalBlock;
+  if (table.size() < needed) table.resize(needed);
+  Real* tab = table.data();
+  const auto column = [&](const PlanFactor& pf) {
+    return tab + (plan_var_offset_[pf.slot] - pf.slot +
+                  static_cast<std::size_t>(pf.order - 1)) *
+                     kEvalBlock;
+  };
+
+  const Index rows = samples.rows();
+  for (Index r0 = 0; r0 < rows; r0 += static_cast<Index>(kEvalBlock)) {
+    const std::size_t bsz = std::min(
+        kEvalBlock, static_cast<std::size_t>(rows - r0));
+    for (std::size_t s = 0; s < num_slots; ++s) {
+      const Index v = plan_vars_[s];
+      Real* g1 = tab + (plan_var_offset_[s] - s) * kEvalBlock;
+      for (std::size_t b = 0; b < bsz; ++b)
+        g1[b] = samples(r0 + static_cast<Index>(b), v);
+      for (int k = 1; k < plan_var_max_order_[s]; ++k) {
+        const Real sk = std::sqrt(static_cast<Real>(k));
+        const Real sk1 = std::sqrt(static_cast<Real>(k + 1));
+        Real* gk = g1 + static_cast<std::size_t>(k - 1) * kEvalBlock;
+        Real* gn = gk + kEvalBlock;
+        if (k == 1) {
+          for (std::size_t b = 0; b < bsz; ++b)
+            gn[b] = (g1[b] * gk[b] - sk * Real{1}) / sk1;
+        } else {
+          const Real* gp = gk - kEvalBlock;
+          for (std::size_t b = 0; b < bsz; ++b)
+            gn[b] = (g1[b] * gk[b] - sk * gp[b]) / sk1;
+        }
+      }
+    }
+    // Mirror the scalar gradient exactly: per term, differentiate one factor
+    // (sqrt(o) g_{o-1}, where g_0 == 1 needs no column), keep the others in
+    // their stored order, skip when the derivative factor is exactly zero.
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+      const Real c = terms_[i].coefficient;
+      const std::size_t f0 = plan_term_begin_[i];
+      const std::size_t f1 = plan_term_begin_[i + 1];
+      for (std::size_t d = f0; d < f1; ++d) {
+        const PlanFactor& pd = plan_factors_[d];
+        const Real sq = std::sqrt(static_cast<Real>(pd.order));
+        const Real* gm1 =
+            pd.order >= 2
+                ? column({pd.slot, pd.order - 1})
+                : nullptr;
+        const Index var_d = plan_vars_[pd.slot];
+        for (std::size_t b = 0; b < bsz; ++b) {
+          const Real der = pd.order == 1 ? sq : sq * gm1[b];
+          Real partial = c * der;
+          if (partial == Real{0}) continue;
+          for (std::size_t o = f0; o < f1; ++o) {
+            if (o == d) continue;
+            partial *= column(plan_factors_[o])[b];
+          }
+          grad(r0 + static_cast<Index>(b), var_d) += partial;
+        }
+      }
+    }
+  }
+  return grad;
 }
 
 std::vector<Real> SparseModel::gradient(std::span<const Real> sample) const {
@@ -78,9 +323,9 @@ std::vector<Real> SparseModel::gradient(std::span<const Real> sample) const {
 }
 
 std::vector<Real> SparseModel::predict_all(const Matrix& samples) const {
+  // Delegates to the batched engine; bit-identical to per-row predict.
   std::vector<Real> out(static_cast<std::size_t>(samples.rows()));
-  for (Index k = 0; k < samples.rows(); ++k)
-    out[static_cast<std::size_t>(k)] = predict(samples.row(k));
+  predict_batch(samples, out);
   return out;
 }
 

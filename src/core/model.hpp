@@ -6,6 +6,7 @@
 // (e.g., a 21 311-term dictionary reduced to 36 active terms, Fig. 6).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -62,6 +63,26 @@ class SparseModel {
   /// Predictions for each row of `samples`.
   [[nodiscard]] std::vector<Real> predict_all(const Matrix& samples) const;
 
+  /// Predictions for each row of `samples` (K x num_variables), written into
+  /// `out` (size K). Evaluates the Hermite recurrence across contiguous
+  /// sample blocks — one memoized order column per (active variable, order)
+  /// instead of per-sample recursion — while executing the exact elementwise
+  /// arithmetic of `predict` in the same order, so results are bit-identical
+  /// to the scalar path. This is the serving-layer fast path.
+  void predict_batch(const Matrix& samples, std::span<Real> out) const;
+
+  /// Same engine over a raw row-major block of `rows` samples (size
+  /// rows * num_variables) — lets callers evaluate sub-ranges of a larger
+  /// buffer (e.g. the server splitting one request across pool workers)
+  /// without copying into a Matrix.
+  void predict_batch(std::span<const Real> samples, Index rows,
+                     std::span<Real> out) const;
+
+  /// Gradients for each row of `samples`: returns a K x num_variables
+  /// matrix whose row k is `gradient(samples.row(k))`, bit-identical to the
+  /// scalar path (same per-factor product order, same skip-on-zero rule).
+  [[nodiscard]] Matrix gradient_batch(const Matrix& samples) const;
+
   /// Analytic mean of the model under dY ~ N(0, I): the coefficient of the
   /// constant basis function (orthonormality kills every other term).
   [[nodiscard]] Real analytic_mean() const;
@@ -92,8 +113,31 @@ class SparseModel {
       std::istream& in, std::shared_ptr<const BasisDictionary> dictionary);
 
  private:
+  // One factor of a model term in the packed evaluation plan. `slot` indexes
+  // the model's active-variable list (much shorter than the dictionary's
+  // variable count for sparse models), `order` is the Hermite order (always
+  // >= 1 — multi-indices store nonzero orders only).
+  struct PlanFactor {
+    std::uint32_t slot = 0;
+    std::int32_t order = 0;
+  };
+
+  /// Derives the packed evaluation plan from terms_: the sorted active
+  /// variable set, per-variable max orders and memo-table offsets, and a
+  /// flattened per-term factor list. Called from the constructor so every
+  /// model (fit, loaded, refit) carries its plan.
+  void build_plan();
+
   std::shared_ptr<const BasisDictionary> dictionary_;
   std::vector<ModelTerm> terms_;
+
+  // Packed evaluation plan (derived from terms_; see build_plan).
+  std::vector<Index> plan_vars_;             // active variables, ascending
+  std::vector<int> plan_var_max_order_;      // per active variable
+  std::vector<std::size_t> plan_var_offset_; // order-0 offset into the table
+  std::size_t plan_table_size_ = 0;          // sum of (max_order + 1)
+  std::vector<PlanFactor> plan_factors_;     // factors, term-major
+  std::vector<std::size_t> plan_term_begin_; // terms_.size() + 1 offsets
 };
 
 }  // namespace rsm

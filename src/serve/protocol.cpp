@@ -1,0 +1,62 @@
+#include "serve/protocol.hpp"
+
+#include <sstream>
+
+#include "io/crc32.hpp"
+#include "serve/wire.hpp"
+#include "util/errors.hpp"
+
+namespace rsm::serve {
+
+std::string encode_frame(MessageType type, std::string_view payload) {
+  RSM_CHECK_MSG(payload.size() <= kMaxFramePayload,
+                "frame payload of " << payload.size()
+                                    << " bytes exceeds protocol cap");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size() + 4);
+  put_u32(out, kFrameMagic);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  put_u32(out, io::crc32(out.data(), out.size()));
+  return out;
+}
+
+std::optional<Frame> try_extract_frame(std::string& buffer) {
+  if (buffer.size() < kFrameHeaderBytes) return std::nullopt;
+
+  WireReader header(std::string_view(buffer).substr(0, kFrameHeaderBytes),
+                    "frame header");
+  const std::uint32_t magic = header.u32();
+  if (magic != kFrameMagic) {
+    std::ostringstream os;
+    os << "frame magic 0x" << std::hex << magic << " (expected 0x"
+       << kFrameMagic << ") — stream desynchronized";
+    throw ProtocolError(os.str());
+  }
+  const std::uint8_t type = header.u8();
+  const std::uint32_t payload_len = header.u32();
+  if (payload_len > kMaxFramePayload) {
+    std::ostringstream os;
+    os << "declared payload of " << payload_len << " bytes exceeds cap of "
+       << kMaxFramePayload;
+    throw ProtocolError(os.str());
+  }
+
+  const std::size_t frame_bytes = kFrameHeaderBytes + payload_len + 4;
+  if (buffer.size() < frame_bytes) return std::nullopt;
+
+  const std::size_t crc_at = kFrameHeaderBytes + payload_len;
+  WireReader crc_in(std::string_view(buffer).substr(crc_at, 4), "frame crc");
+  const std::uint32_t stored_crc = crc_in.u32();
+  if (io::crc32(buffer.data(), crc_at) != stored_crc)
+    throw ProtocolError("frame CRC mismatch");
+
+  Frame frame;
+  frame.type = static_cast<MessageType>(type);
+  frame.payload = buffer.substr(kFrameHeaderBytes, payload_len);
+  buffer.erase(0, frame_bytes);
+  return frame;
+}
+
+}  // namespace rsm::serve

@@ -1,0 +1,80 @@
+// Length-prefixed, CRC-guarded binary framing for the model server.
+//
+// A client connection is a byte stream of frames:
+//
+//   magic        u32  kFrameMagic ("RSF1" little-endian)
+//   type         u8   MessageType
+//   payload_len  u32  <= kMaxFramePayload
+//   payload      payload_len bytes (request/response body, wire.hpp encoded)
+//   crc          u32  CRC32 of the frame's first 9 + payload_len bytes
+//
+// try_extract_frame() consumes frames incrementally from a receive buffer:
+// an incomplete frame returns nullopt (read more), a structurally invalid
+// one — wrong magic, length beyond the cap, CRC mismatch — throws a
+// structured ProtocolError. After a malformed frame the stream offset is
+// unknowable, so the server replies with an error frame and closes the
+// connection instead of guessing a resync point.
+//
+// Payload layouts (all wire.hpp little-endian; `bytes` = u32 len + raw):
+//
+//   kEvalRequest        bytes name, u32 version, u32 n, n x real sample
+//   kEvalResponse       real value
+//   kEvalBatchRequest   bytes name, u32 version, u32 rows, u32 cols,
+//                       rows*cols x real (row-major)
+//   kEvalBatchResponse  u32 rows, rows x real
+//   kYieldRequest       bytes name, u32 version, real lower, real upper,
+//                       u64 num_samples, u64 seed
+//   kYieldResponse      real yield, real standard_error, u64 num_samples,
+//                       u64 num_failures
+//   kWorstCaseRequest   bytes name, u32 version, real radius, u8 maximize
+//   kWorstCaseResponse  real value, real sigma_distance, u32 iterations,
+//                       u8 converged, u32 n, n x real corner
+//   kListModelsRequest  (empty)
+//   kListModelsResponse u32 count, count x (bytes name, u32 version,
+//                       u64 fingerprint, u32 num_variables, u32 num_terms)
+//   kErrorResponse      u8 ErrorCode, bytes message
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/common.hpp"
+
+namespace rsm::serve {
+
+inline constexpr std::uint32_t kFrameMagic = 0x31465352;  // "RSF1" in LE
+inline constexpr std::size_t kFrameHeaderBytes = 9;       // magic+type+len
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+enum class MessageType : std::uint8_t {
+  kEvalRequest = 1,
+  kEvalBatchRequest = 2,
+  kYieldRequest = 3,
+  kWorstCaseRequest = 4,
+  kListModelsRequest = 5,
+
+  kEvalResponse = 65,
+  kEvalBatchResponse = 66,
+  kYieldResponse = 67,
+  kWorstCaseResponse = 68,
+  kListModelsResponse = 69,
+  kErrorResponse = 70,
+};
+
+struct Frame {
+  MessageType type = MessageType::kErrorResponse;
+  std::string payload;
+};
+
+/// Wraps `payload` in a complete frame (header + CRC), ready to send.
+[[nodiscard]] std::string encode_frame(MessageType type,
+                                       std::string_view payload);
+
+/// Pops one complete frame off the front of `buffer` (erasing its bytes).
+/// Returns nullopt while the buffer holds only a prefix of a frame; throws
+/// ProtocolError when the bytes at the front cannot be a valid frame.
+[[nodiscard]] std::optional<Frame> try_extract_frame(std::string& buffer);
+
+}  // namespace rsm::serve

@@ -1,0 +1,457 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "core/worst_case.hpp"
+#include "core/yield.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/model_codec.hpp"
+#include "serve/wire.hpp"
+#include "stats/rng.hpp"
+#include "util/errors.hpp"
+
+namespace rsm::serve {
+namespace {
+
+/// Monte-Carlo budget cap for yield requests: a client must not be able to
+/// park the serving loop on one request for minutes.
+constexpr std::uint64_t kMaxYieldSamples = 100'000'000;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Rethrows WireReader truncation (IoError) as the protocol-layer error a
+/// malformed-but-well-framed request deserves.
+template <typename Fn>
+auto parse_payload(const char* request_name, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const IoError& e) {
+    std::ostringstream os;
+    os << "malformed " << request_name << " payload: " << e.what();
+    throw ProtocolError(os.str());
+  }
+}
+
+}  // namespace
+
+struct ModelServer::Connection {
+  int fd = -1;
+  std::string rx;
+  bool closed = false;
+};
+
+ModelServer::ModelServer(ServerOptions options)
+    : options_(std::move(options)),
+      registry_(options_.registry_root),
+      pool_(ThreadPool::Options{options_.num_threads, 256}) {
+  RSM_CHECK_MSG(!options_.socket_path.empty(),
+                "server requires a socket path");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path))
+    throw IoError("socket path '" + options_.socket_path +
+                  "' exceeds AF_UNIX length limit");
+  std::copy(options_.socket_path.begin(), options_.socket_path.end(),
+            addr.sun_path);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket()");
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("bind('" + options_.socket_path + "')");
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("listen('" + options_.socket_path + "')");
+  }
+}
+
+ModelServer::~ModelServer() {
+  for (auto& [fd, connection] : connections_) ::close(fd);
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+const SparseModel& ModelServer::model_for(const std::string& name,
+                                          std::uint32_t version) {
+  std::uint32_t resolved = version;
+  if (resolved == 0) {
+    resolved = registry_.latest_version(name);
+    if (resolved == 0)
+      throw IoError("registry: no versions of model '" + name + "'");
+  }
+  const auto key = std::make_pair(name, resolved);
+  auto it = model_cache_.find(key);
+  if (it == model_cache_.end())
+    it = model_cache_.emplace(key, registry_.load(name, resolved)).first;
+  return it->second;
+}
+
+std::string ModelServer::handle_eval(const std::string& payload) {
+  RSM_TRACE_SPAN("serve.eval");
+  struct Parsed {
+    std::string name;
+    std::uint32_t version;
+    std::vector<Real> sample;
+  };
+  const Parsed parsed = parse_payload("eval", [&] {
+    WireReader in(payload, "eval request");
+    Parsed p;
+    p.name = in.bytes();
+    p.version = in.u32();
+    const std::uint32_t n = in.u32();
+    p.sample.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) p.sample.push_back(in.real());
+    in.expect_done();
+    return p;
+  });
+  const SparseModel& model = model_for(parsed.name, parsed.version);
+  if (static_cast<Index>(parsed.sample.size()) !=
+      model.dictionary().num_variables()) {
+    std::ostringstream os;
+    os << "eval: sample has " << parsed.sample.size() << " values but model '"
+       << parsed.name << "' has " << model.dictionary().num_variables()
+       << " variables";
+    throw ProtocolError(os.str());
+  }
+  const Real value = model.predict(parsed.sample);
+  ++stats_.evals;
+  obs::metrics().counter("serve.evals").increment();
+  std::string response;
+  put_real(response, value);
+  return encode_frame(MessageType::kEvalResponse, response);
+}
+
+std::string ModelServer::handle_eval_batch(const std::string& payload) {
+  RSM_TRACE_SPAN("serve.eval_batch");
+  struct Parsed {
+    std::string name;
+    std::uint32_t version;
+    Index rows;
+    Index cols;
+    std::vector<Real> samples;
+  };
+  const Parsed parsed = parse_payload("eval_batch", [&] {
+    WireReader in(payload, "eval_batch request");
+    Parsed p;
+    p.name = in.bytes();
+    p.version = in.u32();
+    p.rows = static_cast<Index>(in.u32());
+    p.cols = static_cast<Index>(in.u32());
+    p.samples.reserve(static_cast<std::size_t>(p.rows * p.cols));
+    for (Index i = 0; i < p.rows * p.cols; ++i)
+      p.samples.push_back(in.real());
+    in.expect_done();
+    return p;
+  });
+  const SparseModel& model = model_for(parsed.name, parsed.version);
+  if (parsed.cols != model.dictionary().num_variables()) {
+    std::ostringstream os;
+    os << "eval_batch: rows have " << parsed.cols << " values but model '"
+       << parsed.name << "' has " << model.dictionary().num_variables()
+       << " variables";
+    throw ProtocolError(os.str());
+  }
+
+  std::vector<Real> out(static_cast<std::size_t>(parsed.rows));
+  const Index chunk = std::max<Index>(Index{1}, options_.batch_chunk);
+  if (parsed.rows <= chunk) {
+    model.predict_batch(parsed.samples, parsed.rows, out);
+  } else {
+    // Fan the request across the pool in `chunk`-row slices; each worker
+    // writes a disjoint range of `out`, so no synchronization beyond
+    // wait_idle() is needed.
+    for (Index r0 = 0; r0 < parsed.rows; r0 += chunk) {
+      const Index nb = std::min(chunk, parsed.rows - r0);
+      pool_.submit([&model, &parsed, &out, r0, nb] {
+        const std::size_t offset =
+            static_cast<std::size_t>(r0 * parsed.cols);
+        model.predict_batch(
+            std::span<const Real>(parsed.samples.data() + offset,
+                                  static_cast<std::size_t>(nb * parsed.cols)),
+            nb,
+            std::span<Real>(out.data() + r0, static_cast<std::size_t>(nb)));
+      });
+    }
+    pool_.wait_idle();
+  }
+  stats_.batch_rows += static_cast<std::uint64_t>(parsed.rows);
+  obs::metrics().counter("serve.batch_rows").increment(parsed.rows);
+
+  std::string response;
+  put_u32(response, static_cast<std::uint32_t>(parsed.rows));
+  for (const Real v : out) put_real(response, v);
+  return encode_frame(MessageType::kEvalBatchResponse, response);
+}
+
+std::string ModelServer::handle_yield(const std::string& payload) {
+  RSM_TRACE_SPAN("serve.yield");
+  struct Parsed {
+    std::string name;
+    std::uint32_t version;
+    Specification spec;
+    std::uint64_t num_samples;
+    std::uint64_t seed;
+  };
+  const Parsed parsed = parse_payload("yield", [&] {
+    WireReader in(payload, "yield request");
+    Parsed p;
+    p.name = in.bytes();
+    p.version = in.u32();
+    p.spec.lower = in.real();
+    p.spec.upper = in.real();
+    p.num_samples = in.u64();
+    p.seed = in.u64();
+    in.expect_done();
+    return p;
+  });
+  if (parsed.num_samples == 0 || parsed.num_samples > kMaxYieldSamples) {
+    std::ostringstream os;
+    os << "yield: num_samples " << parsed.num_samples
+       << " outside [1, " << kMaxYieldSamples << "]";
+    throw ProtocolError(os.str());
+  }
+  const SparseModel& model = model_for(parsed.name, parsed.version);
+  Rng rng(parsed.seed);
+  const YieldResult result = estimate_yield(
+      model, parsed.spec, static_cast<Index>(parsed.num_samples), rng);
+  std::string response;
+  put_real(response, result.yield);
+  put_real(response, result.standard_error);
+  put_u64(response, static_cast<std::uint64_t>(result.num_samples));
+  put_u64(response, static_cast<std::uint64_t>(result.num_failures));
+  return encode_frame(MessageType::kYieldResponse, response);
+}
+
+std::string ModelServer::handle_worst_case(const std::string& payload) {
+  RSM_TRACE_SPAN("serve.worst_case");
+  struct Parsed {
+    std::string name;
+    std::uint32_t version;
+    Real radius;
+    bool maximize;
+  };
+  const Parsed parsed = parse_payload("worst_case", [&] {
+    WireReader in(payload, "worst_case request");
+    Parsed p;
+    p.name = in.bytes();
+    p.version = in.u32();
+    p.radius = in.real();
+    p.maximize = in.u8() != 0;
+    in.expect_done();
+    return p;
+  });
+  if (!(parsed.radius > 0) || parsed.radius > Real{100})
+    throw ProtocolError("worst_case: radius outside (0, 100] sigma");
+  const SparseModel& model = model_for(parsed.name, parsed.version);
+  WorstCaseOptions wc_options;
+  wc_options.radius = parsed.radius;
+  wc_options.maximize = parsed.maximize;
+  const WorstCaseResult result = find_worst_case(model, wc_options);
+  std::string response;
+  put_real(response, result.value);
+  put_real(response, result.sigma_distance);
+  put_u32(response, static_cast<std::uint32_t>(result.iterations));
+  put_u8(response, result.converged ? 1 : 0);
+  put_u32(response, static_cast<std::uint32_t>(result.corner.size()));
+  for (const Real v : result.corner) put_real(response, v);
+  return encode_frame(MessageType::kWorstCaseResponse, response);
+}
+
+std::string ModelServer::handle_list_models() {
+  RSM_TRACE_SPAN("serve.list_models");
+  const std::vector<ModelRecord> records = registry_.list();
+  std::string response;
+  put_u32(response, static_cast<std::uint32_t>(records.size()));
+  for (const ModelRecord& r : records) {
+    put_bytes(response, r.name);
+    put_u32(response, r.version);
+    put_u64(response, r.fingerprint);
+    put_u32(response, static_cast<std::uint32_t>(r.num_variables));
+    put_u32(response, static_cast<std::uint32_t>(r.num_terms));
+  }
+  return encode_frame(MessageType::kListModelsResponse, response);
+}
+
+std::string ModelServer::handle_request(const Frame& frame) {
+  RSM_TRACE_SPAN("serve.request");
+  try {
+    switch (frame.type) {
+      case MessageType::kEvalRequest: return handle_eval(frame.payload);
+      case MessageType::kEvalBatchRequest:
+        return handle_eval_batch(frame.payload);
+      case MessageType::kYieldRequest: return handle_yield(frame.payload);
+      case MessageType::kWorstCaseRequest:
+        return handle_worst_case(frame.payload);
+      case MessageType::kListModelsRequest: return handle_list_models();
+      default: {
+        std::ostringstream os;
+        os << "unknown request type "
+           << static_cast<int>(static_cast<std::uint8_t>(frame.type));
+        throw ProtocolError(os.str());
+      }
+    }
+  } catch (const StructuredError& e) {
+    ++stats_.request_errors;
+    obs::metrics().counter("serve.request_errors").increment();
+    std::string response;
+    put_u8(response, static_cast<std::uint8_t>(e.code()));
+    put_bytes(response, e.what());
+    return encode_frame(MessageType::kErrorResponse, response);
+  } catch (const std::exception& e) {
+    ++stats_.request_errors;
+    obs::metrics().counter("serve.request_errors").increment();
+    std::string response;
+    put_u8(response,
+           static_cast<std::uint8_t>(ErrorCode::kUnclassified));
+    put_bytes(response, e.what());
+    return encode_frame(MessageType::kErrorResponse, response);
+  }
+}
+
+void ModelServer::accept_ready() {
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) return;  // transient (EINTR, aborted handshake): poll retries
+  auto connection = std::make_unique<Connection>();
+  connection->fd = fd;
+  connections_.emplace(fd, std::move(connection));
+  ++stats_.connections_accepted;
+  obs::metrics().counter("serve.connections").increment();
+}
+
+void ModelServer::service_connection(Connection& connection) {
+  char buf[65536];
+  const ssize_t n = ::recv(connection.fd, buf, sizeof(buf), 0);
+  if (n == 0) {
+    connection.closed = true;
+    return;
+  }
+  if (n < 0) {
+    if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)
+      connection.closed = true;
+    return;
+  }
+  connection.rx.append(buf, static_cast<std::size_t>(n));
+  drain_connection(connection);
+}
+
+void ModelServer::drain_connection(Connection& connection) {
+  while (!connection.closed) {
+    std::optional<Frame> frame;
+    try {
+      frame = try_extract_frame(connection.rx);
+    } catch (const ProtocolError& e) {
+      // The stream offset is unknowable after a framing error: answer with
+      // a structured error frame, then close rather than resync-guess.
+      ++stats_.protocol_errors;
+      obs::metrics().counter("serve.protocol_errors").increment();
+      std::string response;
+      put_u8(response,
+             static_cast<std::uint8_t>(ErrorCode::kProtocolError));
+      put_bytes(response, e.what());
+      send_all(connection.fd, encode_frame(MessageType::kErrorResponse,
+                                           response));
+      connection.closed = true;
+      return;
+    }
+    if (!frame.has_value()) return;
+    ++stats_.requests_served;
+    obs::metrics().counter("serve.requests").increment();
+    const std::string response = handle_request(*frame);
+    if (!send_all(connection.fd, response)) {
+      connection.closed = true;
+      return;
+    }
+  }
+}
+
+void ModelServer::run() {
+  RSM_TRACE_SPAN("serve.run");
+  const int timeout_ms = std::max(
+      1, static_cast<int>(options_.poll_interval_seconds * 1000.0));
+  while (!options_.cancel.cancelled()) {
+    std::vector<pollfd> fds;
+    fds.reserve(connections_.size() + 1);
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const auto& [fd, connection] : connections_)
+      fds.push_back(pollfd{fd, POLLIN, 0});
+
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll()");
+    }
+    if (ready == 0) continue;
+
+    if ((fds[0].revents & POLLIN) != 0) accept_ready();
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const auto it = connections_.find(fds[i].fd);
+      if (it == connections_.end()) continue;
+      service_connection(*it->second);
+    }
+    std::erase_if(connections_, [](const auto& entry) {
+      if (!entry.second->closed) return false;
+      ::close(entry.second->fd);
+      return true;
+    });
+  }
+
+  // Graceful drain: accept the handshakes already completed in the listen
+  // backlog (those clients connected before cancellation and may have
+  // requests in flight), scoop any bytes already queued in the kernel,
+  // answer every complete frame, flush, close. No response to a fully
+  // received request is dropped.
+  RSM_TRACE_SPAN("serve.drain");
+  while (true) {
+    pollfd pending{listen_fd_, POLLIN, 0};
+    if (::poll(&pending, 1, 0) <= 0 || (pending.revents & POLLIN) == 0) break;
+    accept_ready();
+  }
+  for (auto& [fd, connection] : connections_) {
+    char buf[65536];
+    while (!connection->closed) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n <= 0) break;
+      connection->rx.append(buf, static_cast<std::size_t>(n));
+    }
+    if (!connection->closed) drain_connection(*connection);
+    ::close(fd);
+  }
+  connections_.clear();
+}
+
+}  // namespace rsm::serve

@@ -1,0 +1,114 @@
+// The model server: fitted models behind a local socket.
+//
+// A single-threaded poll(2) event loop on an AF_UNIX stream socket accepts
+// connections, extracts protocol frames (serve/protocol.hpp), and answers
+// eval / eval_batch / yield / worst_case / list_models requests against a
+// ModelRegistry. Large batches are split into chunks and dispatched onto
+// the shared rsm::ThreadPool so one million-row request uses every core;
+// requests themselves are handled in arrival order, which keeps responses
+// on one connection ordered without any per-connection queueing.
+//
+// Error containment mirrors the taxonomy: a structurally invalid frame
+// (ProtocolError) earns an error frame and a connection close — after a
+// framing error the stream offset is unknowable; a well-framed but bad
+// request (unknown model, malformed payload, version mismatch) earns an
+// error frame carrying the structured ErrorCode and the connection lives
+// on. The serving loop never crashes on client input.
+//
+// Shutdown is the repo's standard cooperative drain: run() polls the
+// cancellation token (wired to SIGINT/SIGTERM by the caller via
+// util/signals.hpp); on cancellation it stops accepting, answers every
+// complete frame already received, flushes responses, and returns — no
+// in-flight response is dropped.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/model.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "util/cancellation.hpp"
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rsm::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the AF_UNIX listening socket (unlinked and rebound
+  /// on startup, removed on shutdown).
+  std::string socket_path;
+
+  /// Registry directory the server loads models from.
+  std::string registry_root;
+
+  /// Worker threads for batched evaluation; 0 = auto (RSM_THREADS or
+  /// hardware concurrency).
+  int num_threads = 0;
+
+  /// Rows per thread-pool task when splitting an eval_batch request.
+  Index batch_chunk = 2048;
+
+  /// Drain-and-exit signal; poll cadence bounds shutdown latency.
+  CancellationToken cancel;
+  double poll_interval_seconds = 0.05;
+};
+
+/// Lifetime counters, readable after run() returns.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t evals = 0;        // single-point evaluations answered
+  std::uint64_t batch_rows = 0;   // rows answered through eval_batch
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t request_errors = 0;  // structured errors returned to clients
+};
+
+class ModelServer {
+ public:
+  /// Binds and listens immediately (so a caller that forks a client after
+  /// construction never races the listener); throws IoError on failure.
+  explicit ModelServer(ServerOptions options);
+  ~ModelServer();
+
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+
+  /// Serves until the cancellation token fires, then drains: answers every
+  /// fully received frame, flushes, closes, and returns.
+  void run();
+
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] const ModelRegistry& registry() const { return registry_; }
+
+ private:
+  struct Connection;
+
+  /// Loads (name, version) through a cache keyed by resolved version; the
+  /// registry's durable load path runs once per distinct artifact.
+  const SparseModel& model_for(const std::string& name, std::uint32_t version);
+
+  [[nodiscard]] std::string handle_request(const Frame& frame);
+  [[nodiscard]] std::string handle_eval(const std::string& payload);
+  [[nodiscard]] std::string handle_eval_batch(const std::string& payload);
+  [[nodiscard]] std::string handle_yield(const std::string& payload);
+  [[nodiscard]] std::string handle_worst_case(const std::string& payload);
+  [[nodiscard]] std::string handle_list_models();
+
+  void accept_ready();
+  void service_connection(Connection& connection);
+  void drain_connection(Connection& connection);
+
+  ServerOptions options_;
+  ModelRegistry registry_;
+  ThreadPool pool_;
+  int listen_fd_ = -1;
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  std::map<std::pair<std::string, std::uint32_t>, SparseModel> model_cache_;
+  ServerStats stats_;
+};
+
+}  // namespace rsm::serve

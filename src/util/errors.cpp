@@ -26,6 +26,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kUnclassified: return "unclassified";
     case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
     case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kProtocolError: return "protocol-error";
+    case ErrorCode::kVersionMismatch: return "version-mismatch";
   }
   return "?";
 }

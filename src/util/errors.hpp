@@ -26,9 +26,11 @@ enum class ErrorCode {
   kUnclassified,      // legacy rsm::Error or foreign std::exception
   kDeadlineExceeded,  // cooperative deadline expired / cancellation requested
   kIoError,           // durable-storage failure (checkpoint, report, fsync)
+  kProtocolError,     // malformed/oversized/desynced serving-protocol frame
+  kVersionMismatch,   // persisted artifact written by an incompatible version
 };
 
-inline constexpr int kNumErrorCodes = 7;
+inline constexpr int kNumErrorCodes = 9;
 
 /// Short stable name for reports and logs ("singular-matrix", ...).
 [[nodiscard]] const char* error_code_name(ErrorCode code);
@@ -106,6 +108,31 @@ class IoError : public StructuredError {
                    Index sample = -1)
       : StructuredError(ErrorCode::kIoError, message, std::move(strategy),
                         sample) {}
+};
+
+/// A serving-protocol frame failed structural validation: bad magic, a
+/// declared length beyond the cap, a CRC mismatch, or a payload that stops
+/// short of its declared size. Raised by src/serve; the server answers with
+/// a structured error frame and closes the (now desynchronized) connection
+/// instead of guessing at a resync point.
+class ProtocolError : public StructuredError {
+ public:
+  explicit ProtocolError(const std::string& message, std::string strategy = {},
+                         Index sample = -1)
+      : StructuredError(ErrorCode::kProtocolError, message,
+                        std::move(strategy), sample) {}
+};
+
+/// A persisted artifact (model file, registry entry) declares a format
+/// version this build does not speak, or a fingerprint that binds it to a
+/// different dictionary/model than the caller expects. Distinct from
+/// IoError so operators can tell "upgrade the binary" from "the disk lied".
+class VersionMismatchError : public StructuredError {
+ public:
+  explicit VersionMismatchError(const std::string& message,
+                                std::string strategy = {}, Index sample = -1)
+      : StructuredError(ErrorCode::kVersionMismatch, message,
+                        std::move(strategy), sample) {}
 };
 
 /// Maps any in-flight exception to its taxonomy code: StructuredError

@@ -1,0 +1,103 @@
+// Framing contract: frames survive arbitrary fragmentation and
+// concatenation, and every structural violation — bad magic, oversized
+// payload, checksum mismatch — is a ProtocolError before any payload byte
+// is interpreted.
+#include "serve/protocol.hpp"
+
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+
+namespace rsm::serve {
+namespace {
+
+TEST(Protocol, RoundTripAndBufferConsumption) {
+  std::string buffer =
+      encode_frame(MessageType::kEvalRequest, "payload-bytes");
+  const std::optional<Frame> frame = try_extract_frame(buffer);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MessageType::kEvalRequest);
+  EXPECT_EQ(frame->payload, "payload-bytes");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Protocol, EmptyPayloadRoundTrips) {
+  std::string buffer = encode_frame(MessageType::kListModelsRequest, "");
+  const std::optional<Frame> frame = try_extract_frame(buffer);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(Protocol, SurvivesBytewiseFragmentation) {
+  const std::string wire =
+      encode_frame(MessageType::kYieldRequest, "fragmented");
+  std::string buffer;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    buffer += wire[i];
+    EXPECT_FALSE(try_extract_frame(buffer).has_value())
+        << "frame extracted " << (wire.size() - 1 - i) << " bytes early";
+  }
+  buffer += wire.back();
+  const std::optional<Frame> frame = try_extract_frame(buffer);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "fragmented");
+}
+
+TEST(Protocol, ExtractsConcatenatedFramesInOrder) {
+  std::string buffer = encode_frame(MessageType::kEvalRequest, "one") +
+                       encode_frame(MessageType::kEvalBatchRequest, "two");
+  const std::optional<Frame> first = try_extract_frame(buffer);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->payload, "one");
+  const std::optional<Frame> second = try_extract_frame(buffer);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->type, MessageType::kEvalBatchRequest);
+  EXPECT_EQ(second->payload, "two");
+  EXPECT_FALSE(try_extract_frame(buffer).has_value());
+}
+
+TEST(Protocol, BadMagicIsProtocolError) {
+  std::string buffer = encode_frame(MessageType::kEvalRequest, "x");
+  buffer[0] = 'Z';
+  EXPECT_THROW((void)try_extract_frame(buffer), ProtocolError);
+}
+
+TEST(Protocol, CrcMismatchIsProtocolError) {
+  std::string buffer = encode_frame(MessageType::kEvalRequest, "checksum-me");
+  buffer[buffer.size() / 2] =
+      static_cast<char>(static_cast<unsigned char>(buffer[buffer.size() / 2]) ^
+                        0x01);
+  EXPECT_THROW((void)try_extract_frame(buffer), ProtocolError);
+}
+
+TEST(Protocol, OversizedPayloadRejectedFromHeaderAlone) {
+  // Only the 9-byte header is present; the declared length alone must
+  // trigger rejection — a server that waited for the bytes could be made
+  // to buffer 4 GiB per connection.
+  const std::uint32_t magic = kFrameMagic;
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::string buffer(kFrameHeaderBytes, '\0');
+  std::memcpy(buffer.data(), &magic, 4);
+  buffer[4] = static_cast<char>(MessageType::kEvalRequest);
+  std::memcpy(buffer.data() + 5, &huge, 4);
+  try {
+    (void)try_extract_frame(buffer);
+    FAIL() << "oversized declared payload accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kProtocolError);
+  }
+}
+
+TEST(Protocol, PartialHeaderIsIncompleteNotError) {
+  std::string buffer = encode_frame(MessageType::kEvalRequest, "x");
+  buffer.resize(kFrameHeaderBytes - 1);
+  EXPECT_FALSE(try_extract_frame(buffer).has_value());
+  EXPECT_EQ(buffer.size(), kFrameHeaderBytes - 1);  // nothing consumed
+}
+
+}  // namespace
+}  // namespace rsm::serve
