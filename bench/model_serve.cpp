@@ -11,7 +11,13 @@
 //   * batched — SparseModel::predict_batch over a batch-size sweep (the
 //     eval_batch RPC), reported as throughput and speedup vs scalar;
 //   * protocol — deterministic frame round-trip / corruption counts for the
-//     wire layer (every corrupted frame must be rejected).
+//     wire layer (every corrupted frame must be rejected);
+//   * server — a ModelServer driven synchronously over socketpairs through
+//     poll_once(), so the overload / deadline / hot-reload counters are
+//     exact integers: a 12-frame burst against a pending cap of 4 sheds
+//     exactly 8 while a healthy connection is untouched, a half-frame past
+//     the read deadline times out exactly once, and one good + one corrupt
+//     registry publish yield exactly one reload and one reload failure.
 //
 // The paper context for the headline number: one Spectre SRAM sample costs
 // 29.13 s; a fitted model served at >1e6 evals/s replaces simulation at a
@@ -24,10 +30,14 @@
 // informational. --min-evals-per-second / --min-batch-speedup turn the
 // acceptance thresholds into hard exit-status checks when generating an
 // official baseline.
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +46,8 @@
 #include "serve/model_codec.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
 #include "stats/lhs.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -252,13 +264,214 @@ int main(int argc, char** argv) {
   protocol_json.set("frames_attempted", static_cast<std::int64_t>(kFrames));
   bench_report.results().set("protocol", std::move(protocol_json));
 
+  // ---- Server: exact overload / deadline / reload counters. ----
+  // The server is driven synchronously: connections are socketpair ends
+  // adopted via adopt_connection() and every cycle is an explicit
+  // poll_once() call, so recv segmentation cannot smear a burst across
+  // cycles and every counter below is a deterministic integer that
+  // bench_compare.py gates exactly.
+  const std::filesystem::path srv_root =
+      std::filesystem::temp_directory_path() / "rsm_bench_model_serve_srv";
+  std::filesystem::remove_all(srv_root);
+  serve::ModelRegistry srv_registry(srv_root.string());
+  srv_registry.save("srv", model);
+
+  serve::ServerOptions srv_options;
+  srv_options.socket_path = (srv_root / "bench.sock").string();
+  srv_options.registry_root = srv_root.string();
+  srv_options.num_threads = 1;
+  srv_options.max_inflight_requests = 8;
+  srv_options.max_pending_per_connection = 4;
+  srv_options.retry_after_ms = 25;
+  srv_options.read_timeout_seconds = 0.05;
+  serve::ModelServer server(std::move(srv_options));
+
+  auto make_pair_fd = [&](int& client_fd) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+      throw IoError("socketpair() failed");
+    client_fd = fds[0];
+    server.adopt_connection(fds[1]);
+  };
+  auto pump = [](int fd, std::string& buf) {
+    char tmp[65536];
+    while (true) {
+      const ssize_t r = ::recv(fd, tmp, sizeof(tmp), MSG_DONTWAIT);
+      if (r <= 0) break;
+      buf.append(tmp, static_cast<std::size_t>(r));
+    }
+  };
+
+  std::string eval_payload;
+  serve::put_bytes(eval_payload, "srv");
+  serve::put_u32(eval_payload, 0);  // version 0 = latest
+  serve::put_u32(eval_payload, static_cast<std::uint32_t>(n));
+  for (Index j = 0; j < n; ++j) serve::put_real(eval_payload, 0);
+  const std::string eval_frame =
+      serve::encode_frame(serve::MessageType::kEvalRequest, eval_payload);
+
+  int burst_fd = -1;
+  int healthy_fd = -1;
+  make_pair_fd(burst_fd);
+  make_pair_fd(healthy_fd);
+
+  // One 12-frame burst and one healthy single request, same poll cycle:
+  // the per-connection cap (4) sheds exactly 8 of the burst, the global
+  // budget (8) still has room, and the healthy connection is untouched.
+  // The burst uses list_models frames (13 bytes each) so all 12 arrive in
+  // the event loop's single recv for that cycle — an eval frame carries
+  // n doubles and would smear the burst across cycles, each with a fresh
+  // admission budget.
+  const std::string list_frame =
+      serve::encode_frame(serve::MessageType::kListModelsRequest, "");
+  std::string burst_bytes;
+  for (int i = 0; i < 12; ++i) burst_bytes += list_frame;
+  (void)::send(burst_fd, burst_bytes.data(), burst_bytes.size(), MSG_NOSIGNAL);
+  (void)::send(healthy_fd, eval_frame.data(), eval_frame.size(), MSG_NOSIGNAL);
+  server.poll_once(0);
+  server.poll_once(0);
+
+  std::string burst_rx;
+  std::string healthy_rx;
+  pump(burst_fd, burst_rx);
+  pump(healthy_fd, healthy_rx);
+  Index burst_answered = 0;
+  Index burst_overloaded = 0;
+  std::int64_t retry_hint_ms = -1;
+  while (auto f = serve::try_extract_frame(burst_rx)) {
+    if (f->type == serve::MessageType::kListModelsResponse) ++burst_answered;
+    if (f->type == serve::MessageType::kErrorResponse) {
+      serve::WireReader in(f->payload, "error frame");
+      const std::uint8_t code = in.u8();
+      (void)in.bytes();  // message
+      if (code == static_cast<std::uint8_t>(ErrorCode::kOverloaded)) {
+        ++burst_overloaded;
+        retry_hint_ms = static_cast<std::int64_t>(in.u32());
+      }
+    }
+  }
+  Index healthy_evals = 0;
+  while (auto f = serve::try_extract_frame(healthy_rx))
+    if (f->type == serve::MessageType::kEvalResponse) ++healthy_evals;
+
+  // Hot reload: one good publish swaps, one corrupt publish fails closed.
+  const std::string reload_frame =
+      serve::encode_frame(serve::MessageType::kReloadRequest, "");
+  std::uint32_t reload_counts[2][2] = {{0, 0}, {0, 0}};
+  for (int round = 0; round < 2; ++round) {
+    const std::uint32_t version = srv_registry.save("srv", model);
+    if (round == 1) {
+      // Publish a corrupt artifact as the newest version: the reload must
+      // reject it (CRC) and the server must keep serving the last-good one.
+      std::ofstream corrupt(srv_registry.path_for("srv", version),
+                            std::ios::binary | std::ios::trunc);
+      corrupt << "not a model";
+    }
+    (void)::send(healthy_fd, reload_frame.data(), reload_frame.size(),
+                 MSG_NOSIGNAL);
+    server.poll_once(0);
+    std::string rx;
+    pump(healthy_fd, rx);
+    if (auto f = serve::try_extract_frame(rx);
+        f && f->type == serve::MessageType::kReloadResponse) {
+      serve::WireReader in(f->payload, "reload response");
+      reload_counts[round][0] = in.u32();
+      reload_counts[round][1] = in.u32();
+    }
+  }
+  // After the failed swap the server must keep answering evals from the
+  // last-good version.
+  (void)::send(healthy_fd, eval_frame.data(), eval_frame.size(), MSG_NOSIGNAL);
+  server.poll_once(0);
+  std::string post_rx;
+  pump(healthy_fd, post_rx);
+  Index post_reload_evals = 0;
+  while (auto f = serve::try_extract_frame(post_rx))
+    if (f->type == serve::MessageType::kEvalResponse) ++post_reload_evals;
+
+  // Slow loris: a half frame past the read deadline times out exactly once.
+  int loris_fd = -1;
+  make_pair_fd(loris_fd);
+  (void)::send(loris_fd, eval_frame.data(), 5, MSG_NOSIGNAL);
+  server.poll_once(0);   // ingest the partial frame, arm the read deadline
+  server.poll_once(70);  // idle past the 50 ms deadline, then enforce it
+  server.poll_once(0);
+  std::string loris_rx;
+  pump(loris_fd, loris_rx);
+  Index loris_timeouts = 0;
+  while (auto f = serve::try_extract_frame(loris_rx)) {
+    if (f->type != serve::MessageType::kErrorResponse) continue;
+    serve::WireReader in(f->payload, "error frame");
+    if (in.u8() == static_cast<std::uint8_t>(ErrorCode::kConnectionTimeout))
+      ++loris_timeouts;
+  }
+
+  ::close(burst_fd);
+  ::close(healthy_fd);
+  ::close(loris_fd);
+
+  const serve::ServerStats& server_stats = server.stats();
+  std::printf("server: %llu requests = %llu accepted + %llu shed "
+              "(burst saw %ld answers / %ld overloaded, retry hint %lld ms, "
+              "healthy saw %ld), reloads %llu/%llu failed, read-deadline "
+              "timeouts %llu\n",
+              static_cast<unsigned long long>(server_stats.requests_served),
+              static_cast<unsigned long long>(server_stats.requests_admitted),
+              static_cast<unsigned long long>(server_stats.requests_shed),
+              static_cast<long>(burst_answered),
+              static_cast<long>(burst_overloaded),
+              static_cast<long long>(retry_hint_ms),
+              static_cast<long>(healthy_evals),
+              static_cast<unsigned long long>(server_stats.reloads),
+              static_cast<unsigned long long>(server_stats.reload_failures),
+              static_cast<unsigned long long>(
+                  server_stats.connections_timed_out));
+  obs::JsonValue server_json = obs::JsonValue::object();
+  server_json.set("requests",
+                  static_cast<std::int64_t>(server_stats.requests_served));
+  server_json.set("accepted",
+                  static_cast<std::int64_t>(server_stats.requests_admitted));
+  server_json.set("shed",
+                  static_cast<std::int64_t>(server_stats.requests_shed));
+  server_json.set("timed_out", static_cast<std::int64_t>(
+                                   server_stats.connections_timed_out));
+  server_json.set("idle_closed",
+                  static_cast<std::int64_t>(server_stats.idle_closed));
+  server_json.set("reloads",
+                  static_cast<std::int64_t>(server_stats.reloads));
+  server_json.set("reload_failures",
+                  static_cast<std::int64_t>(server_stats.reload_failures));
+  server_json.set("burst_overloaded",
+                  static_cast<std::int64_t>(burst_overloaded));
+  server_json.set("healthy_evals",
+                  static_cast<std::int64_t>(healthy_evals));
+  server_json.set("retry_after_hint_ms",
+                  static_cast<std::int64_t>(retry_hint_ms));
+  bench_report.results().set("server", std::move(server_json));
+  std::filesystem::remove_all(srv_root);
+
+  const bool server_ok =
+      burst_answered == 4 && burst_overloaded == 8 && healthy_evals == 1 &&
+      retry_hint_ms == 25 && post_reload_evals == 1 && loris_timeouts == 1 &&
+      reload_counts[0][0] == 1 && reload_counts[0][1] == 0 &&
+      reload_counts[1][0] == 0 && reload_counts[1][1] == 1 &&
+      server_stats.requests_shed == 8 &&
+      server_stats.requests_admitted + server_stats.requests_shed ==
+          server_stats.requests_served &&
+      server_stats.reload_failures == 1 &&
+      server_stats.connections_timed_out == 1;
+  if (!server_ok)
+    std::fprintf(stderr, "FAIL: server overload/deadline/reload counters "
+                         "diverged from the deterministic script\n");
+
   print_paper_reference({
       "One Spectre SRAM sample costs 29.13 s (Table IV); a served model at",
       ">1e6 evals/s replaces it at a >3e7x per-point ratio, which is what",
       "turns yield and worst-case sweeps (figs 4-6) interactive."});
 
   bool ok = predict_identical && gradient_identical &&
-            frames_round_tripped == kFrames && corrupted_rejected == kFrames;
+            frames_round_tripped == kFrames && corrupted_rejected == kFrames &&
+            server_ok;
   const double min_eps = args.get_double("min-evals-per-second");
   if (min_eps > 0 && scalar_eps < min_eps) {
     std::fprintf(stderr, "FAIL: scalar %.0f evals/s < required %.0f\n",

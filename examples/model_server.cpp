@@ -95,6 +95,26 @@ int main(int argc, char** argv) {
   args.add_option("demo-rows", "8", "demo SRAM array rows");
   args.add_option("demo-cols", "8", "demo SRAM array columns");
   args.add_option("demo-samples", "300", "demo training samples");
+  args.add_option("max-inflight", "256",
+                  "frames admitted per poll cycle across all connections "
+                  "before shedding with kOverloaded (0 = unlimited)");
+  args.add_option("max-pending", "64",
+                  "frames admitted per poll cycle per connection before "
+                  "shedding (0 = unlimited)");
+  args.add_option("retry-after-ms", "50",
+                  "backoff hint carried in kOverloaded error frames");
+  args.add_option("read-timeout", "30",
+                  "seconds a partial frame may sit unfinished before the "
+                  "connection is closed (0 = off)");
+  args.add_option("write-timeout", "30",
+                  "seconds a peer may refuse to drain responses before the "
+                  "connection is closed (0 = off)");
+  args.add_option("idle-timeout", "0",
+                  "seconds of silence before an idle connection is reaped "
+                  "(0 = off)");
+  args.add_option("reload-probe", "0",
+                  "seconds between registry change probes that trigger a "
+                  "hot model reload (0 = reload only on request)");
   args.add_option("report", "",
                   "write a BENCH-schema JSON report of serving stats here "
                   "on shutdown");
@@ -122,6 +142,15 @@ int main(int argc, char** argv) {
   options.num_threads = static_cast<int>(args.get_int("threads"));
   options.batch_chunk = static_cast<Index>(args.get_int("batch-chunk"));
   options.cancel = cancel_source.token();
+  options.max_inflight_requests = static_cast<int>(args.get_int("max-inflight"));
+  options.max_pending_per_connection =
+      static_cast<int>(args.get_int("max-pending"));
+  options.retry_after_ms =
+      static_cast<std::uint32_t>(args.get_int("retry-after-ms"));
+  options.read_timeout_seconds = args.get_double("read-timeout");
+  options.write_timeout_seconds = args.get_double("write-timeout");
+  options.idle_timeout_seconds = args.get_double("idle-timeout");
+  options.reload_probe_seconds = args.get_double("reload-probe");
 
   try {
     serve::ModelRegistry registry(options.registry_root);
@@ -145,15 +174,22 @@ int main(int argc, char** argv) {
     server.run();
 
     const serve::ServerStats& stats = server.stats();
-    std::printf("drained: %llu connections, %llu requests (%llu evals, "
-                "%llu batch rows), %llu protocol errors, %llu request "
-                "errors\n",
+    std::printf("drained: %llu connections, %llu requests (%llu admitted, "
+                "%llu shed; %llu evals, %llu batch rows), %llu protocol "
+                "errors, %llu request errors, %llu timed out, %llu idle "
+                "closed, %llu reloads (%llu failed)\n",
                 static_cast<unsigned long long>(stats.connections_accepted),
                 static_cast<unsigned long long>(stats.requests_served),
+                static_cast<unsigned long long>(stats.requests_admitted),
+                static_cast<unsigned long long>(stats.requests_shed),
                 static_cast<unsigned long long>(stats.evals),
                 static_cast<unsigned long long>(stats.batch_rows),
                 static_cast<unsigned long long>(stats.protocol_errors),
-                static_cast<unsigned long long>(stats.request_errors));
+                static_cast<unsigned long long>(stats.request_errors),
+                static_cast<unsigned long long>(stats.connections_timed_out),
+                static_cast<unsigned long long>(stats.idle_closed),
+                static_cast<unsigned long long>(stats.reloads),
+                static_cast<unsigned long long>(stats.reload_failures));
 
     const std::string report_path = args.get("report");
     if (!report_path.empty()) {
@@ -168,6 +204,16 @@ int main(int argc, char** argv) {
                   static_cast<std::int64_t>(stats.protocol_errors));
       results.set("request_errors",
                   static_cast<std::int64_t>(stats.request_errors));
+      results.set("accepted",
+                  static_cast<std::int64_t>(stats.requests_admitted));
+      results.set("shed", static_cast<std::int64_t>(stats.requests_shed));
+      results.set("timed_out",
+                  static_cast<std::int64_t>(stats.connections_timed_out));
+      results.set("idle_closed",
+                  static_cast<std::int64_t>(stats.idle_closed));
+      results.set("reloads", static_cast<std::int64_t>(stats.reloads));
+      results.set("reload_failures",
+                  static_cast<std::int64_t>(stats.reload_failures));
       results.set("signal_cancelled", signal_cancellation_requested());
       obs::write_report(report_path, "model_server", std::move(results));
       std::printf("report written to %s\n", report_path.c_str());

@@ -45,9 +45,11 @@ import sys
 
 SKIP_PATH_RE = re.compile(r"\.(execution|checkpoint)(\.|\[|$)")
 # Machine-dependent performance metrics: durations plus anything derived
-# from them (rates, speedups). Informational unless --gate-times.
+# from them (rates, speedups). Informational unless --gate-times. The
+# lookahead keeps deterministic *event counters* like server.timed_out out
+# of the time-like class — they count deadline expiries, not durations.
 TIME_KEY_RE = re.compile(
-    r"(seconds|_ms\b|_us\b|time|per_second\b|speedup|throughput|"
+    r"(seconds|_ms\b|_us\b|time(?!d_out)|per_second\b|speedup|throughput|"
     r"cost_hours|sim_hours)", re.IGNORECASE)
 
 

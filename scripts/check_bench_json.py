@@ -77,7 +77,7 @@ RECORD_FIELDS = {
 ERROR_CODE_NAMES = (
     "ok", "singular-matrix", "no-convergence", "numerical-domain",
     "unclassified", "deadline-exceeded", "io-error", "protocol-error",
-    "version-mismatch",
+    "version-mismatch", "overloaded", "connection-timeout",
 )
 MAX_QUARANTINE_REASON = 256
 CAMPAIGN_CHECKPOINT_COUNTERS = (
@@ -425,6 +425,27 @@ def check_model_serve_results(doc_path, results):
                  "were attempted: the wire layer must round-trip every good "
                  "frame and reject every corrupted one")
 
+    check_server_counters(doc_path, "server", results.get("server"))
+
+
+def check_server_counters(doc_path, where, server):
+    """The overload/deadline/reload counter block shared by the model_serve
+    bench (`results.server`) and the model_server report (`results`): every
+    extracted frame is either admitted or shed, and the reload counters are
+    present even when zero so regressions cannot hide as missing keys."""
+    if not isinstance(server, dict):
+        fail(doc_path, f"results.{where} must be an object"
+             if where != "results" else "results must be an object")
+    for key in ("accepted", "shed", "timed_out", "idle_closed",
+                "reloads", "reload_failures"):
+        _require_int(doc_path, where, server, key, minimum=0)
+    requests = _require_int(doc_path, where, server, "requests", minimum=0)
+    if server["accepted"] + server["shed"] != requests:
+        fail(doc_path,
+             f"{where}: accepted {server['accepted']} + shed "
+             f"{server['shed']} != requests {requests}: admission control "
+             "must account for every extracted frame")
+
 
 def check_model_server_results(doc_path, results):
     """Shape of examples/model_server.cpp --report output."""
@@ -436,6 +457,7 @@ def check_model_server_results(doc_path, results):
     if results["evals"] > results["requests"]:
         fail(doc_path, f"results.evals {results['evals']} > requests "
                        f"{results['requests']}: every eval is one request")
+    check_server_counters(doc_path, "results", results)
 
 
 def find_campaign_reports(node, where="results"):

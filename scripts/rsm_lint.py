@@ -8,7 +8,10 @@ linter enforces them mechanically (stdlib only, no libclang):
   error-code-coverage   every ErrorCode enumerator is named in
                         error_code_name() and mirrored in the campaign
                         failure-histogram schema (check_bench_json.py);
-                        kNumErrorCodes equals the enumerator count.
+                        kNumErrorCodes equals the enumerator count; the
+                        serving client's ERROR_CODE_NAMES list
+                        (serve_client.py) matches the enum in order,
+                        since it indexes by the wire u8 code.
   macro-side-effects    RSM_DCHECK / RSM_TRACE_SPAN arguments must be
                         side-effect-free: both compile out (NDEBUG,
                         -DRSM_TRACING=OFF), so a ++/assignment/mutating
@@ -460,6 +463,28 @@ def rule_error_code_coverage(files, root):
                     f"error code name \"{dashed}\" "
                     f"(ErrorCode::{enumerator}) missing from the campaign "
                     f"report schema's ERROR_CODE_NAMES"))
+
+    # serve_client.py decodes error frames by *indexing* its list with the
+    # u8 enum value, so unlike the schema check above the list must match
+    # the C++ enum in ORDER, not just membership.
+    client = root / "scripts/serve_client.py"
+    if client.exists():
+        client_text = client.read_text(encoding="utf-8")
+        list_match = re.search(
+            r"ERROR_CODE_NAMES\s*=\s*\[(.*?)\]", client_text, re.DOTALL)
+        if not list_match:
+            findings.append(Finding(
+                "error-code-coverage", "scripts/serve_client.py", 0,
+                "ERROR_CODE_NAMES list not found"))
+        else:
+            client_names = re.findall(r'"([^"]*)"', list_match.group(1))
+            cpp_names = [name_map.get(e, "?") for e in enumerators]
+            if client_names != cpp_names:
+                findings.append(Finding(
+                    "error-code-coverage", "scripts/serve_client.py", 0,
+                    f"ERROR_CODE_NAMES {client_names} does not match the "
+                    f"C++ enum order {cpp_names}; the client indexes this "
+                    f"list with the wire u8 code, so order is load-bearing"))
     return findings
 
 

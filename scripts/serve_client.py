@@ -10,7 +10,7 @@ AF_UNIX stream socket:
             the IEEE-754 binary64 bit pattern as u64.
 
 Subcommands mirror the server's request set (list_models, eval, eval_batch,
-yield, worst_case), plus two CI helpers:
+yield, worst_case, reload), plus three CI helpers:
 
   malformed — sends a deliberately corrupted frame and asserts the server
               answers a clean protocol-error frame and closes the
@@ -18,6 +18,16 @@ yield, worst_case), plus two CI helpers:
   smoke     — the serve-smoke CI sequence: list_models, eval, eval_batch,
               yield, worst_case, then the malformed-frame check, asserting
               sane values throughout. Exits nonzero on the first failure.
+  hammer    — the serve-chaos overload sequence: blasts a burst of eval
+              frames past the server's admission budget without reading,
+              asserts at least one structured `overloaded` shed and at
+              least one success, then retries every shed frame with
+              exponential backoff and asserts all retries land.
+
+Requests shed with an `overloaded` error frame are retryable by contract:
+the frame carries a u32 retry-after hint (milliseconds) after the message,
+and `Client.request` honors it with exponential backoff up to --max-retries
+attempts within the --deadline budget (0 disables retries).
 
 Examples:
   serve_client.py --socket /tmp/rsm.sock list_models
@@ -33,21 +43,27 @@ import json
 import socket
 import struct
 import sys
+import time
 import zlib
 
 MAGIC = 0x31465352  # "RSF1" little-endian
 HEADER = struct.Struct("<IBI")  # magic, type, payload_len
 
-# Request types.
+# Request types. RELOAD is 8: 6|64 would collide with the error frame (70)
+# and 7|64 with 71, so the request space skips to the next clean pair.
 EVAL, EVAL_BATCH, YIELD, WORST_CASE, LIST_MODELS = 1, 2, 3, 4, 5
+RELOAD = 8
 # Response types (request | 64) and the error frame.
 RESPONSE_BIT = 64
 ERROR_RESPONSE = 70
 
+# Mirrors rsm::ErrorCode in src/util/errors.hpp — same order, same names
+# (the error frame carries the enum value as a u8 index into this list).
+# rsm-lint's error-code-coverage rule cross-checks it against the C++ enum.
 ERROR_CODE_NAMES = [
-    "unclassified", "singular-matrix", "non-finite", "convergence-failure",
-    "invalid-argument", "checkpoint-corrupt", "io-error", "protocol-error",
-    "version-mismatch",
+    "ok", "singular-matrix", "no-convergence", "numerical-domain",
+    "unclassified", "deadline-exceeded", "io-error", "protocol-error",
+    "version-mismatch", "overloaded", "connection-timeout",
 ]
 
 
@@ -97,10 +113,16 @@ class Reader:
 
 
 class Client:
-    def __init__(self, path: str, timeout: float):
+    def __init__(self, path: str, timeout: float,
+                 max_retries: int = 0, deadline: float = 0.0,
+                 backoff_base: float = 0.01):
         self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         self.sock.settimeout(timeout)
         self.sock.connect(path)
+        self.max_retries = max_retries
+        self.deadline = time.monotonic() + deadline if deadline > 0 else None
+        self.backoff_base = backoff_base
+        self.retries_used = 0
 
     def close(self) -> None:
         self.sock.close()
@@ -131,25 +153,57 @@ class Client:
         return chunks
 
     def request(self, msg_type: int, payload: bytes) -> bytes:
-        """Sends one request; returns the response payload or raises
-        ServerError when the server answers an error frame."""
+        """Sends one request; returns the response payload. An `overloaded`
+        error frame is retried with exponential backoff (honoring the
+        server's retry-after hint) up to max_retries times within the
+        deadline; every other error frame raises ServerError immediately."""
+        attempt = 0
+        while True:
+            try:
+                return self.request_once(msg_type, payload)
+            except ServerError as err:
+                if err.code_name != "overloaded" or attempt >= self.max_retries:
+                    raise
+                delay = self.backoff_base * (2 ** attempt)
+                if err.retry_after_ms is not None:
+                    delay = max(delay, err.retry_after_ms / 1000.0)
+                if self.deadline is not None and \
+                        time.monotonic() + delay > self.deadline:
+                    raise
+                time.sleep(delay)
+                attempt += 1
+                self.retries_used += 1
+
+    def request_once(self, msg_type: int, payload: bytes) -> bytes:
+        """One send/receive round trip, no retries."""
         self.send_raw(encode_frame(msg_type, payload))
         resp_type, resp = self.recv_frame()
         if resp_type == ERROR_RESPONSE:
-            reader = Reader(resp)
-            code, message = reader.u8(), reader.string()
-            name = (ERROR_CODE_NAMES[code]
-                    if code < len(ERROR_CODE_NAMES) else f"code-{code}")
-            raise ServerError(name, message)
+            raise parse_server_error(resp)
         if resp_type != (msg_type | RESPONSE_BIT):
             raise ValueError(f"unexpected response type {resp_type}")
         return resp
 
 
 class ServerError(Exception):
-    def __init__(self, code_name: str, message: str):
+    def __init__(self, code_name: str, message: str,
+                 retry_after_ms: int | None = None):
         super().__init__(f"[{code_name}] {message}")
         self.code_name = code_name
+        self.retry_after_ms = retry_after_ms
+
+
+def parse_server_error(payload: bytes) -> ServerError:
+    """Decodes an error frame: u8 code, string message, and — only on
+    `overloaded` frames — a trailing u32 retry-after hint in ms."""
+    reader = Reader(payload)
+    code, message = reader.u8(), reader.string()
+    name = (ERROR_CODE_NAMES[code]
+            if code < len(ERROR_CODE_NAMES) else f"code-{code}")
+    retry_after_ms = None
+    if name == "overloaded" and reader.pos + 4 <= len(reader.data):
+        retry_after_ms = reader.u32()
+    return ServerError(name, message, retry_after_ms)
 
 
 def parse_point(text: str) -> list[float]:
@@ -307,14 +361,81 @@ def do_smoke(client: Client, args: argparse.Namespace) -> dict:
     }
 
 
+def do_reload(client: Client, args: argparse.Namespace) -> dict:
+    """Asks the server to re-resolve every cached model against the registry
+    and swap in the new versions (corrupt versions are skipped: the server
+    keeps serving the last-good model and counts the failure)."""
+    reader = Reader(client.request(RELOAD, b""))
+    return {"reloaded": reader.u32(), "failed": reader.u32()}
+
+
+def do_hammer(client: Client, args: argparse.Namespace) -> dict:
+    """Overload smoke for the serve-chaos CI job: send a burst of eval
+    frames in one write without reading any response, so the server's
+    admission control must shed; then prove every shed request succeeds on
+    retry with backoff while the connection stays healthy."""
+    listing = do_list_models(client, args)["models"]
+    target = next((m for m in listing if m["name"] == args.model), None)
+    assert target is not None, f"model {args.model!r} not served"
+    n = target["num_variables"]
+
+    point_payload = (model_header(args) + struct.pack("<I", n)
+                     + b"".join(put_real(0.0) for _ in range(n)))
+    frame = encode_frame(EVAL, point_payload)
+
+    client.send_raw(frame * args.burst)
+    ok = shed = 0
+    shed_hint = None
+    for _ in range(args.burst):
+        resp_type, payload = client.recv_frame()
+        if resp_type == EVAL | RESPONSE_BIT:
+            ok += 1
+        elif resp_type == ERROR_RESPONSE:
+            err = parse_server_error(payload)
+            assert err.code_name == "overloaded", \
+                f"burst earned unexpected error {err}"
+            shed = shed + 1
+            shed_hint = err.retry_after_ms
+        else:
+            raise SystemExit(f"unexpected response type {resp_type}")
+    assert ok + shed == args.burst, "response accounting is off"
+    assert ok >= 1, "a burst must not starve every request"
+    assert shed >= 1, (
+        f"burst of {args.burst} never tripped admission control — "
+        "is the server running with a small enough budget?")
+    if shed_hint is not None:
+        assert shed_hint > 0, "overloaded frame carried a zero retry hint"
+
+    # Every shed request must land on retry: pace them one at a time so
+    # admission recovers between attempts.
+    retried = 0
+    for _ in range(shed):
+        Reader(client.request(EVAL, point_payload)).real()
+        retried += 1
+
+    # The connection survived the whole episode — prove it is still in
+    # frame sync with a final structured request.
+    assert do_list_models(client, args)["models"], "listing died after burst"
+    return {
+        "burst": args.burst,
+        "ok": ok,
+        "shed": shed,
+        "retried": retried,
+        "retries_used": client.retries_used,
+        "retry_after_ms": shed_hint,
+    }
+
+
 COMMANDS = {
     "list_models": do_list_models,
     "eval": do_eval,
     "eval_batch": do_eval_batch,
     "yield": do_yield,
     "worst_case": do_worst_case,
+    "reload": do_reload,
     "malformed": do_malformed,
     "smoke": do_smoke,
+    "hammer": do_hammer,
 }
 
 
@@ -339,9 +460,16 @@ def main() -> int:
     parser.add_argument("--show-corner", action="store_true")
     parser.add_argument("--timeout", type=float, default=30.0,
                         help="socket timeout in seconds")
+    parser.add_argument("--max-retries", type=int, default=4,
+                        help="retries for overloaded requests (0 disables)")
+    parser.add_argument("--deadline", type=float, default=0.0,
+                        help="overall retry budget in seconds (0 = none)")
+    parser.add_argument("--burst", type=int, default=64,
+                        help="frames the hammer command sends in one write")
     args = parser.parse_args()
 
-    client = Client(args.socket, args.timeout)
+    client = Client(args.socket, args.timeout, max_retries=args.max_retries,
+                    deadline=args.deadline)
     try:
         result = COMMANDS[args.command](client, args)
     except ServerError as err:

@@ -32,7 +32,12 @@
 //   kListModelsRequest  (empty)
 //   kListModelsResponse u32 count, count x (bytes name, u32 version,
 //                       u64 fingerprint, u32 num_variables, u32 num_terms)
-//   kErrorResponse      u8 ErrorCode, bytes message
+//   kReloadRequest      (empty)
+//   kReloadResponse     u32 models_reloaded, u32 models_failed
+//   kErrorResponse      u8 ErrorCode, bytes message; kOverloaded frames
+//                       append u32 retry_after_ms (a backoff hint — the
+//                       request was shed by admission control and will
+//                       succeed on retry once load drains)
 #pragma once
 
 #include <cstdint>
@@ -54,6 +59,9 @@ enum class MessageType : std::uint8_t {
   kYieldRequest = 3,
   kWorstCaseRequest = 4,
   kListModelsRequest = 5,
+  // 6 and 7 are skipped: responses are request|64, and 6|64 = 70 is taken
+  // by kErrorResponse (7|64 = 71 stays reserved alongside it).
+  kReloadRequest = 8,
 
   kEvalResponse = 65,
   kEvalBatchResponse = 66,
@@ -61,6 +69,7 @@ enum class MessageType : std::uint8_t {
   kWorstCaseResponse = 68,
   kListModelsResponse = 69,
   kErrorResponse = 70,
+  kReloadResponse = 72,
 };
 
 struct Frame {

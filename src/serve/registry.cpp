@@ -94,6 +94,30 @@ std::uint32_t ModelRegistry::latest_version(const std::string& name) const {
   return latest;
 }
 
+std::uint64_t ModelRegistry::state_fingerprint() const {
+  std::uint64_t combined = 0xcbf29ce484222325ull;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    std::string name;
+    std::uint32_t version = 0;
+    const std::string filename = entry.path().filename().string();
+    if (!parse_entry_filename(filename, name, version)) continue;
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a per entry
+    for (const char c : filename) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    std::error_code size_ec;
+    const auto size = fs::file_size(entry.path(), size_ec);
+    h ^= size_ec ? 0 : static_cast<std::uint64_t>(size);
+    h *= 0x100000001b3ull;
+    combined ^= h;  // XOR: directory iteration order must not matter
+  }
+  if (ec)
+    throw IoError("registry: cannot list '" + root_ + "': " + ec.message());
+  return combined;
+}
+
 std::uint32_t ModelRegistry::save(const std::string& name,
                                   const SparseModel& model) {
   RSM_TRACE_SPAN("serve.registry.save");

@@ -65,6 +65,13 @@ class ModelRegistry {
   /// Latest stored version of `name`; 0 when the name is absent.
   [[nodiscard]] std::uint32_t latest_version(const std::string& name) const;
 
+  /// Order-independent hash of the registry's directory state (every entry
+  /// filename + size). Cheap — no file is opened — so a server can probe it
+  /// periodically and trigger a hot reload only when it changes. It answers
+  /// "did the set of versions change", not "are the bytes intact": content
+  /// integrity stays the codec's CRC's job at load time.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+
   [[nodiscard]] const std::string& root() const { return root_; }
 
   /// On-disk path of one version (exposed for corruption tests).

@@ -28,6 +28,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kIoError: return "io-error";
     case ErrorCode::kProtocolError: return "protocol-error";
     case ErrorCode::kVersionMismatch: return "version-mismatch";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kConnectionTimeout: return "connection-timeout";
   }
   return "?";
 }

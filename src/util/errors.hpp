@@ -28,9 +28,11 @@ enum class ErrorCode {
   kIoError,           // durable-storage failure (checkpoint, report, fsync)
   kProtocolError,     // malformed/oversized/desynced serving-protocol frame
   kVersionMismatch,   // persisted artifact written by an incompatible version
+  kOverloaded,        // admission control shed the request; retry with backoff
+  kConnectionTimeout, // per-connection I/O deadline expired (slow peer)
 };
 
-inline constexpr int kNumErrorCodes = 9;
+inline constexpr int kNumErrorCodes = 11;
 
 /// Short stable name for reports and logs ("singular-matrix", ...).
 [[nodiscard]] const char* error_code_name(ErrorCode code);
@@ -132,6 +134,31 @@ class VersionMismatchError : public StructuredError {
   explicit VersionMismatchError(const std::string& message,
                                 std::string strategy = {}, Index sample = -1)
       : StructuredError(ErrorCode::kVersionMismatch, message,
+                        std::move(strategy), sample) {}
+};
+
+/// The serving layer's admission control shed this request: the in-flight
+/// budget or the per-connection pending-frame cap was exceeded. Unlike every
+/// other code this one is *retryable by design* — the error frame carries a
+/// retry-after hint and clients are expected to back off and resend.
+class OverloadedError : public StructuredError {
+ public:
+  explicit OverloadedError(const std::string& message,
+                           std::string strategy = {}, Index sample = -1)
+      : StructuredError(ErrorCode::kOverloaded, message, std::move(strategy),
+                        sample) {}
+};
+
+/// A per-connection I/O deadline expired: the peer left a frame unfinished
+/// past the read timeout, stopped draining responses past the write timeout,
+/// or sat idle past the reaper threshold. The server quarantines exactly
+/// that connection; distinct from kDeadlineExceeded (a *compute* budget) so
+/// operators can tell "slow client" from "slow solver".
+class ConnectionTimeoutError : public StructuredError {
+ public:
+  explicit ConnectionTimeoutError(const std::string& message,
+                                  std::string strategy = {}, Index sample = -1)
+      : StructuredError(ErrorCode::kConnectionTimeout, message,
                         std::move(strategy), sample) {}
 };
 

@@ -98,4 +98,34 @@ FsFaultKind FsFaultInjector::kind(std::uint64_t op) const {
   return FsFaultKind::kNoSpace;
 }
 
+const char* socket_fault_kind_name(SocketFaultKind kind) {
+  switch (kind) {
+    case SocketFaultKind::kNone: return "none";
+    case SocketFaultKind::kTornWrite: return "torn-write";
+    case SocketFaultKind::kShortRead: return "short-read";
+    case SocketFaultKind::kStalledPeer: return "stalled-peer";
+    case SocketFaultKind::kMidFrameDisconnect: return "mid-frame-disconnect";
+  }
+  return "?";
+}
+
+SocketFaultInjector::SocketFaultInjector(const Options& options)
+    : options_(options) {
+  RSM_CHECK_MSG(options.fault_rate >= 0 && options.fault_rate <= 1,
+                "fault_rate must be in [0, 1]");
+}
+
+SocketFaultKind SocketFaultInjector::kind(std::uint64_t op) const {
+  if (!enabled()) return SocketFaultKind::kNone;
+  // Lane 4/5: lanes 0-3 are taken by the sample/fs injectors above, and a
+  // shared seed must not correlate socket faults with fs faults.
+  if (uniform(options_.seed, op, 4) >= options_.fault_rate)
+    return SocketFaultKind::kNone;
+  const Real mode = uniform(options_.seed, op, 5);
+  if (mode < Real{0.25}) return SocketFaultKind::kTornWrite;
+  if (mode < Real{0.5}) return SocketFaultKind::kShortRead;
+  if (mode < Real{0.75}) return SocketFaultKind::kStalledPeer;
+  return SocketFaultKind::kMidFrameDisconnect;
+}
+
 }  // namespace rsm

@@ -147,4 +147,49 @@ class FsFaultInjector {
   Options options_;
 };
 
+/// Socket-level misbehavior a serving-protocol peer can exhibit. These are
+/// the client-side failure modes the ModelServer must contain to one
+/// connection: a write that stops mid-frame, a peer that reads one byte at
+/// a time, a peer that stops reading responses entirely, and a peer that
+/// vanishes with a frame half sent.
+enum class SocketFaultKind {
+  kNone = 0,
+  kTornWrite,          // only a prefix of the frame is sent before a pause
+  kShortRead,          // responses are drained one byte per recv
+  kStalledPeer,        // requests keep coming but responses are never read
+  kMidFrameDisconnect, // the connection closes with a frame half sent
+};
+
+[[nodiscard]] const char* socket_fault_kind_name(SocketFaultKind kind);
+
+/// Deterministic injector for the serving layer's chaos harness. Like
+/// FsFaultInjector, the decision is a pure hash of (seed, operation index):
+/// a chaos client counts its own requests and consults kind(op) before each
+/// one, so a test can predict exactly which request misbehaves and how —
+/// independent of scheduling, connection count, or retry order.
+class SocketFaultInjector {
+ public:
+  struct Options {
+    /// Expected fraction of socket operations that fault (0 disables).
+    Real fault_rate = 0;
+
+    /// Hash seed, so one seed reproduces an entire misbehavior schedule.
+    std::uint64_t seed = 0x243f6a8885a308d3ull;
+  };
+
+  SocketFaultInjector() = default;
+  explicit SocketFaultInjector(const Options& options);
+
+  [[nodiscard]] bool enabled() const { return options_.fault_rate > 0; }
+
+  /// Fault mode assigned to socket operation `op` (kNone when unfaulted);
+  /// faulted ops split evenly between the four modes.
+  [[nodiscard]] SocketFaultKind kind(std::uint64_t op) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
 }  // namespace rsm

@@ -43,6 +43,12 @@ TEST(ErrorCodeExhaustiveness, ClassifyErrorCoversTheTaxonomy) {
   EXPECT_EQ(classify_error(DeadlineExceededError("x")),
             ErrorCode::kDeadlineExceeded);
   EXPECT_EQ(classify_error(IoError("x")), ErrorCode::kIoError);
+  EXPECT_EQ(classify_error(ProtocolError("x")), ErrorCode::kProtocolError);
+  EXPECT_EQ(classify_error(VersionMismatchError("x")),
+            ErrorCode::kVersionMismatch);
+  EXPECT_EQ(classify_error(OverloadedError("x")), ErrorCode::kOverloaded);
+  EXPECT_EQ(classify_error(ConnectionTimeoutError("x")),
+            ErrorCode::kConnectionTimeout);
   EXPECT_EQ(classify_error(Error("plain")), ErrorCode::kUnclassified);
   EXPECT_EQ(classify_error(std::runtime_error("foreign")),
             ErrorCode::kUnclassified);

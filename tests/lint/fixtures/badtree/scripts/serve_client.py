@@ -1,0 +1,6 @@
+# Fixture: the serving client's error-code list is out of ORDER relative
+# to the C++ enum (ok/singular-matrix swapped), which silently mislabels
+# every decoded error frame — membership checks alone would not catch it.
+ERROR_CODE_NAMES = [
+    "singular-matrix", "ok",
+]

@@ -57,11 +57,17 @@ SERVE_RESULTS = {
                      "evals_per_second": 4.0e6, "speedup_vs_scalar": 4.0}},
     "protocol": {"frames_attempted": 64, "frames_round_tripped": 64,
                  "corrupted_frames_rejected": 64},
+    "server": {"requests": 16, "accepted": 8, "shed": 8, "timed_out": 1,
+               "idle_closed": 0, "reloads": 1, "reload_failures": 1,
+               "burst_overloaded": 8, "healthy_evals": 1,
+               "retry_after_hint_ms": 25},
 }
 
 SERVER_RESULTS = {
     "connections": 3, "requests": 7, "evals": 2, "batch_rows": 128,
     "protocol_errors": 1, "request_errors": 1, "signal_cancelled": True,
+    "accepted": 5, "shed": 2, "timed_out": 1, "idle_closed": 0,
+    "reloads": 1, "reload_failures": 0,
 }
 
 failures = []
@@ -159,6 +165,36 @@ def main():
             r["connections"] = -1
         code, _ = run_checker(tmp, server_doc(negative_counter))
         check(code == 1, "negative connection counter rejected")
+
+        # Overload accounting: every request is exactly one of accepted /
+        # shed, in both the bench's server block and the server report.
+        def unbalanced_admission(r):
+            r["shed"] = r["shed"] + 1
+        code, out = run_checker(tmp, server_doc(unbalanced_admission))
+        check(code == 1 and "accepted" in out,
+              "server report with accepted + shed != requests rejected")
+        def unbalanced_bench(r):
+            r["server"]["accepted"] = r["server"]["accepted"] - 1
+        code, out = run_checker(tmp, serve_doc(unbalanced_bench))
+        check(code == 1 and "accepted" in out,
+              "bench server block with accepted + shed != requests rejected")
+
+        def missing_shed_counter(r):
+            del r["shed"]
+        code, out = run_checker(tmp, server_doc(missing_shed_counter))
+        check(code == 1 and "shed" in out,
+              "server report without shed counter rejected")
+
+        def negative_reloads(r):
+            r["server"]["reloads"] = -1
+        code, out = run_checker(tmp, serve_doc(negative_reloads))
+        check(code == 1 and "reloads" in out,
+              "negative reload counter rejected")
+
+        def stringy_timeouts(r):
+            r["timed_out"] = "1"
+        code, _ = run_checker(tmp, server_doc(stringy_timeouts))
+        check(code == 1, "non-integer timed_out counter rejected")
 
         # The serve checks are keyed on the tool name: other tools with
         # arbitrary results are untouched by them.

@@ -4,6 +4,7 @@
 // error instead of a wrong model.
 #include "serve/registry.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <filesystem>
@@ -19,6 +20,7 @@
 #include "stats/rng.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rsm::serve {
 namespace {
@@ -177,6 +179,82 @@ TEST(ModelRegistry, InjectedWriteFaultsFailClosedAndLeaveNoPartial) {
   ModelRegistry recovered(root);
   EXPECT_EQ(recovered.save("m", make_model(3, 1)), 1u);
   EXPECT_EQ(recovered.load("m").dictionary().num_variables(), 3);
+}
+
+TEST(ModelRegistry, StateFingerprintTracksPublishesOnly) {
+  const std::string root = fresh_root("fingerprint");
+  ModelRegistry registry(root);
+  const std::uint64_t empty = registry.state_fingerprint();
+  registry.save("m", make_model(3, 1));
+  const std::uint64_t one = registry.state_fingerprint();
+  EXPECT_NE(one, empty);
+
+  // Reads do not move it; a second handle over the same root agrees — the
+  // probe a server runs sees exactly what another process published.
+  (void)registry.load("m");
+  EXPECT_EQ(registry.state_fingerprint(), one);
+  EXPECT_EQ(ModelRegistry(root).state_fingerprint(), one);
+
+  registry.save("m", make_model(3, 2));
+  const std::uint64_t two = registry.state_fingerprint();
+  EXPECT_NE(two, one);
+  std::filesystem::remove(registry.path_for("m", 2));
+  EXPECT_EQ(registry.state_fingerprint(), one);
+}
+
+TEST(ModelRegistry, FailedSaveMovesNeitherStateNorFingerprint) {
+  const std::string root = fresh_root("failedsave");
+  ModelRegistry healthy(root);
+  healthy.save("m", make_model(3, 1));
+  const std::uint64_t before = healthy.state_fingerprint();
+
+  // Disk full mid-publish: the save throws, but the registry still holds
+  // exactly v1 and the fingerprint is unchanged — a server probing it has
+  // nothing to reload, so it keeps serving the last-good version.
+  const FsFaultInjector faults({.fault_rate = 1.0, .seed = 7});
+  ModelRegistry flaky(root, &faults);
+  EXPECT_THROW(flaky.save("m", make_model(3, 2)), IoError);
+  EXPECT_EQ(healthy.latest_version("m"), 1u);
+  EXPECT_EQ(healthy.state_fingerprint(), before);
+  EXPECT_EQ(healthy.load("m").dictionary().num_variables(), 3);
+}
+
+TEST(ModelRegistry, ConcurrentSavesNeverLeakThroughAFingerprintPin) {
+  const std::string root = fresh_root("race");
+  ModelRegistry registry(root);
+  const SparseModel generation_a = make_model(3, 1);
+  const SparseModel generation_b = make_model(4, 2);  // different dictionary
+  const std::uint64_t pin = dictionary_fingerprint(generation_a.dictionary());
+  ASSERT_NE(pin, dictionary_fingerprint(generation_b.dictionary()));
+  registry.save("m", generation_a);
+
+  // One thread publishes generation-B versions while another hammers
+  // pinned loads of latest: every load must either return generation A or
+  // fail as VersionMismatchError — never silently hand back a B model.
+  // (atomic_write_file makes each version's rename the commit point, so a
+  // loader can also never see a half-written artifact as IoError here.)
+  ThreadPool pool(ThreadPool::Options{.num_threads = 2});
+  std::atomic<int> matched{0};
+  std::atomic<int> rejected{0};
+  pool.submit([&] {
+    for (int i = 0; i < 20; ++i) registry.save("m", generation_b);
+  });
+  pool.submit([&] {
+    for (int i = 0; i < 200; ++i) {
+      try {
+        const SparseModel loaded = registry.load("m", 0, pin);
+        EXPECT_EQ(dictionary_fingerprint(loaded.dictionary()), pin);
+        matched.fetch_add(1);
+      } catch (const VersionMismatchError&) {
+        rejected.fetch_add(1);
+      }
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(matched.load() + rejected.load(), 200);
+  // The publisher finished, so by the end the pin must be rejecting.
+  EXPECT_THROW((void)registry.load("m", 0, pin), VersionMismatchError);
+  EXPECT_EQ(registry.latest_version("m"), 21u);
 }
 
 }  // namespace
