@@ -46,6 +46,13 @@ linter enforces them mechanically (stdlib only, no libclang):
                         backstops, queue draining, and cooperative
                         shutdown hold everywhere (std::this_thread is
                         fine: sleeping/yielding is not spawning).
+  no-naked-mutex        no std::mutex/std::shared_mutex/std::lock_guard/
+                        std::unique_lock/std::condition_variable & co
+                        outside src/util/sync.* — locking goes through
+                        rsm::Mutex + MutexLock/ReaderLock/CondVar so
+                        every lock carries Clang Thread Safety
+                        annotations and a deadlock-detection rank
+                        (util/sync.hpp; ranks in docs/static-analysis.md).
 
 Usage:
   rsm_lint.py                          # lint the whole tree, exit 0/1
@@ -394,6 +401,33 @@ def rule_no_raw_thread(files, _root):
     return findings
 
 
+# Every raw locking vocabulary item the sync layer wraps. Matching the type
+# name (not just declarations) also catches std::lock_guard<std::mutex>
+# locals, member declarations, and template arguments in one pass.
+NAKED_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|shared_mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|"
+    r"shared_lock|scoped_lock|condition_variable|condition_variable_any)\b")
+SYNC_HOME_PATHS = ("src/util/sync.hpp", "src/util/sync.cpp")
+
+
+def rule_no_naked_mutex(files, _root):
+    findings = []
+    for f in files:
+        if f.rel in SYNC_HOME_PATHS:
+            continue
+        for i, line in enumerate(f.code_lines, 1):
+            m = NAKED_MUTEX_RE.search(line)
+            if m and not f.allowed(i, "no-naked-mutex"):
+                findings.append(Finding(
+                    "no-naked-mutex", f.rel, i,
+                    f"raw std::{m.group(1)} outside src/util/sync.*; use "
+                    f"rsm::Mutex + MutexLock/ReaderLock/CondVar "
+                    f"(util/sync.hpp) so the lock carries thread-safety "
+                    f"annotations and a deadlock-detection rank"))
+    return findings
+
+
 PRAGMA_ONCE_RE = re.compile(r"^#\s*pragma\s+once", re.MULTILINE)
 
 
@@ -499,6 +533,7 @@ RULES = {
     "span-name-literal": rule_span_name_literal,
     "metric-name-literal": rule_metric_name_literal,
     "no-raw-thread": rule_no_raw_thread,
+    "no-naked-mutex": rule_no_naked_mutex,
 }
 
 

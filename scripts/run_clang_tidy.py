@@ -10,7 +10,9 @@ deliberately excluded), compared against the committed baseline
 Exit status:
   0  no new findings (stale baseline entries are reported informationally)
   1  new findings not present in the baseline
-  2  usage / environment error
+  2  usage / environment error — including a compile_commands.json older
+     than some CMakeLists.txt (a stale database silently skips new TUs;
+     re-run cmake, or pass --allow-stale-compdb to proceed anyway)
   0  clang-tidy not installed (warn only); use --require-clang-tidy to make
      that case fail with status 2 instead (the CI lint job does).
 
@@ -65,6 +67,46 @@ def load_compdb(build_path):
     return json.loads(compdb.read_text(encoding="utf-8")), compdb
 
 
+def check_compdb_freshness(compdb, allow_stale):
+    """Fails loudly when any CMakeLists.txt postdates compile_commands.json.
+
+    A stale database means clang-tidy lints a build graph that no longer
+    exists — new TUs are silently skipped and removed flags linger — and the
+    run's "clean" verdict is meaningless. Better exit 2 with instructions
+    than quietly diff against the wrong tree.
+    """
+    compdb_real = compdb.resolve()  # the root symlink points into build/
+    try:
+        compdb_mtime = compdb_real.stat().st_mtime
+    except OSError as err:
+        print(f"run-clang-tidy: cannot stat {compdb_real}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    stale_against = []
+    for lists in REPO_ROOT.rglob("CMakeLists.txt"):
+        rel = lists.relative_to(REPO_ROOT).as_posix()
+        # Build trees hold CMake's own generated CMakeLists copies.
+        if rel.startswith("build") or "/CMakeFiles/" in rel:
+            continue
+        if lists.stat().st_mtime > compdb_mtime:
+            stale_against.append(rel)
+    if not stale_against:
+        return
+    listing = "\n".join(f"  newer: {p}" for p in sorted(stale_against))
+    message = (
+        f"run-clang-tidy: {compdb} is STALE — CMakeLists.txt files have "
+        f"changed since it was generated:\n{listing}\n"
+        f"re-run cmake (cmake -B {compdb_real.parent.name or 'build'} -S .) "
+        f"so the database matches the build graph, or pass "
+        f"--allow-stale-compdb to lint against the old graph anyway")
+    if allow_stale:
+        print(message.replace("STALE", "stale (--allow-stale-compdb)",
+                              1))
+        return
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
 def run_one(tidy, compdb_dir, source):
     proc = subprocess.run(
         [tidy, "-p", str(compdb_dir), "--quiet", str(source)],
@@ -94,6 +136,10 @@ def main(argv=None):
     parser.add_argument("--require-clang-tidy", action="store_true",
                         help="fail (exit 2) when clang-tidy is missing "
                              "instead of warning")
+    parser.add_argument("--allow-stale-compdb", action="store_true",
+                        help="proceed (with a warning) when "
+                             "compile_commands.json is older than a "
+                             "CMakeLists.txt instead of exiting 2")
     parser.add_argument("-j", "--jobs", type=int,
                         default=multiprocessing.cpu_count())
     parser.add_argument("--clang-tidy", default=None,
@@ -116,6 +162,7 @@ def main(argv=None):
     else:
         build_path = REPO_ROOT / "build"
     entries, compdb = load_compdb(build_path)
+    check_compdb_freshness(compdb, args.allow_stale_compdb)
 
     sources = []
     for entry in entries:

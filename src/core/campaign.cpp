@@ -5,7 +5,6 @@
 #include <cmath>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -256,9 +255,9 @@ CampaignResult run_rows(const Matrix& samples, const SampleEvaluator& evaluate,
   // rows_done is monotone along the stream — scripts/check_progress_jsonl.py
   // asserts both. One uncontended lock per row is noise next to the
   // simulation the row just ran.
-  std::mutex progress_mutex;
+  Mutex progress_mutex{"campaign.progress", lock_rank::kCampaignProgress};
   auto note_row = [&](const RowOutcome& out, ThreadPool* pool) {
-    const std::lock_guard<std::mutex> lock(progress_mutex);
+    const MutexLock lock(progress_mutex);
     if (out.evaluated) {
       rows_done.fetch_add(1, std::memory_order_relaxed);
       (out.ok ? rows_succeeded : rows_quarantined)

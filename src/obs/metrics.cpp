@@ -51,18 +51,18 @@ T& find_or_create(std::vector<std::pair<std::string, std::unique_ptr<T>>>& map,
 }  // namespace
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return find_or_create(counters_, name);
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return find_or_create(gauges_, name);
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [key, metric] : histograms_) {
     if (key == name) return *metric;
   }
@@ -74,7 +74,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (const auto& [name, c] : counters_)
       snap.counters.push_back({name, c->value()});
     for (const auto& [name, g] : gauges_)
@@ -94,7 +94,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [name, c] : counters_)
     c->value_.store(0, std::memory_order_relaxed);
   for (auto& [name, g] : gauges_)

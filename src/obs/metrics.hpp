@@ -14,12 +14,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/sync.hpp"
 
 namespace rsm::obs {
 
@@ -137,10 +137,15 @@ class MetricsRegistry {
   friend MetricsRegistry& metrics();
   MetricsRegistry() = default;
 
-  mutable std::mutex mutex_;  // guards the maps, not the metric values
-  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
-  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  // Guards the name->metric maps, not the metric values (those are atomic;
+  // reset() zeroes them under the lock only to keep registration stable).
+  mutable Mutex mutex_{"obs.metrics", lock_rank::kMetricsRegistry};
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+      RSM_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_
+      RSM_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
+      RSM_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry.

@@ -17,7 +17,7 @@ ProgressReporter::ProgressReporter(Options options, LineSink sink)
 
 bool ProgressReporter::maybe_emit(const ProgressSnapshot& snapshot) {
   const auto now = std::chrono::steady_clock::now();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const double since_last =
       std::chrono::duration<double>(now - last_emit_).count();
   if (emitted_any_ && since_last < options_.interval_seconds) return false;
@@ -30,7 +30,7 @@ bool ProgressReporter::maybe_emit(const ProgressSnapshot& snapshot) {
 
 void ProgressReporter::emit_final(const ProgressSnapshot& snapshot) {
   const auto now = std::chrono::steady_clock::now();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   last_emit_ = now;
   emitted_any_ = true;
   emit_locked(snapshot, "summary",
@@ -38,7 +38,7 @@ void ProgressReporter::emit_final(const ProgressSnapshot& snapshot) {
 }
 
 std::int64_t ProgressReporter::events_emitted() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return events_;
 }
 

@@ -21,8 +21,9 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
+
+#include "util/sync.hpp"
 
 namespace rsm::obs {
 
@@ -64,15 +65,17 @@ class ProgressReporter {
 
  private:
   void emit_locked(const ProgressSnapshot& snapshot, const char* event,
-                   double elapsed_seconds);
+                   double elapsed_seconds) RSM_REQUIRES(mutex_);
 
   Options options_;
   LineSink sink_;
-  mutable std::mutex mutex_;
+  // Nests inside campaign.progress: the campaign fold calls maybe_emit
+  // while serializing note_row, so this rank must exceed kCampaignProgress.
+  mutable Mutex mutex_{"obs.progress.reporter", lock_rank::kProgressReporter};
   std::chrono::steady_clock::time_point start_;
-  std::chrono::steady_clock::time_point last_emit_;
-  bool emitted_any_ = false;
-  std::int64_t events_ = 0;
+  std::chrono::steady_clock::time_point last_emit_ RSM_GUARDED_BY(mutex_);
+  bool emitted_any_ RSM_GUARDED_BY(mutex_) = false;
+  std::int64_t events_ RSM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace rsm::obs

@@ -11,8 +11,8 @@ std::atomic<bool> g_telemetry_enabled{false};
 namespace {
 
 struct SinkSlot {
-  std::mutex mutex;
-  std::shared_ptr<TelemetrySink> sink;
+  Mutex mutex{"obs.telemetry.slot", lock_rank::kTelemetrySlot};
+  std::shared_ptr<TelemetrySink> sink RSM_GUARDED_BY(mutex);
 };
 
 SinkSlot& sink_slot() {
@@ -22,7 +22,7 @@ SinkSlot& sink_slot() {
 
 std::shared_ptr<TelemetrySink> current_sink() {
   SinkSlot& slot = sink_slot();
-  const std::lock_guard<std::mutex> lock(slot.mutex);
+  const MutexLock lock(slot.mutex);
   return slot.sink;
 }
 
@@ -31,7 +31,7 @@ std::shared_ptr<TelemetrySink> current_sink() {
 std::shared_ptr<TelemetrySink> set_telemetry_sink(
     std::shared_ptr<TelemetrySink> sink) {
   SinkSlot& slot = sink_slot();
-  const std::lock_guard<std::mutex> lock(slot.mutex);
+  const MutexLock lock(slot.mutex);
   std::shared_ptr<TelemetrySink> previous = std::move(slot.sink);
   slot.sink = std::move(sink);
   detail::g_telemetry_enabled.store(slot.sink != nullptr,
@@ -60,7 +60,7 @@ RingBufferSink::RingBufferSink(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void RingBufferSink::push(TelemetryRecord record) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
     return;
@@ -81,7 +81,7 @@ void RingBufferSink::on_campaign_sample(const CampaignSampleEvent& event) {
 }
 
 std::vector<TelemetryRecord> RingBufferSink::records() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<TelemetryRecord> out;
   out.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i)
@@ -90,12 +90,12 @@ std::vector<TelemetryRecord> RingBufferSink::records() const {
 }
 
 std::uint64_t RingBufferSink::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return dropped_;
 }
 
 void RingBufferSink::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ring_.clear();
   head_ = 0;
   dropped_ = 0;
@@ -146,7 +146,7 @@ JsonlFileSink::~JsonlFileSink() {
 }
 
 void JsonlFileSink::write_line(const std::string& line) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::fputs(line.c_str(), file_);
   std::fputc('\n', file_);
   std::fflush(file_);

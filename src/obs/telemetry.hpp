@@ -20,7 +20,6 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "obs/json.hpp"
 #include "util/common.hpp"
 #include "util/errors.hpp"
+#include "util/sync.hpp"
 
 namespace rsm::obs {
 
@@ -118,11 +118,12 @@ class RingBufferSink : public TelemetrySink {
  private:
   void push(TelemetryRecord record);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{"obs.telemetry.ring", lock_rank::kTelemetryRing};
   std::size_t capacity_;
-  std::size_t head_ = 0;  // index of the oldest record once saturated
-  std::uint64_t dropped_ = 0;
-  std::vector<TelemetryRecord> ring_;
+  // Index of the oldest record once saturated.
+  std::size_t head_ RSM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ RSM_GUARDED_BY(mutex_) = 0;
+  std::vector<TelemetryRecord> ring_ RSM_GUARDED_BY(mutex_);
 };
 
 /// Appends one JSON object per event to a file — the JSONL interchange
@@ -145,9 +146,9 @@ class JsonlFileSink : public TelemetrySink {
  private:
   void write_line(const std::string& line);
 
-  std::mutex mutex_;
+  Mutex mutex_{"obs.telemetry.jsonl", lock_rank::kTelemetryJsonl};
   std::string path_;
-  std::FILE* file_ = nullptr;
+  std::FILE* file_ RSM_PT_GUARDED_BY(mutex_) = nullptr;
 };
 
 /// One record as a JSON object with a "type" discriminator

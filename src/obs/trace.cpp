@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
-#include <mutex>
 
 #include "obs/env.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace rsm::obs {
@@ -106,8 +106,9 @@ void zero_node(SpanNode& node) {
 /// (keyed by ordinal) so trace_snapshot() can merge them and
 /// trace_snapshot_threads() can attribute spans to their recording thread.
 struct Retired {
-  std::mutex mutex;
-  std::vector<ThreadSpanStats> threads;  // ordered by retirement
+  Mutex mutex{"obs.trace.retired", lock_rank::kTraceRetired};
+  std::vector<ThreadSpanStats> threads
+      RSM_GUARDED_BY(mutex);  // ordered by retirement
 };
 
 Retired& retired() {
@@ -135,7 +136,7 @@ struct ThreadTree {
     SpanStats stats;
     if (!snapshot_node(root, stats)) return;
     Retired& r = retired();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.mutex);
     r.threads.push_back({ordinal, std::move(stats)});
   }
 };
@@ -169,7 +170,7 @@ SpanStats trace_snapshot() {
   SpanStats merged;
   {
     Retired& r = retired();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.mutex);
     for (const ThreadSpanStats& thread : r.threads)
       merge_stats(merged, thread.tree);
   }
@@ -183,7 +184,7 @@ std::vector<ThreadSpanStats> trace_snapshot_threads() {
   std::vector<ThreadSpanStats> threads;
   {
     Retired& r = retired();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.mutex);
     threads = r.threads;
   }
   ThreadTree& tree = thread_tree();
@@ -200,7 +201,7 @@ std::vector<ThreadSpanStats> trace_snapshot_threads() {
 void reset_tracing() {
   {
     Retired& r = retired();
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const MutexLock lock(r.mutex);
     r.threads.clear();
   }
   // Zero (rather than delete) the calling thread's nodes: ScopedSpans still

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace rsm {
 namespace {
@@ -12,8 +13,10 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 
 /// Guards sink installation and every emission: concurrent RSM_LOG calls
 /// from campaign/bench threads must not interleave half-lines on stderr.
-std::mutex& log_mutex() {
-  static std::mutex mutex;
+/// Rank kLog is near-leaf: any subsystem may log while holding its own
+/// locks, and sinks must not take rsm locks (or log) reentrantly.
+Mutex& log_mutex() {
+  static Mutex mutex{"log", lock_rank::kLog};
   return mutex;
 }
 
@@ -45,7 +48,7 @@ void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void set_log_sink(LogSink sink) {
-  const std::lock_guard<std::mutex> lock(log_mutex());
+  const MutexLock lock(log_mutex());
   sink_slot() = std::move(sink);
 }
 
@@ -67,7 +70,7 @@ std::string format_log_line(LogLevel level, double seconds,
 
 void log_emit(LogLevel level, const std::string& message) {
   const double uptime = log_uptime_seconds();
-  const std::lock_guard<std::mutex> lock(log_mutex());
+  const MutexLock lock(log_mutex());
   const LogSink& sink = sink_slot();
   if (sink) {
     sink(level, message);

@@ -1,0 +1,119 @@
+#include "util/sync.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rsm {
+namespace {
+
+/// Installed handler; nullptr means the default print-and-abort below.
+std::atomic<RankViolationHandler> g_rank_handler{nullptr};
+
+#if RSM_LOCK_RANK_CHECKS
+
+/// Per-thread held-lock stack. A fixed trivially-destructible array, not a
+/// vector: lock sites run during static destruction (logging from exit
+/// paths), after a thread_local with a destructor may already be gone.
+constexpr int kMaxHeldLocks = 32;
+
+struct HeldLock {
+  const void* mutex = nullptr;
+  const char* name = "";
+  int rank = 0;
+};
+
+thread_local HeldLock t_held[kMaxHeldLocks];
+thread_local int t_held_count = 0;
+
+void default_rank_violation(const RankViolation& violation) {
+  std::fprintf(stderr,
+               "rsm::Mutex lock-rank violation: acquiring '%s' (rank %d)%s "
+               "while holding, oldest first:\n",
+               violation.acquiring_name, violation.acquiring_rank,
+               violation.recursive ? " RECURSIVELY" : "");
+  for (const HeldLockInfo& held : violation.held) {
+    std::fprintf(stderr, "  '%s' (rank %d)\n", held.name, held.rank);
+  }
+  std::fprintf(stderr,
+               "lock ranks must strictly increase along every acquisition "
+               "path (docs/static-analysis.md has the rank table); this "
+               "ordering can deadlock, aborting\n");
+  std::abort();
+}
+
+#endif  // RSM_LOCK_RANK_CHECKS
+
+}  // namespace
+
+RankViolationHandler set_rank_violation_handler(RankViolationHandler handler) {
+  return g_rank_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+std::vector<HeldLockInfo> held_locks_for_testing() {
+  std::vector<HeldLockInfo> out;
+#if RSM_LOCK_RANK_CHECKS
+  out.reserve(static_cast<std::size_t>(t_held_count));
+  for (int i = 0; i < t_held_count; ++i)
+    out.push_back({t_held[i].name, t_held[i].rank});
+#endif
+  return out;
+}
+
+#if RSM_LOCK_RANK_CHECKS
+
+namespace detail {
+
+void rank_note_acquire(const void* mutex, const char* name, int rank) {
+  bool recursive = false;
+  int max_held = 0;
+  bool violates = false;
+  for (int i = 0; i < t_held_count; ++i) {
+    if (t_held[i].mutex == mutex) recursive = true;
+    if (t_held[i].rank > max_held) max_held = t_held[i].rank;
+    if (t_held[i].rank >= rank) violates = true;
+  }
+  if (violates || recursive) {
+    RankViolation violation;
+    violation.acquiring_name = name;
+    violation.acquiring_rank = rank;
+    violation.recursive = recursive;
+    violation.held.reserve(static_cast<std::size_t>(t_held_count));
+    for (int i = 0; i < t_held_count; ++i)
+      violation.held.push_back({t_held[i].name, t_held[i].rank});
+    RankViolationHandler handler =
+        g_rank_handler.load(std::memory_order_acquire);
+    if (handler == nullptr) handler = default_rank_violation;
+    handler(violation);
+    // A non-default handler that returns opted into record-and-continue.
+  }
+  if (t_held_count >= kMaxHeldLocks) {
+    std::fprintf(stderr,
+                 "rsm::Mutex: more than %d locks held by one thread while "
+                 "acquiring '%s' — certainly a leak or runaway nesting; "
+                 "aborting\n",
+                 kMaxHeldLocks, name);
+    std::abort();
+  }
+  t_held[t_held_count++] = {mutex, name, rank};
+}
+
+void rank_note_release(const void* mutex) {
+  // Locks release in LIFO order in practice; scan from the top so an
+  // out-of-order release (legal with manual lock()/unlock()) still finds
+  // its entry.
+  for (int i = t_held_count - 1; i >= 0; --i) {
+    if (t_held[i].mutex != mutex) continue;
+    for (int j = i; j + 1 < t_held_count; ++j) t_held[j] = t_held[j + 1];
+    --t_held_count;
+    return;
+  }
+  // Releasing a lock that was never noted: only possible if acquire ran
+  // before this TU's checks were enabled — ignore rather than abort.
+}
+
+}  // namespace detail
+
+#endif  // RSM_LOCK_RANK_CHECKS
+
+}  // namespace rsm

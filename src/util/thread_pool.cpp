@@ -75,7 +75,7 @@ ThreadPool::ThreadPool(const Options& options) : options_(options) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(coord_);
+    MutexLock lock(coord_);
     stop_.store(true, std::memory_order_relaxed);
     work_cv_.notify_all();
     space_cv_.notify_all();
@@ -130,7 +130,7 @@ std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
 bool ThreadPool::try_push(int worker, Task& task) {
   Worker& target = *workers_[static_cast<std::size_t>(worker)];
   if (target.retired.load(std::memory_order_relaxed)) return false;
-  std::lock_guard<std::mutex> lock(target.mutex);
+  MutexLock lock(target.mutex);
   if (target.queue.size() >= options_.queue_capacity) return false;
   target.queue.push_back(std::move(task));
   return true;
@@ -156,20 +156,20 @@ void ThreadPool::submit(Task task) {
       const std::int64_t depth =
           queued_.fetch_add(1, std::memory_order_acq_rel) + 1;
       raise_highwater(queue_highwater_, static_cast<std::uint64_t>(depth));
-      std::lock_guard<std::mutex> lock(coord_);
+      MutexLock lock(coord_);
       work_cv_.notify_one();
       return;
     }
     // Every live queue is full: backpressure. Timed wait so a burst of
     // completions that raced the notify cannot strand this producer.
     backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(coord_);
+    MutexLock lock(coord_);
     space_cv_.wait_for(lock, kWakePollInterval);
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(coord_);
+  MutexLock lock(coord_);
   idle_cv_.wait(lock, [this] {
     return pending_.load(std::memory_order_acquire) == 0;
   });
@@ -186,13 +186,13 @@ bool ThreadPool::retire_current_worker() {
   workers_[static_cast<std::size_t>(index)]->retired.store(
       true, std::memory_order_relaxed);
   // Siblings must wake to steal whatever this worker still has queued.
-  std::lock_guard<std::mutex> lock(coord_);
+  MutexLock lock(coord_);
   work_cv_.notify_all();
   return true;
 }
 
 ThreadPool::Task ThreadPool::try_pop_own(Worker& self) {
-  std::lock_guard<std::mutex> lock(self.mutex);
+  MutexLock lock(self.mutex);
   if (self.queue.empty()) return nullptr;
   Task task = std::move(self.queue.front());
   self.queue.pop_front();
@@ -205,7 +205,7 @@ ThreadPool::Task ThreadPool::try_steal(int thief) {
     // Victims include retired workers: their queues must still drain.
     const int victim = (thief + i) % n;
     Worker& target = *workers_[static_cast<std::size_t>(victim)];
-    std::lock_guard<std::mutex> lock(target.mutex);
+    MutexLock lock(target.mutex);
     if (target.queue.empty()) continue;
     Task task = std::move(target.queue.back());
     target.queue.pop_back();
@@ -234,7 +234,7 @@ void ThreadPool::worker_loop(int index) {
     if (task != nullptr) {
       queued_.fetch_sub(1, std::memory_order_acq_rel);
       {
-        std::lock_guard<std::mutex> lock(coord_);
+        MutexLock lock(coord_);
         space_cv_.notify_one();
       }
       if (stole) {
@@ -258,7 +258,7 @@ void ThreadPool::worker_loop(int index) {
       executed_.fetch_add(1, std::memory_order_relaxed);
       self.executed.fetch_add(1, std::memory_order_relaxed);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(coord_);
+        MutexLock lock(coord_);
         idle_cv_.notify_all();
       }
       continue;
@@ -267,7 +267,7 @@ void ThreadPool::worker_loop(int index) {
       add_seconds(self.idle_seconds, std::chrono::steady_clock::now() - mark);
       return;
     }
-    std::unique_lock<std::mutex> lock(coord_);
+    MutexLock lock(coord_);
     if (stop_.load(std::memory_order_relaxed) &&
         queued_.load(std::memory_order_acquire) == 0) {
       // Cooperative shutdown: every queued task has been drained.

@@ -28,16 +28,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/sync.hpp"
 
 namespace rsm {
 
@@ -124,8 +123,8 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::deque<Task> queue;
+    Mutex mutex{"pool.queue", lock_rank::kPoolQueue};
+    std::deque<Task> queue RSM_GUARDED_BY(mutex);
     std::atomic<bool> retired{false};
 
     // Telemetry. executed/stolen use relaxed fetch_add; the second pair is
@@ -160,11 +159,12 @@ class ThreadPool {
 
   // One coordination mutex for all sleeping/waking; per-worker mutexes only
   // guard their deques. Notifying under the lock closes the classic
-  // check-then-wait race without per-queue condition variables.
-  mutable std::mutex coord_;
-  std::condition_variable work_cv_;   // queued task may be available
-  std::condition_variable idle_cv_;   // pending_ may have reached zero
-  std::condition_variable space_cv_;  // queue space may have opened up
+  // check-then-wait race without per-queue condition variables. coord_ and
+  // the worker mutexes are never held together, so their ranks are free.
+  mutable Mutex coord_{"pool.coord", lock_rank::kPoolCoord};
+  CondVar work_cv_;   // queued task may be available
+  CondVar idle_cv_;   // pending_ may have reached zero
+  CondVar space_cv_;  // queue space may have opened up
 };
 
 }  // namespace rsm

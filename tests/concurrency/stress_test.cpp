@@ -6,6 +6,7 @@
 // themselves are deliberately coarse — the point is the interleavings.
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 #include "util/cancellation.hpp"
 #include "util/errors.hpp"
 #include "util/signals.hpp"
+#include "util/sync.hpp"
 
 namespace rsm {
 namespace {
@@ -229,6 +231,81 @@ TEST(ConcurrencyStress, SignalFlagsReadableFromAllThreads) {
   EXPECT_TRUE(signal_cancellation_requested());
   EXPECT_TRUE(source.cancel_requested());
   EXPECT_EQ(observed_cancel.load(), kThreads);
+}
+
+// Drives every edge of the lock-rank table (docs/static-analysis.md) from
+// many threads at once: each worker repeatedly walks a strictly-ascending
+// chain across all the ranks the production tree uses, so TSan sees the
+// checker's thread-local bookkeeping under real contention and any rank
+// regression (a violation would abort via the default handler) surfaces
+// here before a production interleaving finds it.
+TEST(ConcurrencyStress, LockRankEdgeChain) {
+  // Mirrors the tree's rank assignments, one Mutex per production rank.
+  Mutex campaign_progress{"stress.campaign.progress",
+                          lock_rank::kCampaignProgress};
+  Mutex pool_coord{"stress.pool.coord", lock_rank::kPoolCoord};
+  Mutex pool_queue{"stress.pool.queue", lock_rank::kPoolQueue};
+  Mutex telemetry_slot{"stress.telemetry.slot", lock_rank::kTelemetrySlot};
+  Mutex telemetry_ring{"stress.telemetry.ring", lock_rank::kTelemetryRing};
+  Mutex telemetry_jsonl{"stress.telemetry.jsonl",
+                        lock_rank::kTelemetryJsonl};
+  Mutex metrics_registry{"stress.metrics", lock_rank::kMetricsRegistry};
+  Mutex trace_retired{"stress.trace.retired", lock_rank::kTraceRetired};
+  Mutex progress_reporter{"stress.progress.reporter",
+                          lock_rank::kProgressReporter};
+  Mutex log{"stress.log", lock_rank::kLog};
+  Mutex scratch{"stress.scratch"};  // kDefault: always acquirable last
+
+  std::int64_t guarded_sum RSM_GUARDED_BY(scratch) = 0;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIterations / 4; ++i) {
+        {
+          // The full ascending chain: every production rank in order.
+          MutexLock l0(campaign_progress);
+          MutexLock l1(pool_coord);
+          MutexLock l2(pool_queue);
+          MutexLock l3(telemetry_slot);
+          MutexLock l4(telemetry_ring);
+          MutexLock l5(telemetry_jsonl);
+          MutexLock l6(metrics_registry);
+          MutexLock l7(trace_retired);
+          MutexLock l8(progress_reporter);
+          MutexLock l9(log);
+          MutexLock l10(scratch);
+          ++guarded_sum;
+        }
+        {
+          // The real campaign edge: progress serialization -> reporter ->
+          // log, skipping the middle of the table (gaps must be legal).
+          MutexLock l0(campaign_progress);
+          MutexLock l1(progress_reporter);
+          MutexLock l2(log);
+        }
+        {
+          // Telemetry emission under the sink slot, then logging.
+          MutexLock l0(telemetry_slot);
+          MutexLock l1(telemetry_ring);
+          MutexLock l2(log);
+        }
+        if (i % 8 == 0) {
+          // try_lock on a contended high-rank lock while holding a low
+          // rank: both outcomes must keep the held stack balanced.
+          MutexLock l0(pool_coord);
+          if (log.try_lock()) log.unlock();
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  {
+    MutexLock lock(scratch);
+    EXPECT_EQ(guarded_sum, static_cast<std::int64_t>(kThreads) *
+                               (kIterations / 4));
+  }
+  EXPECT_TRUE(held_locks_for_testing().empty());
 }
 
 }  // namespace

@@ -1,0 +1,21 @@
+// Fixture for the no-naked-mutex rule: raw std locking vocabulary outside
+// src/util/sync.* must fire; the rsm-lint-allow'd line and the sync-layer
+// spellings in comments/strings must stay silent.
+#include <mutex>
+#include <condition_variable>
+
+namespace bad {
+
+std::mutex g_mutex;                           // finding 1: raw std::mutex
+std::condition_variable g_cv;                 // finding 2: raw CV
+std::shared_mutex g_cache_lock;  // rsm-lint-allow(no-naked-mutex)
+
+// "std::mutex in a string literal" and std::mutex in this comment are fine.
+inline const char* kDoc = "prefer rsm::Mutex over std::mutex";
+
+void locked_increment(int& value) {
+  std::lock_guard<std::mutex> lock(g_mutex);  // finding 3: raw lock_guard
+  ++value;
+}
+
+}  // namespace bad

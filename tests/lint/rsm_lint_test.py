@@ -32,6 +32,8 @@ EXPECTED_RULE_FINDINGS = {
     "metric-name-literal": 2,  # dynamic counter + bare-variable gauge
                                # (exact; see below)
     "no-raw-thread": 2,        # std::thread, std::async (exact; see below)
+    "no-naked-mutex": 3,       # std::mutex, std::condition_variable,
+                               # std::lock_guard (exact; see below)
 }
 
 failures = []
@@ -92,6 +94,14 @@ def main():
     hits = full_out.count("[metric-name-literal]")
     check(hits == 2,
           f"metric-name-literal fires exactly twice on the fixture "
+          f"(got {hits})")
+
+    # 3d. no-naked-mutex is exact: the rsm-lint-allow'd shared_mutex and
+    #     the comment/string mentions in bad_mutex.cpp must stay silent, so
+    #     exactly the mutex, condition_variable, and lock_guard lines fire.
+    hits = full_out.count("[no-naked-mutex]")
+    check(hits == 3,
+          f"no-naked-mutex fires exactly three times on the fixture "
           f"(got {hits})")
 
     # 4. Disabling every rule yields a clean exit on the fixture tree.

@@ -39,6 +39,9 @@ BASELINE = {
             "checkpoint": {"flushes": 52},       # scheduling noise: skipped
             "execution": {"tasks_stolen": 9},    # scheduling noise: skipped
         },
+        # "timed_out" contains "time" but counts deadline expiries — it must
+        # gate exactly like any int, not drift as a time-like metric.
+        "server": {"timed_out": 3},
     },
 }
 
@@ -79,11 +82,38 @@ def main():
         check(code == 1 and "REGRESSED" in out and "fit_seconds" in out,
               f"--gate-times flags the 2x regression\n{out}")
 
+        # 2b. A generous --time-tol admits the same regression when gated.
+        code, _ = run_compare(tmp, BASELINE, slow, "--gate-times",
+                              "--time-tol", "2.5")
+        check(code == 0, "--time-tol 2.5 admits the 2x regression")
+
         # 3. Getting 2x *faster* never fails, even gated.
         fast = copy.deepcopy(BASELINE)
         fast["results"]["methods"]["OMP"]["fit_seconds"] = 1.0
         code, _ = run_compare(tmp, BASELINE, fast, "--gate-times")
         check(code == 0, "a 2x speedup passes under --gate-times")
+
+        # 3b. The PR-9 lookahead fix: `timed_out` is an exact int event
+        #     counter, not a time-like metric — a drift fails even without
+        #     --gate-times and is never reported as informational.
+        expiries = copy.deepcopy(BASELINE)
+        expiries["results"]["server"]["timed_out"] = 4
+        code, out = run_compare(tmp, BASELINE, expiries)
+        check(code == 1 and "timed_out" in out and "exact int metric" in out,
+              f"timed_out gates as an exact int, not time-like\n{out}")
+        code, out = run_compare(tmp, BASELINE, BASELINE)
+        check(code == 0 and "timed_out, not gated" not in out,
+              "an unchanged timed_out never shows as a time metric")
+
+        # 3c. A per-metric --tol override gates a time-like metric even
+        #     without --gate-times (an explicit bound is an opt-in gate),
+        #     with the limit 1 + tol.
+        code, _ = run_compare(tmp, BASELINE, slow, "--tol",
+                              "results.methods.OMP.fit_seconds=0.6")
+        check(code == 1, "--tol on a time metric gates without --gate-times")
+        code, _ = run_compare(tmp, BASELINE, slow, "--tol",
+                              "results.methods.OMP.fit_seconds=1.5")
+        check(code == 0, "a wide enough --tol admits the time regression")
 
         # 4. Science floats are gated tightly; ints and bools exactly.
         drift = copy.deepcopy(BASELINE)

@@ -5,7 +5,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -288,11 +287,11 @@ TEST(ThreadPoolTest, WorkStealingKeepsManyWorkersBusy) {
   options.num_threads = 4;
   ThreadPool pool(options);
   std::set<int> seen;
-  std::mutex seen_mutex;
+  Mutex seen_mutex{"test.seen"};
   for (int i = 0; i < 400; ++i) {
     pool.submit([&pool, &seen, &seen_mutex] {
       std::this_thread::sleep_for(std::chrono::microseconds(100));
-      std::lock_guard<std::mutex> lock(seen_mutex);
+      MutexLock lock(seen_mutex);
       seen.insert(pool.current_worker_index());
     });
   }
